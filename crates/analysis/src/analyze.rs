@@ -1,0 +1,689 @@
+//! Retire-point synthesis (paper §3.3).
+//!
+//! For every exclusive access `op` the analysis decides where its lock can
+//! retire:
+//!
+//! * **No later same-table access** → retire immediately after `op`.
+//! * **Later accesses with synthesizable conditions** (Listings 1–2) → a
+//!   [`Stmt::RetireIf`] whose condition checks, for every later access `opⱼ`
+//!   guarded by `condⱼ` with key `keyⱼ`, that `!condⱼ || keyⱼ != key(op)`.
+//!   Key computations are *hoisted* to the earliest position after `op`
+//!   where their data dependencies hold ("Bamboo traces the data source
+//!   along the data dependency path … and moves any computation on the
+//!   path that happens later than op1 to an early position").
+//! * **Loops** (Listings 3–4) → loop fission: a first loop computes the key
+//!   array, a second performs the accesses, each followed by a synthesized
+//!   `can_retire` scan over the remaining iterations.
+//! * Anything else → no retire (the paper leaves such cases to Wound-Wait
+//!   semantics; correctness never depends on retiring).
+
+use std::collections::HashSet;
+
+use bamboo_storage::TableId;
+
+use crate::ir::{AccessMode, Expr, Program, Stmt};
+
+/// Why/where a site retires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Retire unconditionally right after the access.
+    Immediate,
+    /// Retire behind a synthesized condition.
+    Conditional,
+    /// Retire inside a fissioned loop behind a `can_retire` scan.
+    LoopFission,
+    /// Not retired (reason recorded).
+    NoRetire(&'static str),
+}
+
+/// Per-site outcome of the analysis.
+#[derive(Clone, Debug)]
+pub struct SiteReport {
+    /// Access site id.
+    pub site: usize,
+    /// Decision taken.
+    pub decision: Decision,
+}
+
+/// Analysis output: the transformed program plus the per-site report.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Program with `RetireIf` statements (and hoisted lets / fissioned
+    /// loops) inserted.
+    pub program: Program,
+    /// One entry per exclusive access site.
+    pub report: Vec<SiteReport>,
+}
+
+/// A later access to the same table, as seen from a retire point.
+struct LaterAccess {
+    guard: Option<Expr>,
+    key: Expr,
+    in_loop: bool,
+}
+
+/// Collects later accesses to `table` in `stmts`, conjoining `If` guards.
+fn collect_later(stmts: &[Stmt], table: TableId, guard: Option<&Expr>, out: &mut Vec<LaterAccess>) {
+    for s in stmts {
+        match s {
+            Stmt::Access {
+                table: t, key, ..
+            } if *t == table => out.push(LaterAccess {
+                guard: guard.cloned(),
+                key: key.clone(),
+                in_loop: false,
+            }),
+            Stmt::Access { .. } => {}
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let then_guard = match guard {
+                    Some(g) => Expr::and(g.clone(), cond.clone()),
+                    None => cond.clone(),
+                };
+                collect_later(then_branch, table, Some(&then_guard), out);
+                let else_guard = match guard {
+                    Some(g) => Expr::and(g.clone(), Expr::not(cond.clone())),
+                    None => Expr::not(cond.clone()),
+                };
+                collect_later(else_branch, table, Some(&else_guard), out);
+            }
+            Stmt::For { body, .. } => {
+                let mut inner = Vec::new();
+                collect_later(body, table, guard, &mut inner);
+                for mut la in inner {
+                    la.in_loop = true;
+                    out.push(la);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Variables defined by the top-level prefix `stmts[..upto]` plus loop and
+/// branch bodies (conservative availability).
+fn defined_before(stmts: &[Stmt], upto: usize) -> HashSet<String> {
+    let mut out = Vec::new();
+    for s in &stmts[..upto] {
+        s.defined_vars(&mut out);
+    }
+    out.into_iter().collect()
+}
+
+/// True when `expr` only reads parameters and `available` variables.
+fn expr_available(expr: &Expr, available: &HashSet<String>) -> bool {
+    let mut vars = Vec::new();
+    expr.free_vars(&mut vars);
+    vars.iter().all(|v| available.contains(v))
+}
+
+/// Tries to order the top-level `Let`s in `stmts[from..]` whose values the
+/// retire condition needs so they can execute right after position
+/// `from - 1`. Returns the indexes (into `stmts`) of hoisted lets in
+/// dependency order, or `None` when some needed variable cannot be made
+/// available.
+fn plan_hoist(
+    stmts: &[Stmt],
+    from: usize,
+    needed: &[String],
+    mut available: HashSet<String>,
+) -> Option<Vec<usize>> {
+    let mut hoisted: Vec<usize> = Vec::new();
+    let mut missing: Vec<String> = needed
+        .iter()
+        .filter(|v| !available.contains(*v))
+        .cloned()
+        .collect();
+    // Iterate to a fixpoint: each round hoists lets whose deps are ready.
+    while !missing.is_empty() {
+        let mut progress = false;
+        for (off, s) in stmts[from..].iter().enumerate() {
+            let idx = from + off;
+            if hoisted.contains(&idx) {
+                continue;
+            }
+            if let Stmt::Let { var, expr } = s {
+                if missing.contains(var) && expr_available(expr, &available) {
+                    hoisted.push(idx);
+                    available.insert(var.clone());
+                    let mut deps = Vec::new();
+                    expr.free_vars(&mut deps);
+                    missing.retain(|m| m != var);
+                    progress = true;
+                }
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+    Some(hoisted)
+}
+
+/// Runs the analysis over a program's top level.
+pub fn insert_retire_points(p: &Program) -> Analysis {
+    let mut report = Vec::new();
+    let mut out: Vec<Stmt> = Vec::new();
+    let mut i = 0;
+    let stmts = &p.stmts;
+    let mut hoisted_set: HashSet<usize> = HashSet::new();
+    while i < stmts.len() {
+        if hoisted_set.contains(&i) {
+            i += 1;
+            continue;
+        }
+        match &stmts[i] {
+            Stmt::Access {
+                id,
+                table,
+                key,
+                mode: AccessMode::Write,
+            } => {
+                out.push(stmts[i].clone());
+                let mut later = Vec::new();
+                collect_later(&stmts[i + 1..], *table, None, &mut later);
+                if later.is_empty() {
+                    // Table never touched again: retire unconditionally.
+                    out.push(Stmt::RetireIf {
+                        site: *id,
+                        table: *table,
+                        key: key.clone(),
+                        cond: Expr::Const(1),
+                    });
+                    report.push(SiteReport {
+                        site: *id,
+                        decision: Decision::Immediate,
+                    });
+                } else if later.iter().any(|l| l.in_loop) {
+                    report.push(SiteReport {
+                        site: *id,
+                        decision: Decision::NoRetire("later access inside a loop"),
+                    });
+                } else {
+                    // Synthesize ∧ⱼ (!condⱼ || keyⱼ != key) and hoist the
+                    // key/guard computations.
+                    let mut needed = Vec::new();
+                    for l in &later {
+                        if let Some(g) = &l.guard {
+                            g.free_vars(&mut needed);
+                        }
+                        l.key.free_vars(&mut needed);
+                    }
+                    let available = defined_before(stmts, i);
+                    match plan_hoist(stmts, i + 1, &needed, available) {
+                        None => {
+                            report.push(SiteReport {
+                                site: *id,
+                                decision: Decision::NoRetire(
+                                    "later key not computable at retire point",
+                                ),
+                            });
+                        }
+                        Some(hoist) => {
+                            for &h in &hoist {
+                                out.push(stmts[h].clone());
+                                hoisted_set.insert(h);
+                            }
+                            let mut cond: Option<Expr> = None;
+                            for l in &later {
+                                let differs = Expr::ne(l.key.clone(), key.clone());
+                                let clause = match &l.guard {
+                                    Some(g) => Expr::or(Expr::not(g.clone()), differs),
+                                    None => differs,
+                                };
+                                cond = Some(match cond {
+                                    Some(c) => Expr::and(c, clause),
+                                    None => clause,
+                                });
+                            }
+                            out.push(Stmt::RetireIf {
+                                site: *id,
+                                table: *table,
+                                key: key.clone(),
+                                cond: cond.expect("later nonempty"),
+                            });
+                            report.push(SiteReport {
+                                site: *id,
+                                decision: Decision::Conditional,
+                            });
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                // Recurse into branches: an access inside a branch can
+                // retire when nothing after it — in the rest of its branch
+                // or in the continuation after the If — touches its table.
+                let continuation = &stmts[i + 1..];
+                let then_done =
+                    analyze_branch(then_branch, continuation, &mut report);
+                let else_done =
+                    analyze_branch(else_branch, continuation, &mut report);
+                out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: then_done,
+                    else_branch: else_done,
+                });
+            }
+            Stmt::For { var, count, body } => {
+                // Same-table accesses after the loop make in-loop retiring
+                // unsafe; bail to plain execution of the loop.
+                let loop_tables: HashSet<TableId> = {
+                    let mut v = Vec::new();
+                    collect_all_tables(body, &mut v);
+                    v.into_iter().collect()
+                };
+                let mut later_same = Vec::new();
+                for t in &loop_tables {
+                    collect_later(&stmts[i + 1..], *t, None, &mut later_same);
+                }
+                match (later_same.is_empty(), fission_loop(var, count, body)) {
+                    (true, Some((fissioned, sites))) => {
+                        out.extend(fissioned);
+                        for s in sites {
+                            report.push(SiteReport {
+                                site: s,
+                                decision: Decision::LoopFission,
+                            });
+                        }
+                    }
+                    _ => {
+                        out.push(stmts[i].clone());
+                        for (id, _, mode) in (Program {
+                            params: 0,
+                            stmts: body.clone(),
+                        })
+                        .access_sites()
+                        {
+                            if mode == AccessMode::Write {
+                                report.push(SiteReport {
+                                    site: id,
+                                    decision: Decision::NoRetire(
+                                        "loop not fissionable or table re-accessed later",
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            other => out.push(other.clone()),
+        }
+        i += 1;
+    }
+    Analysis {
+        program: Program {
+            params: p.params,
+            stmts: out,
+        },
+        report,
+    }
+}
+
+/// Analyses one `If` branch: exclusive accesses retire immediately when no
+/// later statement — in the branch or in the `continuation` after the
+/// enclosing `If` — may touch their table. Conditional synthesis across
+/// branch boundaries is left to future work (the paper's examples place
+/// the guarded access last, which this covers).
+fn analyze_branch(
+    branch: &[Stmt],
+    continuation: &[Stmt],
+    report: &mut Vec<SiteReport>,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(branch.len());
+    for (j, s) in branch.iter().enumerate() {
+        out.push(s.clone());
+        if let Stmt::Access {
+            id,
+            table,
+            key,
+            mode: AccessMode::Write,
+        } = s
+        {
+            let mut later = Vec::new();
+            collect_later(&branch[j + 1..], *table, None, &mut later);
+            collect_later(continuation, *table, None, &mut later);
+            if later.is_empty() {
+                out.push(Stmt::RetireIf {
+                    site: *id,
+                    table: *table,
+                    key: key.clone(),
+                    cond: Expr::Const(1),
+                });
+                report.push(SiteReport {
+                    site: *id,
+                    decision: Decision::Immediate,
+                });
+            } else {
+                report.push(SiteReport {
+                    site: *id,
+                    decision: Decision::NoRetire(
+                        "table re-accessed after the branch access",
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn collect_all_tables(stmts: &[Stmt], out: &mut Vec<TableId>) {
+    for s in stmts {
+        match s {
+            Stmt::Access { table, .. } => out.push(*table),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_all_tables(then_branch, out);
+                collect_all_tables(else_branch, out);
+            }
+            Stmt::For { body, .. } => collect_all_tables(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Listing 3 → Listing 4: split a loop of the form
+/// `for i { arr[i] = f(...); access(table, arr[i]) }` into a key-computing
+/// loop and an access loop with a `can_retire` scan.
+fn fission_loop(var: &str, count: &Expr, body: &[Stmt]) -> Option<(Vec<Stmt>, Vec<usize>)> {
+    // Pattern: any number of Let/LetArr statements followed by exactly one
+    // write access whose key is `arr[var]` for an array assigned in the
+    // body. No nested control flow.
+    let mut compute: Vec<Stmt> = Vec::new();
+    let mut access: Option<(usize, TableId, String)> = None;
+    let mut assigned_arrays: HashSet<String> = HashSet::new();
+    for s in body {
+        match s {
+            Stmt::Let { .. } => compute.push(s.clone()),
+            Stmt::LetArr { arr, .. } => {
+                assigned_arrays.insert(arr.clone());
+                compute.push(s.clone());
+            }
+            Stmt::Access {
+                id,
+                table,
+                key: Expr::Index(arr, idx),
+                mode: AccessMode::Write,
+            } if access.is_none() && **idx == Expr::Var(var.to_owned()) => {
+                access = Some((*id, *table, arr.clone()));
+            }
+            _ => return None,
+        }
+    }
+    let (site, table, arr) = access?;
+    if !assigned_arrays.contains(&arr) {
+        return None;
+    }
+    // The compute statements must not depend on access results (trivially
+    // true: accesses produce no IR values).
+    let can = format!("can_retire${site}");
+    let j = format!("j${site}");
+    let key_i = Expr::index(&arr, Expr::var(var));
+    let access_loop_body = vec![
+        Stmt::Access {
+            id: site,
+            table,
+            key: key_i.clone(),
+            mode: AccessMode::Write,
+        },
+        // bool can_retire = true; for j { if i < j { can_retire &&=
+        // keys[j] != keys[i] } }  (Listing 4 lines 6–8).
+        Stmt::Let {
+            var: can.clone(),
+            expr: Expr::Const(1),
+        },
+        Stmt::For {
+            var: j.clone(),
+            count: count.clone(),
+            body: vec![Stmt::If {
+                cond: Expr::Lt(Box::new(Expr::var(var)), Box::new(Expr::var(&j))),
+                then_branch: vec![Stmt::Let {
+                    var: can.clone(),
+                    expr: Expr::and(
+                        Expr::var(&can),
+                        Expr::ne(Expr::index(&arr, Expr::var(&j)), key_i.clone()),
+                    ),
+                }],
+                else_branch: vec![],
+            }],
+        },
+        Stmt::RetireIf {
+            site,
+            table,
+            key: key_i,
+            cond: Expr::var(&can),
+        },
+    ];
+    let fissioned = vec![
+        Stmt::For {
+            var: var.to_owned(),
+            count: count.clone(),
+            body: compute,
+        },
+        Stmt::For {
+            var: var.to_owned(),
+            count: count.clone(),
+            body: access_loop_body,
+        },
+    ];
+    Some((fissioned, vec![site]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(0);
+
+    /// Listing 1: op1 on tup1; later `if cond { op2 on tup2 }` where
+    /// tup2.key = f(input) is computed late.
+    fn listing1() -> Program {
+        Program {
+            params: 2, // params[0] = cond, params[1] = input
+            stmts: vec![
+                Stmt::Access {
+                    id: 0,
+                    table: T,
+                    key: Expr::Const(5),
+                    mode: AccessMode::Write,
+                },
+                Stmt::Let {
+                    var: "unrelated".into(),
+                    expr: Expr::Const(0),
+                },
+                Stmt::Let {
+                    var: "tup2_key".into(),
+                    expr: Expr::Add(Box::new(Expr::Param(1)), Box::new(Expr::Const(1))),
+                },
+                Stmt::If {
+                    cond: Expr::Param(0),
+                    then_branch: vec![Stmt::Access {
+                        id: 1,
+                        table: T,
+                        key: Expr::var("tup2_key"),
+                        mode: AccessMode::Write,
+                    }],
+                    else_branch: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn listing1_synthesizes_conditional_retire() {
+        let a = insert_retire_points(&listing1());
+        assert_eq!(a.report[0].site, 0);
+        assert_eq!(a.report[0].decision, Decision::Conditional);
+        // The key computation was hoisted before the RetireIf.
+        let pos_let = a
+            .program
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::Let { var, .. } if var == "tup2_key"))
+            .unwrap();
+        let pos_retire = a
+            .program
+            .stmts
+            .iter()
+            .position(|s| matches!(s, Stmt::RetireIf { site: 0, .. }))
+            .unwrap();
+        assert!(pos_let < pos_retire, "hoisted key must precede the retire");
+        assert_eq!(pos_retire, 2, "retire right after access + hoisted let");
+        // Condition shape: !cond || tup2_key != 5.
+        if let Stmt::RetireIf { cond, .. } = &a.program.stmts[pos_retire] {
+            let mut vars = Vec::new();
+            cond.free_vars(&mut vars);
+            assert!(vars.contains(&"tup2_key".to_owned()));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn sole_access_retires_immediately() {
+        let p = Program {
+            params: 0,
+            stmts: vec![Stmt::Access {
+                id: 0,
+                table: T,
+                key: Expr::Const(1),
+                mode: AccessMode::Write,
+            }],
+        };
+        let a = insert_retire_points(&p);
+        assert_eq!(a.report[0].decision, Decision::Immediate);
+        assert!(matches!(
+            a.program.stmts[1],
+            Stmt::RetireIf {
+                cond: Expr::Const(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn different_tables_do_not_block_retire() {
+        let p = Program {
+            params: 0,
+            stmts: vec![
+                Stmt::Access {
+                    id: 0,
+                    table: T,
+                    key: Expr::Const(1),
+                    mode: AccessMode::Write,
+                },
+                Stmt::Access {
+                    id: 1,
+                    table: TableId(1),
+                    key: Expr::Const(1),
+                    mode: AccessMode::Write,
+                },
+            ],
+        };
+        let a = insert_retire_points(&p);
+        assert_eq!(a.report[0].decision, Decision::Immediate);
+        assert_eq!(a.report[1].decision, Decision::Immediate);
+    }
+
+    #[test]
+    fn uncomputable_later_key_bails() {
+        // Later key depends on a variable computed from a *later* loop —
+        // not hoistable.
+        let p = Program {
+            params: 0,
+            stmts: vec![
+                Stmt::Access {
+                    id: 0,
+                    table: T,
+                    key: Expr::Const(1),
+                    mode: AccessMode::Write,
+                },
+                Stmt::For {
+                    var: "i".into(),
+                    count: Expr::Const(3),
+                    body: vec![Stmt::Let {
+                        var: "k".into(),
+                        expr: Expr::var("i"),
+                    }],
+                },
+                Stmt::Access {
+                    id: 1,
+                    table: T,
+                    key: Expr::var("k"),
+                    mode: AccessMode::Write,
+                },
+            ],
+        };
+        let a = insert_retire_points(&p);
+        assert!(matches!(a.report[0].decision, Decision::NoRetire(_)));
+    }
+
+    /// Listing 3: for i { key[i] = f(input2[i]); access(table, key[i]) }.
+    fn listing3() -> Program {
+        Program {
+            params: 1,
+            stmts: vec![Stmt::For {
+                var: "i".into(),
+                count: Expr::Const(4),
+                body: vec![
+                    Stmt::LetArr {
+                        arr: "key".into(),
+                        idx: Expr::var("i"),
+                        expr: Expr::Mod(Box::new(Expr::var("i")), Box::new(Expr::Const(2))),
+                    },
+                    Stmt::Access {
+                        id: 0,
+                        table: T,
+                        key: Expr::index("key", Expr::var("i")),
+                        mode: AccessMode::Write,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn listing3_is_fissioned() {
+        let a = insert_retire_points(&listing3());
+        assert_eq!(a.report[0].decision, Decision::LoopFission);
+        // Two loops now: compute + access.
+        let loops = a
+            .program
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::For { .. }))
+            .count();
+        assert_eq!(loops, 2);
+        // Second loop contains the access, the can_retire scan and the
+        // RetireIf.
+        if let Stmt::For { body, .. } = &a.program.stmts[1] {
+            assert!(matches!(body[0], Stmt::Access { .. }));
+            assert!(matches!(body.last().unwrap(), Stmt::RetireIf { .. }));
+        } else {
+            panic!("expected access loop");
+        }
+    }
+
+    #[test]
+    fn loop_followed_by_same_table_access_bails() {
+        let mut p = listing3();
+        p.stmts.push(Stmt::Access {
+            id: 9,
+            table: T,
+            key: Expr::Const(0),
+            mode: AccessMode::Write,
+        });
+        let a = insert_retire_points(&p);
+        assert!(matches!(a.report[0].decision, Decision::NoRetire(_)));
+    }
+}

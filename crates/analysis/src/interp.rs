@@ -1,0 +1,287 @@
+//! Interpreter: executes an (analysed) IR program as one transaction
+//! against a database through the Bamboo locking protocol.
+//!
+//! Writes issued by the interpreter never auto-retire — retiring happens
+//! exclusively at the synthesized [`Stmt::RetireIf`] points, which is the
+//! §3.3 deployment model: the analysis inserts `LockRetire()` calls into
+//! the program, the protocol obeys them.
+
+use std::collections::HashMap;
+
+use bamboo_core::protocol::{LockingProtocol, Protocol};
+use bamboo_core::txn::AccessState;
+use bamboo_core::{Abort, Database, TxnCtx};
+use bamboo_storage::Value;
+
+use crate::ir::{AccessMode, Expr, Program, Stmt};
+
+/// Execution statistics of one interpreted transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Retire calls actually performed.
+    pub retires: usize,
+    /// Retire conditions evaluated false.
+    pub retires_skipped: usize,
+    /// Writes that hit an already-retired access (would trigger the
+    /// §3.3 second-write abort path). A correct analysis keeps this at 0.
+    pub reacquires: usize,
+    /// Tuple accesses issued.
+    pub accesses: usize,
+}
+
+/// Variable environment.
+#[derive(Default)]
+struct Env {
+    params: Vec<u64>,
+    scalars: HashMap<String, u64>,
+    arrays: HashMap<String, Vec<u64>>,
+}
+
+impl Env {
+    fn eval(&self, e: &Expr) -> u64 {
+        match e {
+            Expr::Const(c) => *c,
+            Expr::Param(i) => self.params[*i],
+            Expr::Var(v) => *self
+                .scalars
+                .get(v)
+                .unwrap_or_else(|| panic!("undefined variable {v:?}")),
+            Expr::Index(arr, idx) => {
+                let i = self.eval(idx) as usize;
+                self.arrays
+                    .get(arr)
+                    .and_then(|a| a.get(i))
+                    .copied()
+                    .unwrap_or_else(|| panic!("undefined {arr}[{i}]"))
+            }
+            Expr::Add(a, b) => self.eval(a).wrapping_add(self.eval(b)),
+            Expr::Mul(a, b) => self.eval(a).wrapping_mul(self.eval(b)),
+            Expr::Mod(a, b) => self.eval(a) % self.eval(b),
+            Expr::Eq(a, b) => (self.eval(a) == self.eval(b)) as u64,
+            Expr::Ne(a, b) => (self.eval(a) != self.eval(b)) as u64,
+            Expr::Lt(a, b) => (self.eval(a) < self.eval(b)) as u64,
+            Expr::Not(a) => (self.eval(a) == 0) as u64,
+            Expr::And(a, b) => (self.eval(a) != 0 && self.eval(b) != 0) as u64,
+            Expr::Or(a, b) => (self.eval(a) != 0 || self.eval(b) != 0) as u64,
+        }
+    }
+}
+
+/// Runs `program` with `params` inside the transaction `ctx`. The caller
+/// owns begin/commit/abort so programs compose with the normal protocol
+/// lifecycle.
+pub fn run_program(
+    db: &Database,
+    proto: &LockingProtocol,
+    ctx: &mut TxnCtx,
+    program: &Program,
+    params: &[u64],
+) -> Result<RunStats, Abort> {
+    assert_eq!(params.len(), program.params, "parameter arity mismatch");
+    let mut env = Env {
+        params: params.to_vec(),
+        ..Default::default()
+    };
+    let mut stats = RunStats::default();
+    exec_block(db, proto, ctx, &program.stmts, &mut env, &mut stats)?;
+    Ok(stats)
+}
+
+fn exec_block(
+    db: &Database,
+    proto: &LockingProtocol,
+    ctx: &mut TxnCtx,
+    stmts: &[Stmt],
+    env: &mut Env,
+    stats: &mut RunStats,
+) -> Result<(), Abort> {
+    for s in stmts {
+        match s {
+            Stmt::Let { var, expr } => {
+                let v = env.eval(expr);
+                env.scalars.insert(var.clone(), v);
+            }
+            Stmt::LetArr { arr, idx, expr } => {
+                let i = env.eval(idx) as usize;
+                let v = env.eval(expr);
+                let a = env.arrays.entry(arr.clone()).or_default();
+                if a.len() <= i {
+                    a.resize(i + 1, 0);
+                }
+                a[i] = v;
+            }
+            Stmt::Access {
+                table, key, mode, ..
+            } => {
+                let k = env.eval(key);
+                stats.accesses += 1;
+                match mode {
+                    AccessMode::Read => {
+                        let row = proto.read(db, ctx, *table, k)?;
+                        std::hint::black_box(row.get_i64(1));
+                    }
+                    AccessMode::Write => {
+                        // Track would-be second writes: a correct analysis
+                        // never retires a lock that is written again.
+                        if let Some(t) = db.table(*table).get(k) {
+                            if let Some(i) = ctx.find_access(*table, t.row_id) {
+                                if ctx.accesses[i].state == AccessState::Retired {
+                                    stats.reacquires += 1;
+                                }
+                            }
+                        }
+                        proto.update_manual(
+                            db,
+                            ctx,
+                            *table,
+                            k,
+                            &mut |row| {
+                                let v = row.get_i64(1);
+                                row.set(1, Value::I64(v + 1));
+                            },
+                            false,
+                        )?;
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if env.eval(cond) != 0 {
+                    exec_block(db, proto, ctx, then_branch, env, stats)?;
+                } else {
+                    exec_block(db, proto, ctx, else_branch, env, stats)?;
+                }
+            }
+            Stmt::For { var, count, body } => {
+                let n = env.eval(count);
+                for i in 0..n {
+                    env.scalars.insert(var.clone(), i);
+                    exec_block(db, proto, ctx, body, env, stats)?;
+                }
+            }
+            Stmt::RetireIf {
+                table, key, cond, ..
+            } => {
+                if env.eval(cond) != 0 {
+                    proto.retire_now(ctx, *table, env.eval(key));
+                    stats.retires += 1;
+                } else {
+                    stats.retires_skipped += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_core::protocol::Protocol;
+    use bamboo_core::wal::WalBuffer;
+    use bamboo_storage::{DataType, Row, Schema, TableId};
+
+    fn setup(rows: u64) -> std::sync::Arc<Database> {
+        let mut b = Database::builder();
+        let t = b.add_table(
+            "t",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        assert_eq!(t, TableId(0));
+        let db = b.build();
+        for k in 0..rows {
+            db.table(t)
+                .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+        }
+        db
+    }
+
+    #[test]
+    fn straight_line_program_executes() {
+        let db = setup(8);
+        let proto = LockingProtocol::bamboo();
+        let mut ctx = proto.begin(&db);
+        let p = Program {
+            params: 1,
+            stmts: vec![
+                Stmt::Let {
+                    var: "k".into(),
+                    expr: Expr::Param(0),
+                },
+                Stmt::Access {
+                    id: 0,
+                    table: TableId(0),
+                    key: Expr::var("k"),
+                    mode: AccessMode::Write,
+                },
+                Stmt::RetireIf {
+                    site: 0,
+                    table: TableId(0),
+                    key: Expr::var("k"),
+                    cond: Expr::Const(1),
+                },
+            ],
+        };
+        let stats = run_program(&db, &proto, &mut ctx, &p, &[3]).unwrap();
+        assert_eq!(stats.retires, 1);
+        assert_eq!(stats.reacquires, 0);
+        let mut wal = WalBuffer::for_tests();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        assert_eq!(db.table(TableId(0)).get(3).unwrap().read_row().get_i64(1), 1);
+    }
+
+    #[test]
+    fn loops_and_arrays_evaluate() {
+        let db = setup(4);
+        let proto = LockingProtocol::bamboo();
+        let mut ctx = proto.begin(&db);
+        let p = Program {
+            params: 0,
+            stmts: vec![Stmt::For {
+                var: "i".into(),
+                count: Expr::Const(4),
+                body: vec![
+                    Stmt::LetArr {
+                        arr: "ks".into(),
+                        idx: Expr::var("i"),
+                        expr: Expr::var("i"),
+                    },
+                    Stmt::Access {
+                        id: 0,
+                        table: TableId(0),
+                        key: Expr::index("ks", Expr::var("i")),
+                        mode: AccessMode::Write,
+                    },
+                ],
+            }],
+        };
+        let stats = run_program(&db, &proto, &mut ctx, &p, &[]).unwrap();
+        assert_eq!(stats.accesses, 4);
+        let mut wal = WalBuffer::for_tests();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        for k in 0..4 {
+            assert_eq!(db.table(TableId(0)).get(k).unwrap().read_row().get_i64(1), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined variable")]
+    fn undefined_variable_panics() {
+        let db = setup(1);
+        let proto = LockingProtocol::bamboo();
+        let mut ctx = proto.begin(&db);
+        let p = Program {
+            params: 0,
+            stmts: vec![Stmt::Let {
+                var: "x".into(),
+                expr: Expr::var("missing"),
+            }],
+        };
+        let _ = run_program(&db, &proto, &mut ctx, &p, &[]);
+    }
+}

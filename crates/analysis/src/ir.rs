@@ -1,0 +1,336 @@
+//! A small transaction-program IR.
+//!
+//! Paper §3.3 performs "standard control and data flow analysis" over
+//! stored-procedure source to find safe retire points. Our substrate is a
+//! C-like mini-language of expressions, assignments, conditional blocks,
+//! fixed-trip-count `for` loops, and tuple accesses — exactly the constructs
+//! Listings 1–4 exercise.
+
+use bamboo_storage::TableId;
+
+/// Pure expressions over u64 values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal.
+    Const(u64),
+    /// Transaction input parameter `params[i]`.
+    Param(usize),
+    /// Scalar variable.
+    Var(String),
+    /// Array element `arr[idx]`.
+    Index(String, Box<Expr>),
+    /// Addition (wrapping).
+    Add(Box<Expr>, Box<Expr>),
+    /// Multiplication (wrapping).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Modulo (panics on zero divisor — programs are test fixtures).
+    Mod(Box<Expr>, Box<Expr>),
+    /// Equality (1 or 0).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality (1 or 0).
+    Ne(Box<Expr>, Box<Expr>),
+    /// Less-than (1 or 0).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Logical negation (operand treated as boolean).
+    Not(Box<Expr>),
+    /// Logical and.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Variables (scalars and arrays) this expression reads.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Index(arr, idx) => {
+                out.push(arr.clone());
+                idx.free_vars(out);
+            }
+            Expr::Add(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Not(a) => a.free_vars(out),
+        }
+    }
+
+    /// Convenience constructors for readable fixtures.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// `arr[idx]`.
+    pub fn index(arr: &str, idx: Expr) -> Expr {
+        Expr::Index(arr.to_owned(), Box::new(idx))
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Ne(Box::new(a), Box::new(b))
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `!a`.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator impl
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+
+    /// `a && b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+}
+
+/// Access mode of an IR tuple access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Shared read.
+    Read,
+    /// Exclusive read-modify-write (increments the value column).
+    Write,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let var = expr`.
+    Let {
+        /// Destination scalar.
+        var: String,
+        /// Value.
+        expr: Expr,
+    },
+    /// `arr[idx] = expr` (arrays auto-size).
+    LetArr {
+        /// Destination array.
+        arr: String,
+        /// Element index.
+        idx: Expr,
+        /// Value.
+        expr: Expr,
+    },
+    /// A tuple access: `op(table, key)`. Identified by `id` so analyses can
+    /// refer to specific access sites.
+    Access {
+        /// Site id (unique within a program).
+        id: usize,
+        /// Accessed table.
+        table: TableId,
+        /// Key expression.
+        key: Expr,
+        /// Read or read-modify-write.
+        mode: AccessMode,
+    },
+    /// `if cond { then } else { els }`.
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `for var in 0..count { body }` with a trip count fixed before entry
+    /// (§3.3: "Bamboo only handles for loops where the number of iteration
+    /// is fixed").
+    For {
+        /// Induction variable.
+        var: String,
+        /// Trip count (evaluated once on entry).
+        count: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Synthesized: retire the lock of access site `site` when `cond`
+    /// evaluates true (Listing 2 line 3).
+    RetireIf {
+        /// The access site whose lock retires.
+        site: usize,
+        /// Accessed table (for the runtime retire call).
+        table: TableId,
+        /// The key that was locked.
+        key: Expr,
+        /// Synthesized safety condition.
+        cond: Expr,
+    },
+}
+
+/// A transaction program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Number of input parameters.
+    pub params: usize,
+    /// Body.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Stmt {
+    /// Variables written by this statement (conservatively, both branches).
+    pub fn defined_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Let { var, .. } => out.push(var.clone()),
+            Stmt::LetArr { arr, .. } => out.push(arr.clone()),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    s.defined_vars(out);
+                }
+            }
+            Stmt::For { var, body, .. } => {
+                out.push(var.clone());
+                for s in body {
+                    s.defined_vars(out);
+                }
+            }
+            Stmt::Access { .. } | Stmt::RetireIf { .. } => {}
+        }
+    }
+
+    /// Variables read by this statement (conservatively).
+    pub fn used_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Stmt::Let { expr, .. } => expr.free_vars(out),
+            Stmt::LetArr { idx, expr, .. } => {
+                idx.free_vars(out);
+                expr.free_vars(out);
+            }
+            Stmt::Access { key, .. } => key.free_vars(out),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond.free_vars(out);
+                for s in then_branch.iter().chain(else_branch) {
+                    s.used_vars(out);
+                }
+            }
+            Stmt::For { count, body, .. } => {
+                count.free_vars(out);
+                for s in body {
+                    s.used_vars(out);
+                }
+            }
+            Stmt::RetireIf { key, cond, .. } => {
+                key.free_vars(out);
+                cond.free_vars(out);
+            }
+        }
+    }
+}
+
+impl Program {
+    /// All access sites in program order: `(site id, table, mode)`.
+    pub fn access_sites(&self) -> Vec<(usize, TableId, AccessMode)> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<(usize, TableId, AccessMode)>) {
+            for s in stmts {
+                match s {
+                    Stmt::Access {
+                        id, table, mode, ..
+                    } => out.push((*id, *table, *mode)),
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, out);
+                        walk(else_branch, out);
+                    }
+                    Stmt::For { body, .. } => walk(body, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.stmts, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_cover_nested_exprs() {
+        let e = Expr::and(
+            Expr::ne(Expr::var("a"), Expr::index("keys", Expr::var("i"))),
+            Expr::not(Expr::var("cond")),
+        );
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        vars.sort();
+        assert_eq!(vars, vec!["a", "cond", "i", "keys"]);
+    }
+
+    #[test]
+    fn defined_and_used_vars() {
+        let s = Stmt::If {
+            cond: Expr::var("c"),
+            then_branch: vec![Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Add(Box::new(Expr::var("y")), Box::new(Expr::Const(1))),
+            }],
+            else_branch: vec![],
+        };
+        let mut def = Vec::new();
+        s.defined_vars(&mut def);
+        assert_eq!(def, vec!["x"]);
+        let mut used = Vec::new();
+        s.used_vars(&mut used);
+        used.sort();
+        assert_eq!(used, vec!["c", "y"]);
+    }
+
+    #[test]
+    fn access_sites_walk_all_blocks() {
+        let p = Program {
+            params: 0,
+            stmts: vec![
+                Stmt::Access {
+                    id: 0,
+                    table: TableId(0),
+                    key: Expr::Const(1),
+                    mode: AccessMode::Write,
+                },
+                Stmt::For {
+                    var: "i".into(),
+                    count: Expr::Const(3),
+                    body: vec![Stmt::Access {
+                        id: 1,
+                        table: TableId(0),
+                        key: Expr::var("i"),
+                        mode: AccessMode::Read,
+                    }],
+                },
+            ],
+        };
+        let sites = p.access_sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].0, 0);
+        assert_eq!(sites[1].2, AccessMode::Read);
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 10 bench: TPC-C across warehouse counts — contention falls as
+//! warehouses rise; BAMBOO vs WOUND_WAIT.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::time_contended_txns;
+use bamboo_core::executor::Workload;
+use bamboo_core::protocol::{LockingProtocol, Protocol};
+use bamboo_workload::tpcc::{self, TpccConfig, TpccWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_tpcc_wh");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for wh in [1u64, 4] {
+        let cfg = TpccConfig {
+            items: 1000,
+            customers_per_district: 100,
+            ..TpccConfig::default()
+        }
+        .with_warehouses(wh);
+        let (db, tables, idx) = tpcc::load(&cfg);
+        let wl: Arc<dyn Workload> =
+            Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
+        let protos: Vec<Arc<dyn Protocol>> = vec![
+            Arc::new(LockingProtocol::bamboo()),
+            Arc::new(LockingProtocol::wound_wait()),
+        ];
+        for p in &protos {
+            g.bench_function(BenchmarkId::new(format!("wh={wh}"), p.name()), |b| {
+                b.iter_custom(|iters| time_contended_txns(&db, p, &wl, 4, iters))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

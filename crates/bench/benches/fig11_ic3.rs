@@ -1,0 +1,44 @@
+//! Figure 11 bench: Bamboo vs IC3 on TPC-C (1 warehouse), original and
+//! modified (NewOrder reads W_YTD) workloads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::time_contended_txns;
+use bamboo_core::executor::Workload;
+use bamboo_core::protocol::{Ic3Protocol, LockingProtocol, Protocol};
+use bamboo_workload::tpcc::{self, TpccConfig, TpccWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_ic3");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for modified in [false, true] {
+        let cfg = TpccConfig {
+            items: 1000,
+            customers_per_district: 100,
+            ..TpccConfig::default()
+        }
+        .with_neworder_reads_wytd(modified);
+        let (db, tables, idx) = tpcc::load(&cfg);
+        let wl_t = Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
+        let templates = wl_t.ic3_templates();
+        let wl: Arc<dyn Workload> = wl_t;
+        let protos: Vec<Arc<dyn Protocol>> = vec![
+            Arc::new(LockingProtocol::bamboo()),
+            Arc::new(Ic3Protocol::new(templates, true)),
+        ];
+        let tag = if modified { "modified" } else { "original" };
+        for p in &protos {
+            g.bench_function(BenchmarkId::new(tag, p.name()), |b| {
+                b.iter_custom(|iters| time_contended_txns(&db, p, &wl, 4, iters))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

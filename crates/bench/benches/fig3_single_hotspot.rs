@@ -1,0 +1,38 @@
+//! Figure 3 bench: single RMW hotspot at the beginning of a 16-op
+//! transaction — serial protocol cost and 4-thread contended per-txn time
+//! for BAMBOO vs WOUND_WAIT.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::{time_contended_txns, time_serial_txns};
+use bamboo_core::executor::Workload;
+use bamboo_core::protocol::{LockingProtocol, Protocol};
+use bamboo_workload::synthetic::{self, SyntheticConfig, SyntheticWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = SyntheticConfig::one_hotspot(0.0).with_rows(1 << 14);
+    let (db, t) = synthetic::load(&cfg);
+    let wl: Arc<dyn Workload> = Arc::new(SyntheticWorkload::new(cfg, t));
+    let protos: Vec<Arc<dyn Protocol>> = vec![
+        Arc::new(LockingProtocol::bamboo()),
+        Arc::new(LockingProtocol::wound_wait()),
+    ];
+    let mut g = c.benchmark_group("fig3_single_hotspot");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for p in &protos {
+        g.bench_function(BenchmarkId::new("serial", p.name()), |b| {
+            b.iter_custom(|iters| time_serial_txns(&db, p, &wl, iters))
+        });
+        g.bench_function(BenchmarkId::new("contended4", p.name()), |b| {
+            b.iter_custom(|iters| time_contended_txns(&db, p, &wl, 4, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

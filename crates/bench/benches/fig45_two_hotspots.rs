@@ -1,0 +1,39 @@
+//! Figures 4–5 bench: two RMW hotspots (first at the beginning, second
+//! mid-transaction) — the cascading-abort regime; BAMBOO-base vs BAMBOO
+//! (δ=0.15) vs WOUND_WAIT under 4-thread contention.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::time_contended_txns;
+use bamboo_core::executor::Workload;
+use bamboo_core::protocol::{LockingProtocol, Protocol};
+use bamboo_workload::synthetic::{self, SyntheticConfig, SyntheticWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig45_two_hotspots");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for second in [0.5, 1.0] {
+        let cfg = SyntheticConfig::two_hotspots(0.0, second).with_rows(1 << 14);
+        let (db, t) = synthetic::load(&cfg);
+        let wl: Arc<dyn Workload> = Arc::new(SyntheticWorkload::new(cfg, t));
+        let protos: Vec<Arc<dyn Protocol>> = vec![
+            Arc::new(LockingProtocol::bamboo_base()),
+            Arc::new(LockingProtocol::bamboo()),
+            Arc::new(LockingProtocol::wound_wait()),
+        ];
+        for p in &protos {
+            g.bench_function(
+                BenchmarkId::new(format!("second={second}"), p.name()),
+                |b| b.iter_custom(|iters| time_contended_txns(&db, p, &wl, 4, iters)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 6 bench: YCSB θ=0.9, read ratio 0.5 — all five protocols under
+//! 4-thread contention (the repro binary sweeps the full thread axis).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::{all_protocols, time_contended_txns};
+use bamboo_core::executor::Workload;
+use bamboo_workload::ycsb::{self, YcsbConfig, YcsbWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = YcsbConfig {
+        rows: 1 << 14,
+        ..YcsbConfig::default()
+    };
+    let (db, t) = ycsb::load(&cfg);
+    let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg, t));
+    let mut g = c.benchmark_group("fig6_ycsb_threads");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for p in all_protocols() {
+        g.bench_function(BenchmarkId::new("contended4", p.name()), |b| {
+            b.iter_custom(|iters| time_contended_txns(&db, &p, &wl, 4, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 7 bench: YCSB with 5% long read-only transactions (1000 tuples).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::time_contended_txns;
+use bamboo_core::executor::Workload;
+use bamboo_core::protocol::{LockingProtocol, Protocol, SiloProtocol};
+use bamboo_workload::ycsb::{self, YcsbConfig, YcsbWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = YcsbConfig {
+        rows: 1 << 14,
+        ..YcsbConfig::default()
+    }
+    .with_long_readonly(0.05, 1000);
+    let (db, t) = ycsb::load(&cfg);
+    let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg, t));
+    let protos: Vec<Arc<dyn Protocol>> = vec![
+        Arc::new(LockingProtocol::bamboo()),
+        Arc::new(LockingProtocol::wound_wait()),
+        Arc::new(LockingProtocol::no_wait()),
+        Arc::new(SiloProtocol::new()),
+    ];
+    let mut g = c.benchmark_group("fig7_ycsb_longro");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for p in &protos {
+        g.bench_function(BenchmarkId::new("contended4", p.name()), |b| {
+            b.iter_custom(|iters| time_contended_txns(&db, p, &wl, 4, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

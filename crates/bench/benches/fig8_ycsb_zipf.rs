@@ -1,0 +1,40 @@
+//! Figure 8 bench: YCSB across zipfian skew levels — BAMBOO vs WOUND_WAIT
+//! at low and high contention (crossover shape).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::time_contended_txns;
+use bamboo_core::executor::Workload;
+use bamboo_core::protocol::{LockingProtocol, Protocol};
+use bamboo_workload::ycsb::{self, YcsbConfig, YcsbWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_ycsb_zipf");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for theta in [0.5, 0.9, 0.99] {
+        let cfg = YcsbConfig {
+            rows: 1 << 14,
+            ..YcsbConfig::default()
+        }
+        .with_theta(theta);
+        let (db, t) = ycsb::load(&cfg);
+        let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg, t));
+        let protos: Vec<Arc<dyn Protocol>> = vec![
+            Arc::new(LockingProtocol::bamboo()),
+            Arc::new(LockingProtocol::wound_wait()),
+        ];
+        for p in &protos {
+            g.bench_function(BenchmarkId::new(format!("theta={theta}"), p.name()), |b| {
+                b.iter_custom(|iters| time_contended_txns(&db, p, &wl, 4, iters))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

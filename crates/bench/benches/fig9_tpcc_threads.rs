@@ -1,0 +1,34 @@
+//! Figure 9 bench: TPC-C with one warehouse (the high-contention case),
+//! all five protocols under 4-thread contention.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_bench::harness::{all_protocols, time_contended_txns};
+use bamboo_core::executor::Workload;
+use bamboo_workload::tpcc::{self, TpccConfig, TpccWorkload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = TpccConfig {
+        items: 1000,
+        customers_per_district: 100,
+        ..TpccConfig::default()
+    };
+    let (db, tables, idx) = tpcc::load(&cfg);
+    let wl: Arc<dyn Workload> =
+        Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
+    let mut g = c.benchmark_group("fig9_tpcc_threads");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for p in all_protocols() {
+        g.bench_function(BenchmarkId::new("contended4", p.name()), |b| {
+            b.iter_custom(|iters| time_contended_txns(&db, &p, &wl, 4, iters))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the lock-table primitives: the grant/release cycle,
+//! the retire path (publishing a dirty version) and the dirty-read grant —
+//! the per-operation costs behind Optimization 1/2's overhead discussion.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_core::lock::LockPolicy;
+use bamboo_core::ts::TsSource;
+use bamboo_core::txn::{LockMode, TxnShared};
+use bamboo_core::TupleCc;
+use bamboo_storage::{DataType, Row, Schema, Table, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn mk_tuple() -> (Table<TupleCc>, Arc<bamboo_storage::Tuple<TupleCc>>) {
+    let table = Table::new(
+        "t",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let tup = table.insert(0, Row::from(vec![Value::U64(0), Value::I64(0)]));
+    (table, tup)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_primitives");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    let ts = TsSource::new();
+    let (_table, tup) = mk_tuple();
+
+    g.bench_function("acquire_release_ex", |b| {
+        let pol = LockPolicy::wound_wait();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let txn = TxnShared::new(id, ts.assign());
+            let mut st = tup.meta.lock.lock();
+            let _ = st.acquire(&tup, &pol, &txn, LockMode::Ex, &ts);
+            st.release(&txn, &pol, true, None);
+        })
+    });
+
+    g.bench_function("acquire_retire_release_ex", |b| {
+        let pol = LockPolicy::bamboo();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let txn = TxnShared::new(id, ts.assign());
+            let row = {
+                let mut st = tup.meta.lock.lock();
+                match st.acquire(&tup, &pol, &txn, LockMode::Ex, &ts) {
+                    bamboo_core::lock::Acquired::Granted { row, .. } => row,
+                    _ => unreachable!(),
+                }
+            };
+            {
+                let mut st = tup.meta.lock.lock();
+                st.retire(&txn, row.clone(), &pol);
+            }
+            let mut st = tup.meta.lock.lock();
+            st.release(&txn, &pol, true, Some((&tup, &row)));
+        })
+    });
+
+    g.bench_function("dirty_read_grant", |b| {
+        // A retired writer sits on the tuple; measure the reader slot-in.
+        let pol = LockPolicy::bamboo();
+        let writer = TxnShared::new(u64::MAX - 1, ts.assign());
+        let row = {
+            let mut st = tup.meta.lock.lock();
+            let r = match st.acquire(&tup, &pol, &writer, LockMode::Ex, &ts) {
+                bamboo_core::lock::Acquired::Granted { row, .. } => row,
+                _ => unreachable!(),
+            };
+            st.retire(&writer, r.clone(), &pol);
+            r
+        };
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let txn = TxnShared::new(id, ts.assign());
+            let mut st = tup.meta.lock.lock();
+            let _ = st.acquire(&tup, &pol, &txn, LockMode::Sh, &ts);
+            st.release(&txn, &pol, true, None);
+        });
+        let mut st = tup.meta.lock.lock();
+        st.release(&writer, &pol, true, Some((&tup, &row)));
+    });
+
+    g.finish();
+
+    let mut g2 = c.benchmark_group("workload_primitives");
+    g2.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    g2.bench_function("zipfian_sample_theta09", |b| {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let z = bamboo_workload::Zipfian::new(1 << 20, 0.9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| criterion::black_box(z.sample(&mut rng)))
+    });
+
+    g2.bench_function("wal_append_commit_record", |b| {
+        use bamboo_core::wal::WalBuffer;
+        use bamboo_storage::TableId;
+        let mut wal = WalBuffer::new();
+        let row = Row::from(vec![Value::U64(1), Value::I64(2)]);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            wal.append_commit(id, [(TableId(0), 1u64, &row)].into_iter());
+        })
+    });
+
+    g2.bench_function("row_local_copy", |b| {
+        // The cost of the per-read local copy Optimization 1 relies on.
+        let row = Row::from(vec![
+            Value::U64(1),
+            Value::I64(2),
+            Value::from("ten-byte-s"),
+            Value::F64(3.5),
+        ]);
+        b.iter(|| criterion::black_box(row.clone()))
+    });
+
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

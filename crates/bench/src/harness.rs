@@ -1,0 +1,240 @@
+//! Shared experiment plumbing: protocol roster, run options, and series
+//! printing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_core::executor::{run_bench, BenchConfig, Workload};
+use bamboo_core::protocol::{InteractiveProtocol, LockingProtocol, Protocol, SiloProtocol};
+use bamboo_core::stats::BenchResult;
+use bamboo_core::Database;
+
+/// Options shared by every experiment run.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Measured duration per data point.
+    pub duration: Duration,
+    /// Warm-up per data point.
+    pub warmup: Duration,
+    /// Thread counts to sweep where the experiment calls for it.
+    pub threads: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulated RPC round-trip for interactive-mode panels.
+    pub rpc: Duration,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(60),
+            threads: vec![1, 2, 4, 8, 16, 32],
+            seed: 7,
+            rpc: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RunOpts {
+    /// Longer, lower-variance settings (`repro --full`).
+    pub fn full() -> Self {
+        RunOpts {
+            duration: Duration::from_millis(2000),
+            warmup: Duration::from_millis(300),
+            ..Default::default()
+        }
+    }
+
+    /// Builds the per-point bench config.
+    pub fn config(&self, threads: usize) -> BenchConfig {
+        BenchConfig {
+            threads,
+            duration: self.duration,
+            warmup: self.warmup,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The paper's five stored-procedure protocols (§5.1 roster).
+pub fn all_protocols() -> Vec<Arc<dyn Protocol>> {
+    vec![
+        Arc::new(LockingProtocol::bamboo()),
+        Arc::new(LockingProtocol::wound_wait()),
+        Arc::new(LockingProtocol::wait_die()),
+        Arc::new(LockingProtocol::no_wait()),
+        Arc::new(SiloProtocol::new()),
+    ]
+}
+
+/// Interactive-mode variants of the same roster.
+pub fn all_protocols_interactive(rpc: Duration) -> Vec<Arc<dyn Protocol>> {
+    vec![
+        Arc::new(InteractiveProtocol::new(LockingProtocol::bamboo(), rpc)),
+        Arc::new(InteractiveProtocol::new(LockingProtocol::wound_wait(), rpc)),
+        Arc::new(InteractiveProtocol::new(LockingProtocol::wait_die(), rpc)),
+        Arc::new(InteractiveProtocol::new(LockingProtocol::no_wait(), rpc)),
+        Arc::new(InteractiveProtocol::new(SiloProtocol::new(), rpc)),
+    ]
+}
+
+/// Criterion helper: executes `iters` transactions serially (one worker)
+/// and returns the elapsed wall time — the per-transaction protocol cost
+/// without contention.
+pub fn time_serial_txns(
+    db: &Arc<Database>,
+    proto: &Arc<dyn Protocol>,
+    wl: &Arc<dyn Workload>,
+    iters: u64,
+) -> Duration {
+    use bamboo_core::executor::execute_to_commit;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut wal = bamboo_core::wal::WalBuffer::new();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        let spec = wl.generate(0, &mut rng);
+        execute_to_commit(spec.as_ref(), db, proto.as_ref(), &mut wal);
+    }
+    start.elapsed()
+}
+
+/// Criterion helper: runs a short contended benchmark (`threads` workers,
+/// 120 ms) and scales the measured per-commit time to `iters` transactions,
+/// so Criterion reports time-per-transaction *under contention*.
+pub fn time_contended_txns(
+    db: &Arc<Database>,
+    proto: &Arc<dyn Protocol>,
+    wl: &Arc<dyn Workload>,
+    threads: usize,
+    iters: u64,
+) -> Duration {
+    let cfg = BenchConfig {
+        threads,
+        duration: Duration::from_millis(120),
+        warmup: Duration::from_millis(30),
+        seed: 11,
+    };
+    let res = run_bench(db, proto, wl, &cfg);
+    let per_txn = res.elapsed.as_secs_f64() / res.totals.commits.max(1) as f64;
+    Duration::from_secs_f64(per_txn * iters as f64)
+}
+
+/// One measured point of a series.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// X-axis label (threads, θ, position, ...).
+    pub x: String,
+    /// Result.
+    pub result: BenchResult,
+}
+
+/// A printable series of benchmark points.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    /// Experiment title.
+    pub title: String,
+    /// Measured points.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(title: &str) -> Self {
+        Series {
+            title: title.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Runs one point and records it.
+    pub fn run_point(
+        &mut self,
+        x: impl ToString,
+        db: &Arc<Database>,
+        proto: &Arc<dyn Protocol>,
+        wl: &Arc<dyn Workload>,
+        cfg: &BenchConfig,
+    ) -> &BenchResult {
+        let result = run_bench(db, proto, wl, cfg);
+        self.points.push(Point {
+            x: x.to_string(),
+            result,
+        });
+        &self.points.last().unwrap().result
+    }
+
+    /// Prints the paper-style table: throughput plus the runtime-analysis
+    /// breakdown (lock wait / abort / commit wait, amortized ms per commit).
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        println!(
+            "{:<10} {:<14} {:>12} {:>9} {:>12} {:>10} {:>13} {:>7}",
+            "x",
+            "protocol",
+            "tput(txn/s)",
+            "abort%",
+            "lock_wait_ms",
+            "abort_ms",
+            "commitwait_ms",
+            "chain"
+        );
+        for p in &self.points {
+            let r = &p.result;
+            println!(
+                "{:<10} {:<14} {:>12.0} {:>8.1}% {:>12.4} {:>10.4} {:>13.4} {:>7}",
+                p.x,
+                r.protocol,
+                r.throughput(),
+                r.abort_rate() * 100.0,
+                r.lock_wait_ms_per_commit(),
+                r.abort_ms_per_commit(),
+                r.commit_wait_ms_per_commit(),
+                r.totals.max_chain,
+            );
+        }
+    }
+
+    /// Throughput of the point matching `(x, protocol)`, if measured.
+    pub fn throughput_of(&self, x: &str, protocol: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.x == x && p.result.protocol == protocol)
+            .map(|p| p.result.throughput())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosters_have_five_protocols() {
+        assert_eq!(all_protocols().len(), 5);
+        assert_eq!(
+            all_protocols_interactive(Duration::from_micros(10)).len(),
+            5
+        );
+        let names: Vec<_> = all_protocols().iter().map(|p| p.name().to_owned()).collect();
+        assert!(names.contains(&"BAMBOO".to_owned()));
+        assert!(names.contains(&"SILO".to_owned()));
+    }
+
+    #[test]
+    fn series_lookup_by_x_and_protocol() {
+        let mut s = Series::new("t");
+        s.points.push(Point {
+            x: "8".into(),
+            result: BenchResult {
+                protocol: "BAMBOO".into(),
+                threads: 8,
+                elapsed: Duration::from_secs(1),
+                totals: Default::default(),
+            },
+        });
+        assert_eq!(s.throughput_of("8", "BAMBOO"), Some(0.0));
+        assert_eq!(s.throughput_of("8", "SILO"), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! # bamboo-bench
+//!
+//! The figure-reproduction harness: one module per experiment of the
+//! paper's §5, each regenerating the corresponding table/figure series
+//! (who wins, by what factor, where crossovers fall — see EXPERIMENTS.md
+//! for paper-vs-measured records).
+//!
+//! Run via the `repro` binary:
+//!
+//! ```text
+//! cargo run -p bamboo-bench --release --bin repro -- fig6
+//! cargo run -p bamboo-bench --release --bin repro -- all --duration-ms 1000
+//! ```
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{RunOpts, Series};

@@ -1,0 +1,108 @@
+//! The database: a storage catalog instantiated with [`crate::TupleCc`]
+//! metadata plus the global counters the protocols share (timestamp source,
+//! transaction-id allocator, Silo epoch).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bamboo_storage::{Catalog, Schema, Table, TableId};
+
+use crate::meta::TupleCc;
+use crate::ts::TsSource;
+
+/// A loaded database shared by all worker threads.
+pub struct Database {
+    catalog: Catalog<TupleCc>,
+    /// Global timestamp source (Wound-Wait priorities).
+    pub ts_source: TsSource,
+    /// Silo epoch counter (advanced by the executor).
+    pub epoch: AtomicU64,
+    txn_ids: AtomicU64,
+}
+
+impl Database {
+    /// Starts building a database: register tables, then [`DatabaseBuilder::build`].
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder {
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// Table accessor.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Arc<Table<TupleCc>> {
+        self.catalog.table(id)
+    }
+
+    /// Table id by name (setup paths).
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.catalog.table_id(name)
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog<TupleCc> {
+        &self.catalog
+    }
+
+    /// Allocates a unique transaction incarnation id.
+    #[inline]
+    pub fn next_txn_id(&self) -> u64 {
+        self.txn_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Total rows across all tables (sanity checks / stats).
+    pub fn total_rows(&self) -> usize {
+        self.catalog.tables().iter().map(|t| t.len()).sum()
+    }
+}
+
+/// Builder for [`Database`].
+pub struct DatabaseBuilder {
+    catalog: Catalog<TupleCc>,
+}
+
+impl DatabaseBuilder {
+    /// Registers a table.
+    pub fn add_table(&mut self, name: &str, schema: Schema) -> TableId {
+        self.catalog.add_table(name, schema)
+    }
+
+    /// Registers a table pre-sized for `cap` tuples.
+    pub fn add_table_with_capacity(&mut self, name: &str, schema: Schema, cap: usize) -> TableId {
+        self.catalog.add_table_with_capacity(name, schema, cap)
+    }
+
+    /// Finalizes the database.
+    pub fn build(self) -> Arc<Database> {
+        Arc::new(Database {
+            catalog: self.catalog,
+            ts_source: TsSource::new(),
+            epoch: AtomicU64::new(1),
+            txn_ids: AtomicU64::new(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_storage::DataType;
+
+    #[test]
+    fn builder_registers_tables() {
+        let mut b = Database::builder();
+        let a = b.add_table("a", Schema::build().column("k", DataType::U64));
+        let db = b.build();
+        assert_eq!(db.table_id("a"), Some(a));
+        assert_eq!(db.table(a).name, "a");
+        assert_eq!(db.total_rows(), 0);
+    }
+
+    #[test]
+    fn txn_ids_are_unique() {
+        let db = Database::builder().build();
+        let a = db.next_txn_id();
+        let b = db.next_txn_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+#![deny(missing_docs)]
+//! # bamboo-core
+//!
+//! A faithful Rust implementation of **Bamboo** — the concurrency-control
+//! protocol of *"Releasing Locks As Early As You Can: Reducing Contention of
+//! Hotspots by Violating Two-Phase Locking"* (SIGMOD 2021) — together with
+//! the paper's baselines (Wound-Wait, Wait-Die, No-Wait 2PL, Silo, IC3)
+//! behind one pluggable [`protocol::Protocol`] interface, mirroring the
+//! DBx1000 architecture the paper evaluates in.
+//!
+//! The protocol stack:
+//!
+//! * [`lock`] — the per-tuple lock table with Bamboo's `retired` list and
+//!   dirty-version chain (Algorithm 2, Figure 2).
+//! * [`protocol`] — transaction-facing protocols: the 2PL family (including
+//!   Bamboo and its four optimizations from §3.5), Silo, and IC3.
+//! * [`executor`] — a worker-per-thread benchmark harness with the paper's
+//!   runtime breakdown (lock wait / commit wait / abort time, §4.2).
+//! * [`model`] — the analytic waits-vs-aborts model of §4.2.
+//!
+//! ```
+//! use bamboo_core::{Database, protocol::{LockingProtocol, Protocol}};
+//! use bamboo_storage::{Schema, DataType, Value, Row};
+//!
+//! let mut db = Database::builder();
+//! let t = db.add_table("kv", Schema::build()
+//!     .column("k", DataType::U64)
+//!     .column("v", DataType::I64));
+//! let db = db.build();
+//! db.table(t).insert(1, Row::from(vec![Value::U64(1), Value::I64(0)]));
+//!
+//! let bamboo = LockingProtocol::bamboo();
+//! let mut ctx = bamboo.begin(&db);
+//! bamboo.update(&db, &mut ctx, t, 1, &mut |row| {
+//!     let v = row.get_i64(1);
+//!     row.set(1, Value::I64(v + 40));
+//! }).unwrap();
+//! let mut wal = bamboo_core::wal::WalBuffer::for_tests();
+//! bamboo.commit(&db, &mut ctx, &mut wal).unwrap();
+//! assert_eq!(db.table(t).get(1).unwrap().read_row().get_i64(1), 40);
+//! ```
+
+pub mod db;
+pub mod executor;
+pub mod lock;
+pub mod meta;
+pub mod model;
+pub mod protocol;
+pub mod stats;
+pub mod ts;
+pub mod txn;
+pub mod wal;
+
+pub use db::{Database, DatabaseBuilder};
+pub use meta::TupleCc;
+pub use txn::{Abort, AbortReason, LockMode, TxnCtx, TxnShared};

@@ -1,0 +1,1578 @@
+//! The per-tuple lock entry state machine (Algorithms 1–3 of the paper).
+//!
+//! # Invariants
+//!
+//! The conceptual list is `concat(retired, owners)`; `waiters` are not yet
+//! in it. The invariants maintained under the tuple latch:
+//!
+//! 1. `retired` is sorted by priority `(ts, id)` — the paper's "sorted
+//!    based on the timestamps of transactions in it".
+//! 2. `owners` never contains two conflicting *live* entries (wounded
+//!    leftovers may conflict until their owner thread releases them).
+//! 3. Dirty versions are sorted by writer priority; a transaction with
+//!    priority `p` reads the latest version with priority `< p`, falling
+//!    back to the committed row. Combined with (1) this makes every
+//!    dirty-read dependency point from an older to a younger transaction,
+//!    which is why the commit-semaphore graph cannot deadlock.
+//! 4. `counted` pairing: an entry's flag is true iff the tuple currently
+//!    contributes +1 to its transaction's `commit_semaphore`, and it is
+//!    true iff a *conflicting predecessor* exists in the conceptual list.
+//!    Every mutation (insert, retire-move, removal) re-establishes this
+//!    locally, so increments and decrements always pair up exactly.
+//!
+//! Invariant 4 generalizes the head-departure rule of Algorithm 2 (lines
+//! 19–21): for departures of the head it reduces to "notify the leading
+//! non-conflicting transactions", and it also covers mid-list departures
+//! (wounded readers, cancelled waiters) that the pseudocode leaves
+//! implicit.
+
+use std::sync::Arc;
+
+use bamboo_storage::{Row, Tuple};
+
+use crate::meta::TupleCc;
+use crate::ts::TsSource;
+use crate::txn::{AbortReason, LockMode, TxnShared, TxnStatus};
+
+/// Which deadlock-handling flavour of 2PL the lock table runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockVariant {
+    /// Wound-Wait: requesters abort younger conflicting holders and wait
+    /// for older ones. Bamboo is built on this variant (§2.1, §3.2).
+    WoundWait,
+    /// Wait-Die: requesters older than every conflicting holder wait;
+    /// younger requesters self-abort.
+    WaitDie,
+    /// No-Wait: any conflict self-aborts the requester.
+    NoWait,
+}
+
+/// Lock-table behaviour knobs (the protocol layer owns the δ heuristic of
+/// Optimization 2; everything list-structural lives here).
+#[derive(Clone, Copy, Debug)]
+pub struct LockPolicy {
+    /// Deadlock-handling variant.
+    pub variant: LockVariant,
+    /// Optimization 1: granted shared locks go straight to `retired`
+    /// ("read operations retire automatically in LockAcquire()").
+    pub retire_reads: bool,
+    /// Optimization 3: shared requests never wound; when no conflicting
+    /// exclusive entry with a *smaller* priority sits in `owners`/`waiters`,
+    /// the reader slots directly into `retired` and reads the latest dirty
+    /// version older than itself.
+    pub no_raw_abort: bool,
+    /// Optimization 4: assign timestamps on first conflict (Algorithm 3).
+    pub dynamic_ts: bool,
+}
+
+impl LockPolicy {
+    /// Full Bamboo: Wound-Wait + all list-level optimizations.
+    pub fn bamboo() -> Self {
+        LockPolicy {
+            variant: LockVariant::WoundWait,
+            retire_reads: true,
+            no_raw_abort: true,
+            dynamic_ts: true,
+        }
+    }
+
+    /// Plain Wound-Wait (the paper's WOUND_WAIT baseline): no retiring at
+    /// any level; reads hold shared ownership until release.
+    pub fn wound_wait() -> Self {
+        LockPolicy {
+            variant: LockVariant::WoundWait,
+            retire_reads: false,
+            no_raw_abort: false,
+            dynamic_ts: false,
+        }
+    }
+
+    /// Wait-Die baseline.
+    pub fn wait_die() -> Self {
+        LockPolicy {
+            variant: LockVariant::WaitDie,
+            retire_reads: false,
+            no_raw_abort: false,
+            dynamic_ts: false,
+        }
+    }
+
+    /// No-Wait baseline.
+    pub fn no_wait() -> Self {
+        LockPolicy {
+            variant: LockVariant::NoWait,
+            retire_reads: false,
+            no_raw_abort: false,
+            dynamic_ts: false,
+        }
+    }
+}
+
+/// One entry in `owners` or `retired`.
+struct Ent {
+    txn: Arc<TxnShared>,
+    mode: LockMode,
+    /// Invariant 4: whether this tuple holds +1 in `txn.commit_semaphore`.
+    counted: bool,
+}
+
+impl Ent {
+    #[inline]
+    fn prio(&self) -> (u64, u64) {
+        self.txn.prio()
+    }
+}
+
+/// One entry in `waiters`.
+struct Waiter {
+    txn: Arc<TxnShared>,
+    mode: LockMode,
+}
+
+impl Waiter {
+    #[inline]
+    fn prio(&self) -> (u64, u64) {
+        self.txn.prio()
+    }
+}
+
+/// A published uncommitted row version (the dirty data other transactions
+/// may read). Priority is computed live from the writer handle because
+/// dynamic timestamp assignment (Optimization 4) may assign the writer's
+/// timestamp *after* it retired.
+struct Version {
+    txn: Arc<TxnShared>,
+    row: Row,
+}
+
+impl Version {
+    #[inline]
+    fn prio(&self) -> (u64, u64) {
+        self.txn.prio()
+    }
+}
+
+/// Result of [`LockState::acquire`].
+pub enum Acquired {
+    /// Lock granted; `row` is the image this transaction should operate on
+    /// (latest visible dirty version or the committed row), and `retired`
+    /// says whether the entry went straight into the retired list
+    /// (Optimizations 1/3).
+    Granted {
+        /// Image to copy into the transaction's local working set.
+        row: Row,
+        /// True when the entry was placed in `retired` rather than `owners`.
+        retired: bool,
+    },
+    /// Enqueued in `waiters`; park on the transaction condvar and poll
+    /// [`LockState::check_granted`].
+    Wait,
+    /// The policy says the requester must self-abort (Wait-Die / No-Wait).
+    Die(AbortReason),
+}
+
+/// Result of [`LockState::release`].
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ReleaseOutcome {
+    /// Number of transactions newly marked aborted by cascading (paper
+    /// §4.2's "length of abort chain" metric counts these).
+    pub cascaded: usize,
+}
+
+/// Result of [`LockState::cancel_wait`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// Entry removed from `waiters` (or was already gone).
+    WasWaiting,
+    /// The wait had actually been granted concurrently; the entry has been
+    /// fully released instead.
+    WasGranted,
+}
+
+/// Per-tuple lock state — Figure 2 of the paper.
+#[derive(Default)]
+pub struct LockState {
+    owners: Vec<Ent>,
+    waiters: Vec<Waiter>,
+    retired: Vec<Ent>,
+    versions: Vec<Version>,
+}
+
+impl LockState {
+    // ------------------------------------------------------------------
+    // Introspection helpers (tests, assertions, stats).
+    // ------------------------------------------------------------------
+
+    /// Number of entries in `owners`.
+    pub fn owners_len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Number of entries in `waiters`.
+    pub fn waiters_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Number of entries in `retired`.
+    pub fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Number of published uncommitted versions.
+    pub fn versions_len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when a non-aborted retired entry conflicts with `mode` (used
+    /// by opaque transactions, §3.4: they wait until the retired list has
+    /// no conflicting entries so they never observe uncommitted data).
+    pub fn has_conflicting_retired(&self, mode: LockMode) -> bool {
+        self.retired
+            .iter()
+            .any(|e| e.mode.conflicts(mode) && !e.txn.is_aborted())
+    }
+
+    /// Snapshot of the newest dirty version regardless of priority (read
+    /// uncommitted, §3.4), falling back to the committed image.
+    pub fn dirty_snapshot(&self, tuple: &Tuple<TupleCc>) -> Row {
+        self.versions
+            .last()
+            .map(|v| v.row.clone())
+            .unwrap_or_else(|| tuple.read_row())
+    }
+
+    /// True when every list is empty (quiescent tuple).
+    pub fn is_quiescent(&self) -> bool {
+        self.owners.is_empty()
+            && self.waiters.is_empty()
+            && self.retired.is_empty()
+            && self.versions.is_empty()
+    }
+
+    /// Debug-check of the structural invariants; used by tests and
+    /// property tests.
+    pub fn assert_invariants(&self) {
+        // retired sorted by priority.
+        for w in self.retired.windows(2) {
+            assert!(w[0].prio() <= w[1].prio(), "retired list unsorted");
+        }
+        // versions sorted by priority.
+        for w in self.versions.windows(2) {
+            assert!(w[0].prio() <= w[1].prio(), "version chain unsorted");
+        }
+        // counted pairing: counted == exists conflicting predecessor.
+        let list: Vec<&Ent> = self.retired.iter().chain(self.owners.iter()).collect();
+        for (i, e) in list.iter().enumerate() {
+            let has_pred = list[..i].iter().any(|p| p.mode.conflicts(e.mode));
+            assert_eq!(
+                e.counted, has_pred,
+                "counted flag mismatch at position {i} (txn {})",
+                e.txn.id
+            );
+        }
+        // live owners mutually compatible.
+        for (i, a) in self.owners.iter().enumerate() {
+            for b in &self.owners[i + 1..] {
+                if !a.txn.is_aborted() && !b.txn.is_aborted() {
+                    assert!(
+                        !a.mode.conflicts(b.mode),
+                        "live conflicting owners {} and {}",
+                        a.txn.id,
+                        b.txn.id
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers.
+    // ------------------------------------------------------------------
+
+    /// Latest dirty version with priority `< prio`, else the committed row.
+    fn visible_row(&self, tuple: &Tuple<TupleCc>, prio: (u64, u64)) -> Row {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.prio() < prio)
+            .map(|v| v.row.clone())
+            .unwrap_or_else(|| tuple.read_row())
+    }
+
+    /// Position of `txn_id` in `retired`/`owners` as an index into the
+    /// conceptual list (retired positions first, then owners).
+    fn find_entry(&self, txn_id: u64) -> Option<(bool, usize)> {
+        if let Some(i) = self.retired.iter().position(|e| e.txn.id == txn_id) {
+            return Some((true, i));
+        }
+        self.owners
+            .iter()
+            .position(|e| e.txn.id == txn_id)
+            .map(|i| (false, i))
+    }
+
+    /// True when any entry before conceptual position `pos` conflicts with
+    /// `mode` (predecessor scan over `concat(retired, owners)`).
+    fn has_conflicting_pred(&self, pos: usize, mode: LockMode) -> bool {
+        self.retired
+            .iter()
+            .chain(self.owners.iter())
+            .take(pos)
+            .any(|e| e.mode.conflicts(mode))
+    }
+
+    /// Re-establishes invariant 4 for every entry at conceptual position
+    /// `>= from` after an insertion or removal before them.
+    fn recount_from(&mut self, from: usize) {
+        let rlen = self.retired.len();
+        let total = rlen + self.owners.len();
+        for pos in from..total {
+            let (mode, counted) = {
+                let e = self.ent_at(pos);
+                (e.mode, e.counted)
+            };
+            let has_pred = self.has_conflicting_pred(pos, mode);
+            if has_pred != counted {
+                let e = self.ent_at_mut(pos);
+                e.counted = has_pred;
+                if has_pred {
+                    e.txn.semaphore_inc();
+                } else {
+                    e.txn.semaphore_dec();
+                }
+            }
+        }
+    }
+
+    fn ent_at(&self, pos: usize) -> &Ent {
+        if pos < self.retired.len() {
+            &self.retired[pos]
+        } else {
+            &self.owners[pos - self.retired.len()]
+        }
+    }
+
+    fn ent_at_mut(&mut self, pos: usize) -> &mut Ent {
+        let rlen = self.retired.len();
+        if pos < rlen {
+            &mut self.retired[pos]
+        } else {
+            &mut self.owners[pos - rlen]
+        }
+    }
+
+    /// Inserts an entry into `retired` at its priority-sorted position and
+    /// settles `counted` for it and its successors. Returns the insert
+    /// position.
+    fn insert_retired(&mut self, txn: Arc<TxnShared>, mode: LockMode) -> usize {
+        let prio = txn.prio();
+        let pos = self.retired.partition_point(|e| e.prio() <= prio);
+        let counted = self.has_conflicting_pred(pos, mode);
+        if counted {
+            txn.semaphore_inc();
+        }
+        self.retired.insert(pos, Ent { txn, mode, counted });
+        self.recount_from(pos + 1);
+        pos
+    }
+
+    /// Removes the entry at conceptual position `pos` and re-settles
+    /// successors' `counted` flags. The departing entry's own outstanding
+    /// contribution is returned to its transaction's semaphore so pairing
+    /// stays exact (only aborting transactions can still be counted here —
+    /// a committing one must have drained to zero before its commit point).
+    fn remove_entry(&mut self, pos: usize) -> Ent {
+        let rlen = self.retired.len();
+        let ent = if pos < rlen {
+            self.retired.remove(pos)
+        } else {
+            self.owners.remove(pos - rlen)
+        };
+        if ent.counted {
+            ent.txn.semaphore_dec();
+        }
+        self.recount_from(pos);
+        ent
+    }
+
+    /// Removes this transaction's published version, if any.
+    fn remove_version(&mut self, txn_id: u64) {
+        self.versions.retain(|v| v.txn.id != txn_id);
+    }
+
+    /// True when a conflicting retired entry is *committed but not yet
+    /// released* and younger than `prio`. Such an entry's version is
+    /// invisible to an older transaction under the timestamp rule, yet its
+    /// commit is final — an older transaction slipping past it would base
+    /// its work on a stale image (a lost update). It must wait out the
+    /// (microseconds-long) release window instead. Wounding cannot help:
+    /// the commit point already won the status CAS.
+    fn committed_unreleased_blocks(&self, mode: LockMode, prio: (u64, u64)) -> bool {
+        self.retired.iter().any(|e| {
+            e.mode.conflicts(mode)
+                && e.prio() > prio
+                && e.txn.status() == TxnStatus::Committed
+        })
+    }
+
+    /// Algorithm 2 `PromoteWaiters`: grant waiters in priority order until
+    /// the first one that conflicts with current owners. Shared grants go
+    /// straight to `retired` under Optimization 1.
+    fn promote_waiters(&mut self, pol: &LockPolicy) {
+        loop {
+            // Drop waiters that were aborted while queued so they cannot
+            // block the queue behind them; their worker's cancel_wait will
+            // find nothing, which is fine.
+            while let Some(w) = self.waiters.first() {
+                if w.txn.is_aborted() {
+                    let w = self.waiters.remove(0);
+                    w.txn.notify();
+                } else {
+                    break;
+                }
+            }
+            let Some(w) = self.waiters.first() else { return };
+            if self.owners.iter().any(|o| o.mode.conflicts(w.mode)) {
+                return;
+            }
+            if self.committed_unreleased_blocks(w.mode, w.prio()) {
+                return;
+            }
+            let w = self.waiters.remove(0);
+            if w.mode == LockMode::Sh && pol.retire_reads {
+                self.insert_retired(Arc::clone(&w.txn), LockMode::Sh);
+            } else {
+                let counted = self
+                    .retired
+                    .iter()
+                    .any(|e| e.mode.conflicts(w.mode));
+                if counted {
+                    w.txn.semaphore_inc();
+                }
+                self.owners.push(Ent {
+                    txn: Arc::clone(&w.txn),
+                    mode: w.mode,
+                    counted,
+                });
+            }
+            w.txn.notify();
+        }
+    }
+
+    fn sort_waiters(&mut self) {
+        self.waiters.sort_by_key(|w| w.prio());
+    }
+
+    /// Algorithm 3: on conflict, assign timestamps to every queued
+    /// transaction in list order, then to the requester.
+    fn dynamic_assign(&mut self, txn: &Arc<TxnShared>, mode: LockMode, ts: &TsSource) {
+        let conflict = self
+            .retired
+            .iter()
+            .chain(self.owners.iter())
+            .map(|e| e.mode)
+            .chain(self.waiters.iter().map(|w| w.mode))
+            .any(|m| m.conflicts(mode));
+        if !conflict {
+            return;
+        }
+        for e in self.retired.iter().chain(self.owners.iter()) {
+            e.txn.assign_ts_if_unassigned(ts);
+        }
+        for w in &self.waiters {
+            w.txn.assign_ts_if_unassigned(ts);
+        }
+        txn.assign_ts_if_unassigned(ts);
+        self.sort_waiters();
+    }
+
+    // ------------------------------------------------------------------
+    // Public protocol surface.
+    // ------------------------------------------------------------------
+
+    /// Algorithm 2 `LockAcquire`.
+    pub fn acquire(
+        &mut self,
+        tuple: &Tuple<TupleCc>,
+        pol: &LockPolicy,
+        txn: &Arc<TxnShared>,
+        mode: LockMode,
+        ts: &TsSource,
+    ) -> Acquired {
+        debug_assert!(
+            self.find_entry(txn.id).is_none(),
+            "re-acquire must go through upgrade/write paths"
+        );
+        if pol.dynamic_ts {
+            self.dynamic_assign(txn, mode, ts);
+        }
+        match pol.variant {
+            LockVariant::WoundWait => self.acquire_wound_wait(tuple, pol, txn, mode),
+            LockVariant::WaitDie => self.acquire_wait_die(tuple, txn, mode, pol),
+            LockVariant::NoWait => self.acquire_no_wait(tuple, txn, mode, pol),
+        }
+    }
+
+    fn acquire_wound_wait(
+        &mut self,
+        tuple: &Tuple<TupleCc>,
+        pol: &LockPolicy,
+        txn: &Arc<TxnShared>,
+        mode: LockMode,
+    ) -> Acquired {
+        let prio = txn.prio();
+        // Optimization 3: a reader slots directly into `retired` (reading
+        // the newest dirty version older than itself) unless a conflicting
+        // exclusive entry with *higher priority* is in owners or waiters —
+        // in that case skipping ahead would let that older writer retire a
+        // version "before" us that we did not read.
+        if mode == LockMode::Sh && pol.no_raw_abort {
+            let blocked = self
+                .owners
+                .iter()
+                .map(|e| (e.mode, e.prio(), e.txn.is_aborted()))
+                .chain(
+                    self.waiters
+                        .iter()
+                        .map(|w| (w.mode, w.prio(), w.txn.is_aborted())),
+                )
+                .any(|(m, p, dead)| m == LockMode::Ex && p < prio && !dead)
+                || self.committed_unreleased_blocks(mode, prio);
+            if !blocked {
+                let row = self.visible_row(tuple, prio);
+                self.insert_retired(Arc::clone(txn), LockMode::Sh);
+                return Acquired::Granted { row, retired: true };
+            }
+            // Blocked by an older writer: queue without wounding (readers
+            // never wound under Optimization 3).
+        } else {
+            // Algorithm 2 lines 2–7: scan concat(retired, owners); once a
+            // conflict has been seen, wound every younger transaction.
+            let mut has_conflicts = false;
+            for e in self.retired.iter().chain(self.owners.iter()) {
+                if mode.conflicts(e.mode) {
+                    has_conflicts = true;
+                }
+                if has_conflicts && prio < e.prio() {
+                    e.txn.set_abort(AbortReason::Wounded);
+                }
+            }
+        }
+        let pos = self.waiters.partition_point(|w| w.prio() <= prio);
+        self.waiters.insert(
+            pos,
+            Waiter {
+                txn: Arc::clone(txn),
+                mode,
+            },
+        );
+        self.promote_waiters(pol);
+        match self.check_granted(tuple, txn) {
+            Some((row, retired)) => Acquired::Granted { row, retired },
+            None => Acquired::Wait,
+        }
+    }
+
+    fn acquire_wait_die(
+        &mut self,
+        tuple: &Tuple<TupleCc>,
+        txn: &Arc<TxnShared>,
+        mode: LockMode,
+        pol: &LockPolicy,
+    ) -> Acquired {
+        let prio = txn.prio();
+        let must_die = self
+            .owners
+            .iter()
+            .any(|e| mode.conflicts(e.mode) && e.prio() < prio);
+        if must_die {
+            return Acquired::Die(AbortReason::WaitDie);
+        }
+        let pos = self.waiters.partition_point(|w| w.prio() <= prio);
+        self.waiters.insert(
+            pos,
+            Waiter {
+                txn: Arc::clone(txn),
+                mode,
+            },
+        );
+        self.promote_waiters(pol);
+        match self.check_granted(tuple, txn) {
+            Some((row, retired)) => Acquired::Granted { row, retired },
+            None => Acquired::Wait,
+        }
+    }
+
+    fn acquire_no_wait(
+        &mut self,
+        tuple: &Tuple<TupleCc>,
+        txn: &Arc<TxnShared>,
+        mode: LockMode,
+        pol: &LockPolicy,
+    ) -> Acquired {
+        if self.owners.iter().any(|e| mode.conflicts(e.mode)) {
+            return Acquired::Die(AbortReason::NoWait);
+        }
+        self.owners.push(Ent {
+            txn: Arc::clone(txn),
+            mode,
+            counted: false,
+        });
+        let _ = pol;
+        Acquired::Granted {
+            row: tuple.read_row(),
+            retired: false,
+        }
+    }
+
+    /// Polled by a parked waiter: returns the working image once granted.
+    /// (`retired` mirrors [`Acquired::Granted::retired`].)
+    pub fn check_granted(
+        &self,
+        tuple: &Tuple<TupleCc>,
+        txn: &Arc<TxnShared>,
+    ) -> Option<(Row, bool)> {
+        let (in_retired, _) = self.find_entry(txn.id)?;
+        Some((self.visible_row(tuple, txn.prio()), in_retired))
+    }
+
+    /// Aborted while waiting: remove the queue entry. If a concurrent
+    /// promotion had already granted the lock, fully release it instead.
+    pub fn cancel_wait(
+        &mut self,
+        txn: &Arc<TxnShared>,
+        pol: &LockPolicy,
+    ) -> CancelOutcome {
+        if let Some(i) = self.waiters.iter().position(|w| w.txn.id == txn.id) {
+            self.waiters.remove(i);
+            self.promote_waiters(pol);
+            return CancelOutcome::WasWaiting;
+        }
+        if self.find_entry(txn.id).is_some() {
+            // Granted concurrently with the wound: release as an abort
+            // (no version could have been published — the worker never ran
+            // with the lock).
+            self.release(txn, pol, false, None);
+            return CancelOutcome::WasGranted;
+        }
+        CancelOutcome::WasWaiting
+    }
+
+    /// Algorithm 2 `LockRetire`: publish the dirty row and move this
+    /// exclusive owner to `retired`, making the version visible.
+    pub fn retire(&mut self, txn: &Arc<TxnShared>, row: Row, pol: &LockPolicy) {
+        let Some(i) = self.owners.iter().position(|e| e.txn.id == txn.id) else {
+            panic!("retire: txn {} is not an owner", txn.id);
+        };
+        debug_assert_eq!(self.owners[i].mode, LockMode::Ex, "only writes retire here");
+        let ent = self.owners.remove(i);
+        let prio = ent.prio();
+        let vpos = self.versions.partition_point(|v| v.prio() <= prio);
+        self.versions.insert(
+            vpos,
+            Version {
+                txn: Arc::clone(&ent.txn),
+                row,
+            },
+        );
+        let pos = self.retired.partition_point(|e| e.prio() <= prio);
+        self.retired.insert(pos, ent);
+        // The entry's predecessor set changed (it may gain readers that
+        // slotted in while it owned, or lose wounded younger leftovers that
+        // now sit after it), and entries between its new and old positions
+        // gained it as a predecessor — recount settles all of them,
+        // including the moved entry itself.
+        self.recount_from(pos);
+        self.promote_waiters(pol);
+    }
+
+    /// Second write after retiring (paper §3.3: *"If a transaction writes a
+    /// tuple for a second time after retiring the lock, it can still ensure
+    /// serializability by simply aborting all transactions that have seen
+    /// its first write"*), also used for SH→EX upgrades of a retired read.
+    ///
+    /// Aborts every successor, removes the published version, and moves the
+    /// entry back to `owners` in exclusive mode. Returns the number of
+    /// cascaded aborts.
+    pub fn reacquire_ex(&mut self, txn: &Arc<TxnShared>, _pol: &LockPolicy) -> usize {
+        let Some((in_retired, i)) = self.find_entry(txn.id) else {
+            panic!("reacquire: txn {} has no entry", txn.id);
+        };
+        assert!(in_retired, "reacquire only applies to retired entries");
+        let mut cascaded = 0;
+        for e in self.retired[i + 1..].iter().chain(self.owners.iter()) {
+            if e.txn.set_abort(AbortReason::Cascade) {
+                cascaded += 1;
+            }
+        }
+        self.remove_version(txn.id);
+        let ent = self.retired.remove(i);
+        self.owners.push(Ent {
+            txn: ent.txn,
+            mode: LockMode::Ex,
+            counted: ent.counted,
+        });
+        // The entry moved to the back of the conceptual list (and possibly
+        // changed mode for SH→EX upgrades); recount settles its own flag
+        // and those of the successors that lost it as a predecessor.
+        self.recount_from(i);
+        cascaded
+    }
+
+    /// SH→EX upgrade of a *shared owner* (baselines without Optimization 1,
+    /// where reads hold ownership). Wound-Wait wounds younger co-owners and
+    /// waits for older ones to release; Wait-Die dies when an older
+    /// co-owner exists; No-Wait dies on any co-owner. Returns:
+    ///
+    /// * `Granted` once this transaction is the sole owner (mode flipped);
+    /// * `Wait` while co-owners remain (poll again after parking);
+    /// * `Die` per the policy.
+    pub fn try_upgrade(&mut self, txn: &Arc<TxnShared>, pol: &LockPolicy) -> Acquired {
+        let Some((in_retired, i)) = self.find_entry(txn.id) else {
+            panic!("upgrade: txn {} has no entry", txn.id);
+        };
+        assert!(!in_retired, "retired upgrades go through reacquire_ex");
+        let prio = txn.prio();
+        let mut others = false;
+        match pol.variant {
+            LockVariant::WoundWait => {
+                for e in &self.owners {
+                    if e.txn.id == txn.id {
+                        continue;
+                    }
+                    others = true;
+                    if prio < e.prio() {
+                        e.txn.set_abort(AbortReason::Wounded);
+                    }
+                }
+            }
+            LockVariant::WaitDie => {
+                for e in &self.owners {
+                    if e.txn.id == txn.id {
+                        continue;
+                    }
+                    others = true;
+                    if e.prio() < prio {
+                        return Acquired::Die(AbortReason::WaitDie);
+                    }
+                }
+            }
+            LockVariant::NoWait => {
+                if self.owners.len() > 1 {
+                    return Acquired::Die(AbortReason::NoWait);
+                }
+            }
+        }
+        if others {
+            return Acquired::Wait;
+        }
+        let pos = self.retired.len() + i;
+        self.owners[i].mode = LockMode::Ex;
+        self.recount_from(pos);
+        Acquired::Granted {
+            row: Row::default(),
+            retired: false,
+        }
+    }
+
+    /// Algorithm 2 `LockRelease`.
+    ///
+    /// * On commit of a write, `install` carries the final row image, which
+    ///   replaces the committed row (the version chain entry is dropped).
+    /// * On abort of a write, every successor is cascade-aborted (line 17)
+    ///   and the published version is discarded.
+    pub fn release(
+        &mut self,
+        txn: &Arc<TxnShared>,
+        pol: &LockPolicy,
+        committed: bool,
+        install: Option<(&Tuple<TupleCc>, &Row)>,
+    ) -> ReleaseOutcome {
+        let Some((in_retired, i)) = self.find_entry(txn.id) else {
+            // Already gone (e.g. cancel_wait raced); nothing to do.
+            return ReleaseOutcome::default();
+        };
+        let pos = if in_retired { i } else { self.retired.len() + i };
+        let mode = self.ent_at(pos).mode;
+        let mut cascaded = 0;
+        if !committed && mode == LockMode::Ex {
+            // Cascading aborts: everyone after us may have observed our
+            // dirty version (or a version derived from it).
+            let rlen = self.retired.len();
+            let total = rlen + self.owners.len();
+            for p in pos + 1..total {
+                if self.ent_at(p).txn.set_abort(AbortReason::Cascade) {
+                    cascaded += 1;
+                }
+            }
+        }
+        if mode == LockMode::Ex {
+            self.remove_version(txn.id);
+            if committed {
+                if let Some((tuple, row)) = install {
+                    tuple.install(row.clone());
+                }
+            }
+        }
+        self.remove_entry(pos);
+        self.promote_waiters(pol);
+        ReleaseOutcome { cascaded }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_storage::{DataType, Schema, Table, Value};
+
+    fn mk_table() -> Table<TupleCc> {
+        Table::new(
+            "t",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        )
+    }
+
+    fn mk_tuple(table: &Table<TupleCc>, k: u64, v: i64) -> Arc<Tuple<TupleCc>> {
+        table.insert(k, Row::from(vec![Value::U64(k), Value::I64(v)]))
+    }
+
+    fn txn(id: u64, ts: u64) -> Arc<TxnShared> {
+        TxnShared::new(id, ts)
+    }
+
+    fn ts_src() -> TsSource {
+        TsSource::new()
+    }
+
+    /// Convenience: acquire and unwrap a grant.
+    fn grant(
+        st: &mut LockState,
+        tuple: &Tuple<TupleCc>,
+        pol: &LockPolicy,
+        t: &Arc<TxnShared>,
+        mode: LockMode,
+        ts: &TsSource,
+    ) -> Row {
+        match st.acquire(tuple, pol, t, mode, ts) {
+            Acquired::Granted { row, .. } => row,
+            _ => panic!("expected grant"),
+        }
+    }
+
+    #[test]
+    fn exclusive_grant_then_conflicting_wait() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let t1 = txn(1, 1);
+        let t2 = txn(2, 2);
+        grant(&mut st, &tup, &pol, &t1, LockMode::Ex, &ts);
+        // Younger writer must wait (t1 older, not wounded).
+        match st.acquire(&tup, &pol, &t2, LockMode::Ex, &ts) {
+            Acquired::Wait => {}
+            _ => panic!("expected wait"),
+        }
+        assert!(!t1.is_aborted());
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn older_writer_wounds_younger_owner() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let young = txn(2, 20);
+        let old = txn(1, 10);
+        grant(&mut st, &tup, &pol, &young, LockMode::Ex, &ts);
+        match st.acquire(&tup, &pol, &old, LockMode::Ex, &ts) {
+            Acquired::Wait => {}
+            _ => panic!("old must queue behind the unreleased young owner"),
+        }
+        assert!(young.is_aborted(), "young owner must be wounded");
+        // Young releases (abort): old gets promoted.
+        st.release(&young, &pol, false, None);
+        assert!(st.check_granted(&tup, &old).is_some());
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn retire_publishes_version_and_next_writer_reads_it() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let t1 = txn(1, 1);
+        let t2 = txn(2, 2);
+        let mut r1 = grant(&mut st, &tup, &pol, &t1, LockMode::Ex, &ts);
+        assert_eq!(r1.get_i64(1), 10);
+        r1.set(1, Value::I64(11));
+        st.retire(&t1, r1.clone(), &pol);
+        assert_eq!(st.versions_len(), 1);
+        // t2 now acquires EX and must see t1's dirty version.
+        let r2 = grant(&mut st, &tup, &pol, &t2, LockMode::Ex, &ts);
+        assert_eq!(r2.get_i64(1), 11, "dirty read of retired version");
+        // t2 depends on t1: semaphore incremented exactly once.
+        assert_eq!(t2.semaphore(), 1);
+        assert_eq!(t1.semaphore(), 0);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn commit_release_clears_dependency_and_installs() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let t1 = txn(1, 1);
+        let t2 = txn(2, 2);
+        let mut r1 = grant(&mut st, &tup, &pol, &t1, LockMode::Ex, &ts);
+        r1.set(1, Value::I64(11));
+        st.retire(&t1, r1.clone(), &pol);
+        let mut r2 = grant(&mut st, &tup, &pol, &t2, LockMode::Ex, &ts);
+        r2.set(1, Value::I64(12));
+        st.retire(&t2, r2.clone(), &pol);
+        assert_eq!(t2.semaphore(), 1);
+        // t1 commits: install and wake t2's dependency.
+        st.release(&t1, &pol, true, Some((&tup, &r1)));
+        assert_eq!(t2.semaphore(), 0);
+        assert_eq!(tup.read_row().get_i64(1), 11);
+        st.release(&t2, &pol, true, Some((&tup, &r2)));
+        assert_eq!(tup.read_row().get_i64(1), 12);
+        assert!(st.is_quiescent());
+    }
+
+    #[test]
+    fn abort_cascades_to_dependents() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let t1 = txn(1, 1);
+        let t2 = txn(2, 2);
+        let t3 = txn(3, 3);
+        let mut r1 = grant(&mut st, &tup, &pol, &t1, LockMode::Ex, &ts);
+        r1.set(1, Value::I64(11));
+        st.retire(&t1, r1, &pol);
+        let mut r2 = grant(&mut st, &tup, &pol, &t2, LockMode::Ex, &ts);
+        r2.set(1, Value::I64(12));
+        st.retire(&t2, r2, &pol);
+        let r3 = grant(&mut st, &tup, &pol, &t3, LockMode::Sh, &ts);
+        assert_eq!(r3.get_i64(1), 12);
+        // t1 aborts: t2 and t3 read (transitively) dirty data → cascade.
+        let out = st.release(&t1, &pol, false, None);
+        assert_eq!(out.cascaded, 2);
+        assert!(t2.is_aborted());
+        assert!(t3.is_aborted());
+        assert_eq!(t2.abort_reason(), AbortReason::Cascade);
+        // Committed row untouched.
+        assert_eq!(tup.read_row().get_i64(1), 10);
+        // Dependents release themselves.
+        st.release(&t2, &pol, false, None);
+        st.release(&t3, &pol, false, None);
+        assert!(st.is_quiescent());
+    }
+
+    #[test]
+    fn shared_abort_does_not_cascade() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let r = txn(1, 1);
+        let w = txn(2, 2);
+        grant(&mut st, &tup, &pol, &r, LockMode::Sh, &ts);
+        grant(&mut st, &tup, &pol, &w, LockMode::Ex, &ts);
+        assert_eq!(w.semaphore(), 1, "WAR dependency on the reader");
+        let out = st.release(&r, &pol, false, None);
+        assert_eq!(out.cascaded, 0, "SH abort has no cascading effect");
+        assert!(!w.is_aborted());
+        assert_eq!(w.semaphore(), 0, "reader's departure clears the WAR dep");
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn opt3_reader_slots_before_younger_writer_without_wounding() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let young_w = txn(2, 20);
+        let old_r = txn(1, 10);
+        let mut rw = grant(&mut st, &tup, &pol, &young_w, LockMode::Ex, &ts);
+        rw.set(1, Value::I64(99));
+        st.retire(&young_w, rw, &pol);
+        // Old reader arrives: must NOT wound, must NOT see the younger
+        // writer's version.
+        let row = grant(&mut st, &tup, &pol, &old_r, LockMode::Sh, &ts);
+        assert!(!young_w.is_aborted(), "opt3: reads do not wound");
+        assert_eq!(row.get_i64(1), 10, "reader sees pre-writer image");
+        // Younger writer now depends on the reader (WAR in list order).
+        assert_eq!(young_w.semaphore(), 1);
+        assert_eq!(old_r.semaphore(), 0);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn opt3_reader_behind_older_writer_waits() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let old_w = txn(1, 10);
+        let young_r = txn(2, 20);
+        grant(&mut st, &tup, &pol, &old_w, LockMode::Ex, &ts);
+        match st.acquire(&tup, &pol, &young_r, LockMode::Sh, &ts) {
+            Acquired::Wait => {}
+            _ => panic!("reader must wait for the older exclusive owner"),
+        }
+        // Writer retires → reader is promoted straight into retired and
+        // sees the dirty version.
+        let mut r = tup.read_row();
+        r.set(1, Value::I64(42));
+        st.retire(&old_w, r, &pol);
+        let (row, retired) = st.check_granted(&tup, &young_r).unwrap();
+        assert!(retired);
+        assert_eq!(row.get_i64(1), 42);
+        assert_eq!(young_r.semaphore(), 1);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn wound_wait_baseline_readers_hold_ownership() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::wound_wait();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let r1 = txn(1, 1);
+        let r2 = txn(2, 2);
+        let w = txn(3, 3);
+        grant(&mut st, &tup, &pol, &r1, LockMode::Sh, &ts);
+        grant(&mut st, &tup, &pol, &r2, LockMode::Sh, &ts);
+        assert_eq!(st.owners_len(), 2);
+        assert_eq!(st.retired_len(), 0, "no retiring in plain Wound-Wait");
+        match st.acquire(&tup, &pol, &w, LockMode::Ex, &ts) {
+            Acquired::Wait => {}
+            _ => panic!("writer must wait for shared owners"),
+        }
+        st.release(&r1, &pol, true, None);
+        assert!(st.check_granted(&tup, &w).is_none());
+        st.release(&r2, &pol, true, None);
+        assert!(st.check_granted(&tup, &w).is_some());
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn wait_die_younger_dies_older_waits() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::wait_die();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let mid = txn(2, 20);
+        let young = txn(3, 30);
+        let old = txn(1, 10);
+        grant(&mut st, &tup, &pol, &mid, LockMode::Ex, &ts);
+        match st.acquire(&tup, &pol, &young, LockMode::Ex, &ts) {
+            Acquired::Die(AbortReason::WaitDie) => {}
+            _ => panic!("younger requester must die"),
+        }
+        match st.acquire(&tup, &pol, &old, LockMode::Ex, &ts) {
+            Acquired::Wait => {}
+            _ => panic!("older requester must wait"),
+        }
+        assert!(!mid.is_aborted(), "wait-die never wounds");
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn no_wait_any_conflict_dies() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::no_wait();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let a = txn(1, 1);
+        let b = txn(2, 2);
+        grant(&mut st, &tup, &pol, &a, LockMode::Sh, &ts);
+        match st.acquire(&tup, &pol, &b, LockMode::Ex, &ts) {
+            Acquired::Die(AbortReason::NoWait) => {}
+            _ => panic!("conflicting no-wait request must die"),
+        }
+        // Compatible request is granted.
+        grant(&mut st, &tup, &pol, &b, LockMode::Sh, &ts);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn reacquire_aborts_observers_of_first_write() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let w = txn(1, 1);
+        let r = txn(2, 2);
+        let mut img = grant(&mut st, &tup, &pol, &w, LockMode::Ex, &ts);
+        img.set(1, Value::I64(50));
+        st.retire(&w, img.clone(), &pol);
+        let seen = grant(&mut st, &tup, &pol, &r, LockMode::Sh, &ts);
+        assert_eq!(seen.get_i64(1), 50);
+        // Second write: the reader of v1 must die.
+        let cascaded = st.reacquire_ex(&w, &pol);
+        assert_eq!(cascaded, 1);
+        assert!(r.is_aborted());
+        assert_eq!(st.versions_len(), 0, "first version withdrawn");
+        // w can retire again with the second image.
+        img.set(1, Value::I64(60));
+        st.retire(&w, img.clone(), &pol);
+        st.release(&r, &pol, false, None);
+        st.release(&w, &pol, true, Some((&tup, &img)));
+        assert_eq!(tup.read_row().get_i64(1), 60);
+        assert!(st.is_quiescent());
+    }
+
+    #[test]
+    fn promote_waiters_preserves_priority_order() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::wound_wait();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let holder = txn(1, 1);
+        let w_old = txn(2, 5);
+        let w_young = txn(3, 9);
+        grant(&mut st, &tup, &pol, &holder, LockMode::Ex, &ts);
+        // Queue the younger first — priority sorting must reorder.
+        assert!(matches!(
+            st.acquire(&tup, &pol, &w_young, LockMode::Ex, &ts),
+            Acquired::Wait
+        ));
+        assert!(matches!(
+            st.acquire(&tup, &pol, &w_old, LockMode::Ex, &ts),
+            Acquired::Wait
+        ));
+        // (w_old wounds w_young? No: w_young is a waiter, not an owner;
+        // wounds only hit retired/owners. holder is older → no wound.)
+        st.release(&holder, &pol, true, None);
+        assert!(
+            st.check_granted(&tup, &w_old).is_some(),
+            "older waiter promoted first"
+        );
+        assert!(st.check_granted(&tup, &w_young).is_none());
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn cancel_wait_removes_waiter_and_unblocks_queue() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::wound_wait();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let holder = txn(1, 1);
+        let w1 = txn(2, 2);
+        grant(&mut st, &tup, &pol, &holder, LockMode::Ex, &ts);
+        assert!(matches!(
+            st.acquire(&tup, &pol, &w1, LockMode::Ex, &ts),
+            Acquired::Wait
+        ));
+        assert_eq!(st.waiters_len(), 1);
+        assert_eq!(st.cancel_wait(&w1, &pol), CancelOutcome::WasWaiting);
+        assert_eq!(st.waiters_len(), 0);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn aborted_waiter_is_skipped_by_promotion() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let pol = LockPolicy::wound_wait();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let holder = txn(1, 1);
+        let dead = txn(2, 2);
+        let live = txn(3, 3);
+        grant(&mut st, &tup, &pol, &holder, LockMode::Ex, &ts);
+        assert!(matches!(
+            st.acquire(&tup, &pol, &dead, LockMode::Ex, &ts),
+            Acquired::Wait
+        ));
+        assert!(matches!(
+            st.acquire(&tup, &pol, &live, LockMode::Ex, &ts),
+            Acquired::Wait
+        ));
+        dead.set_abort(AbortReason::User);
+        st.release(&holder, &pol, true, None);
+        assert!(
+            st.check_granted(&tup, &live).is_some(),
+            "aborted waiter must not block the queue"
+        );
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn dynamic_ts_assigned_on_first_conflict_only() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 10);
+        let tup2 = mk_tuple(&table, 2, 20);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st1 = LockState::default();
+        let mut st2 = LockState::default();
+        let a = txn(1, crate::ts::UNASSIGNED);
+        let b = txn(2, crate::ts::UNASSIGNED);
+        // Non-conflicting accesses: no assignment (Algorithm 3 guard).
+        grant(&mut st1, &tup, &pol, &a, LockMode::Sh, &ts);
+        grant(&mut st1, &tup, &pol, &b, LockMode::Sh, &ts);
+        assert_eq!(a.ts(), crate::ts::UNASSIGNED);
+        assert_eq!(b.ts(), crate::ts::UNASSIGNED);
+        // Conflict on another tuple: both sides get timestamps, list first.
+        grant(&mut st2, &tup2, &pol, &a, LockMode::Ex, &ts);
+        let _ = st2.acquire(&tup2, &pol, &b, LockMode::Ex, &ts);
+        assert_ne!(a.ts(), crate::ts::UNASSIGNED);
+        assert_ne!(b.ts(), crate::ts::UNASSIGNED);
+        assert!(a.ts() < b.ts(), "list entries assigned before requester");
+        st1.assert_invariants();
+        st2.assert_invariants();
+    }
+
+    #[test]
+    fn semaphore_counts_once_per_tuple_with_multiple_predecessors() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 0);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let w1 = txn(1, 1);
+        let w2 = txn(2, 2);
+        let w3 = txn(3, 3);
+        for (t, v) in [(&w1, 1i64), (&w2, 2), (&w3, 3)] {
+            let mut r = grant(&mut st, &tup, &pol, t, LockMode::Ex, &ts);
+            r.set(1, Value::I64(v));
+            st.retire(t, r, &pol);
+        }
+        // w3 has two conflicting predecessors but exactly one increment.
+        assert_eq!(w2.semaphore(), 1);
+        assert_eq!(w3.semaphore(), 1);
+        // w1 commits: w2 clears, w3 still depends on w2.
+        let r1 = tup.read_row();
+        st.release(&w1, &pol, true, Some((&tup, &r1)));
+        assert_eq!(w2.semaphore(), 0);
+        assert_eq!(w3.semaphore(), 1);
+        let r2 = tup.read_row();
+        st.release(&w2, &pol, true, Some((&tup, &r2)));
+        assert_eq!(w3.semaphore(), 0);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn mid_chain_abort_cascades_only_downstream() {
+        let table = mk_table();
+        let tup = mk_tuple(&table, 1, 0);
+        let pol = LockPolicy::bamboo();
+        let ts = ts_src();
+        let mut st = LockState::default();
+        let w1 = txn(1, 1);
+        let w2 = txn(2, 2);
+        let w3 = txn(3, 3);
+        for (t, v) in [(&w1, 1i64), (&w2, 2), (&w3, 3)] {
+            let mut r = grant(&mut st, &tup, &pol, t, LockMode::Ex, &ts);
+            r.set(1, Value::I64(v));
+            st.retire(t, r, &pol);
+        }
+        let out = st.release(&w2, &pol, false, None);
+        assert_eq!(out.cascaded, 1);
+        assert!(!w1.is_aborted(), "upstream unaffected");
+        assert!(w3.is_aborted(), "downstream cascaded");
+        st.release(&w3, &pol, false, None);
+        // w1 can still commit.
+        let r1 = tup.read_row();
+        st.release(&w1, &pol, true, Some((&tup, &r1)));
+        assert!(st.is_quiescent());
+    }
+}
+
+#[cfg(test)]
+mod upgrade_and_edge_tests {
+    use super::*;
+    use bamboo_storage::{DataType, Schema, Table, Value};
+
+    fn mk() -> (Table<TupleCc>, Arc<Tuple<TupleCc>>, TsSource) {
+        let table = Table::new(
+            "t",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        let tup = table.insert(0, Row::from(vec![Value::U64(0), Value::I64(0)]));
+        (table, tup, TsSource::new())
+    }
+
+    fn grant(
+        st: &mut LockState,
+        tup: &Tuple<TupleCc>,
+        pol: &LockPolicy,
+        t: &Arc<TxnShared>,
+        mode: LockMode,
+        ts: &TsSource,
+    ) {
+        match st.acquire(tup, pol, t, mode, ts) {
+            Acquired::Granted { .. } => {}
+            _ => panic!("expected grant"),
+        }
+    }
+
+    #[test]
+    fn sole_shared_owner_upgrades_in_place() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::wound_wait();
+        let mut st = LockState::default();
+        let t1 = TxnShared::new(1, ts.assign());
+        grant(&mut st, &tup, &pol, &t1, LockMode::Sh, &ts);
+        match st.try_upgrade(&t1, &pol) {
+            Acquired::Granted { .. } => {}
+            _ => panic!("sole owner upgrades immediately"),
+        }
+        st.assert_invariants();
+        // Now exclusive: another SH request must wait.
+        let t2 = TxnShared::new(2, ts.assign());
+        assert!(matches!(
+            st.acquire(&tup, &pol, &t2, LockMode::Sh, &ts),
+            Acquired::Wait
+        ));
+        st.release(&t1, &pol, true, None);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn upgrade_wounds_younger_co_owner_and_waits() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::wound_wait();
+        let mut st = LockState::default();
+        let old = TxnShared::new(1, ts.assign());
+        let young = TxnShared::new(2, ts.assign());
+        grant(&mut st, &tup, &pol, &old, LockMode::Sh, &ts);
+        grant(&mut st, &tup, &pol, &young, LockMode::Sh, &ts);
+        assert!(matches!(st.try_upgrade(&old, &pol), Acquired::Wait));
+        assert!(young.is_aborted(), "younger co-owner wounded");
+        st.release(&young, &pol, false, None);
+        assert!(matches!(st.try_upgrade(&old, &pol), Acquired::Granted { .. }));
+        st.release(&old, &pol, true, None);
+        st.assert_invariants();
+    }
+
+    #[test]
+    fn upgrade_dies_under_wait_die_with_older_co_owner() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::wait_die();
+        let mut st = LockState::default();
+        let old = TxnShared::new(1, ts.assign());
+        let young = TxnShared::new(2, ts.assign());
+        grant(&mut st, &tup, &pol, &old, LockMode::Sh, &ts);
+        grant(&mut st, &tup, &pol, &young, LockMode::Sh, &ts);
+        assert!(matches!(
+            st.try_upgrade(&young, &pol),
+            Acquired::Die(AbortReason::WaitDie)
+        ));
+        assert!(!old.is_aborted());
+    }
+
+    #[test]
+    fn cancel_wait_on_granted_entry_releases_it() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::wound_wait();
+        let mut st = LockState::default();
+        let t1 = TxnShared::new(1, ts.assign());
+        grant(&mut st, &tup, &pol, &t1, LockMode::Ex, &ts);
+        // Simulate the wound-vs-grant race: the worker thinks it is still
+        // waiting, but the entry was granted; cancel_wait must fully
+        // release.
+        assert_eq!(st.cancel_wait(&t1, &pol), CancelOutcome::WasGranted);
+        assert!(st.is_quiescent());
+    }
+
+    #[test]
+    fn has_conflicting_retired_ignores_aborted_entries() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::bamboo();
+        let mut st = LockState::default();
+        let w = TxnShared::new(1, ts.assign());
+        grant(&mut st, &tup, &pol, &w, LockMode::Ex, &ts);
+        let mut row = tup.read_row();
+        row.set(1, Value::I64(5));
+        st.retire(&w, row, &pol);
+        assert!(st.has_conflicting_retired(LockMode::Sh));
+        w.set_abort(AbortReason::User);
+        assert!(
+            !st.has_conflicting_retired(LockMode::Sh),
+            "aborted retired entries do not count"
+        );
+        st.release(&w, &pol, false, None);
+    }
+
+    #[test]
+    fn dirty_snapshot_returns_newest_version_or_base() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::bamboo();
+        let mut st = LockState::default();
+        assert_eq!(st.dirty_snapshot(&tup).get_i64(1), 0);
+        let w = TxnShared::new(1, ts.assign());
+        grant(&mut st, &tup, &pol, &w, LockMode::Ex, &ts);
+        let mut row = tup.read_row();
+        row.set(1, Value::I64(42));
+        st.retire(&w, row.clone(), &pol);
+        assert_eq!(st.dirty_snapshot(&tup).get_i64(1), 42);
+        st.release(&w, &pol, true, Some((&tup, &row)));
+        assert_eq!(st.dirty_snapshot(&tup).get_i64(1), 42);
+    }
+
+    #[test]
+    fn wait_die_allows_shared_coexistence() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::wait_die();
+        let mut st = LockState::default();
+        let a = TxnShared::new(1, ts.assign());
+        let b = TxnShared::new(2, ts.assign());
+        grant(&mut st, &tup, &pol, &a, LockMode::Sh, &ts);
+        grant(&mut st, &tup, &pol, &b, LockMode::Sh, &ts);
+        assert_eq!(st.owners_len(), 2);
+        st.release(&a, &pol, true, None);
+        st.release(&b, &pol, true, None);
+        assert!(st.is_quiescent());
+    }
+
+    #[test]
+    fn dynamic_ts_versions_stay_visible_after_assignment() {
+        // A writer retires while UNASSIGNED; a later conflicting acquire
+        // assigns both sides. The version must remain visible to the
+        // (younger) second transaction — regression test for snapshotting
+        // priorities at retire time.
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::bamboo(); // dynamic_ts on
+        let mut st = LockState::default();
+        let w = TxnShared::new(1, crate::ts::UNASSIGNED);
+        grant(&mut st, &tup, &pol, &w, LockMode::Ex, &ts);
+        let mut row = tup.read_row();
+        row.set(1, Value::I64(7));
+        st.retire(&w, row, &pol);
+        let r = TxnShared::new(2, crate::ts::UNASSIGNED);
+        match st.acquire(&tup, &pol, &r, LockMode::Ex, &ts) {
+            Acquired::Granted { row, .. } => {
+                assert_eq!(row.get_i64(1), 7, "dirty version visible post-assignment");
+            }
+            _ => panic!("expected grant"),
+        }
+        assert!(w.ts() < r.ts(), "list entry assigned before requester");
+        st.release(&r, &pol, false, None);
+        st.release(&w, &pol, false, None);
+        assert!(st.is_quiescent());
+    }
+
+    #[test]
+    fn release_of_unknown_txn_is_noop() {
+        let (_tb, tup, ts) = mk();
+        let pol = LockPolicy::bamboo();
+        let mut st = LockState::default();
+        let ghost = TxnShared::new(99, ts.assign());
+        let out = st.release(&ghost, &pol, false, None);
+        assert_eq!(out.cascaded, 0);
+        let _ = tup;
+    }
+}
+
+#[cfg(test)]
+mod committed_unreleased_tests {
+    use super::*;
+    use bamboo_storage::{DataType, Schema, Table, Value};
+
+    /// Regression test for the lost-update hole: an older transaction must
+    /// not slip past a *committed but unreleased* younger writer whose
+    /// version the timestamp rule hides.
+    #[test]
+    fn older_writer_waits_for_committed_unreleased_younger() {
+        let table = Table::new(
+            "t",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        let tup = table.insert(0, Row::from(vec![Value::U64(0), Value::I64(100)]));
+        let pol = LockPolicy::bamboo();
+        let ts = TsSource::new();
+        let mut st = LockState::default();
+        let young = TxnShared::new(2, 20);
+        let old = TxnShared::new(1, 10);
+        // Young writes 101 and retires, then passes its commit point.
+        let mut row = match st.acquire(&tup, &pol, &young, LockMode::Ex, &ts) {
+            Acquired::Granted { row, .. } => row,
+            _ => panic!("grant"),
+        };
+        row.set(1, Value::I64(101));
+        st.retire(&young, row.clone(), &pol);
+        assert!(young.try_commit_point());
+        // Old arrives: the wound must fail (committed) and the old one
+        // must NOT be granted — the hidden version would hand it a stale
+        // base image.
+        match st.acquire(&tup, &pol, &old, LockMode::Ex, &ts) {
+            Acquired::Wait => {}
+            Acquired::Granted { .. } => panic!("older writer slipped past a committed write"),
+            Acquired::Die(_) => panic!("wound-wait never dies"),
+        }
+        assert_eq!(young.status(), TxnStatus::Committed);
+        // Young releases (installs): old is promoted and sees 101.
+        st.release(&young, &pol, true, Some((&tup, &row)));
+        let (granted_row, _) = st.check_granted(&tup, &old).expect("promoted after release");
+        assert_eq!(granted_row.get_i64(1), 101, "must see the committed write");
+        st.release(&old, &pol, false, None);
+        assert!(st.is_quiescent());
+    }
+
+    /// The same hole through the Optimization-3 reader bypass.
+    #[test]
+    fn older_reader_waits_for_committed_unreleased_younger() {
+        let table = Table::new(
+            "t",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        let tup = table.insert(0, Row::from(vec![Value::U64(0), Value::I64(100)]));
+        let pol = LockPolicy::bamboo();
+        let ts = TsSource::new();
+        let mut st = LockState::default();
+        let young = TxnShared::new(2, 20);
+        let old = TxnShared::new(1, 10);
+        let mut row = match st.acquire(&tup, &pol, &young, LockMode::Ex, &ts) {
+            Acquired::Granted { row, .. } => row,
+            _ => panic!("grant"),
+        };
+        row.set(1, Value::I64(101));
+        st.retire(&young, row.clone(), &pol);
+        assert!(young.try_commit_point());
+        match st.acquire(&tup, &pol, &old, LockMode::Sh, &ts) {
+            Acquired::Wait => {}
+            Acquired::Granted { row, .. } => {
+                panic!("bypass returned stale {} for a committed write", row.get_i64(1))
+            }
+            Acquired::Die(_) => unreachable!(),
+        }
+        st.release(&young, &pol, true, Some((&tup, &row)));
+        let (granted_row, _) = st.check_granted(&tup, &old).expect("promoted");
+        assert_eq!(granted_row.get_i64(1), 101);
+        st.release(&old, &pol, true, None);
+        assert!(st.is_quiescent());
+    }
+}

@@ -1,0 +1,363 @@
+//! Static chopping for IC3 (paper §2.2).
+//!
+//! IC3 performs column-level static analysis over the workload's
+//! transaction templates: pieces of different templates get a conflict
+//! (C-) edge when they may touch the same table with overlapping columns
+//! and at least one write. Chopping must then "guarantee no crosses of
+//! C-edges to avoid potential deadlocks. For example, if one transaction
+//! accesses table A before B while the other accesses table B before A,
+//! the accesses of table A and B must be merged into one piece."
+//!
+//! [`chop`] implements that rule: starting from the declared (finest)
+//! pieces it repeatedly merges the contiguous ranges spanned by crossing
+//! C-edge pairs until a fixpoint, producing for each template a
+//! non-decreasing `piece → group` map. Groups are the runtime's unit of
+//! visibility and dependency tracking.
+
+use bamboo_storage::TableId;
+
+/// One declared access inside a piece: a table plus column bitmasks
+/// (bit *i* = column *i* of that table's schema).
+#[derive(Clone, Copy, Debug)]
+pub struct PieceAccess {
+    /// Accessed table.
+    pub table: TableId,
+    /// Columns that may be read.
+    pub read_cols: u64,
+    /// Columns that may be written.
+    pub write_cols: u64,
+}
+
+impl PieceAccess {
+    /// Read-only access helper.
+    pub fn read(table: TableId, cols: u64) -> Self {
+        PieceAccess {
+            table,
+            read_cols: cols,
+            write_cols: 0,
+        }
+    }
+
+    /// Read-modify-write access helper.
+    pub fn write(table: TableId, read_cols: u64, write_cols: u64) -> Self {
+        PieceAccess {
+            table,
+            read_cols,
+            write_cols,
+        }
+    }
+
+    /// Column-level conflict test: same table, overlapping columns, at
+    /// least one side writing.
+    pub fn conflicts(&self, other: &PieceAccess) -> bool {
+        self.table == other.table
+            && ((self.write_cols & (other.read_cols | other.write_cols))
+                | (other.write_cols & (self.read_cols | self.write_cols)))
+                != 0
+    }
+}
+
+/// One piece: the set of accesses IC3's static analysis attributes to it.
+#[derive(Clone, Debug, Default)]
+pub struct PieceDecl {
+    /// Declared accesses.
+    pub accesses: Vec<PieceAccess>,
+}
+
+impl PieceDecl {
+    /// Builds a piece from accesses.
+    pub fn new(accesses: Vec<PieceAccess>) -> Self {
+        PieceDecl { accesses }
+    }
+
+    fn conflicts(&self, other: &PieceDecl) -> bool {
+        self.accesses
+            .iter()
+            .any(|a| other.accesses.iter().any(|b| a.conflicts(b)))
+    }
+}
+
+/// A transaction template: an ordered list of pieces.
+#[derive(Clone, Debug)]
+pub struct TemplateDecl {
+    /// Display name.
+    pub name: String,
+    /// Pieces in program order.
+    pub pieces: Vec<PieceDecl>,
+}
+
+/// The chopping result.
+#[derive(Clone, Debug)]
+pub struct Chopping {
+    /// `groups[t][p]` = group index of piece `p` in template `t`;
+    /// non-decreasing in `p`, normalized to `0..n_groups[t]`.
+    pub groups: Vec<Vec<usize>>,
+    /// Number of groups per template.
+    pub n_groups: Vec<usize>,
+}
+
+/// Union of declared accesses of all pieces mapped to `group` in template
+/// `t` (used by the runtime to find the column masks of an access).
+pub fn group_accesses<'a>(
+    template: &'a TemplateDecl,
+    groups: &'a [usize],
+    group: usize,
+) -> impl Iterator<Item = &'a PieceAccess> {
+    template
+        .pieces
+        .iter()
+        .zip(groups)
+        .filter(move |(_, g)| **g == group)
+        .flat_map(|(p, _)| p.accesses.iter())
+}
+
+/// Computes the coarsest-needed chopping with no crossing C-edges.
+pub fn chop(templates: &[TemplateDecl]) -> Chopping {
+    let mut groups: Vec<Vec<usize>> = templates
+        .iter()
+        .map(|t| (0..t.pieces.len()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for s in 0..templates.len() {
+            for t in 0..templates.len() {
+                let pairs = conflicting_group_pairs(templates, &groups, s, t);
+                let mut merges: Vec<(usize, usize, usize, usize)> = Vec::new();
+                for &(a1, b1) in &pairs {
+                    for &(a2, b2) in &pairs {
+                        if a1 < a2 && b1 > b2 {
+                            merges.push((a1, a2, b2, b1));
+                        }
+                    }
+                }
+                for (alo, ahi, blo, bhi) in merges {
+                    changed |= merge_range(&mut groups[s], alo, ahi);
+                    changed |= merge_range(&mut groups[t], blo, bhi);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Normalize group ids to dense 0..n per template.
+    let mut n_groups = Vec::with_capacity(groups.len());
+    for g in &mut groups {
+        let mut next = 0usize;
+        let mut last_raw = usize::MAX;
+        for v in g.iter_mut() {
+            if *v != last_raw {
+                last_raw = *v;
+                *v = next;
+                next += 1;
+            } else {
+                *v = next - 1;
+            }
+        }
+        n_groups.push(next);
+    }
+    Chopping { groups, n_groups }
+}
+
+/// All ordered pairs `(group in s, group in t)` whose combined accesses
+/// conflict. When `s == t` this models two concurrent instances of the
+/// same template.
+fn conflicting_group_pairs(
+    templates: &[TemplateDecl],
+    groups: &[Vec<usize>],
+    s: usize,
+    t: usize,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let sg = &groups[s];
+    let tg = &groups[t];
+    let mut s_groups: Vec<usize> = sg.clone();
+    s_groups.dedup();
+    let mut t_groups: Vec<usize> = tg.clone();
+    t_groups.dedup();
+    for &ga in &s_groups {
+        for &gb in &t_groups {
+            let a_pieces = templates[s]
+                .pieces
+                .iter()
+                .zip(sg)
+                .filter(|(_, g)| **g == ga);
+            let conflict = a_pieces.clone().any(|(pa, _)| {
+                templates[t]
+                    .pieces
+                    .iter()
+                    .zip(tg)
+                    .filter(|(_, g)| **g == gb)
+                    .any(|(pb, _)| pa.conflicts(pb))
+            });
+            if conflict {
+                pairs.push((ga, gb));
+            }
+        }
+    }
+    pairs
+}
+
+/// Assigns every piece whose (raw) group id lies in `[lo, hi]` the id `lo`.
+fn merge_range(groups: &mut [usize], lo: usize, hi: usize) -> bool {
+    let mut changed = false;
+    for g in groups.iter_mut() {
+        if *g > lo && *g <= hi {
+            *g = lo;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: u64 = u64::MAX;
+
+    fn tmpl(name: &str, pieces: Vec<Vec<PieceAccess>>) -> TemplateDecl {
+        TemplateDecl {
+            name: name.into(),
+            pieces: pieces.into_iter().map(PieceDecl::new).collect(),
+        }
+    }
+
+    #[test]
+    fn column_conflicts_respect_masks() {
+        let t = TableId(0);
+        let w_ytd = PieceAccess::write(t, 0b01, 0b01);
+        let r_tax = PieceAccess::read(t, 0b10);
+        let r_ytd = PieceAccess::read(t, 0b01);
+        assert!(
+            !w_ytd.conflicts(&r_tax),
+            "different columns of the same table do not conflict (IC3's win)"
+        );
+        assert!(w_ytd.conflicts(&r_ytd));
+        assert!(!r_tax.conflicts(&r_ytd), "read-read never conflicts");
+    }
+
+    #[test]
+    fn opposite_order_tables_are_merged() {
+        // T1: A then B; T2: B then A — the paper's canonical crossing
+        // example; both templates collapse to one group.
+        let a = TableId(0);
+        let b = TableId(1);
+        let t1 = tmpl(
+            "t1",
+            vec![
+                vec![PieceAccess::write(a, ALL, ALL)],
+                vec![PieceAccess::write(b, ALL, ALL)],
+            ],
+        );
+        let t2 = tmpl(
+            "t2",
+            vec![
+                vec![PieceAccess::write(b, ALL, ALL)],
+                vec![PieceAccess::write(a, ALL, ALL)],
+            ],
+        );
+        let c = chop(&[t1, t2]);
+        assert_eq!(c.n_groups, vec![1, 1]);
+    }
+
+    #[test]
+    fn same_order_tables_stay_chopped() {
+        // Both templates access A then B: no crossing, finest chopping
+        // survives.
+        let a = TableId(0);
+        let b = TableId(1);
+        let mk = |name: &str| {
+            tmpl(
+                name,
+                vec![
+                    vec![PieceAccess::write(a, ALL, ALL)],
+                    vec![PieceAccess::write(b, ALL, ALL)],
+                ],
+            )
+        };
+        let c = chop(&[mk("t1"), mk("t2")]);
+        assert_eq!(c.n_groups, vec![2, 2]);
+        assert_eq!(c.groups[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn self_crossing_within_one_template_merges() {
+        // A template touching table A in piece 0 and again in piece 2: two
+        // concurrent instances produce crossing C-edges, so pieces 0..=2
+        // must merge.
+        let a = TableId(0);
+        let b = TableId(1);
+        let t = tmpl(
+            "t",
+            vec![
+                vec![PieceAccess::write(a, ALL, ALL)],
+                vec![PieceAccess::write(b, ALL, ALL)],
+                vec![PieceAccess::write(a, ALL, ALL)],
+            ],
+        );
+        let c = chop(&[t]);
+        assert_eq!(c.n_groups, vec![1], "pieces spanning the re-access merge");
+    }
+
+    #[test]
+    fn column_disjoint_templates_keep_finest_chopping() {
+        // Payment writes column 1 of A; NewOrder reads column 2 of A:
+        // column-level analysis sees no C-edge at all.
+        let a = TableId(0);
+        let pay = tmpl("pay", vec![vec![PieceAccess::write(a, 0b01, 0b01)]]);
+        let no = tmpl(
+            "no",
+            vec![
+                vec![PieceAccess::read(a, 0b10)],
+                vec![PieceAccess::write(TableId(1), ALL, ALL)],
+            ],
+        );
+        let c = chop(&[pay, no]);
+        assert_eq!(c.n_groups, vec![1, 2]);
+    }
+
+    #[test]
+    fn group_accesses_unions_merged_pieces() {
+        let a = TableId(0);
+        let b = TableId(1);
+        let t = tmpl(
+            "t",
+            vec![
+                vec![PieceAccess::write(a, ALL, ALL)],
+                vec![PieceAccess::write(b, ALL, ALL)],
+                vec![PieceAccess::write(a, ALL, ALL)],
+            ],
+        );
+        let c = chop(std::slice::from_ref(&t));
+        let acc: Vec<_> = group_accesses(&t, &c.groups[0], 0).collect();
+        assert_eq!(acc.len(), 3, "merged group exposes all three accesses");
+    }
+
+    #[test]
+    fn normalization_produces_dense_nondecreasing_ids() {
+        let a = TableId(0);
+        let b = TableId(1);
+        let cdecl = TableId(2);
+        let t1 = tmpl(
+            "t1",
+            vec![
+                vec![PieceAccess::write(a, ALL, ALL)],
+                vec![PieceAccess::write(b, ALL, ALL)],
+                vec![PieceAccess::write(cdecl, ALL, ALL)],
+            ],
+        );
+        let t2 = tmpl(
+            "t2",
+            vec![
+                vec![PieceAccess::write(b, ALL, ALL)],
+                vec![PieceAccess::write(a, ALL, ALL)],
+            ],
+        );
+        let c = chop(&[t1, t2]);
+        // t1's A,B merge (crossing with t2); C stays separate.
+        assert_eq!(c.groups[0], vec![0, 0, 1]);
+        assert_eq!(c.n_groups[0], 2);
+        assert_eq!(c.groups[1], vec![0, 0]);
+    }
+}

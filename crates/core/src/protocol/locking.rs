@@ -1,0 +1,992 @@
+//! The 2PL-family protocol: Bamboo, Wound-Wait, Wait-Die and No-Wait.
+//!
+//! One implementation serves all four because the paper designs Bamboo as a
+//! strict extension of Wound-Wait: disable retiring and it *is* Wound-Wait
+//! (§3.2.2, §3.4 "Compatibility with Underlying 2PL"); the Wait-Die /
+//! No-Wait baselines differ only in the conflict policy inside the lock
+//! table. This module owns the transaction lifecycle of Algorithm 1:
+//!
+//! ```text
+//! LockAcquire … LockRetire … LockAcquire …
+//! while commit_semaphore != 0 { pause }
+//! writeLog(); LockRelease(…); terminate
+//! ```
+//!
+//! plus Optimization 2 (δ = don't retire trailing writes; adaptively retire
+//! them anyway if the semaphore wait drags on).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bamboo_storage::{Row, TableId, Tuple};
+
+use crate::db::Database;
+use crate::lock::{Acquired, LockPolicy};
+use crate::meta::TupleCc;
+use crate::protocol::{apply_inserts, Protocol};
+use crate::ts::UNASSIGNED;
+use crate::txn::{
+    Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx,
+};
+use crate::wal::WalBuffer;
+
+/// Liveness backstop on lock/upgrade waits: three orders of magnitude above
+/// a healthy wait (which is microseconds to a few milliseconds), so it never
+/// fires under normal operation; if an unforeseen cross-resource cycle ever
+/// forms, the waiter self-aborts and retries instead of hanging the worker —
+/// the same role a lock timeout plays in production lock managers.
+const LOCK_WAIT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Same backstop for the commit-semaphore wait (dependencies normally
+/// resolve in milliseconds; an aborted-and-stuck predecessor is the only
+/// path here).
+const COMMIT_WAIT_TIMEOUT: Duration = Duration::from_millis(2000);
+
+/// Isolation levels (paper §3.4, "Weak Isolation"). Serializable is the
+/// default; the weaker levels trade anomalies for concurrency exactly as
+/// the paper sketches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// Full serializability (the protocol as specified).
+    Serializable,
+    /// "Repeatable read is supported by giving up phantom protection."
+    /// Point accesses behave identically to Serializable here because the
+    /// workloads have no range predicates; kept as a distinct level for
+    /// API fidelity.
+    RepeatableRead,
+    /// "Read committed is supported by releasing shared locks early": a
+    /// read takes the committed image under the tuple latch and holds no
+    /// entry — non-repeatable reads become possible, dirty reads do not.
+    ReadCommitted,
+    /// "Read uncommitted means each retire becomes a release": writes
+    /// install at retire time with no dependency tracking; reads take the
+    /// newest dirty version with no locks at all.
+    ReadUncommitted,
+}
+
+/// 2PL-family protocol configuration.
+#[derive(Clone, Debug)]
+pub struct LockingProtocol {
+    /// Lock-table policy (variant + list-level optimizations).
+    pub policy: LockPolicy,
+    /// Whether writes may retire at all (Bamboo yes, baselines no).
+    pub retire_writes: bool,
+    /// Optimization 2's δ: writes among the last `δ` fraction of a
+    /// stored procedure's accesses are not retired (0 disables the
+    /// heuristic — the paper's BAMBOO-base).
+    pub delta: f64,
+    /// Optimization 2's adaptive clause: if the commit-semaphore wait
+    /// exceeds δ of the execution time so far, retire the held-back writes
+    /// after all.
+    pub adaptive_retire: bool,
+    /// Isolation level (§3.4); Serializable unless configured otherwise.
+    pub isolation: IsolationLevel,
+    name: String,
+}
+
+impl LockingProtocol {
+    /// Full Bamboo with all four §3.5 optimizations (the paper's BAMBOO:
+    /// δ = 0.15 "across all workloads").
+    pub fn bamboo() -> Self {
+        LockingProtocol {
+            policy: LockPolicy::bamboo(),
+            retire_writes: true,
+            delta: 0.15,
+            adaptive_retire: true,
+            isolation: IsolationLevel::Serializable,
+            name: "BAMBOO".into(),
+        }
+    }
+
+    /// Bamboo without Optimization 2 (the paper's BAMBOO-base in Figures
+    /// 4–5): every write retires immediately.
+    pub fn bamboo_base() -> Self {
+        LockingProtocol {
+            policy: LockPolicy::bamboo(),
+            retire_writes: true,
+            delta: 0.0,
+            adaptive_retire: false,
+            isolation: IsolationLevel::Serializable,
+            name: "BAMBOO-base".into(),
+        }
+    }
+
+    /// Wound-Wait baseline (Bamboo with retiring disabled).
+    pub fn wound_wait() -> Self {
+        LockingProtocol {
+            policy: LockPolicy::wound_wait(),
+            retire_writes: false,
+            delta: 0.0,
+            adaptive_retire: false,
+            isolation: IsolationLevel::Serializable,
+            name: "WOUND_WAIT".into(),
+        }
+    }
+
+    /// Wait-Die baseline.
+    pub fn wait_die() -> Self {
+        LockingProtocol {
+            policy: LockPolicy::wait_die(),
+            retire_writes: false,
+            delta: 0.0,
+            adaptive_retire: false,
+            isolation: IsolationLevel::Serializable,
+            name: "WAIT_DIE".into(),
+        }
+    }
+
+    /// No-Wait baseline.
+    pub fn no_wait() -> Self {
+        LockingProtocol {
+            policy: LockPolicy::no_wait(),
+            retire_writes: false,
+            delta: 0.0,
+            adaptive_retire: false,
+            isolation: IsolationLevel::Serializable,
+            name: "NO_WAIT".into(),
+        }
+    }
+
+    /// Renames the configuration (ablation studies).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Selects an isolation level (§3.4).
+    pub fn with_isolation(mut self, level: IsolationLevel) -> Self {
+        self.isolation = level;
+        self
+    }
+
+    /// Begins an *opaque* transaction (§3.4, "Opacity"): its accesses wait
+    /// until the tuple carries no conflicting uncommitted state, and none
+    /// of its own locks retire — it effectively runs under Wound-Wait, as
+    /// the paper prescribes for transactions that need consistent reads
+    /// before commit.
+    pub fn begin_opaque(&self, db: &Database) -> TxnCtx {
+        let mut ctx = self.begin(db);
+        ctx.opaque = true;
+        ctx
+    }
+
+    /// The policy an access of `ctx` should use: opaque transactions never
+    /// bypass into `retired` and never auto-retire reads.
+    fn access_policy(&self, ctx: &TxnCtx) -> LockPolicy {
+        if ctx.opaque {
+            LockPolicy {
+                retire_reads: false,
+                no_raw_abort: false,
+                ..self.policy
+            }
+        } else {
+            self.policy
+        }
+    }
+
+    /// Acquire with wait loop; returns the working image and entry
+    /// placement on success.
+    fn acquire_blocking(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        tuple: &Arc<Tuple<TupleCc>>,
+        mode: LockMode,
+    ) -> Result<(Row, bool), Abort> {
+        let pol = self.access_policy(ctx);
+        if ctx.opaque {
+            // §3.4 opacity: "wait on a tuple until the retired and owners
+            // lists are empty" — concretely, until no conflicting retired
+            // entry (and no dirty version we could observe) remains.
+            let t0 = Instant::now();
+            loop {
+                if ctx.shared.is_aborted() || t0.elapsed() > LOCK_WAIT_TIMEOUT {
+                    ctx.shared.set_abort(AbortReason::Wounded);
+                    ctx.timers.lock_wait += t0.elapsed();
+                    return Err(ctx.abort_err());
+                }
+                let st = tuple.meta.lock.lock();
+                if !st.has_conflicting_retired(mode) && st.versions_len() == 0 {
+                    break;
+                }
+                drop(st);
+                ctx.shared.park_brief();
+            }
+            ctx.timers.lock_wait += t0.elapsed();
+        }
+        let outcome = {
+            let mut st = tuple.meta.lock.lock();
+            st.acquire(tuple, &pol, &ctx.shared, mode, &db.ts_source)
+        };
+        match outcome {
+            Acquired::Granted { row, retired } => Ok((row, retired)),
+            Acquired::Die(reason) => {
+                ctx.shared.set_abort(reason);
+                Err(Abort(reason))
+            }
+            Acquired::Wait => {
+                let t0 = Instant::now();
+                let res = loop {
+                    {
+                        let st = tuple.meta.lock.lock();
+                        if let Some((row, retired)) = st.check_granted(tuple, &ctx.shared) {
+                            break Ok((row, retired));
+                        }
+                    }
+                    if ctx.shared.is_aborted() || t0.elapsed() > LOCK_WAIT_TIMEOUT {
+                        ctx.shared.set_abort(AbortReason::Wounded);
+                        let mut st = tuple.meta.lock.lock();
+                        // Re-check for a grant that raced the wound; if
+                        // granted, cancel_wait fully releases the entry.
+                        st.cancel_wait(&ctx.shared, &pol);
+                        break Err(ctx.abort_err());
+                    }
+                    ctx.shared.park_brief();
+                };
+                ctx.timers.lock_wait += t0.elapsed();
+                res
+            }
+        }
+    }
+
+    /// Optimization 2 δ heuristic: should the write issued as operation
+    /// `op_seq` retire now? ("writes in the last δ fraction of accesses are
+    /// not retired" — hotspots at the very end of a transaction would not
+    /// unblock anyone for long, but retiring them costs latching and risks
+    /// cascades.)
+    fn should_retire_now(&self, ctx: &TxnCtx) -> bool {
+        if !self.retire_writes || ctx.opaque {
+            return false;
+        }
+        if self.delta <= 0.0 {
+            return true;
+        }
+        match ctx.planned_ops {
+            // Interactive mode: positions unknown, treat every write as the
+            // last write and retire immediately (paper §5.1).
+            None => true,
+            Some(k) => (ctx.op_seq as f64) <= (1.0 - self.delta) * k as f64,
+        }
+    }
+
+    /// Retires every still-owned dirty access (used by the adaptive clause
+    /// of Optimization 2 during the semaphore wait).
+    fn retire_pending(&self, ctx: &mut TxnCtx) {
+        for a in ctx.accesses.iter_mut() {
+            if a.state == AccessState::Owner && a.mode == LockMode::Ex && a.dirty {
+                let mut st = a.tuple.meta.lock.lock();
+                st.retire(&ctx.shared, a.local.clone(), &self.policy);
+                a.state = AccessState::Retired;
+            }
+        }
+    }
+
+    /// Range scan with phantom protection (§3.4: "next-key locking in
+    /// indexes; this technique achieves the same effect as predicate
+    /// locking"). Requires the table's ordered index
+    /// ([`bamboo_storage::Table::enable_ordered_index`]).
+    ///
+    /// Every matching key is read (shared access) and — under
+    /// [`IsolationLevel::Serializable`] — the *next existing key* past the
+    /// range end is share-locked too, so a concurrent insert into the gap
+    /// must order itself after this transaction. Under
+    /// [`IsolationLevel::RepeatableRead`] the next-key lock is skipped:
+    /// "repeatable read is supported by giving up phantom protection".
+    /// Ranges extending past the largest existing key are protected only
+    /// when a sentinel max-key row exists (documented in DESIGN.md).
+    pub fn scan(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        range: std::ops::RangeInclusive<u64>,
+    ) -> Result<Vec<Row>, Abort> {
+        let idx = db
+            .table(table)
+            .ordered_index()
+            .expect("scan requires an ordered index (Table::enable_ordered_index)");
+        let mut rows = Vec::new();
+        for (key, _) in idx.range(range.clone()) {
+            rows.push(self.read(db, ctx, table, key)?.clone());
+        }
+        if self.isolation == IsolationLevel::Serializable {
+            if let Some((next, _)) = idx.next_key_after(*range.end()) {
+                self.read(db, ctx, table, next)?;
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Next-key (gap) lock for an insert of `key`: exclusive-locks the
+    /// smallest existing key greater than `key`, forcing an ordering with
+    /// any scanner holding that key shared. Only taken under Serializable
+    /// with an ordered index present.
+    fn lock_insert_gap(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: u64,
+    ) -> Result<(), Abort> {
+        if self.isolation != IsolationLevel::Serializable {
+            return Ok(());
+        }
+        let Some(idx) = db.table(table).ordered_index() else {
+            return Ok(());
+        };
+        let Some((next, _)) = idx.next_key_after(key) else {
+            return Ok(());
+        };
+        let tuple = db
+            .table(table)
+            .get(next)
+            .expect("ordered index points at existing tuple");
+        if ctx.find_access(table, tuple.row_id).is_some() {
+            // Already hold it (e.g. several inserts into one gap): any
+            // held mode suffices for ordering with scanners.
+            return Ok(());
+        }
+        let (row, retired) = self.acquire_blocking(db, ctx, &tuple, LockMode::Ex)?;
+        debug_assert!(!retired);
+        ctx.push_access(Access {
+            table,
+            tuple,
+            mode: LockMode::Ex,
+            local: row,
+            dirty: false, // gap guard only; nothing to install
+            state: AccessState::Owner,
+            observed_tid: 0,
+            observed_seq: 0,
+            group: 0,
+        });
+        Ok(())
+    }
+
+    /// Like [`Protocol::update`] but with explicit retire control: when
+    /// `retire` is false the lock is kept in `owners` regardless of the δ
+    /// heuristic. Used by the §3.3 retire-point analysis, whose synthesized
+    /// conditions decide retiring at runtime (see `bamboo-analysis`).
+    pub fn update_manual(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&mut Row),
+        retire: bool,
+    ) -> Result<(), Abort> {
+        let saved = self.clone_with_retire(retire);
+        Protocol::update(&saved, db, ctx, table, key, f)
+    }
+
+    fn clone_with_retire(&self, retire: bool) -> LockingProtocol {
+        let mut c = self.clone();
+        c.retire_writes = retire && self.retire_writes;
+        if retire {
+            c.delta = 0.0; // explicit retire request overrides δ
+        }
+        c
+    }
+
+    /// Explicitly retires an already-written access (Algorithm 2
+    /// `LockRetire` as a standalone call — "the LockRetire() function call
+    /// is completely optional" §3.2.2). No-op when the access already
+    /// retired or is clean.
+    pub fn retire_now(&self, ctx: &mut TxnCtx, table: TableId, key: u64) {
+        let Some(i) = ctx
+            .accesses
+            .iter()
+            .position(|a| a.table == table && a.tuple.key == key)
+        else {
+            return;
+        };
+        let a = &mut ctx.accesses[i];
+        if a.state == AccessState::Owner && a.mode == LockMode::Ex && a.dirty {
+            let mut st = a.tuple.meta.lock.lock();
+            st.retire(&ctx.shared, a.local.clone(), &self.policy);
+            a.state = AccessState::Retired;
+        }
+    }
+
+    /// Releases every entry (commit or abort path). Returns cascaded count.
+    fn release_all(&self, ctx: &mut TxnCtx, committed: bool) -> usize {
+        let mut cascaded = 0;
+        for a in ctx.accesses.iter_mut() {
+            if a.state == AccessState::Released {
+                continue;
+            }
+            let install = if committed && a.dirty {
+                Some((&*a.tuple, &a.local))
+            } else {
+                None
+            };
+            let mut st = a.tuple.meta.lock.lock();
+            let out = st.release(&ctx.shared, &self.policy, committed, install);
+            cascaded += out.cascaded;
+            a.state = AccessState::Released;
+        }
+        cascaded
+    }
+}
+
+impl Protocol for LockingProtocol {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin(&self, db: &Database) -> TxnCtx {
+        let id = db.next_txn_id();
+        let ts = if self.policy.dynamic_ts {
+            UNASSIGNED
+        } else {
+            db.ts_source.assign()
+        };
+        TxnCtx::new(crate::txn::TxnShared::new(id, ts))
+    }
+
+    fn read<'c>(
+        &self,
+        db: &Database,
+        ctx: &'c mut TxnCtx,
+        table: TableId,
+        key: u64,
+    ) -> Result<&'c Row, Abort> {
+        if ctx.shared.is_aborted() {
+            return Err(ctx.abort_err());
+        }
+        ctx.op_seq += 1;
+        let tuple = db
+            .table(table)
+            .get(key)
+            .unwrap_or_else(|| panic!("read: missing key {key} in table {}", table.0));
+        if let Some(i) = ctx.find_access(table, tuple.row_id) {
+            // Own writes are always visible; under read committed a clean
+            // cached read is refreshed instead (non-repeatable by design).
+            if self.isolation != IsolationLevel::ReadCommitted
+                || ctx.accesses[i].dirty
+                || ctx.opaque
+            {
+                return Ok(&ctx.accesses[i].local);
+            }
+            let row = {
+                let _st = tuple.meta.lock.lock();
+                tuple.read_row()
+            };
+            ctx.accesses[i].local = row;
+            return Ok(&ctx.accesses[i].local);
+        }
+        if !ctx.opaque {
+            match self.isolation {
+                IsolationLevel::ReadCommitted => {
+                    // §3.4: shared locks release immediately — modelled as a
+                    // latched snapshot of the committed image with no entry.
+                    let row = {
+                        let _st = tuple.meta.lock.lock();
+                        tuple.read_row()
+                    };
+                    let i = ctx.push_access(Access {
+                        table,
+                        tuple,
+                        mode: LockMode::Sh,
+                        local: row,
+                        dirty: false,
+                        state: AccessState::Released,
+                        observed_tid: 0,
+                        observed_seq: 0,
+                        group: 0,
+                    });
+                    return Ok(&ctx.accesses[i].local);
+                }
+                IsolationLevel::ReadUncommitted => {
+                    // §3.4: no read locks at all; take the newest dirty
+                    // version.
+                    let row = {
+                        let st = tuple.meta.lock.lock();
+                        st.dirty_snapshot(&tuple)
+                    };
+                    let i = ctx.push_access(Access {
+                        table,
+                        tuple,
+                        mode: LockMode::Sh,
+                        local: row,
+                        dirty: false,
+                        state: AccessState::Released,
+                        observed_tid: 0,
+                        observed_seq: 0,
+                        group: 0,
+                    });
+                    return Ok(&ctx.accesses[i].local);
+                }
+                IsolationLevel::Serializable | IsolationLevel::RepeatableRead => {}
+            }
+        }
+        let (row, retired) = self.acquire_blocking(db, ctx, &tuple, LockMode::Sh)?;
+        let i = ctx.push_access(Access {
+            table,
+            tuple,
+            mode: LockMode::Sh,
+            local: row,
+            dirty: false,
+            state: if retired {
+                AccessState::Retired
+            } else {
+                AccessState::Owner
+            },
+            observed_tid: 0,
+            observed_seq: 0,
+            group: 0,
+        });
+        Ok(&ctx.accesses[i].local)
+    }
+
+    fn update(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> Result<(), Abort> {
+        if ctx.shared.is_aborted() {
+            return Err(ctx.abort_err());
+        }
+        ctx.op_seq += 1;
+        let tuple = db
+            .table(table)
+            .get(key)
+            .unwrap_or_else(|| panic!("update: missing key {key} in table {}", table.0));
+        let i = match ctx.find_access(table, tuple.row_id) {
+            Some(i) => {
+                // Re-access. Three cases:
+                //  * still an exclusive owner: just mutate the local copy;
+                //  * retired (second write after retire, §3.3) or a retired
+                //    read being upgraded: abort observers and move back to
+                //    owners via reacquire;
+                //  * shared owner upgrade (baselines): unsupported — our
+                //    workloads take EX up front for RMW, as DBx1000 does.
+                let (state, mode) = (ctx.accesses[i].state, ctx.accesses[i].mode);
+                match (state, mode) {
+                    (AccessState::Owner, LockMode::Ex) => i,
+                    (AccessState::Retired, _) => {
+                        let a = &mut ctx.accesses[i];
+                        let mut st = a.tuple.meta.lock.lock();
+                        st.reacquire_ex(&ctx.shared, &self.policy);
+                        drop(st);
+                        a.state = AccessState::Owner;
+                        a.mode = LockMode::Ex;
+                        i
+                    }
+                    (AccessState::Owner, LockMode::Sh) => {
+                        // Shared-owner upgrade (baselines where reads hold
+                        // ownership). The local copy stays valid: we held SH
+                        // continuously, so the committed image cannot have
+                        // changed under us.
+                        let t0 = Instant::now();
+                        let res = loop {
+                            let outcome = {
+                                let mut st = ctx.accesses[i].tuple.meta.lock.lock();
+                                st.try_upgrade(&ctx.shared, &self.policy)
+                            };
+                            match outcome {
+                                Acquired::Granted { .. } => break Ok(()),
+                                Acquired::Die(reason) => {
+                                    ctx.shared.set_abort(reason);
+                                    break Err(Abort(reason));
+                                }
+                                Acquired::Wait => {
+                                    if ctx.shared.is_aborted()
+                                        || t0.elapsed() > LOCK_WAIT_TIMEOUT
+                                    {
+                                        ctx.shared.set_abort(AbortReason::Wounded);
+                                        break Err(ctx.abort_err());
+                                    }
+                                    ctx.shared.park_brief();
+                                }
+                            }
+                        };
+                        ctx.timers.lock_wait += t0.elapsed();
+                        res?;
+                        ctx.accesses[i].mode = LockMode::Ex;
+                        i
+                    }
+                    (AccessState::Released, LockMode::Sh) => {
+                        // A weak-isolation read cached this key without a
+                        // lock entry; forget it and take a fresh exclusive
+                        // acquire.
+                        ctx.forget_access(table, tuple.row_id);
+                        let (row, retired) =
+                            self.acquire_blocking(db, ctx, &tuple, LockMode::Ex)?;
+                        debug_assert!(!retired);
+                        ctx.push_access(Access {
+                            table,
+                            tuple: Arc::clone(&tuple),
+                            mode: LockMode::Ex,
+                            local: row,
+                            dirty: false,
+                            state: AccessState::Owner,
+                            observed_tid: 0,
+                            observed_seq: 0,
+                            group: 0,
+                        })
+                    }
+                    (AccessState::Released, LockMode::Ex) => {
+                        debug_assert_eq!(
+                            self.isolation,
+                            IsolationLevel::ReadUncommitted,
+                            "only RU releases writes mid-transaction"
+                        );
+                        ctx.forget_access(table, tuple.row_id);
+                        let (row, _) = self.acquire_blocking(db, ctx, &tuple, LockMode::Ex)?;
+                        ctx.push_access(Access {
+                            table,
+                            tuple: Arc::clone(&tuple),
+                            mode: LockMode::Ex,
+                            local: row,
+                            dirty: false,
+                            state: AccessState::Owner,
+                            observed_tid: 0,
+                            observed_seq: 0,
+                            group: 0,
+                        })
+                    }
+                }
+            }
+            None => {
+                let (row, retired) = self.acquire_blocking(db, ctx, &tuple, LockMode::Ex)?;
+                debug_assert!(!retired, "exclusive grants start as owners");
+                ctx.push_access(Access {
+                    table,
+                    tuple,
+                    mode: LockMode::Ex,
+                    local: row,
+                    dirty: false,
+                    state: AccessState::Owner,
+                    observed_tid: 0,
+                    observed_seq: 0,
+                    group: 0,
+                })
+            }
+        };
+        f(&mut ctx.accesses[i].local);
+        ctx.accesses[i].dirty = true;
+        // Algorithm 1 line 2: retire after the (presumed) last write, subject
+        // to Optimization 2. Under read uncommitted "each retire becomes a
+        // release" (§3.4): the write installs immediately, no dependency is
+        // tracked, and an abort cannot take it back.
+        if self.should_retire_now(ctx) {
+            let a = &mut ctx.accesses[i];
+            if self.isolation == IsolationLevel::ReadUncommitted {
+                let mut st = a.tuple.meta.lock.lock();
+                st.release(&ctx.shared, &self.policy, true, Some((&*a.tuple, &a.local)));
+                a.state = AccessState::Released;
+            } else {
+                let mut st = a.tuple.meta.lock.lock();
+                st.retire(&ctx.shared, a.local.clone(), &self.policy);
+                a.state = AccessState::Retired;
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: u64,
+        row: Row,
+        secondary: Option<(usize, u64)>,
+    ) -> Result<(), Abort> {
+        if ctx.shared.is_aborted() {
+            return Err(ctx.abort_err());
+        }
+        ctx.op_seq += 1;
+        // Phantom protection: lock the gap before making the insert
+        // pending (tables without an ordered index skip this, as DBx1000's
+        // hash-only configuration does).
+        self.lock_insert_gap(db, ctx, table, key)?;
+        ctx.inserts.push(PendingInsert {
+            table,
+            key,
+            row,
+            secondary,
+        });
+        Ok(())
+    }
+
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+        // Algorithm 1 lines 4–5: wait for the commit semaphore. The
+        // adaptive clause of Optimization 2 fires mid-wait: once we have
+        // been stalled for longer than δ of the execution time so far, the
+        // trailing writes held back by the δ heuristic are blocking others
+        // for real, so retire them after all.
+        let t0 = Instant::now();
+        let mut may_retire_late = self.adaptive_retire && self.delta > 0.0;
+        let budget = ctx.started.elapsed().mul_f64(self.delta.max(0.0));
+        loop {
+            if ctx.shared.is_aborted() {
+                ctx.timers.commit_wait += t0.elapsed();
+                return Err(ctx.abort_err());
+            }
+            if ctx.shared.semaphore() == 0 {
+                break;
+            }
+            if t0.elapsed() > COMMIT_WAIT_TIMEOUT {
+                // Liveness backstop (see COMMIT_WAIT_TIMEOUT).
+                ctx.shared.set_abort(AbortReason::Cascade);
+                ctx.timers.commit_wait += t0.elapsed();
+                return Err(ctx.abort_err());
+            }
+            if may_retire_late && t0.elapsed() > budget {
+                self.retire_pending(ctx);
+                may_retire_late = false;
+            }
+            ctx.shared.park_brief();
+        }
+        ctx.timers.commit_wait += t0.elapsed();
+
+        // Algorithm 1 line 6: log, then the commit point (Definition 1).
+        wal.append_commit(
+            ctx.shared.id,
+            ctx.accesses
+                .iter()
+                .filter(|a| a.dirty)
+                .map(|a| (a.table, a.tuple.row_id, &a.local)),
+        );
+        if !ctx.shared.try_commit_point() {
+            return Err(ctx.abort_err());
+        }
+        apply_inserts(db, ctx);
+        self.release_all(ctx, true);
+        Ok(())
+    }
+
+    fn abort(&self, _db: &Database, ctx: &mut TxnCtx) -> usize {
+        // Self-aborts (user logic) arrive here without a prior set_abort.
+        ctx.shared.set_abort(AbortReason::User);
+        ctx.inserts.clear();
+        self.release_all(ctx, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_storage::{DataType, Schema, Value};
+
+    fn setup() -> (Arc<Database>, TableId) {
+        let mut b = Database::builder();
+        let t = b.add_table(
+            "kv",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        let db = b.build();
+        for k in 0..10u64 {
+            db.table(t)
+                .insert(k, Row::from(vec![Value::U64(k), Value::I64(k as i64 * 100)]));
+        }
+        (db, t)
+    }
+
+    fn add_100(row: &mut Row) {
+        let v = row.get_i64(1);
+        row.set(1, Value::I64(v + 100));
+    }
+
+    #[test]
+    fn single_txn_read_update_commit() {
+        for proto in [
+            LockingProtocol::bamboo(),
+            LockingProtocol::bamboo_base(),
+            LockingProtocol::wound_wait(),
+            LockingProtocol::wait_die(),
+            LockingProtocol::no_wait(),
+        ] {
+            let (db, t) = setup();
+            let mut wal = WalBuffer::for_tests();
+            let mut ctx = proto.begin(&db);
+            assert_eq!(proto.read(&db, &mut ctx, t, 3).unwrap().get_i64(1), 300);
+            proto.update(&db, &mut ctx, t, 3, &mut add_100).unwrap();
+            // Read-own-write.
+            assert_eq!(proto.read(&db, &mut ctx, t, 3).unwrap().get_i64(1), 400);
+            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+            assert_eq!(
+                db.table(t).get(3).unwrap().read_row().get_i64(1),
+                400,
+                "{} must install the write",
+                proto.name()
+            );
+            assert_eq!(wal.records(), 1);
+        }
+    }
+
+    #[test]
+    fn abort_discards_writes_and_inserts() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo();
+        let mut ctx = proto.begin(&db);
+        proto.update(&db, &mut ctx, t, 5, &mut add_100).unwrap();
+        proto
+            .insert(
+                &db,
+                &mut ctx,
+                t,
+                99,
+                Row::from(vec![Value::U64(99), Value::I64(0)]),
+                None,
+            )
+            .unwrap();
+        proto.abort(&db, &mut ctx);
+        assert_eq!(db.table(t).get(5).unwrap().read_row().get_i64(1), 500);
+        assert!(db.table(t).get(99).is_none());
+    }
+
+    #[test]
+    fn insert_visible_after_commit() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo();
+        let mut wal = WalBuffer::for_tests();
+        let mut ctx = proto.begin(&db);
+        proto
+            .insert(
+                &db,
+                &mut ctx,
+                t,
+                42,
+                Row::from(vec![Value::U64(42), Value::I64(7)]),
+                None,
+            )
+            .unwrap();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        assert_eq!(db.table(t).get(42).unwrap().read_row().get_i64(1), 7);
+    }
+
+    #[test]
+    fn bamboo_pipelines_two_writers() {
+        // T1 writes and retires; T2 reads T1's dirty write, but can only
+        // commit after T1.
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo_base();
+        let mut wal = WalBuffer::for_tests();
+        let mut c1 = proto.begin(&db);
+        let mut c2 = proto.begin(&db);
+        proto.update(&db, &mut c1, t, 0, &mut add_100).unwrap();
+        // T2 sees the dirty value because T1 retired its lock.
+        proto.update(&db, &mut c2, t, 0, &mut add_100).unwrap();
+        assert_eq!(
+            {
+                let a = &c2.accesses[0];
+                a.local.get_i64(1)
+            },
+            200,
+            "T2 read T1's dirty 100 and added 100"
+        );
+        assert_eq!(c2.shared.semaphore(), 1, "T2 depends on T1");
+        proto.commit(&db, &mut c1, &mut wal).unwrap();
+        assert_eq!(c2.shared.semaphore(), 0);
+        proto.commit(&db, &mut c2, &mut wal).unwrap();
+        assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 200);
+    }
+
+    #[test]
+    fn bamboo_cascade_on_writer_abort() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo_base();
+        let mut c1 = proto.begin(&db);
+        let mut c2 = proto.begin(&db);
+        proto.update(&db, &mut c1, t, 0, &mut add_100).unwrap();
+        proto.update(&db, &mut c2, t, 0, &mut add_100).unwrap();
+        // T1 aborts: T2 must be cascade-aborted.
+        let cascaded = proto.abort(&db, &mut c1);
+        assert_eq!(cascaded, 1);
+        assert!(c2.shared.is_aborted());
+        assert_eq!(c2.shared.abort_reason(), AbortReason::Cascade);
+        // T2's commit fails; its abort releases cleanly.
+        let mut wal = WalBuffer::for_tests();
+        assert!(proto.commit(&db, &mut c2, &mut wal).is_err());
+        proto.abort(&db, &mut c2);
+        assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 0);
+        let st = db.table(t).get(0).unwrap();
+        assert!(st.meta.lock.lock().is_quiescent());
+    }
+
+    #[test]
+    fn wound_wait_baseline_blocks_second_writer() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::wound_wait();
+        let mut wal = WalBuffer::for_tests();
+        let mut c1 = proto.begin(&db);
+        proto.update(&db, &mut c1, t, 0, &mut add_100).unwrap();
+        // Younger writer on another thread: must block until T1 commits.
+        let db2 = Arc::clone(&db);
+        let proto2 = proto.clone();
+        let h = std::thread::spawn(move || {
+            let mut wal = WalBuffer::for_tests();
+            let mut c2 = proto2.begin(&db2);
+            proto2.update(&db2, &mut c2, t, 0, &mut add_100).unwrap();
+            proto2.commit(&db2, &mut c2, &mut wal).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished(), "Wound-Wait must block the younger writer");
+        proto.commit(&db, &mut c1, &mut wal).unwrap();
+        h.join().unwrap();
+        assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 200);
+    }
+
+    #[test]
+    fn delta_heuristic_skips_trailing_writes() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo(); // δ = 0.15
+        let mut ctx = proto.begin(&db);
+        ctx.planned_ops = Some(10);
+        // ops 1..=8 are within the first 85%; ops 9, 10 are the trailing δ.
+        for k in 0..8u64 {
+            proto.update(&db, &mut ctx, t, k, &mut add_100).unwrap();
+        }
+        assert!(ctx
+            .accesses
+            .iter()
+            .all(|a| a.state == AccessState::Retired));
+        proto.update(&db, &mut ctx, t, 8, &mut add_100).unwrap();
+        proto.update(&db, &mut ctx, t, 9, &mut add_100).unwrap();
+        assert_eq!(
+            ctx.accesses
+                .iter()
+                .filter(|a| a.state == AccessState::Owner)
+                .count(),
+            2,
+            "trailing writes stay owned"
+        );
+        let mut wal = WalBuffer::for_tests();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    }
+
+    #[test]
+    fn second_write_after_retire_reacquires() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo_base();
+        let mut wal = WalBuffer::for_tests();
+        let mut ctx = proto.begin(&db);
+        proto.update(&db, &mut ctx, t, 1, &mut add_100).unwrap();
+        assert_eq!(ctx.accesses[0].state, AccessState::Retired);
+        proto.update(&db, &mut ctx, t, 1, &mut add_100).unwrap();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        assert_eq!(db.table(t).get(1).unwrap().read_row().get_i64(1), 300);
+    }
+
+    #[test]
+    fn no_wait_conflict_self_aborts() {
+        let (db, t) = setup();
+        let proto = LockingProtocol::no_wait();
+        let mut c1 = proto.begin(&db);
+        let mut c2 = proto.begin(&db);
+        proto.update(&db, &mut c1, t, 0, &mut add_100).unwrap();
+        let err = proto.update(&db, &mut c2, t, 0, &mut add_100).unwrap_err();
+        assert_eq!(err.0, AbortReason::NoWait);
+        proto.abort(&db, &mut c2);
+        let mut wal = WalBuffer::for_tests();
+        proto.commit(&db, &mut c1, &mut wal).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Transaction-facing concurrency-control protocols.
+//!
+//! DBx1000 (the paper's prototype) "includes a pluggable lock manager that
+//! supports different concurrency control schemes", which is what lets the
+//! paper compare Bamboo with its baselines inside one system (§5.1). The
+//! [`Protocol`] trait is that plug:
+//!
+//! * [`LockingProtocol`] — the whole 2PL family: **Bamboo**, Wound-Wait,
+//!   Wait-Die and No-Wait (the paper's BAMBOO / WOUND_WAIT / WAIT_DIE /
+//!   NO_WAIT configurations).
+//! * [`SiloProtocol`] — the OCC baseline (SILO).
+//! * [`ic3::Ic3Protocol`] — the transaction-chopping baseline (IC3).
+//! * [`InteractiveProtocol`] — a decorator that charges a simulated RPC
+//!   round-trip per operation, reproducing the paper's interactive mode.
+
+pub mod ic3;
+mod interactive;
+mod locking;
+mod silo;
+
+use bamboo_storage::{Row, TableId};
+
+pub use ic3::{Ic3Protocol, PieceAccess, PieceDecl, TemplateDecl};
+pub use interactive::InteractiveProtocol;
+pub use locking::{IsolationLevel, LockingProtocol};
+pub use silo::SiloProtocol;
+
+use crate::db::Database;
+use crate::txn::{Abort, TxnCtx};
+use crate::wal::WalBuffer;
+
+/// A pluggable concurrency-control protocol.
+///
+/// Contract: a transaction is driven as
+/// `begin → (read | update | insert)* → commit | abort`; any `Err(Abort)`
+/// from an operation obliges the caller to invoke [`Protocol::abort`]
+/// exactly once for the attempt. `commit` consumes the attempt on success.
+pub trait Protocol: Send + Sync {
+    /// Protocol display name (matches the paper's legends).
+    fn name(&self) -> &str;
+
+    /// Starts a new transaction attempt.
+    fn begin(&self, db: &Database) -> TxnCtx;
+
+    /// Reads a row (shared access); returns a reference to the
+    /// transaction-local copy.
+    fn read<'c>(
+        &self,
+        db: &Database,
+        ctx: &'c mut TxnCtx,
+        table: TableId,
+        key: u64,
+    ) -> Result<&'c Row, Abort>;
+
+    /// Read-modify-write (exclusive access): `f` mutates the local copy;
+    /// visibility of the dirty result is protocol-specific (Bamboo retires
+    /// the lock according to Optimization 2's δ heuristic).
+    fn update(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: u64,
+        f: &mut dyn FnMut(&mut Row),
+    ) -> Result<(), Abort>;
+
+    /// Buffers an insert; applied atomically at commit. `secondary` is an
+    /// optional `(secondary index slot, secondary key)` to maintain.
+    fn insert(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        key: u64,
+        row: Row,
+        secondary: Option<(usize, u64)>,
+    ) -> Result<(), Abort>;
+
+    /// Commits: waits out commit dependencies, logs, installs, releases.
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort>;
+
+    /// Aborts the attempt, releasing everything. Returns the number of
+    /// transactions cascadingly aborted by this release (abort-chain
+    /// accounting, §4.2).
+    fn abort(&self, db: &Database, ctx: &mut TxnCtx) -> usize;
+
+    /// IC3 hook: a new piece begins. No-op elsewhere.
+    fn piece_begin(&self, _db: &Database, _ctx: &mut TxnCtx, _piece: usize) -> Result<(), Abort> {
+        Ok(())
+    }
+
+    /// IC3 hook: the current piece ended (publish piece writes). No-op
+    /// elsewhere.
+    fn piece_end(&self, _db: &Database, _ctx: &mut TxnCtx) -> Result<(), Abort> {
+        Ok(())
+    }
+}
+
+/// Applies buffered inserts at commit time (shared by all protocols).
+pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
+    for ins in ctx.inserts.drain(..) {
+        let table = db.table(ins.table);
+        let tuple = table.insert(ins.key, ins.row);
+        if let Some((slot, skey)) = ins.secondary {
+            table.secondary_index(slot).insert(skey, tuple.row_id);
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Transaction handles.
+//!
+//! A transaction has two halves:
+//!
+//! * [`TxnShared`] — the part *other* transactions touch concurrently:
+//!   timestamp, status word, the `commit_semaphore` of paper §3.2.1 and a
+//!   condvar used to park for lock grants / semaphore-zero / wound delivery.
+//!   Lock entries hold `Arc<TxnShared>`s.
+//! * [`TxnCtx`] — the worker-local execution state: the access set with the
+//!   local row copies the paper mandates ("Bamboo keeps a local copy of the
+//!   tuple for each read request", §3.2.2), buffered inserts, per-attempt
+//!   timers, and protocol-specific scratch (Silo read set, IC3 piece state).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bamboo_storage::{Row, RowId, TableId, Tuple};
+use parking_lot::{Condvar, Mutex};
+
+use crate::meta::TupleCc;
+use crate::ts::UNASSIGNED;
+
+/// Lock modes (paper §2.1: shared SH and exclusive EX).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Sh,
+    /// Exclusive (write) lock.
+    Ex,
+}
+
+impl LockMode {
+    /// True when two locks of these modes cannot coexist.
+    #[inline]
+    pub fn conflicts(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Ex, _) | (_, LockMode::Ex))
+    }
+}
+
+/// Why a transaction aborted. Paper §4.1 distinguishes (1) wounds,
+/// (2) cascading aborts and (3) self/user aborts; the protocol-specific
+/// variants below refine that taxonomy for the baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Wounded by a higher-priority transaction (Wound-Wait rule).
+    Wounded,
+    /// Aborted cascadingly because a transaction it read dirty data from
+    /// aborted (paper challenge 2).
+    Cascade,
+    /// Self-aborted on conflict with an older owner (Wait-Die rule).
+    WaitDie,
+    /// Self-aborted on any conflict (No-Wait rule).
+    NoWait,
+    /// Silo read-set validation failed at commit.
+    SiloValidation,
+    /// Silo could not lock its write set at commit.
+    SiloLockFail,
+    /// User-initiated abort (e.g. TPC-C NewOrder invalid item).
+    User,
+    /// IC3 piece validation failed (optimistic execution).
+    Ic3Validation,
+}
+
+/// The terminal error of a transaction attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort(pub AbortReason);
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Status word values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TxnStatus {
+    /// Executing or waiting.
+    Running = 0,
+    /// Marked for abort (wound / cascade / self); the owning worker will
+    /// notice and run the release path.
+    Aborted = 1,
+    /// Passed its commit point (paper Definition 1): logged and immune to
+    /// wounds; releases will install its writes.
+    Committed = 2,
+}
+
+/// How long a parked transaction sleeps between predicate re-checks. A
+/// notification wakes it immediately; the timeout only bounds lost-wakeup
+/// windows.
+const PARK_TIMEOUT: Duration = Duration::from_micros(100);
+
+/// The concurrently-shared half of a transaction.
+pub struct TxnShared {
+    /// Unique incarnation id (also the tie-break for unassigned timestamps).
+    pub id: u64,
+    ts: AtomicU64,
+    status: AtomicU8,
+    /// Paper §3.2.1: incremented when this transaction starts depending on a
+    /// retired conflicting transaction; it may reach its commit point only
+    /// once the semaphore is zero (Algorithm 1 lines 4–5).
+    pub commit_semaphore: AtomicI64,
+    /// Number of IC3 pieces this transaction has completed (used by other
+    /// transactions' piece-level waits).
+    pub pieces_done: AtomicU32,
+    /// IC3: set once commit installs / abort withdrawals fully finished.
+    /// Commit-order waits block on this rather than on the commit point so
+    /// a dependent's install can never race ahead of its predecessor's.
+    released: std::sync::atomic::AtomicBool,
+    /// Why this transaction was told to abort (valid once status=Aborted).
+    abort_reason: AtomicU8,
+    park: Mutex<()>,
+    cond: Condvar,
+}
+
+fn encode_reason(r: AbortReason) -> u8 {
+    match r {
+        AbortReason::Wounded => 0,
+        AbortReason::Cascade => 1,
+        AbortReason::WaitDie => 2,
+        AbortReason::NoWait => 3,
+        AbortReason::SiloValidation => 4,
+        AbortReason::SiloLockFail => 5,
+        AbortReason::User => 6,
+        AbortReason::Ic3Validation => 7,
+    }
+}
+
+fn decode_reason(v: u8) -> AbortReason {
+    match v {
+        0 => AbortReason::Wounded,
+        1 => AbortReason::Cascade,
+        2 => AbortReason::WaitDie,
+        3 => AbortReason::NoWait,
+        4 => AbortReason::SiloValidation,
+        5 => AbortReason::SiloLockFail,
+        6 => AbortReason::User,
+        _ => AbortReason::Ic3Validation,
+    }
+}
+
+impl TxnShared {
+    /// Creates a running transaction with the given id and timestamp
+    /// (`UNASSIGNED` under dynamic timestamp assignment).
+    pub fn new(id: u64, ts: u64) -> Arc<Self> {
+        Arc::new(TxnShared {
+            id,
+            ts: AtomicU64::new(ts),
+            status: AtomicU8::new(TxnStatus::Running as u8),
+            commit_semaphore: AtomicI64::new(0),
+            pieces_done: AtomicU32::new(0),
+            released: std::sync::atomic::AtomicBool::new(false),
+            abort_reason: AtomicU8::new(0),
+            park: Mutex::new(()),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Current timestamp (possibly [`UNASSIGNED`]).
+    #[inline]
+    pub fn ts(&self) -> u64 {
+        self.ts.load(Ordering::Acquire)
+    }
+
+    /// Priority key: smaller sorts first = higher priority. Unassigned
+    /// timestamps sort last, tie-broken by arrival id so ordering stays
+    /// total and stable.
+    #[inline]
+    pub fn prio(&self) -> (u64, u64) {
+        (self.ts(), self.id)
+    }
+
+    /// Assigns a timestamp if none was assigned yet (Algorithm 3,
+    /// `set_ts_if_unassigned`). Returns the winning timestamp.
+    pub fn assign_ts_if_unassigned(&self, source: &crate::ts::TsSource) -> u64 {
+        let cur = self.ts();
+        if cur != UNASSIGNED {
+            return cur;
+        }
+        let fresh = source.assign();
+        match self
+            .ts
+            .compare_exchange(UNASSIGNED, fresh, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+
+    /// Current status.
+    #[inline]
+    pub fn status(&self) -> TxnStatus {
+        match self.status.load(Ordering::Acquire) {
+            0 => TxnStatus::Running,
+            1 => TxnStatus::Aborted,
+            _ => TxnStatus::Committed,
+        }
+    }
+
+    /// True once marked for abort.
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        self.status.load(Ordering::Acquire) == TxnStatus::Aborted as u8
+    }
+
+    /// Wound/cascade entry point: transitions Running → Aborted. Fails (and
+    /// is a no-op) when the target already aborted or passed its commit
+    /// point — this CAS is what makes the commit point (Definition 1)
+    /// atomic with respect to wounds.
+    pub fn set_abort(&self, reason: AbortReason) -> bool {
+        let ok = self
+            .status
+            .compare_exchange(
+                TxnStatus::Running as u8,
+                TxnStatus::Aborted as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if ok {
+            self.abort_reason.store(encode_reason(reason), Ordering::Release);
+            self.notify();
+        }
+        ok
+    }
+
+    /// The reason recorded by the successful [`TxnShared::set_abort`].
+    pub fn abort_reason(&self) -> AbortReason {
+        decode_reason(self.abort_reason.load(Ordering::Acquire))
+    }
+
+    /// Commit-point transition: Running → Committed. Fails when a wound won
+    /// the race, in which case the caller must abort.
+    pub fn try_commit_point(&self) -> bool {
+        self.status
+            .compare_exchange(
+                TxnStatus::Running as u8,
+                TxnStatus::Committed as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// True once the transaction finished (committed or aborted) — IC3's
+    /// accessor lists use this to skip dead entries.
+    #[inline]
+    pub fn is_finished(&self) -> bool {
+        self.status.load(Ordering::Acquire) != TxnStatus::Running as u8
+    }
+
+    /// Marks installs/withdrawals complete (IC3 release barrier).
+    #[inline]
+    pub fn mark_released(&self) {
+        self.released.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    /// True once [`TxnShared::mark_released`] ran.
+    #[inline]
+    pub fn is_released(&self) -> bool {
+        self.released.load(Ordering::Acquire)
+    }
+
+    /// Wakes the owning worker if it is parked.
+    pub fn notify(&self) {
+        let _guard = self.park.lock();
+        self.cond.notify_all();
+    }
+
+    /// Parks until `pred()` is true or the transaction is marked aborted.
+    /// Returns `Err(Abort)` on abort. Used for lock waits and the
+    /// commit-semaphore wait of Algorithm 1.
+    pub fn wait_until(&self, mut pred: impl FnMut() -> bool) -> Result<(), Abort> {
+        loop {
+            if self.is_aborted() {
+                return Err(Abort(self.abort_reason()));
+            }
+            if pred() {
+                return Ok(());
+            }
+            let mut guard = self.park.lock();
+            // Re-check under the park lock: notifiers flip state first, then
+            // take this lock to notify, so a state change cannot slip
+            // between this check and the wait.
+            if self.is_aborted() || pred() {
+                continue;
+            }
+            self.cond.wait_for(&mut guard, PARK_TIMEOUT);
+        }
+    }
+
+    /// Parks briefly (until notified or the park timeout elapses). Callers
+    /// re-check their predicate in a loop; the timeout bounds any missed
+    /// notification window.
+    pub fn park_brief(&self) {
+        let mut guard = self.park.lock();
+        self.cond.wait_for(&mut guard, PARK_TIMEOUT);
+    }
+
+    /// Non-blocking semaphore read.
+    #[inline]
+    pub fn semaphore(&self) -> i64 {
+        self.commit_semaphore.load(Ordering::Acquire)
+    }
+
+    /// Increment the commit semaphore (a dirty-read dependency appeared).
+    #[inline]
+    pub fn semaphore_inc(&self) {
+        self.commit_semaphore.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Decrement the commit semaphore (a dependency cleared); wakes the
+    /// owner when it reaches zero.
+    #[inline]
+    pub fn semaphore_dec(&self) {
+        if self.commit_semaphore.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.notify();
+        }
+    }
+}
+
+impl std::fmt::Debug for TxnShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnShared")
+            .field("id", &self.id)
+            .field("ts", &self.ts())
+            .field("status", &self.status())
+            .field("semaphore", &self.semaphore())
+            .finish()
+    }
+}
+
+/// Where this transaction's lock entry currently lives for an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessState {
+    /// In the tuple's `owners` list.
+    Owner,
+    /// In the tuple's `retired` list (paper Figure 2).
+    Retired,
+    /// Entry already removed (released, or never had a lock — Silo reads).
+    Released,
+}
+
+/// One tuple accessed by the transaction, with its local row copy.
+pub struct Access {
+    /// Table the tuple belongs to.
+    pub table: TableId,
+    /// The tuple.
+    pub tuple: Arc<Tuple<TupleCc>>,
+    /// Lock mode held (strongest requested so far).
+    pub mode: LockMode,
+    /// Local copy: read image, or the in-progress write image.
+    pub local: Row,
+    /// True once the local copy was modified.
+    pub dirty: bool,
+    /// Where our lock entry lives.
+    pub state: AccessState,
+    /// Silo: TID observed at read time. IC3: id of the version-chain writer
+    /// observed at access time (0 = committed base). Validation token.
+    pub observed_tid: u64,
+    /// IC3: the tuple's install sequence number observed at access time —
+    /// catches predecessors that committed *and installed* between our read
+    /// and our piece validation (their version leaves the chain, so the
+    /// tail id alone would falsely validate).
+    pub observed_seq: u64,
+    /// IC3: the group (merged piece) this access belongs to.
+    pub group: u32,
+}
+
+/// A buffered insert, applied at commit (storage-level inserts are
+/// immediately visible, so buffering gives abort atomicity; see DESIGN.md on
+/// phantom handling).
+pub struct PendingInsert {
+    /// Destination table.
+    pub table: TableId,
+    /// Primary key.
+    pub key: u64,
+    /// Row image.
+    pub row: Row,
+    /// Optional secondary-index maintenance: (index slot, secondary key).
+    pub secondary: Option<(usize, u64)>,
+}
+
+/// Per-attempt wall-clock timers, matching the paper's runtime breakdown
+/// (Figures 4b/5b/6b/...: "lock wait", "commit wait", with "abort" derived
+/// by the executor from failed attempts).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TxnTimers {
+    /// Time parked waiting for lock grants.
+    pub lock_wait: Duration,
+    /// Time parked waiting for `commit_semaphore == 0`.
+    pub commit_wait: Duration,
+}
+
+/// One IC3 commit-order dependency.
+pub struct Ic3Dep {
+    /// The predecessor transaction.
+    pub txn: Arc<TxnShared>,
+    /// Whether the dependency involves the predecessor's *write* (true ⇒
+    /// its abort cascades to us; false ⇒ pure write-after-read ordering).
+    pub wrote: bool,
+    /// The predecessor's template index (drives IC3's order-preservation
+    /// waits: we may not access a table before the predecessor has passed
+    /// its conflicting piece on that table).
+    pub template: u32,
+}
+
+/// IC3 per-attempt state.
+#[derive(Default)]
+pub struct Ic3Ctx {
+    /// Index of the registered template being executed.
+    pub template: usize,
+    /// Original (pre-merge) piece currently executing.
+    pub piece: usize,
+    /// Group (merged piece) currently executing.
+    pub group: usize,
+    /// Transactions this one must commit after.
+    pub deps: Vec<Ic3Dep>,
+}
+
+/// Worker-local transaction context.
+pub struct TxnCtx {
+    /// Shared half.
+    pub shared: Arc<TxnShared>,
+    /// Access set in access order.
+    pub accesses: Vec<Access>,
+    index: HashMap<(u32, RowId), usize>,
+    /// Buffered inserts.
+    pub inserts: Vec<PendingInsert>,
+    /// Declared number of operations (stored-procedure mode) for the δ
+    /// heuristic of Optimization 2; `None` in interactive mode.
+    pub planned_ops: Option<usize>,
+    /// Operations issued so far this attempt.
+    pub op_seq: usize,
+    /// Phase timers.
+    pub timers: TxnTimers,
+    /// Opacity requested (§3.4): accesses wait out dirty state and never
+    /// read uncommitted versions; the transaction runs effectively under
+    /// plain Wound-Wait.
+    pub opaque: bool,
+    /// Attempt start time (for the adaptive clause of Optimization 2).
+    pub started: Instant,
+    /// Silo read set: (access index) entries live in `accesses` with
+    /// `observed_tid`; this holds extra read-only observations.
+    pub silo_reads: Vec<(Arc<Tuple<TupleCc>>, u64)>,
+    /// IC3 state.
+    pub ic3: Ic3Ctx,
+}
+
+impl TxnCtx {
+    /// Fresh context for one attempt.
+    pub fn new(shared: Arc<TxnShared>) -> Self {
+        TxnCtx {
+            shared,
+            accesses: Vec::with_capacity(16),
+            index: HashMap::with_capacity(16),
+            inserts: Vec::new(),
+            planned_ops: None,
+            op_seq: 0,
+            timers: TxnTimers::default(),
+            opaque: false,
+            started: Instant::now(),
+            silo_reads: Vec::new(),
+            ic3: Ic3Ctx::default(),
+        }
+    }
+
+    /// Finds an existing access of `(table, row)`.
+    #[inline]
+    pub fn find_access(&self, table: TableId, row: RowId) -> Option<usize> {
+        self.index.get(&(table.0, row)).copied()
+    }
+
+    /// Drops the cache entry for `(table, row)` so the next access of the
+    /// key takes a fresh acquire (read-committed re-reads, read-uncommitted
+    /// re-writes).
+    pub fn forget_access(&mut self, table: TableId, row: RowId) {
+        self.index.remove(&(table.0, row));
+    }
+
+    /// Records a new access and returns its index.
+    pub fn push_access(&mut self, access: Access) -> usize {
+        let idx = self.accesses.len();
+        self.index
+            .insert((access.table.0, access.tuple.row_id), idx);
+        self.accesses.push(access);
+        idx
+    }
+
+    /// Timestamp shortcut.
+    #[inline]
+    pub fn ts(&self) -> u64 {
+        self.shared.ts()
+    }
+
+    /// Returns an abort error carrying the shared handle's recorded reason.
+    pub fn abort_err(&self) -> Abort {
+        Abort(self.shared.abort_reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts::TsSource;
+
+    #[test]
+    fn lock_mode_conflicts() {
+        assert!(!LockMode::Sh.conflicts(LockMode::Sh));
+        assert!(LockMode::Sh.conflicts(LockMode::Ex));
+        assert!(LockMode::Ex.conflicts(LockMode::Sh));
+        assert!(LockMode::Ex.conflicts(LockMode::Ex));
+    }
+
+    #[test]
+    fn wound_then_commit_point_fails() {
+        let t = TxnShared::new(1, 10);
+        assert!(t.set_abort(AbortReason::Wounded));
+        assert!(!t.try_commit_point());
+        assert_eq!(t.status(), TxnStatus::Aborted);
+        assert_eq!(t.abort_reason(), AbortReason::Wounded);
+    }
+
+    #[test]
+    fn commit_point_then_wound_fails() {
+        let t = TxnShared::new(1, 10);
+        assert!(t.try_commit_point());
+        assert!(!t.set_abort(AbortReason::Wounded));
+        assert_eq!(t.status(), TxnStatus::Committed);
+    }
+
+    #[test]
+    fn double_wound_reports_first_reason() {
+        let t = TxnShared::new(1, 10);
+        assert!(t.set_abort(AbortReason::Cascade));
+        assert!(!t.set_abort(AbortReason::Wounded));
+        assert_eq!(t.abort_reason(), AbortReason::Cascade);
+    }
+
+    #[test]
+    fn semaphore_inc_dec() {
+        let t = TxnShared::new(1, 10);
+        t.semaphore_inc();
+        t.semaphore_inc();
+        assert_eq!(t.semaphore(), 2);
+        t.semaphore_dec();
+        t.semaphore_dec();
+        assert_eq!(t.semaphore(), 0);
+    }
+
+    #[test]
+    fn wait_until_observes_abort() {
+        let t = TxnShared::new(1, 10);
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.wait_until(|| false));
+        std::thread::sleep(Duration::from_millis(5));
+        t.set_abort(AbortReason::Wounded);
+        assert_eq!(h.join().unwrap(), Err(Abort(AbortReason::Wounded)));
+    }
+
+    #[test]
+    fn wait_until_observes_semaphore_zero() {
+        let t = TxnShared::new(1, 10);
+        t.semaphore_inc();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            let t3 = Arc::clone(&t2);
+            t2.wait_until(move || t3.semaphore() == 0)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        t.semaphore_dec();
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn dynamic_ts_assignment_is_idempotent() {
+        let src = TsSource::new();
+        let t = TxnShared::new(7, crate::ts::UNASSIGNED);
+        assert_eq!(t.ts(), crate::ts::UNASSIGNED);
+        let a = t.assign_ts_if_unassigned(&src);
+        let b = t.assign_ts_if_unassigned(&src);
+        assert_eq!(a, b);
+        assert_eq!(t.ts(), a);
+        assert_ne!(a, crate::ts::UNASSIGNED);
+    }
+
+    #[test]
+    fn prio_orders_unassigned_last() {
+        let assigned = TxnShared::new(100, 5);
+        let unassigned = TxnShared::new(1, crate::ts::UNASSIGNED);
+        assert!(assigned.prio() < unassigned.prio());
+    }
+}

@@ -1,0 +1,108 @@
+//! The catalog: a fixed set of tables created at load time, addressed by
+//! dense [`TableId`]s on hot paths and by name during setup.
+
+use std::sync::Arc;
+
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Dense table identifier, assigned in registration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// A set of tables sharing one tuple-metadata type `M`.
+///
+/// Workloads build the catalog single-threaded during load; afterwards it is
+/// read-only and shared across worker threads.
+pub struct Catalog<M> {
+    tables: Vec<Arc<Table<M>>>,
+}
+
+impl<M: Default> Catalog<M> {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog { tables: Vec::new() }
+    }
+
+    /// Registers a table, returning its dense id.
+    pub fn add_table(&mut self, name: &str, schema: Schema) -> TableId {
+        self.add_table_with_capacity(name, schema, 0)
+    }
+
+    /// Registers a table pre-sized for `cap` tuples.
+    pub fn add_table_with_capacity(&mut self, name: &str, schema: Schema, cap: usize) -> TableId {
+        assert!(
+            self.table_id(name).is_none(),
+            "duplicate table name {name:?}"
+        );
+        let id = TableId(self.tables.len() as u32);
+        self.tables
+            .push(Arc::new(Table::with_capacity(name, schema, cap)));
+        id
+    }
+}
+
+impl<M> Catalog<M> {
+    /// Table by id (panics when out of range — ids are static).
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Arc<Table<M>> {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u32))
+    }
+
+    /// All tables in registration order.
+    pub fn tables(&self) -> &[Arc<Table<M>>] {
+        &self.tables
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+impl<M: Default> Default for Catalog<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::<()>::new();
+        let a = c.add_table("a", Schema::build().column("k", DataType::U64));
+        let b = c.add_table("b", Schema::build().column("k", DataType::U64));
+        assert_eq!(a, TableId(0));
+        assert_eq!(b, TableId(1));
+        assert_eq!(c.table_id("a"), Some(a));
+        assert_eq!(c.table_id("b"), Some(b));
+        assert_eq!(c.table_id("c"), None);
+        assert_eq!(c.table(a).name, "a");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::<()>::new();
+        c.add_table("a", Schema::build().column("k", DataType::U64));
+        c.add_table("a", Schema::build().column("k", DataType::U64));
+    }
+}

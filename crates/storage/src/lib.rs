@@ -1,0 +1,44 @@
+#![deny(missing_docs)]
+//! # bamboo-storage
+//!
+//! In-memory row-store substrate for the Bamboo concurrency-control
+//! reproduction (SIGMOD 2021). This crate mirrors the storage layer of
+//! DBx1000, the prototype the paper evaluates on: row-oriented tables with
+//! hash indexes on the primary key, plus (for TPC-C Payment) one secondary
+//! index.
+//!
+//! The crate is deliberately independent of any concurrency-control
+//! protocol: every [`Tuple`] carries a generic `meta` slot that the
+//! `bamboo-core` crate instantiates with its per-tuple lock entry / TID word
+//! metadata. Storage itself only guards the physical row bytes with a
+//! lightweight `parking_lot::RwLock`; *logical* isolation is entirely the
+//! protocol's job.
+//!
+//! ```
+//! use bamboo_storage::{Catalog, Schema, DataType, Value, Row};
+//!
+//! let mut catalog = Catalog::<()>::new();
+//! let accounts = catalog.add_table(
+//!     "accounts",
+//!     Schema::build().column("id", DataType::U64).column("balance", DataType::I64),
+//! );
+//! let t = catalog.table(accounts);
+//! t.insert(1, Row::from(vec![Value::U64(1), Value::I64(100)]));
+//! assert_eq!(t.get(1).unwrap().read_row().get_i64(1), 100);
+//! ```
+
+mod catalog;
+mod index;
+mod ordered;
+mod row;
+mod schema;
+mod table;
+mod value;
+
+pub use catalog::{Catalog, TableId};
+pub use index::{hash_key, SecondaryIndex, ShardedIndex};
+pub use ordered::OrderedIndex;
+pub use row::Row;
+pub use schema::{ColumnDef, DataType, Schema};
+pub use table::{RowId, Table, Tuple};
+pub use value::Value;

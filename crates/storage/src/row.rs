@@ -1,0 +1,110 @@
+//! Physical rows. A [`Row`] is an owned vector of [`Value`]s; transactions
+//! operate on *copies* of rows (the paper's local read/write copies) and the
+//! protocol installs a finished copy back into the table at commit.
+
+use crate::value::Value;
+
+/// An owned row: one [`Value`] per schema column.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Creates a row from column values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the row has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow column `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Replace column `idx`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, v: Value) {
+        self.values[idx] = v;
+    }
+
+    /// Column `idx` as `u64` (panics on type mismatch).
+    #[inline]
+    pub fn get_u64(&self, idx: usize) -> u64 {
+        self.values[idx].as_u64()
+    }
+
+    /// Column `idx` as `i64` (panics on type mismatch).
+    #[inline]
+    pub fn get_i64(&self, idx: usize) -> i64 {
+        self.values[idx].as_i64()
+    }
+
+    /// Column `idx` as `f64` (panics on type mismatch).
+    #[inline]
+    pub fn get_f64(&self, idx: usize) -> f64 {
+        self.values[idx].as_f64()
+    }
+
+    /// Column `idx` as `&str` (panics on type mismatch).
+    #[inline]
+    pub fn get_str(&self, idx: usize) -> &str {
+        self.values[idx].as_str()
+    }
+
+    /// All values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut r = Row::from(vec![Value::U64(1), Value::I64(-2), Value::from("x")]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get_u64(0), 1);
+        assert_eq!(r.get_i64(1), -2);
+        assert_eq!(r.get_str(2), "x");
+        r.set(1, Value::I64(10));
+        assert_eq!(r.get_i64(1), 10);
+    }
+
+    #[test]
+    fn clone_is_deep_for_values() {
+        let r = Row::from(vec![Value::I64(1)]);
+        let mut c = r.clone();
+        c.set(0, Value::I64(2));
+        assert_eq!(r.get_i64(0), 1);
+        assert_eq!(c.get_i64(0), 2);
+    }
+
+    #[test]
+    fn empty_row() {
+        let r = Row::default();
+        assert!(r.is_empty());
+        assert_eq!(r.values(), &[]);
+    }
+}

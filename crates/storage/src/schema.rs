@@ -1,0 +1,156 @@
+//! Table schemas: ordered, named, typed columns.
+//!
+//! Column *indexes* (not names) are what the hot paths use; names exist for
+//! readability and for IC3's column-level conflict declarations (paper §2.2),
+//! which address columns by name when templates are registered.
+
+use crate::value::Value;
+
+/// The type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Variable-length string.
+    Str,
+}
+
+/// A single column definition.
+#[derive(Clone, Debug)]
+pub struct ColumnDef {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+/// An ordered collection of columns.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Starts a builder-style schema. Chain [`Schema::column`] calls.
+    pub fn build() -> Self {
+        Schema { columns: Vec::new() }
+    }
+
+    /// Appends a column; panics on duplicate names (schemas are static
+    /// workload definitions, so duplicates are programming errors).
+    pub fn column(mut self, name: &str, ty: DataType) -> Self {
+        assert!(
+            self.col_index(name).is_none(),
+            "duplicate column name {name:?}"
+        );
+        self.columns.push(ColumnDef {
+            name: name.to_owned(),
+            ty,
+        });
+        self
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in declaration order.
+    #[inline]
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`, if any.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of the column named `name`; panics when absent.
+    pub fn col(&self, name: &str) -> usize {
+        self.col_index(name)
+            .unwrap_or_else(|| panic!("no column named {name:?}"))
+    }
+
+    /// Checks that `values` matches this schema's arity and types.
+    pub fn validate(&self, values: &[Value]) -> Result<(), String> {
+        if values.len() != self.columns.len() {
+            return Err(format!(
+                "row arity {} does not match schema arity {}",
+                values.len(),
+                self.columns.len()
+            ));
+        }
+        for (i, (v, c)) in values.iter().zip(&self.columns).enumerate() {
+            if v.data_type() != c.ty {
+                return Err(format!(
+                    "column {i} ({}): expected {:?}, found {:?}",
+                    c.name,
+                    c.ty,
+                    v.data_type()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cols() -> Schema {
+        Schema::build()
+            .column("id", DataType::U64)
+            .column("balance", DataType::I64)
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = two_cols();
+        assert_eq!(s.col("id"), 0);
+        assert_eq!(s.col("balance"), 1);
+        assert_eq!(s.col_index("missing"), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        Schema::build()
+            .column("id", DataType::U64)
+            .column("id", DataType::I64);
+    }
+
+    #[test]
+    fn validate_accepts_matching_row() {
+        let s = two_cols();
+        assert!(s.validate(&[Value::U64(1), Value::I64(5)]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let s = two_cols();
+        let err = s.validate(&[Value::U64(1)]).unwrap_err();
+        assert!(err.contains("arity"));
+    }
+
+    #[test]
+    fn validate_rejects_type_mismatch() {
+        let s = two_cols();
+        let err = s.validate(&[Value::U64(1), Value::U64(5)]).unwrap_err();
+        assert!(err.contains("balance"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Tables and tuples.
+//!
+//! A [`Table`] owns its tuples and a primary-key hash index. Each [`Tuple`]
+//! carries the committed row image behind a `RwLock` plus a generic `meta`
+//! slot where the concurrency-control layer keeps its per-tuple state (lock
+//! entry with `owners`/`waiters`/`retired` lists for the 2PL family, TID
+//! word for Silo, accessor lists for IC3 — see `bamboo-core`).
+//!
+//! Tuple storage is an append-only slab: row ids are stable indexes, and
+//! lookups hold the slab latch only long enough to clone one `Arc`.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::index::{SecondaryIndex, ShardedIndex};
+use crate::ordered::OrderedIndex;
+use crate::row::Row;
+use crate::schema::Schema;
+
+/// Stable identifier of a tuple within its table (slab position).
+pub type RowId = u64;
+
+/// A physical tuple: committed row image + protocol metadata.
+pub struct Tuple<M> {
+    /// Stable id of this tuple within its table.
+    pub row_id: RowId,
+    /// Primary key the tuple was inserted under.
+    pub key: u64,
+    /// Committed row image. Protocols install new images at commit.
+    data: RwLock<Row>,
+    /// Per-tuple concurrency-control metadata.
+    pub meta: M,
+}
+
+impl<M> Tuple<M> {
+    /// Snapshot the committed row (clones values; strings are refcounted).
+    #[inline]
+    pub fn read_row(&self) -> Row {
+        self.data.read().clone()
+    }
+
+    /// Applies `f` to the committed row without cloning it.
+    #[inline]
+    pub fn with_row<R>(&self, f: impl FnOnce(&Row) -> R) -> R {
+        f(&self.data.read())
+    }
+
+    /// Overwrites the committed row image (protocol commit path).
+    #[inline]
+    pub fn install(&self, row: Row) {
+        *self.data.write() = row;
+    }
+}
+
+/// A named table: schema + tuple slab + primary-key index + optional
+/// secondary indexes.
+pub struct Table<M> {
+    /// Table name (unique within a catalog).
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    slab: RwLock<Vec<Arc<Tuple<M>>>>,
+    pk_index: ShardedIndex<RowId>,
+    secondary: RwLock<Vec<Arc<SecondaryIndex>>>,
+    ordered: RwLock<Option<Arc<OrderedIndex>>>,
+}
+
+impl<M: Default> Table<M> {
+    /// Creates an empty table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Self::with_capacity(name, schema, 0)
+    }
+
+    /// Creates an empty table pre-sized for `cap` tuples.
+    pub fn with_capacity(name: &str, schema: Schema, cap: usize) -> Self {
+        Table {
+            name: name.to_owned(),
+            schema,
+            slab: RwLock::new(Vec::with_capacity(cap)),
+            pk_index: ShardedIndex::with_capacity(cap),
+            secondary: RwLock::new(Vec::new()),
+            ordered: RwLock::new(None),
+        }
+    }
+
+    /// Inserts a new tuple under primary key `key`. Returns the tuple.
+    ///
+    /// Duplicate keys panic: the workloads generate unique keys and a
+    /// violation indicates a generator bug, not a runtime condition. (The
+    /// concurrency-control layer is responsible for logical visibility of
+    /// inserts; storage-level insert is immediately visible, matching
+    /// DBx1000.)
+    pub fn insert(&self, key: u64, row: Row) -> Arc<Tuple<M>> {
+        debug_assert!(self.schema.validate(row.values()).is_ok());
+        let mut slab = self.slab.write();
+        let row_id = slab.len() as RowId;
+        let tuple = Arc::new(Tuple {
+            row_id,
+            key,
+            data: RwLock::new(row),
+            meta: M::default(),
+        });
+        slab.push(Arc::clone(&tuple));
+        drop(slab);
+        let prev = self.pk_index.insert(key, row_id);
+        assert!(prev.is_none(), "duplicate primary key {key} in {}", self.name);
+        if let Some(idx) = self.ordered.read().as_ref() {
+            idx.insert(key, row_id);
+        }
+        tuple
+    }
+}
+
+impl<M> Table<M> {
+    /// Primary-key point lookup.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<Arc<Tuple<M>>> {
+        let row_id = self.pk_index.get(key)?;
+        Some(Arc::clone(&self.slab.read()[row_id as usize]))
+    }
+
+    /// Lookup by stable row id.
+    #[inline]
+    pub fn get_by_row_id(&self, row_id: RowId) -> Option<Arc<Tuple<M>>> {
+        self.slab.read().get(row_id as usize).cloned()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.slab.read().len()
+    }
+
+    /// True when the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers a new secondary index and returns its handle; the caller
+    /// (workload loader) maintains it explicitly on insert.
+    pub fn add_secondary_index(&self) -> Arc<SecondaryIndex> {
+        let idx = Arc::new(SecondaryIndex::new());
+        self.secondary.write().push(Arc::clone(&idx));
+        idx
+    }
+
+    /// Secondary index `i` (panics when out of range).
+    pub fn secondary_index(&self, i: usize) -> Arc<SecondaryIndex> {
+        Arc::clone(&self.secondary.read()[i])
+    }
+
+    /// Enables (or returns) the ordered primary-key index, backfilling
+    /// existing tuples. Range scans and next-key phantom protection
+    /// require it.
+    pub fn enable_ordered_index(&self) -> Arc<OrderedIndex> {
+        let mut guard = self.ordered.write();
+        if let Some(idx) = guard.as_ref() {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(OrderedIndex::new());
+        for t in self.slab.read().iter() {
+            idx.insert(t.key, t.row_id);
+        }
+        *guard = Some(Arc::clone(&idx));
+        idx
+    }
+
+    /// The ordered index, if enabled.
+    pub fn ordered_index(&self) -> Option<Arc<OrderedIndex>> {
+        self.ordered.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::value::Value;
+
+    fn table() -> Table<()> {
+        Table::new(
+            "t",
+            Schema::build()
+                .column("id", DataType::U64)
+                .column("v", DataType::I64),
+        )
+    }
+
+    fn row(id: u64, v: i64) -> Row {
+        Row::from(vec![Value::U64(id), Value::I64(v)])
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let t = table();
+        t.insert(10, row(10, 1));
+        t.insert(20, row(20, 2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(10).unwrap().read_row().get_i64(1), 1);
+        assert_eq!(t.get(20).unwrap().read_row().get_i64(1), 2);
+        assert!(t.get(30).is_none());
+    }
+
+    #[test]
+    fn row_ids_are_stable_and_dense() {
+        let t = table();
+        for k in 0..100 {
+            let tup = t.insert(k, row(k, k as i64));
+            assert_eq!(tup.row_id, k);
+        }
+        for k in 0..100 {
+            assert_eq!(t.get_by_row_id(k).unwrap().key, k);
+        }
+        assert!(t.get_by_row_id(100).is_none());
+    }
+
+    #[test]
+    fn install_replaces_committed_image() {
+        let t = table();
+        let tup = t.insert(1, row(1, 5));
+        tup.install(row(1, 99));
+        assert_eq!(t.get(1).unwrap().read_row().get_i64(1), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate primary key")]
+    fn duplicate_pk_panics() {
+        let t = table();
+        t.insert(1, row(1, 0));
+        t.insert(1, row(1, 0));
+    }
+
+    #[test]
+    fn with_row_avoids_clone() {
+        let t = table();
+        t.insert(1, row(1, 7));
+        let v = t.get(1).unwrap().with_row(|r| r.get_i64(1));
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn secondary_index_registration() {
+        let t = table();
+        let idx = t.add_secondary_index();
+        let tup = t.insert(1, row(1, 0));
+        idx.insert(42, tup.row_id);
+        assert_eq!(t.secondary_index(0).get(42), vec![tup.row_id]);
+    }
+
+    #[test]
+    fn concurrent_insert_and_lookup() {
+        use std::sync::Arc as StdArc;
+        let t = StdArc::new(table());
+        let writer = {
+            let t = StdArc::clone(&t);
+            std::thread::spawn(move || {
+                for k in 0..1000u64 {
+                    t.insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+                }
+            })
+        };
+        let reader = {
+            let t = StdArc::clone(&t);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                for _ in 0..10_000 {
+                    if t.get(999).is_some() {
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(t.len(), 1000);
+    }
+}

@@ -1,0 +1,26 @@
+#![deny(missing_docs)]
+//! # bamboo-workload
+//!
+//! The three workloads of the paper's evaluation (§5):
+//!
+//! * [`synthetic`] — the single/double-hotspot microbenchmarks of §5.2–5.3:
+//!   transactions of `K` operations, all uniform random reads except one or
+//!   two read-modify-write hotspots at controlled fractional positions.
+//! * [`ycsb`] — YCSB with zipfian skew (§5.4): 16 accesses per transaction,
+//!   configurable read ratio and θ, plus the 5%-long-read-only variant.
+//! * [`tpcc`] — TPC-C with 50% NewOrder / 50% Payment and 1% user-initiated
+//!   NewOrder aborts (§5.5–5.6), including the IC3 piece templates and the
+//!   "modified NewOrder reads W_YTD" variant of Figure 11c.
+//!
+//! All loaders produce a [`bamboo_core::Database`] that any protocol can
+//! run against; generators implement [`bamboo_core::executor::Workload`].
+
+pub mod synthetic;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use synthetic::{SyntheticConfig, SyntheticWorkload};
+pub use tpcc::{TpccConfig, TpccWorkload};
+pub use ycsb::{YcsbConfig, YcsbWorkload};
+pub use zipf::Zipfian;

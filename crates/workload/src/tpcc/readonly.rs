@@ -1,0 +1,232 @@
+//! Read-only TPC-C transactions: OrderStatus and StockLevel.
+//!
+//! The paper's evaluation runs only the NewOrder/Payment mix (§5.5); these
+//! two are implemented as an *extension* (off by default, enabled through
+//! [`super::TpccConfig::readonly_fraction`]) so the workload can also
+//! exercise Bamboo's read path against the insert-heavy order tables —
+//! long dependent read chains are where Optimization 3 (no read-after-write
+//! aborts) earns its keep.
+
+use bamboo_core::executor::TxnSpec;
+use bamboo_core::protocol::Protocol;
+use bamboo_core::txn::Abort;
+use bamboo_core::{Database, TxnCtx};
+
+use super::loader::TpccTables;
+use super::schema::*;
+
+/// ORDER-STATUS: a customer's most recent order and its lines.
+pub struct OrderStatusTxn {
+    /// Loaded table ids.
+    pub tables: TpccTables,
+    /// Warehouse.
+    pub w: u64,
+    /// District.
+    pub d: u64,
+    /// Encoded customer key.
+    pub c_key: u64,
+}
+
+impl TxnSpec for OrderStatusTxn {
+    fn planned_ops(&self) -> Option<usize> {
+        None // length depends on what exists; δ has nothing to skip anyway
+    }
+
+    fn template(&self) -> usize {
+        super::txns::TEMPLATE_ORDER_STATUS
+    }
+
+    fn run_piece(
+        &self,
+        _piece: usize,
+        db: &Database,
+        proto: &dyn Protocol,
+        ctx: &mut TxnCtx,
+    ) -> Result<(), Abort> {
+        // Customer balance.
+        let row = proto.read(db, ctx, self.tables.customer, self.c_key)?;
+        std::hint::black_box(row.get_f64(cust::C_BALANCE));
+        // The district's order counter bounds the search for the
+        // customer's latest order (read-only: no RMW).
+        let next = {
+            let row = proto.read(db, ctx, self.tables.district, dist_key(self.w, self.d))?;
+            row.get_u64(dist::D_NEXT_O_ID)
+        };
+        // Walk backwards over recent orders looking for this customer
+        // (bounded window keeps the transaction short).
+        let lo = next.saturating_sub(20).max(3001);
+        for o in (lo..next).rev() {
+            let okey = order_key(self.w, self.d, o);
+            if db.table(self.tables.orders).get(okey).is_none() {
+                continue; // order not yet committed by its writer
+            }
+            let (c, ol_cnt) = {
+                let row = proto.read(db, ctx, self.tables.orders, okey)?;
+                (row.get_u64(orders::O_C_KEY), row.get_u64(orders::O_OL_CNT))
+            };
+            if c != self.c_key {
+                continue;
+            }
+            for line in 0..ol_cnt {
+                let lkey = order_line_key(okey, line);
+                if db.table(self.tables.order_line).get(lkey).is_some() {
+                    let row = proto.read(db, ctx, self.tables.order_line, lkey)?;
+                    std::hint::black_box(row.get_f64(order_line::OL_AMOUNT));
+                }
+            }
+            break;
+        }
+        Ok(())
+    }
+}
+
+/// STOCK-LEVEL: count recent order-line items whose stock is low.
+pub struct StockLevelTxn {
+    /// Loaded table ids.
+    pub tables: TpccTables,
+    /// Warehouse.
+    pub w: u64,
+    /// District.
+    pub d: u64,
+    /// Low-stock threshold (spec: 10..20).
+    pub threshold: i64,
+    /// Items per warehouse (stock-key encoding).
+    pub items_per_wh: u64,
+}
+
+impl TxnSpec for StockLevelTxn {
+    fn planned_ops(&self) -> Option<usize> {
+        None
+    }
+
+    fn template(&self) -> usize {
+        super::txns::TEMPLATE_STOCK_LEVEL
+    }
+
+    fn run_piece(
+        &self,
+        _piece: usize,
+        db: &Database,
+        proto: &dyn Protocol,
+        ctx: &mut TxnCtx,
+    ) -> Result<(), Abort> {
+        let next = {
+            let row = proto.read(db, ctx, self.tables.district, dist_key(self.w, self.d))?;
+            row.get_u64(dist::D_NEXT_O_ID)
+        };
+        let lo = next.saturating_sub(20).max(3001);
+        let mut low = 0u64;
+        let mut seen: Vec<u64> = Vec::new();
+        for o in lo..next {
+            let okey = order_key(self.w, self.d, o);
+            if db.table(self.tables.orders).get(okey).is_none() {
+                continue;
+            }
+            let ol_cnt = {
+                let row = proto.read(db, ctx, self.tables.orders, okey)?;
+                row.get_u64(orders::O_OL_CNT)
+            };
+            for line in 0..ol_cnt {
+                let lkey = order_line_key(okey, line);
+                if db.table(self.tables.order_line).get(lkey).is_none() {
+                    continue;
+                }
+                let item = {
+                    let row = proto.read(db, ctx, self.tables.order_line, lkey)?;
+                    row.get_u64(order_line::OL_I_ID)
+                };
+                if seen.contains(&item) {
+                    continue; // distinct items only (spec 2.8.2.2)
+                }
+                seen.push(item);
+                let skey = stock_key(self.w, item, self.items_per_wh);
+                let qty = {
+                    let row = proto.read(db, ctx, self.tables.stock, skey)?;
+                    row.get_i64(stock::S_QUANTITY)
+                };
+                if qty < self.threshold {
+                    low += 1;
+                }
+            }
+        }
+        std::hint::black_box(low);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{load, TpccConfig, TpccWorkload};
+    use super::*;
+    use bamboo_core::executor::{run_bench, BenchConfig, Workload};
+    use bamboo_core::protocol::{LockingProtocol, Protocol};
+    use bamboo_core::wal::WalBuffer;
+    use std::sync::Arc;
+
+    fn tiny() -> TpccConfig {
+        TpccConfig {
+            warehouses: 1,
+            items: 100,
+            customers_per_district: 30,
+            readonly_fraction: 0.0,
+            ..TpccConfig::default()
+        }
+    }
+
+    #[test]
+    fn readonly_txns_run_on_fresh_database() {
+        // No orders yet: both transactions complete trivially.
+        let cfg = tiny();
+        let (db, tables, _) = load(&cfg);
+        let proto = LockingProtocol::bamboo();
+        let mut wal = WalBuffer::for_tests();
+        let os = OrderStatusTxn {
+            tables,
+            w: 0,
+            d: 0,
+            c_key: cust_key(0, 0, 5, cfg.customers_per_district),
+        };
+        let mut ctx = proto.begin(&db);
+        os.run_piece(0, &db, &proto, &mut ctx).unwrap();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        let sl = StockLevelTxn {
+            tables,
+            w: 0,
+            d: 0,
+            threshold: 15,
+            items_per_wh: cfg.items,
+        };
+        let mut ctx = proto.begin(&db);
+        sl.run_piece(0, &db, &proto, &mut ctx).unwrap();
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    }
+
+    #[test]
+    fn mixed_workload_with_readonly_commits_all_types() {
+        let mut cfg = tiny();
+        cfg.readonly_fraction = 0.3;
+        let (db, tables, idx) = load(&cfg);
+        let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(
+            cfg.clone(),
+            Arc::clone(&db),
+            tables,
+            idx,
+        ));
+        let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+        let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
+        assert!(res.totals.commits > 0);
+        // Orders exist (NewOrders ran) and the read-only mix did not
+        // corrupt anything: district counters still match order counts.
+        let mut expected = 0u64;
+        for dkey in 0..db.table(tables.district).len() as u64 {
+            expected += db
+                .table(tables.district)
+                .get(dkey)
+                .unwrap()
+                .read_row()
+                .get_u64(dist::D_NEXT_O_ID)
+                - 3001;
+        }
+        assert_eq!(db.table(tables.orders).len() as u64, expected);
+    }
+}

@@ -1,0 +1,265 @@
+//! TPC-C schema: column indexes and composite-key encodings.
+//!
+//! Columns are the subset the NewOrder/Payment mix touches (the paper runs
+//! only those two transactions, §5.5). DBx1000 stores TPC-C the same way:
+//! hash indexes over encoded composite keys.
+
+/// Districts per warehouse (TPC-C spec).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+
+/// Last names are generated from a number in `0..1000` (TPC-C spec
+/// syllable construction).
+pub const LAST_NAMES: u64 = 1000;
+
+/// Warehouse columns.
+pub mod wh {
+    /// Warehouse id.
+    pub const W_ID: usize = 0;
+    /// Name (history data).
+    pub const W_NAME: usize = 1;
+    /// Sales tax — read by NewOrder.
+    pub const W_TAX: usize = 2;
+    /// Year-to-date balance — written by Payment; the contended column.
+    pub const W_YTD: usize = 3;
+}
+
+/// District columns.
+pub mod dist {
+    /// Encoded district key.
+    pub const D_KEY: usize = 0;
+    /// Name (history data).
+    pub const D_NAME: usize = 1;
+    /// Sales tax — read by NewOrder.
+    pub const D_TAX: usize = 2;
+    /// Year-to-date balance — written by Payment.
+    pub const D_YTD: usize = 3;
+    /// Next order id — read-modify-written by NewOrder.
+    pub const D_NEXT_O_ID: usize = 4;
+}
+
+/// Customer columns.
+pub mod cust {
+    /// Encoded customer key.
+    pub const C_KEY: usize = 0;
+    /// First name.
+    pub const C_FIRST: usize = 1;
+    /// Middle initials.
+    pub const C_MIDDLE: usize = 2;
+    /// Last name (secondary-index key).
+    pub const C_LAST: usize = 3;
+    /// Credit rating.
+    pub const C_CREDIT: usize = 4;
+    /// Discount — read by NewOrder.
+    pub const C_DISCOUNT: usize = 5;
+    /// Balance — written by Payment.
+    pub const C_BALANCE: usize = 6;
+    /// YTD payment — written by Payment.
+    pub const C_YTD_PAYMENT: usize = 7;
+    /// Payment count — written by Payment.
+    pub const C_PAYMENT_CNT: usize = 8;
+    /// Misc data.
+    pub const C_DATA: usize = 9;
+}
+
+/// Item columns (read-only table).
+pub mod item {
+    /// Item id.
+    pub const I_ID: usize = 0;
+    /// Name.
+    pub const I_NAME: usize = 1;
+    /// Price.
+    pub const I_PRICE: usize = 2;
+    /// Image id.
+    pub const I_IM_ID: usize = 3;
+    /// Data.
+    pub const I_DATA: usize = 4;
+}
+
+/// Stock columns.
+pub mod stock {
+    /// Encoded stock key.
+    pub const S_KEY: usize = 0;
+    /// Quantity — read-modify-written by NewOrder.
+    pub const S_QUANTITY: usize = 1;
+    /// YTD.
+    pub const S_YTD: usize = 2;
+    /// Order count.
+    pub const S_ORDER_CNT: usize = 3;
+    /// Remote order count.
+    pub const S_REMOTE_CNT: usize = 4;
+    /// Data.
+    pub const S_DATA: usize = 5;
+}
+
+/// Orders columns.
+pub mod orders {
+    /// Encoded order key.
+    pub const O_KEY: usize = 0;
+    /// Encoded customer key.
+    pub const O_C_KEY: usize = 1;
+    /// Entry date.
+    pub const O_ENTRY_D: usize = 2;
+    /// Carrier id.
+    pub const O_CARRIER: usize = 3;
+    /// Order-line count.
+    pub const O_OL_CNT: usize = 4;
+    /// All-local flag.
+    pub const O_ALL_LOCAL: usize = 5;
+}
+
+/// NewOrder-table columns.
+pub mod new_order {
+    /// Encoded order key.
+    pub const NO_KEY: usize = 0;
+}
+
+/// Order-line columns.
+pub mod order_line {
+    /// Encoded order-line key.
+    pub const OL_KEY: usize = 0;
+    /// Item id.
+    pub const OL_I_ID: usize = 1;
+    /// Supplying warehouse.
+    pub const OL_SUPPLY_W: usize = 2;
+    /// Quantity.
+    pub const OL_QUANTITY: usize = 3;
+    /// Amount.
+    pub const OL_AMOUNT: usize = 4;
+}
+
+/// History columns (insert-only).
+pub mod history {
+    /// Unique history key (global sequence).
+    pub const H_KEY: usize = 0;
+    /// Encoded customer key.
+    pub const H_C_KEY: usize = 1;
+    /// Amount.
+    pub const H_AMOUNT: usize = 2;
+    /// Data (warehouse + district names).
+    pub const H_DATA: usize = 3;
+}
+
+/// Encodes a district key from warehouse and district ids (0-based).
+#[inline]
+pub fn dist_key(w: u64, d: u64) -> u64 {
+    w * DISTRICTS_PER_WAREHOUSE + d
+}
+
+/// Encodes a customer key.
+#[inline]
+pub fn cust_key(w: u64, d: u64, c: u64, customers_per_district: u64) -> u64 {
+    dist_key(w, d) * customers_per_district + c
+}
+
+/// Encodes a stock key.
+#[inline]
+pub fn stock_key(w: u64, i: u64, items: u64) -> u64 {
+    w * items + i
+}
+
+/// Encodes an order key: district key in the high bits, order id below.
+#[inline]
+pub fn order_key(w: u64, d: u64, o_id: u64) -> u64 {
+    (dist_key(w, d) << 32) | o_id
+}
+
+/// Encodes an order-line key (up to 16 lines per order).
+#[inline]
+pub fn order_line_key(okey: u64, line: u64) -> u64 {
+    okey * 16 + line
+}
+
+/// Secondary-index key for customer-by-last-name lookups.
+#[inline]
+pub fn lastname_index_key(w: u64, d: u64, name_num: u64) -> u64 {
+    dist_key(w, d) * LAST_NAMES + name_num
+}
+
+/// TPC-C last-name syllables.
+const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Builds a last name from its number (TPC-C spec 4.3.2.3).
+pub fn last_name(num: u64) -> String {
+    let n = num % LAST_NAMES;
+    format!(
+        "{}{}{}",
+        SYLLABLES[(n / 100) as usize],
+        SYLLABLES[((n / 10) % 10) as usize],
+        SYLLABLES[(n % 10) as usize]
+    )
+}
+
+/// TPC-C NURand non-uniform random (spec 2.1.6) with fixed C.
+pub fn nurand<R: rand::Rng>(rng: &mut R, a: u64, x: u64, y: u64) -> u64 {
+    const C: u64 = 42;
+    (((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + C) % (y - x + 1)) + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keys_are_unique_across_districts() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..4 {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                assert!(seen.insert(dist_key(w, d)));
+            }
+        }
+    }
+
+    #[test]
+    fn customer_keys_do_not_collide() {
+        let cpd = 1000;
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..2 {
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                for c in 0..cpd {
+                    assert!(seen.insert(cust_key(w, d, c, cpd)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_and_line_keys_nest() {
+        let ok = order_key(3, 7, 12345);
+        assert_eq!(ok >> 32, dist_key(3, 7));
+        assert_eq!(ok & 0xFFFF_FFFF, 12345);
+        let ol = order_line_key(ok, 15);
+        assert_eq!(ol, ok * 16 + 15);
+    }
+
+    #[test]
+    fn last_names_follow_syllable_table() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 255, 0, 999);
+            assert!(v <= 999);
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[(nurand(&mut rng, 255, 0, 999) / 100) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min > 1.2, "NURand should visibly skew: {counts:?}");
+    }
+}

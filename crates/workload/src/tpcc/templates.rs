@@ -1,0 +1,184 @@
+//! IC3 templates for the TPC-C NewOrder/Payment mix.
+//!
+//! These declarations carry the information IC3's column-level static
+//! analysis extracts from stored-procedure source (paper §2.2): for each
+//! piece, which table and which columns it may read/write. The piece
+//! indexes match `super::txns`' `run_piece` bodies exactly.
+//!
+//! Column-level facts that drive Figure 11:
+//!
+//! * Original workload — Payment writes `W_YTD`/`D_YTD`; NewOrder reads
+//!   `W_TAX`/`D_TAX` and writes `D_NEXT_O_ID`: **no overlapping columns**,
+//!   so IC3 sees no C-edges between the two templates at all and runs them
+//!   fully concurrently (why IC3 beats Bamboo in Figure 11a).
+//! * Modified workload (`read_wytd`) — NewOrder additionally reads `W_YTD`,
+//!   creating a true C-edge with Payment's warehouse piece; IC3 now
+//!   serializes at the warehouse at piece granularity and inherits
+//!   cascading/validation aborts (why Bamboo wins in Figure 11c).
+
+use bamboo_core::protocol::{PieceAccess, PieceDecl, TemplateDecl};
+
+use super::loader::TpccTables;
+use super::schema::{cust, dist, item, order_line, orders, stock, wh};
+
+#[inline]
+fn bit(c: usize) -> u64 {
+    1 << c
+}
+
+/// Builds the NewOrder + Payment templates (indexes
+/// [`super::txns::TEMPLATE_NEW_ORDER`] and
+/// [`super::txns::TEMPLATE_PAYMENT`]).
+pub fn templates(tables: &TpccTables, neworder_reads_wytd: bool) -> Vec<TemplateDecl> {
+    let mut no_wh_read = bit(wh::W_TAX);
+    if neworder_reads_wytd {
+        no_wh_read |= bit(wh::W_YTD);
+    }
+    let stock_cols = bit(stock::S_QUANTITY)
+        | bit(stock::S_YTD)
+        | bit(stock::S_ORDER_CNT)
+        | bit(stock::S_REMOTE_CNT);
+    let new_order = TemplateDecl {
+        name: "NewOrder".into(),
+        pieces: vec![
+            // p0: warehouse tax (plus W_YTD in the modified variant).
+            PieceDecl::new(vec![PieceAccess::read(tables.warehouse, no_wh_read)]),
+            // p1: district read tax, bump next order id.
+            PieceDecl::new(vec![PieceAccess::write(
+                tables.district,
+                bit(dist::D_TAX) | bit(dist::D_NEXT_O_ID),
+                bit(dist::D_NEXT_O_ID),
+            )]),
+            // p2: customer discount/credit.
+            PieceDecl::new(vec![PieceAccess::read(
+                tables.customer,
+                bit(cust::C_DISCOUNT) | bit(cust::C_LAST) | bit(cust::C_CREDIT),
+            )]),
+            // p3: item prices + stock updates.
+            PieceDecl::new(vec![
+                PieceAccess::read(tables.item, bit(item::I_PRICE) | bit(item::I_NAME)),
+                PieceAccess::write(tables.stock, stock_cols, stock_cols),
+            ]),
+            // p4: inserts only (order tables are insert-only in this mix,
+            // handled by the commit-time buffered-insert path).
+            PieceDecl::new(vec![]),
+        ],
+    };
+    let payment = TemplateDecl {
+        name: "Payment".into(),
+        pieces: vec![
+            // p0: warehouse YTD.
+            PieceDecl::new(vec![PieceAccess::write(
+                tables.warehouse,
+                bit(wh::W_NAME) | bit(wh::W_YTD),
+                bit(wh::W_YTD),
+            )]),
+            // p1: district YTD.
+            PieceDecl::new(vec![PieceAccess::write(
+                tables.district,
+                bit(dist::D_NAME) | bit(dist::D_YTD),
+                bit(dist::D_YTD),
+            )]),
+            // p2: customer balance.
+            PieceDecl::new(vec![PieceAccess::write(
+                tables.customer,
+                bit(cust::C_BALANCE)
+                    | bit(cust::C_YTD_PAYMENT)
+                    | bit(cust::C_PAYMENT_CNT)
+                    | bit(cust::C_FIRST)
+                    | bit(cust::C_LAST),
+                bit(cust::C_BALANCE) | bit(cust::C_YTD_PAYMENT) | bit(cust::C_PAYMENT_CNT),
+            )]),
+            // p3: history insert only.
+            PieceDecl::new(vec![]),
+        ],
+    };
+    // Read-only extension templates (single piece each): declared so the
+    // IC3 runtime can resolve column masks when the read-only mix is on;
+    // harmless when unused.
+    let order_status = TemplateDecl {
+        name: "OrderStatus".into(),
+        pieces: vec![PieceDecl::new(vec![
+            PieceAccess::read(tables.customer, bit(cust::C_BALANCE) | bit(cust::C_LAST)),
+            PieceAccess::read(tables.district, bit(dist::D_NEXT_O_ID)),
+            PieceAccess::read(
+                tables.orders,
+                bit(orders::O_C_KEY) | bit(orders::O_OL_CNT),
+            ),
+            PieceAccess::read(tables.order_line, bit(order_line::OL_AMOUNT)),
+        ])],
+    };
+    let stock_level = TemplateDecl {
+        name: "StockLevel".into(),
+        pieces: vec![PieceDecl::new(vec![
+            PieceAccess::read(tables.district, bit(dist::D_NEXT_O_ID)),
+            PieceAccess::read(tables.orders, bit(orders::O_OL_CNT)),
+            PieceAccess::read(tables.order_line, bit(order_line::OL_I_ID)),
+            PieceAccess::read(tables.stock, bit(stock::S_QUANTITY)),
+        ])],
+    };
+    vec![new_order, payment, order_status, stock_level]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_core::protocol::ic3::chop;
+    use bamboo_storage::TableId;
+
+    fn tables() -> TpccTables {
+        TpccTables {
+            warehouse: TableId(0),
+            district: TableId(1),
+            customer: TableId(2),
+            history: TableId(3),
+            item: TableId(4),
+            stock: TableId(5),
+            orders: TableId(6),
+            new_order: TableId(7),
+            order_line: TableId(8),
+        }
+    }
+
+    #[test]
+    fn original_workload_keeps_finest_chopping() {
+        let t = templates(&tables(), false);
+        let c = chop(&t);
+        // No cross-template C-edges: every piece stays its own group (the
+        // two trailing 1s are the single-piece read-only extensions).
+        assert_eq!(c.n_groups, vec![5, 4, 1, 1]);
+    }
+
+    #[test]
+    fn modified_workload_adds_warehouse_conflict_without_merging() {
+        let t = templates(&tables(), true);
+        let c = chop(&t);
+        // A single conflicting pair (NewOrder p0 ↔ Payment p0) cannot
+        // cross with anything, so groups stay finest — the cost shows up
+        // at runtime as piece waits, not as coarser chopping.
+        assert_eq!(c.n_groups, vec![5, 4, 1, 1]);
+        // But the column masks now overlap:
+        let no_wh = &t[0].pieces[0].accesses[0];
+        let pay_wh = &t[1].pieces[0].accesses[0];
+        assert!(no_wh.conflicts(pay_wh));
+    }
+
+    #[test]
+    fn original_has_no_warehouse_conflict() {
+        let t = templates(&tables(), false);
+        let no_wh = &t[0].pieces[0].accesses[0];
+        let pay_wh = &t[1].pieces[0].accesses[0];
+        assert!(!no_wh.conflicts(pay_wh));
+    }
+
+    #[test]
+    fn district_pieces_are_column_disjoint() {
+        let t = templates(&tables(), false);
+        let no_d = &t[0].pieces[1].accesses[0];
+        let pay_d = &t[1].pieces[1].accesses[0];
+        assert!(
+            !no_d.conflicts(pay_d),
+            "D_NEXT_O_ID vs D_YTD must not conflict at column level"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! YCSB (paper §5.4): a single table with zipfian-skewed point accesses.
+//!
+//! The paper's setup: 100 M rows × 10 columns of 100-byte strings (>100
+//! GB), 16 accesses per transaction, `read_ratio` controlling the
+//! read/update mix, θ controlling skew, and a variant with 5% long
+//! read-only transactions of 1000 accesses (Figure 7). Row count and field
+//! width are scaled down by default (see DESIGN.md — zipfian hotspot
+//! behaviour depends on θ, not table bytes); both are configurable to
+//! paper scale.
+
+use std::sync::Arc;
+
+use bamboo_core::executor::{TxnSpec, Workload};
+use bamboo_core::protocol::Protocol;
+use bamboo_core::{Abort, Database, TxnCtx};
+use bamboo_storage::{DataType, Row, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::zipf::Zipfian;
+
+/// Number of payload fields (YCSB standard: 10).
+pub const FIELDS: usize = 10;
+
+/// YCSB configuration.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Table rows (paper: 100 M; default scaled).
+    pub rows: u64,
+    /// Zipfian θ.
+    pub theta: f64,
+    /// Fraction of accesses that are reads (rest are updates).
+    pub read_ratio: f64,
+    /// Accesses per normal transaction (paper: 16).
+    pub ops_per_txn: usize,
+    /// Fraction of transactions that are long read-only scans (Figure 7:
+    /// 0.05).
+    pub long_ro_fraction: f64,
+    /// Accesses per long read-only transaction (Figure 7: 1000).
+    pub long_ro_ops: usize,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            rows: 1 << 17, // 131072
+            theta: 0.9,
+            read_ratio: 0.5,
+            ops_per_txn: 16,
+            long_ro_fraction: 0.0,
+            long_ro_ops: 1000,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// Sets θ.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the read ratio.
+    pub fn with_read_ratio(mut self, rr: f64) -> Self {
+        self.read_ratio = rr;
+        self
+    }
+
+    /// Sets the row count.
+    pub fn with_rows(mut self, rows: u64) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Enables the Figure-7 long read-only mix.
+    pub fn with_long_readonly(mut self, fraction: f64, ops: usize) -> Self {
+        self.long_ro_fraction = fraction;
+        self.long_ro_ops = ops;
+        self
+    }
+}
+
+/// Loads the YCSB table: key + 10 integer payload fields. (The paper's 100-
+/// byte string fields only scale the memcpy cost of row copies; integers
+/// keep the scaled-down table cache-resident the way the paper's table is
+/// DRAM-resident.)
+pub fn load(cfg: &YcsbConfig) -> (Arc<Database>, TableId) {
+    let mut schema = Schema::build().column("key", DataType::U64);
+    for f in 0..FIELDS {
+        schema = schema.column(&format!("f{f}"), DataType::U64);
+    }
+    let mut b = Database::builder();
+    let t = b.add_table_with_capacity("usertable", schema, cfg.rows as usize);
+    let db = b.build();
+    let table = db.table(t);
+    for k in 0..cfg.rows {
+        let mut vals = Vec::with_capacity(FIELDS + 1);
+        vals.push(Value::U64(k));
+        for f in 0..FIELDS {
+            vals.push(Value::U64(k.wrapping_mul(31).wrapping_add(f as u64)));
+        }
+        table.insert(k, Row::from(vals));
+    }
+    (db, t)
+}
+
+struct YcsbOp {
+    key: u64,
+    field: usize,
+    write: bool,
+    value: u64,
+}
+
+struct YcsbTxn {
+    table: TableId,
+    ops: Vec<YcsbOp>,
+}
+
+impl TxnSpec for YcsbTxn {
+    fn planned_ops(&self) -> Option<usize> {
+        Some(self.ops.len())
+    }
+
+    fn run_piece(
+        &self,
+        _piece: usize,
+        db: &Database,
+        proto: &dyn Protocol,
+        ctx: &mut TxnCtx,
+    ) -> Result<(), Abort> {
+        for op in &self.ops {
+            if op.write {
+                let (field, value) = (op.field, op.value);
+                proto.update(db, ctx, self.table, op.key, &mut move |row| {
+                    row.set(field + 1, Value::U64(value));
+                })?;
+            } else {
+                let row = proto.read(db, ctx, self.table, op.key)?;
+                std::hint::black_box(row.get_u64(op.field + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// YCSB transaction generator.
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    table: TableId,
+    zipf: Zipfian,
+}
+
+impl YcsbWorkload {
+    /// Builds the generator (precomputes the zipfian tables).
+    pub fn new(cfg: YcsbConfig, table: TableId) -> Self {
+        let zipf = Zipfian::new(cfg.rows, cfg.theta);
+        YcsbWorkload { cfg, table, zipf }
+    }
+
+    /// Draws `n` distinct keys (distinct keys avoid intra-transaction
+    /// upgrades, matching DBx1000's YCSB driver).
+    fn distinct_keys(&self, n: usize, rng: &mut SmallRng) -> Vec<u64> {
+        let mut keys: Vec<u64> = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while keys.len() < n {
+            let k = self.zipf.sample(rng);
+            attempts += 1;
+            if attempts > 16 * n || !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+}
+
+impl Workload for YcsbWorkload {
+    fn name(&self) -> &str {
+        "ycsb"
+    }
+
+    fn generate(&self, _worker: usize, rng: &mut SmallRng) -> Box<dyn TxnSpec> {
+        let long_ro =
+            self.cfg.long_ro_fraction > 0.0 && rng.gen::<f64>() < self.cfg.long_ro_fraction;
+        if long_ro {
+            // Long read-only scans: zipfian reads without the distinctness
+            // requirement (repeats become cached re-reads, like a real
+            // scan's locality).
+            let ops = (0..self.cfg.long_ro_ops)
+                .map(|_| YcsbOp {
+                    key: self.zipf.sample(rng),
+                    field: rng.gen_range(0..FIELDS),
+                    write: false,
+                    value: 0,
+                })
+                .collect();
+            return Box::new(YcsbTxn {
+                table: self.table,
+                ops,
+            });
+        }
+        let keys = self.distinct_keys(self.cfg.ops_per_txn, rng);
+        let ops = keys
+            .into_iter()
+            .map(|key| {
+                let write = rng.gen::<f64>() >= self.cfg.read_ratio;
+                YcsbOp {
+                    key,
+                    field: rng.gen_range(0..FIELDS),
+                    write,
+                    value: rng.gen(),
+                }
+            })
+            .collect();
+        Box::new(YcsbTxn {
+            table: self.table,
+            ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bamboo_core::executor::{run_bench, BenchConfig};
+    use bamboo_core::protocol::{LockingProtocol, SiloProtocol};
+    use rand::SeedableRng;
+
+    fn small_cfg() -> YcsbConfig {
+        YcsbConfig {
+            rows: 4096,
+            theta: 0.9,
+            read_ratio: 0.5,
+            ops_per_txn: 8,
+            long_ro_fraction: 0.0,
+            long_ro_ops: 64,
+        }
+    }
+
+    #[test]
+    fn loader_populates_rows() {
+        let cfg = small_cfg();
+        let (db, t) = load(&cfg);
+        assert_eq!(db.table(t).len(), 4096);
+        let row = db.table(t).get(7).unwrap().read_row();
+        assert_eq!(row.len(), FIELDS + 1);
+        assert_eq!(row.get_u64(0), 7);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct() {
+        let cfg = small_cfg();
+        let wl = YcsbWorkload::new(cfg, TableId(0));
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let keys = wl.distinct_keys(8, &mut rng);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), keys.len());
+        }
+    }
+
+    #[test]
+    fn long_ro_mix_generates_long_txns() {
+        let mut cfg = small_cfg();
+        cfg.long_ro_fraction = 1.0;
+        cfg.long_ro_ops = 100;
+        let wl = YcsbWorkload::new(cfg, TableId(0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = wl.generate(0, &mut rng);
+        assert_eq!(spec.planned_ops(), Some(100));
+    }
+
+    #[test]
+    fn runs_under_bamboo_and_silo() {
+        let cfg = small_cfg();
+        let (db, t) = load(&cfg);
+        for proto in [
+            Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+            Arc::new(SiloProtocol::new()) as Arc<dyn Protocol>,
+        ] {
+            let wl: Arc<dyn Workload> =
+                Arc::new(YcsbWorkload::new(cfg.clone(), t));
+            let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
+            assert!(
+                res.totals.commits > 0,
+                "{} must commit transactions",
+                res.protocol
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Bank transfers: serializability and cascading aborts, visibly.
+//!
+//! Many concurrent transfer transactions move money between accounts with
+//! one *hot* settlement account (every transfer pays a fee into it). The
+//! total balance is an invariant every serializable protocol must preserve
+//! — run it under Bamboo and all baselines and check the books balance.
+//! Also demonstrates a cascading abort chain end to end.
+//!
+//! ```text
+//! cargo run --release --example bank_transfer
+//! ```
+
+use std::sync::Arc;
+
+use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
+use bamboo_repro::core::protocol::{LockingProtocol, Protocol, SiloProtocol};
+use bamboo_repro::core::wal::WalBuffer;
+use bamboo_repro::core::{Abort, Database, TxnCtx};
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const ACCOUNTS: u64 = 1000;
+const SETTLEMENT: u64 = 0; // the hotspot
+const INITIAL: i64 = 1_000;
+
+fn load() -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "accounts",
+        Schema::build()
+            .column("id", DataType::U64)
+            .column("balance", DataType::I64),
+    );
+    let db = b.build();
+    for id in 0..ACCOUNTS {
+        db.table(t)
+            .insert(id, Row::from(vec![Value::U64(id), Value::I64(INITIAL)]));
+    }
+    (db, t)
+}
+
+struct Transfer {
+    table: TableId,
+    from: u64,
+    to: u64,
+    amount: i64,
+}
+
+impl TxnSpec for Transfer {
+    fn planned_ops(&self) -> Option<usize> {
+        Some(3)
+    }
+
+    fn run_piece(
+        &self,
+        _piece: usize,
+        db: &Database,
+        proto: &dyn Protocol,
+        ctx: &mut TxnCtx,
+    ) -> Result<(), Abort> {
+        let amount = self.amount;
+        // Fee into the settlement hotspot first — the paper's "hotspot at
+        // the beginning", where Bamboo's early retire shines.
+        proto.update(db, ctx, self.table, SETTLEMENT, &mut |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v + 1)); // 1 unit fee
+        })?;
+        proto.update(db, ctx, self.table, self.from, &mut |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v - amount - 1));
+        })?;
+        proto.update(db, ctx, self.table, self.to, &mut |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v + amount));
+        })?;
+        Ok(())
+    }
+}
+
+struct Transfers {
+    table: TableId,
+}
+
+impl Workload for Transfers {
+    fn name(&self) -> &str {
+        "bank-transfers"
+    }
+
+    fn generate(&self, _worker: usize, rng: &mut SmallRng) -> Box<dyn TxnSpec> {
+        let from = rng.gen_range(1..ACCOUNTS);
+        let mut to = rng.gen_range(1..ACCOUNTS - 1);
+        if to >= from {
+            to += 1;
+        }
+        Box::new(Transfer {
+            table: self.table,
+            from,
+            to,
+            amount: rng.gen_range(1..50),
+        })
+    }
+}
+
+fn total(db: &Database, t: TableId) -> i64 {
+    (0..ACCOUNTS)
+        .map(|id| db.table(t).get(id).unwrap().read_row().get_i64(1))
+        .sum()
+}
+
+fn demo_cascade() {
+    println!("--- cascading abort demo ---");
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo_base(); // retire every write
+    let mut wal = WalBuffer::new();
+
+    // T1 writes the settlement account and retires.
+    let mut t1 = proto.begin(&db);
+    proto
+        .update(&db, &mut t1, t, SETTLEMENT, &mut |row| {
+            row.set(1, Value::I64(999));
+        })
+        .unwrap();
+    // T2 and T3 read T1's dirty write (T3 via T2's position in the chain).
+    let mut t2 = proto.begin(&db);
+    proto
+        .update(&db, &mut t2, t, SETTLEMENT, &mut |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v + 1));
+        })
+        .unwrap();
+    let mut t3 = proto.begin(&db);
+    let seen = proto.read(&db, &mut t3, t, SETTLEMENT).unwrap().get_i64(1);
+    println!("T3 read the chained dirty value: {seen} (999 + 1)");
+
+    // T1 aborts → T2 and T3 must abort cascadingly.
+    let chain = proto.abort(&db, &mut t1);
+    println!("T1 aborted; cascade chain length = {chain}");
+    assert!(t2.shared.is_aborted() && t3.shared.is_aborted());
+    assert!(proto.commit(&db, &mut t2, &mut wal).is_err());
+    proto.abort(&db, &mut t2);
+    assert!(proto.commit(&db, &mut t3, &mut wal).is_err());
+    proto.abort(&db, &mut t3);
+    println!(
+        "settlement balance untouched: {}\n",
+        db.table(t).get(SETTLEMENT).unwrap().read_row().get_i64(1)
+    );
+}
+
+fn main() {
+    demo_cascade();
+
+    println!("--- conservation under concurrency (4 workers, 1 hot account) ---");
+    for proto in [
+        Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+        Arc::new(LockingProtocol::wound_wait()) as Arc<dyn Protocol>,
+        Arc::new(LockingProtocol::wait_die()) as Arc<dyn Protocol>,
+        Arc::new(LockingProtocol::no_wait()) as Arc<dyn Protocol>,
+        Arc::new(SiloProtocol::new()) as Arc<dyn Protocol>,
+    ] {
+        let (db, t) = load();
+        let wl: Arc<dyn Workload> = Arc::new(Transfers { table: t });
+        let res = run_bench(
+            &db,
+            &proto,
+            &wl,
+            &BenchConfig {
+                threads: 4,
+                duration: std::time::Duration::from_millis(400),
+                warmup: std::time::Duration::from_millis(50),
+                seed: 1,
+            },
+        );
+        let t_after = total(&db, t);
+        println!(
+            "{:>12}: {:>8.0} txns/s, abort rate {:>5.1}%, total balance {} ({})",
+            res.protocol,
+            res.throughput(),
+            res.abort_rate() * 100.0,
+            t_after,
+            if t_after == (ACCOUNTS as i64) * INITIAL {
+                "conserved ✓"
+            } else {
+                "LEAKED ✗"
+            }
+        );
+        assert_eq!(t_after, (ACCOUNTS as i64) * INITIAL);
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate: re-exports the Bamboo reproduction workspace for
+//! integration tests and examples.
+pub use bamboo_analysis as analysis;
+pub use bamboo_core as core;
+pub use bamboo_storage as storage;
+pub use bamboo_workload as workload;

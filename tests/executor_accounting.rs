@@ -1,0 +1,134 @@
+//! Executor/stats accounting: the measurement vocabulary the figures rely
+//! on must be internally consistent.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
+use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
+use bamboo_repro::core::stats::reason_name;
+use bamboo_repro::core::{Abort, AbortReason, Database, TxnCtx};
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+fn load() -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "t",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let db = b.build();
+    for k in 0..32u64 {
+        db.table(t)
+            .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+    }
+    (db, t)
+}
+
+/// A transaction that user-aborts with probability ~1/4.
+struct MaybeAbort {
+    t: TableId,
+    key: u64,
+    fail: bool,
+}
+
+impl TxnSpec for MaybeAbort {
+    fn planned_ops(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn run_piece(
+        &self,
+        _p: usize,
+        db: &Database,
+        proto: &dyn Protocol,
+        ctx: &mut TxnCtx,
+    ) -> Result<(), Abort> {
+        proto.update(db, ctx, self.t, self.key, &mut |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v + 1));
+        })?;
+        if self.fail {
+            return Err(Abort(AbortReason::User));
+        }
+        Ok(())
+    }
+}
+
+struct Wl {
+    t: TableId,
+}
+
+impl Workload for Wl {
+    fn name(&self) -> &str {
+        "maybe-abort"
+    }
+
+    fn generate(&self, _w: usize, rng: &mut SmallRng) -> Box<dyn TxnSpec> {
+        Box::new(MaybeAbort {
+            t: self.t,
+            key: rng.gen_range(0..32),
+            fail: rng.gen_bool(0.25),
+        })
+    }
+}
+
+#[test]
+fn user_aborts_counted_and_not_retried() {
+    let (db, t) = load();
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let wl: Arc<dyn Workload> = Arc::new(Wl { t });
+    let res = run_bench(
+        &db,
+        &proto,
+        &wl,
+        &BenchConfig {
+            threads: 2,
+            duration: Duration::from_millis(250),
+            warmup: Duration::from_millis(25),
+            seed: 8,
+        },
+    );
+    let user_aborts = res.totals.aborts_by_reason[6];
+    assert_eq!(reason_name(6), "user");
+    assert!(user_aborts > 0, "the 25% user aborts must be visible");
+    // ~1/4 of attempts abort; allow generous noise.
+    let rate = res.abort_rate();
+    assert!(
+        (0.1..0.45).contains(&rate),
+        "abort rate {rate} far from the configured 25%"
+    );
+    // Every committed increment (and none of the user-aborted ones)
+    // reached the table: sum >= measured commits, and the aborted writes
+    // rolled back so sum can never exceed total successful attempts.
+    let sum: i64 = (0..32)
+        .map(|k| db.table(t).get(k).unwrap().read_row().get_i64(1))
+        .sum();
+    assert!(sum >= res.totals.commits as i64);
+}
+
+#[test]
+fn latency_percentiles_are_monotonic() {
+    let (db, t) = load();
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let wl: Arc<dyn Workload> = Arc::new(Wl { t });
+    let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
+    let p50 = res.latency_percentile_us(0.5);
+    let p99 = res.latency_percentile_us(0.99);
+    assert!(p50 > 0 && p99 >= p50, "p50={p50} p99={p99}");
+}
+
+#[test]
+fn wal_bytes_accounted_per_worker() {
+    let (db, t) = load();
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let wl: Arc<dyn Workload> = Arc::new(Wl { t });
+    let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
+    assert!(
+        res.totals.log_bytes > res.totals.commits,
+        "every commit writes a redo record"
+    );
+}

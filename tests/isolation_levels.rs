@@ -1,0 +1,173 @@
+//! §3.4 "Weak Isolation" and "Opacity": each level permits exactly the
+//! anomalies it should and no more.
+
+use std::sync::Arc;
+
+use bamboo_repro::core::protocol::{IsolationLevel, LockingProtocol, Protocol};
+use bamboo_repro::core::wal::WalBuffer;
+use bamboo_repro::core::Database;
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
+
+fn load() -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "t",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let db = b.build();
+    for k in 0..8u64 {
+        db.table(t)
+            .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+    }
+    (db, t)
+}
+
+fn set_to(v: i64) -> impl FnMut(&mut Row) {
+    move |row: &mut Row| row.set(1, Value::I64(v))
+}
+
+#[test]
+fn serializable_reads_see_dirty_retired_data_with_protection() {
+    // Serializable Bamboo *does* read dirty data — protected by the commit
+    // semaphore and cascades (that is the whole point of the paper).
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo_base();
+    let mut w = proto.begin(&db);
+    proto.update(&db, &mut w, t, 0, &mut set_to(42)).unwrap();
+    let mut r = proto.begin(&db);
+    assert_eq!(proto.read(&db, &mut r, t, 0).unwrap().get_i64(1), 42);
+    assert_eq!(r.shared.semaphore(), 1, "dirty read is dependency-tracked");
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut w, &mut wal).unwrap();
+    proto.commit(&db, &mut r, &mut wal).unwrap();
+}
+
+#[test]
+fn read_committed_never_sees_uncommitted_data() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadCommitted);
+    let mut w = proto.begin(&db);
+    proto.update(&db, &mut w, t, 0, &mut set_to(42)).unwrap();
+    // Writer retired its dirty version; an RC reader must still see 0.
+    let mut r = proto.begin(&db);
+    assert_eq!(
+        proto.read(&db, &mut r, t, 0).unwrap().get_i64(1),
+        0,
+        "read committed must not observe the dirty 42"
+    );
+    assert_eq!(r.shared.semaphore(), 0, "no dependency was created");
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut w, &mut wal).unwrap();
+    // After the writer commits, the same reader sees the new value — the
+    // non-repeatable read RC permits.
+    assert_eq!(
+        proto.read(&db, &mut r, t, 0).unwrap().get_i64(1),
+        42,
+        "non-repeatable read is allowed under RC"
+    );
+    proto.commit(&db, &mut r, &mut wal).unwrap();
+}
+
+#[test]
+fn read_committed_still_reads_own_writes() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadCommitted);
+    let mut c = proto.begin(&db);
+    proto.update(&db, &mut c, t, 1, &mut set_to(7)).unwrap();
+    assert_eq!(proto.read(&db, &mut c, t, 1).unwrap().get_i64(1), 7);
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut c, &mut wal).unwrap();
+}
+
+#[test]
+fn read_uncommitted_sees_dirty_data_without_dependencies() {
+    let (db, t) = load();
+    let ser = LockingProtocol::bamboo_base();
+    let ru = LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadUncommitted);
+    // A serializable writer retires a dirty version…
+    let mut w = ser.begin(&db);
+    ser.update(&db, &mut w, t, 0, &mut set_to(99)).unwrap();
+    // …an RU reader sees it with no semaphore and no lock entry.
+    let mut r = ru.begin(&db);
+    assert_eq!(ru.read(&db, &mut r, t, 0).unwrap().get_i64(1), 99);
+    assert_eq!(r.shared.semaphore(), 0);
+    let mut wal = WalBuffer::for_tests();
+    ru.commit(&db, &mut r, &mut wal).unwrap();
+    // The RU reader could commit before the writer: the dirty-read anomaly
+    // RU explicitly allows.
+    ser.abort(&db, &mut w);
+}
+
+#[test]
+fn read_uncommitted_retire_becomes_release() {
+    // "read uncommitted means each retire becomes a release": the write is
+    // installed and the entry gone before commit.
+    let (db, t) = load();
+    let ru = LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadUncommitted);
+    let mut w = ru.begin(&db);
+    ru.update(&db, &mut w, t, 2, &mut set_to(5)).unwrap();
+    assert_eq!(
+        db.table(t).get(2).unwrap().read_row().get_i64(1),
+        5,
+        "write installed at retire time"
+    );
+    assert!(db.table(t).get(2).unwrap().meta.lock.lock().is_quiescent());
+    // Abort cannot undo it — the documented RU hazard.
+    ru.abort(&db, &mut w);
+    assert_eq!(db.table(t).get(2).unwrap().read_row().get_i64(1), 5);
+}
+
+#[test]
+fn opaque_transactions_wait_out_dirty_state() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo_base();
+    // Writer retires a dirty version.
+    let mut w = proto.begin(&db);
+    proto.update(&db, &mut w, t, 0, &mut set_to(77)).unwrap();
+    // An opaque reader must block until the writer resolves.
+    let db2 = Arc::clone(&db);
+    let proto2 = proto.clone();
+    let h = std::thread::spawn(move || {
+        let mut r = proto2.begin_opaque(&db2);
+        let v = proto2.read(&db2, &mut r, t, 0).unwrap().get_i64(1);
+        let mut wal = WalBuffer::for_tests();
+        proto2.commit(&db2, &mut r, &mut wal).unwrap();
+        v
+    });
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    assert!(!h.is_finished(), "opaque reader must wait, not read dirty");
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut w, &mut wal).unwrap();
+    assert_eq!(
+        h.join().unwrap(),
+        77,
+        "after the writer commits, the opaque reader sees committed data"
+    );
+}
+
+#[test]
+fn opaque_transactions_never_retire_their_writes() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo_base(); // would retire eagerly
+    let mut c = proto.begin_opaque(&db);
+    proto.update(&db, &mut c, t, 3, &mut set_to(1)).unwrap();
+    let st = db.table(t).get(3).unwrap();
+    assert_eq!(st.meta.lock.lock().retired_len(), 0);
+    assert_eq!(st.meta.lock.lock().owners_len(), 1, "held like Wound-Wait");
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut c, &mut wal).unwrap();
+}
+
+#[test]
+fn repeatable_read_matches_serializable_on_point_accesses() {
+    let (db, t) = load();
+    let rr = LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead);
+    let mut c = rr.begin(&db);
+    let a = rr.read(&db, &mut c, t, 4).unwrap().get_i64(1);
+    let b = rr.read(&db, &mut c, t, 4).unwrap().get_i64(1);
+    assert_eq!(a, b, "repeatable within the transaction");
+    let mut wal = WalBuffer::for_tests();
+    rr.commit(&db, &mut c, &mut wal).unwrap();
+}

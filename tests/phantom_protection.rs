@@ -1,0 +1,172 @@
+//! §3.4 phantom protection: next-key locking on the ordered index makes
+//! range scans serializable; RepeatableRead gives exactly that protection
+//! up.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_repro::core::protocol::{IsolationLevel, LockingProtocol, Protocol};
+use bamboo_repro::core::wal::WalBuffer;
+use bamboo_repro::core::Database;
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
+
+/// Keys 10,20,30,40 plus a sentinel max key (guards open-ended gaps).
+fn load() -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "t",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let db = b.build();
+    for k in [10u64, 20, 30, 40, u64::MAX] {
+        db.table(t)
+            .insert(k, Row::from(vec![Value::U64(k), Value::I64(1)]));
+    }
+    db.table(t).enable_ordered_index();
+    (db, t)
+}
+
+#[test]
+fn scan_returns_range_in_order() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo();
+    let mut ctx = proto.begin(&db);
+    let rows = proto.scan(&db, &mut ctx, t, 15..=35).unwrap();
+    assert_eq!(
+        rows.iter().map(|r| r.get_u64(0)).collect::<Vec<_>>(),
+        vec![20, 30]
+    );
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+}
+
+#[test]
+fn serializable_scan_blocks_phantom_insert_until_commit_order() {
+    // Scanner reads [15, 35]; a concurrent transaction inserts key 25.
+    // Under next-key locking, the inserter orders after the scanner: a
+    // re-scan inside the scanner's transaction must not see the phantom.
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo();
+    let mut scanner = proto.begin(&db);
+    let first = proto.scan(&db, &mut scanner, t, 15..=35).unwrap().len();
+    assert_eq!(first, 2);
+
+    let db2 = Arc::clone(&db);
+    let proto2 = proto.clone();
+    let inserter = std::thread::spawn(move || {
+        let mut ctx = proto2.begin(&db2);
+        let mut wal = WalBuffer::for_tests();
+        proto2
+            .insert(
+                &db2,
+                &mut ctx,
+                t,
+                25,
+                Row::from(vec![Value::U64(25), Value::I64(1)]),
+                None,
+            )
+            .unwrap();
+        proto2.commit(&db2, &mut ctx, &mut wal).unwrap();
+    });
+    // Give the inserter time to reach its gap lock (it will queue behind /
+    // depend on the scanner's next-key SH lock on key 30... the scan locked
+    // 20, 30 and next-key 40).
+    std::thread::sleep(Duration::from_millis(30));
+    let again = proto.scan(&db, &mut scanner, t, 15..=35).unwrap().len();
+    assert_eq!(again, first, "phantom appeared inside a serializable txn");
+    let mut wal = WalBuffer::for_tests();
+    proto.commit(&db, &mut scanner, &mut wal).unwrap();
+    inserter.join().unwrap();
+    // After both commit, the phantom is durable.
+    assert!(db.table(t).get(25).is_some());
+}
+
+#[test]
+fn repeatable_read_gives_up_phantom_protection() {
+    // "repeatable read is supported by giving up phantom protection": the
+    // RR scanner takes no next-key lock, so the inserter proceeds without
+    // any ordering against it.
+    let (db, t) = load();
+    let rr = LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead);
+    let mut scanner = rr.begin(&db);
+    assert_eq!(rr.scan(&db, &mut scanner, t, 15..=35).unwrap().len(), 2);
+
+    // The inserter also runs at RR (no gap lock) — it must complete while
+    // the scanner is still open.
+    let ins = LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead);
+    let mut ctx = ins.begin(&db);
+    let mut wal = WalBuffer::for_tests();
+    ins.insert(
+        &db,
+        &mut ctx,
+        t,
+        25,
+        Row::from(vec![Value::U64(25), Value::I64(1)]),
+        None,
+    )
+    .unwrap();
+    ins.commit(&db, &mut ctx, &mut wal).unwrap();
+
+    // Fresh keys are now visible mid-transaction: the phantom anomaly.
+    let again = rr.scan(&db, &mut scanner, t, 15..=35).unwrap();
+    assert_eq!(again.len(), 3, "RR permits the phantom");
+    rr.commit(&db, &mut scanner, &mut wal).unwrap();
+}
+
+#[test]
+fn insert_beyond_max_key_is_guarded_by_sentinel() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo();
+    // Scan to the sentinel: locks it as the next key.
+    let mut scanner = proto.begin(&db);
+    proto.scan(&db, &mut scanner, t, 35..=100).unwrap();
+    // Inserting 50 gap-locks the sentinel — the access sets must overlap.
+    let mut ins = proto.begin(&db);
+    let mut wal = WalBuffer::for_tests();
+    proto
+        .insert(
+            &db,
+            &mut ins,
+            t,
+            50,
+            Row::from(vec![Value::U64(50), Value::I64(1)]),
+            None,
+        )
+        .unwrap();
+    // The inserter's EX on the sentinel coexists with the retired SH of the
+    // scanner, ordered by the commit semaphore.
+    assert!(
+        ins.shared.semaphore() >= 1,
+        "inserter must order after the scanner via the sentinel gap lock"
+    );
+    proto.commit(&db, &mut scanner, &mut wal).unwrap();
+    proto.commit(&db, &mut ins, &mut wal).unwrap();
+    assert!(db.table(t).get(50).is_some());
+}
+
+#[test]
+fn ordered_index_tracks_commit_time_inserts() {
+    let (db, t) = load();
+    let proto = LockingProtocol::bamboo();
+    let mut ctx = proto.begin(&db);
+    let mut wal = WalBuffer::for_tests();
+    proto
+        .insert(
+            &db,
+            &mut ctx,
+            t,
+            33,
+            Row::from(vec![Value::U64(33), Value::I64(9)]),
+            None,
+        )
+        .unwrap();
+    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    let idx = db.table(t).ordered_index().unwrap();
+    assert!(idx.get(33).is_some(), "insert reached the ordered index");
+    let mut c2 = proto.begin(&db);
+    let rows = proto.scan(&db, &mut c2, t, 30..=35).unwrap();
+    assert_eq!(rows.len(), 2); // 30 and 33
+    proto.commit(&db, &mut c2, &mut wal).unwrap();
+}

@@ -1,0 +1,155 @@
+//! Protocol equivalence: the same deterministic transaction sequence,
+//! executed serially, must leave the database in the same final state under
+//! every protocol — the protocols differ in concurrency handling, never in
+//! single-threaded semantics.
+
+use std::sync::Arc;
+
+use bamboo_repro::core::protocol::{
+    Ic3Protocol, LockingProtocol, PieceAccess, PieceDecl, Protocol, SiloProtocol, TemplateDecl,
+};
+use bamboo_repro::core::wal::WalBuffer;
+use bamboo_repro::core::Database;
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: u64 = 32;
+
+fn load() -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "t",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let db = b.build();
+    for k in 0..ROWS {
+        db.table(t)
+            .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+    }
+    (db, t)
+}
+
+/// Deterministic op scripts: (key, delta) updates and reads.
+fn script(seed: u64) -> Vec<Vec<(u64, Option<i64>)>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..50)
+        .map(|_| {
+            let n = rng.gen_range(1..6);
+            let mut keys: Vec<u64> = Vec::new();
+            (0..n)
+                .map(|_| {
+                    let mut k = rng.gen_range(0..ROWS);
+                    while keys.contains(&k) {
+                        k = rng.gen_range(0..ROWS);
+                    }
+                    keys.push(k);
+                    let delta = if rng.gen_bool(0.6) {
+                        Some(rng.gen_range(-5i64..=5))
+                    } else {
+                        None
+                    };
+                    (k, delta)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_script(proto: &dyn Protocol, db: &Database, t: TableId, txns: &[Vec<(u64, Option<i64>)>]) {
+    let mut wal = WalBuffer::for_tests();
+    for ops in txns {
+        let mut ctx = proto.begin(db);
+        ctx.ic3.template = 0;
+        proto.piece_begin(db, &mut ctx, 0).unwrap();
+        for &(k, delta) in ops {
+            match delta {
+                Some(d) => proto
+                    .update(db, &mut ctx, t, k, &mut |row| {
+                        let v = row.get_i64(1);
+                        row.set(1, Value::I64(v + d));
+                    })
+                    .unwrap(),
+                None => {
+                    proto.read(db, &mut ctx, t, k).unwrap();
+                }
+            }
+        }
+        proto.piece_end(db, &mut ctx).unwrap();
+        proto.commit(db, &mut ctx, &mut wal).unwrap();
+    }
+}
+
+fn snapshot(db: &Database, t: TableId) -> Vec<i64> {
+    (0..ROWS)
+        .map(|k| db.table(t).get(k).unwrap().read_row().get_i64(1))
+        .collect()
+}
+
+#[test]
+fn all_protocols_agree_on_serial_execution() {
+    let txns = script(0xFEED);
+    let mut reference: Option<Vec<i64>> = None;
+    let ic3_template = TemplateDecl {
+        name: "generic".into(),
+        pieces: vec![PieceDecl::new(vec![PieceAccess::write(
+            TableId(0),
+            u64::MAX,
+            u64::MAX,
+        )])],
+    };
+    let protocols: Vec<(&str, Box<dyn Protocol>)> = vec![
+        ("bamboo", Box::new(LockingProtocol::bamboo())),
+        ("bamboo_base", Box::new(LockingProtocol::bamboo_base())),
+        ("wound_wait", Box::new(LockingProtocol::wound_wait())),
+        ("wait_die", Box::new(LockingProtocol::wait_die())),
+        ("no_wait", Box::new(LockingProtocol::no_wait())),
+        ("silo", Box::new(SiloProtocol::new())),
+        (
+            "ic3",
+            Box::new(Ic3Protocol::new(vec![ic3_template.clone()], false)),
+        ),
+        (
+            "ic3_optimistic",
+            Box::new(Ic3Protocol::new(vec![ic3_template], true)),
+        ),
+    ];
+    for (name, proto) in protocols {
+        let (db, t) = load();
+        run_script(proto.as_ref(), &db, t, &txns);
+        let snap = snapshot(&db, t);
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert_eq!(&snap, r, "{name} diverged from the reference state"),
+        }
+        // Every tuple quiescent afterwards.
+        for k in 0..ROWS {
+            let tup = db.table(t).get(k).unwrap();
+            assert!(
+                tup.meta.lock.lock().is_quiescent(),
+                "{name} leaked lock state on key {k}"
+            );
+            assert!(
+                tup.meta.ic3.lock().is_quiescent(),
+                "{name} leaked ic3 state on key {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interactive_wrapper_preserves_semantics() {
+    use bamboo_repro::core::protocol::InteractiveProtocol;
+    let txns = script(0xBEEF);
+    let (db1, t1) = load();
+    run_script(&LockingProtocol::bamboo(), &db1, t1, &txns);
+    let (db2, t2) = load();
+    let wrapped = InteractiveProtocol::new(
+        LockingProtocol::bamboo(),
+        std::time::Duration::from_micros(1),
+    );
+    run_script(&wrapped, &db2, t2, &txns);
+    assert_eq!(snapshot(&db1, t1), snapshot(&db2, t2));
+}
