@@ -66,9 +66,7 @@ struct LaterAccess {
 fn collect_later(stmts: &[Stmt], table: TableId, guard: Option<&Expr>, out: &mut Vec<LaterAccess>) {
     for s in stmts {
         match s {
-            Stmt::Access {
-                table: t, key, ..
-            } if *t == table => out.push(LaterAccess {
+            Stmt::Access { table: t, key, .. } if *t == table => out.push(LaterAccess {
                 guard: guard.cloned(),
                 key: key.clone(),
                 in_loop: false,
@@ -262,10 +260,8 @@ pub fn insert_retire_points(p: &Program) -> Analysis {
                 // retire when nothing after it — in the rest of its branch
                 // or in the continuation after the If — touches its table.
                 let continuation = &stmts[i + 1..];
-                let then_done =
-                    analyze_branch(then_branch, continuation, &mut report);
-                let else_done =
-                    analyze_branch(else_branch, continuation, &mut report);
+                let then_done = analyze_branch(then_branch, continuation, &mut report);
+                let else_done = analyze_branch(else_branch, continuation, &mut report);
                 out.push(Stmt::If {
                     cond: cond.clone(),
                     then_branch: then_done,
@@ -364,9 +360,7 @@ fn analyze_branch(
             } else {
                 report.push(SiteReport {
                     site: *id,
-                    decision: Decision::NoRetire(
-                        "table re-accessed after the branch access",
-                    ),
+                    decision: Decision::NoRetire("table re-accessed after the branch access"),
                 });
             }
         }

@@ -232,7 +232,10 @@ mod tests {
         assert_eq!(stats.reacquires, 0);
         let mut wal = WalBuffer::for_tests();
         proto.commit(&db, &mut ctx, &mut wal).unwrap();
-        assert_eq!(db.table(TableId(0)).get(3).unwrap().read_row().get_i64(1), 1);
+        assert_eq!(
+            db.table(TableId(0)).get(3).unwrap().read_row().get_i64(1),
+            1
+        );
     }
 
     #[test]
@@ -265,7 +268,10 @@ mod tests {
         let mut wal = WalBuffer::for_tests();
         proto.commit(&db, &mut ctx, &mut wal).unwrap();
         for k in 0..4 {
-            assert_eq!(db.table(TableId(0)).get(k).unwrap().read_row().get_i64(1), 1);
+            assert_eq!(
+                db.table(TableId(0)).get(k).unwrap().read_row().get_i64(1),
+                1
+            );
         }
     }
 

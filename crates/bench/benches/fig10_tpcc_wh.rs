@@ -23,8 +23,7 @@ fn bench(c: &mut Criterion) {
         }
         .with_warehouses(wh);
         let (db, tables, idx) = tpcc::load(&cfg);
-        let wl: Arc<dyn Workload> =
-            Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
+        let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
         let protos: Vec<Arc<dyn Protocol>> = vec![
             Arc::new(LockingProtocol::bamboo()),
             Arc::new(LockingProtocol::wound_wait()),

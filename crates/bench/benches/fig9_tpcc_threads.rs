@@ -16,8 +16,7 @@ fn bench(c: &mut Criterion) {
         ..TpccConfig::default()
     };
     let (db, tables, idx) = tpcc::load(&cfg);
-    let wl: Arc<dyn Workload> =
-        Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
+    let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(cfg, Arc::clone(&db), tables, idx));
     let mut g = c.benchmark_group("fig9_tpcc_threads");
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))

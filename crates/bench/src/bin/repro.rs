@@ -100,8 +100,20 @@ fn main() {
 
     if exp == "all" {
         for name in [
-            "model", "sec52", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "readratio", "fig9", "fig10", "fig11", "ablation",
+            "model",
+            "sec52",
+            "fig3a",
+            "fig3b",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "readratio",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablation",
         ] {
             run(name, &opts);
         }

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 use bamboo_core::executor::Workload;
 use bamboo_core::model;
-use bamboo_core::protocol::{Ic3Protocol, InteractiveProtocol, LockingProtocol, Protocol, SiloProtocol};
+use bamboo_core::protocol::{
+    Ic3Protocol, InteractiveProtocol, LockingProtocol, Protocol, SiloProtocol,
+};
 use bamboo_workload::synthetic::{self, SyntheticConfig, SyntheticWorkload};
 use bamboo_workload::tpcc::{self, TpccConfig, TpccWorkload};
 use bamboo_workload::ycsb::{self, YcsbConfig, YcsbWorkload};
@@ -210,12 +212,8 @@ pub fn read_ratio(opts: &RunOpts) {
 pub fn fig9(opts: &RunOpts) {
     let cfg = TpccConfig::default().with_warehouses(1);
     let (db, tables, idx) = tpcc::load(&cfg);
-    let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(
-        cfg.clone(),
-        Arc::clone(&db),
-        tables,
-        idx,
-    ));
+    let wl: Arc<dyn Workload> =
+        Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
     let mut s = Series::new("fig9a TPC-C 1 warehouse, threads swept (stored procedure)");
     for &threads in &opts.threads {
         for proto in all_protocols() {
@@ -240,12 +238,8 @@ pub fn fig10(opts: &RunOpts) {
     for wh in [16u64, 8, 4, 2, 1] {
         let cfg = TpccConfig::default().with_warehouses(wh);
         let (db, tables, idx) = tpcc::load(&cfg);
-        let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(
-            cfg.clone(),
-            Arc::clone(&db),
-            tables,
-            idx,
-        ));
+        let wl: Arc<dyn Workload> =
+            Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
         for proto in all_protocols() {
             s.run_point(wh, &db, &proto, &wl, &opts.config(threads));
         }
@@ -270,12 +264,7 @@ pub fn fig11(opts: &RunOpts) {
             .with_warehouses(1)
             .with_neworder_reads_wytd(modified);
         let (db, tables, idx) = tpcc::load(&cfg);
-        let wl_t = Arc::new(TpccWorkload::new(
-            cfg.clone(),
-            Arc::clone(&db),
-            tables,
-            idx,
-        ));
+        let wl_t = Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
         let templates = wl_t.ic3_templates();
         let wl: Arc<dyn Workload> = wl_t;
         let protos: Vec<Arc<dyn Protocol>> = vec![
@@ -376,17 +365,12 @@ pub fn model_table() {
             model::bamboo_wins(n, k, d),
         );
     }
-    println!(
-        "\ngain condition N^2*K^4/(2D^2) < (K-1)/(K+1); A_ww=1/2, A_bb=1/(K+1)"
-    );
+    println!("\ngain condition N^2*K^4/(2D^2) < (K-1)/(K+1); A_ww=1/2, A_bb=1/(K+1)");
 }
 
 /// Interactive-mode single protocol comparison used by `sec52`; exposed for
 /// ad-hoc runs.
-pub fn interactive_pair(
-    opts: &RunOpts,
-    rpc: Duration,
-) -> (Arc<dyn Protocol>, Arc<dyn Protocol>) {
+pub fn interactive_pair(opts: &RunOpts, rpc: Duration) -> (Arc<dyn Protocol>, Arc<dyn Protocol>) {
     let _ = opts;
     (
         Arc::new(InteractiveProtocol::new(LockingProtocol::bamboo(), rpc)),

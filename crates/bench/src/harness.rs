@@ -217,7 +217,10 @@ mod tests {
             all_protocols_interactive(Duration::from_micros(10)).len(),
             5
         );
-        let names: Vec<_> = all_protocols().iter().map(|p| p.name().to_owned()).collect();
+        let names: Vec<_> = all_protocols()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect();
         assert!(names.contains(&"BAMBOO".to_owned()));
         assert!(names.contains(&"SILO".to_owned()));
     }

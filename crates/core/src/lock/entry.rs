@@ -409,9 +409,7 @@ impl LockState {
     /// the commit point already won the status CAS.
     fn committed_unreleased_blocks(&self, mode: LockMode, prio: (u64, u64)) -> bool {
         self.retired.iter().any(|e| {
-            e.mode.conflicts(mode)
-                && e.prio() > prio
-                && e.txn.status() == TxnStatus::Committed
+            e.mode.conflicts(mode) && e.prio() > prio && e.txn.status() == TxnStatus::Committed
         })
     }
 
@@ -431,7 +429,9 @@ impl LockState {
                     break;
                 }
             }
-            let Some(w) = self.waiters.first() else { return };
+            let Some(w) = self.waiters.first() else {
+                return;
+            };
             if self.owners.iter().any(|o| o.mode.conflicts(w.mode)) {
                 return;
             }
@@ -442,10 +442,7 @@ impl LockState {
             if w.mode == LockMode::Sh && pol.retire_reads {
                 self.insert_retired(Arc::clone(&w.txn), LockMode::Sh);
             } else {
-                let counted = self
-                    .retired
-                    .iter()
-                    .any(|e| e.mode.conflicts(w.mode));
+                let counted = self.retired.iter().any(|e| e.mode.conflicts(w.mode));
                 if counted {
                     w.txn.semaphore_inc();
                 }
@@ -638,11 +635,7 @@ impl LockState {
 
     /// Aborted while waiting: remove the queue entry. If a concurrent
     /// promotion had already granted the lock, fully release it instead.
-    pub fn cancel_wait(
-        &mut self,
-        txn: &Arc<TxnShared>,
-        pol: &LockPolicy,
-    ) -> CancelOutcome {
+    pub fn cancel_wait(&mut self, txn: &Arc<TxnShared>, pol: &LockPolicy) -> CancelOutcome {
         if let Some(i) = self.waiters.iter().position(|w| w.txn.id == txn.id) {
             self.waiters.remove(i);
             self.promote_waiters(pol);
@@ -792,7 +785,11 @@ impl LockState {
             // Already gone (e.g. cancel_wait raced); nothing to do.
             return ReleaseOutcome::default();
         };
-        let pos = if in_retired { i } else { self.retired.len() + i };
+        let pos = if in_retired {
+            i
+        } else {
+            self.retired.len() + i
+        };
         let mode = self.ent_at(pos).mode;
         let mut cascaded = 0;
         if !committed && mode == LockMode::Ex {
@@ -1369,7 +1366,10 @@ mod upgrade_and_edge_tests {
         assert!(matches!(st.try_upgrade(&old, &pol), Acquired::Wait));
         assert!(young.is_aborted(), "younger co-owner wounded");
         st.release(&young, &pol, false, None);
-        assert!(matches!(st.try_upgrade(&old, &pol), Acquired::Granted { .. }));
+        assert!(matches!(
+            st.try_upgrade(&old, &pol),
+            Acquired::Granted { .. }
+        ));
         st.release(&old, &pol, true, None);
         st.assert_invariants();
     }
@@ -1534,7 +1534,9 @@ mod committed_unreleased_tests {
         assert_eq!(young.status(), TxnStatus::Committed);
         // Young releases (installs): old is promoted and sees 101.
         st.release(&young, &pol, true, Some((&tup, &row)));
-        let (granted_row, _) = st.check_granted(&tup, &old).expect("promoted after release");
+        let (granted_row, _) = st
+            .check_granted(&tup, &old)
+            .expect("promoted after release");
         assert_eq!(granted_row.get_i64(1), 101, "must see the committed write");
         st.release(&old, &pol, false, None);
         assert!(st.is_quiescent());
@@ -1565,7 +1567,10 @@ mod committed_unreleased_tests {
         match st.acquire(&tup, &pol, &old, LockMode::Sh, &ts) {
             Acquired::Wait => {}
             Acquired::Granted { row, .. } => {
-                panic!("bypass returned stale {} for a committed write", row.get_i64(1))
+                panic!(
+                    "bypass returned stale {} for a committed write",
+                    row.get_i64(1)
+                )
             }
             Acquired::Die(_) => unreachable!(),
         }

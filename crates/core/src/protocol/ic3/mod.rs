@@ -157,7 +157,11 @@ impl Ic3Protocol {
             chopping,
             group_tables,
             optimistic,
-            name: if optimistic { "IC3".into() } else { "IC3-pess".into() },
+            name: if optimistic {
+                "IC3".into()
+            } else {
+                "IC3-pess".into()
+            },
         }
     }
 
@@ -173,9 +177,7 @@ impl Ic3Protocol {
             let done = dep.txn.pieces_done.load(Ordering::Acquire) as usize;
             self.group_tables[dep.template as usize]
                 .iter()
-                .any(|&(t, g, r, w)| {
-                    t == table && g >= done && masks_conflict(my_r, my_w, r, w)
-                })
+                .any(|&(t, g, r, w)| t == table && g >= done && masks_conflict(my_r, my_w, r, w))
         })
     }
 
@@ -362,8 +364,7 @@ impl Ic3Protocol {
         let template = ctx.ic3.template;
         for a in ctx.accesses.iter_mut() {
             if a.group == group && a.state == AccessState::Owner && a.dirty {
-                let (_, wmask) =
-                    self.declared_masks_inner(template, group as usize, a.table);
+                let (_, wmask) = self.declared_masks_inner(template, group as usize, a.table);
                 let mut st = a.tuple.meta.ic3.lock();
                 st.versions.push(Ic3Version {
                     txn: Arc::clone(&ctx.shared),
@@ -373,9 +374,7 @@ impl Ic3Protocol {
                 a.state = AccessState::Retired;
             }
         }
-        ctx.shared
-            .pieces_done
-            .store(group + 1, Ordering::Release);
+        ctx.shared.pieces_done.store(group + 1, Ordering::Release);
         Ok(())
     }
 
@@ -542,8 +541,8 @@ impl Protocol for Ic3Protocol {
             let a = &ctx.accesses[i];
             let mut st = a.tuple.meta.ic3.lock();
             if a.dirty {
-                let (_, wmask) = self
-                    .declared_masks_inner(ctx.ic3.template, a.group as usize, a.table);
+                let (_, wmask) =
+                    self.declared_masks_inner(ctx.ic3.template, a.group as usize, a.table);
                 st.versions.retain(|v| v.txn.id != ctx.shared.id);
                 let mut base = a.tuple.read_row();
                 apply_masked(&mut base, &a.local, wmask);

@@ -25,9 +25,7 @@ use crate::lock::{Acquired, LockPolicy};
 use crate::meta::TupleCc;
 use crate::protocol::{apply_inserts, Protocol};
 use crate::ts::UNASSIGNED;
-use crate::txn::{
-    Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx,
-};
+use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
 use crate::wal::WalBuffer;
 
 /// Liveness backstop on lock/upgrade waits: three orders of magnitude above
@@ -594,9 +592,7 @@ impl Protocol for LockingProtocol {
                                     break Err(Abort(reason));
                                 }
                                 Acquired::Wait => {
-                                    if ctx.shared.is_aborted()
-                                        || t0.elapsed() > LOCK_WAIT_TIMEOUT
-                                    {
+                                    if ctx.shared.is_aborted() || t0.elapsed() > LOCK_WAIT_TIMEOUT {
                                         ctx.shared.set_abort(AbortReason::Wounded);
                                         break Err(ctx.abort_err());
                                     }
@@ -784,8 +780,10 @@ mod tests {
         );
         let db = b.build();
         for k in 0..10u64 {
-            db.table(t)
-                .insert(k, Row::from(vec![Value::U64(k), Value::I64(k as i64 * 100)]));
+            db.table(t).insert(
+                k,
+                Row::from(vec![Value::U64(k), Value::I64(k as i64 * 100)]),
+            );
         }
         (db, t)
     }
@@ -945,10 +943,7 @@ mod tests {
         for k in 0..8u64 {
             proto.update(&db, &mut ctx, t, k, &mut add_100).unwrap();
         }
-        assert!(ctx
-            .accesses
-            .iter()
-            .all(|a| a.state == AccessState::Retired));
+        assert!(ctx.accesses.iter().all(|a| a.state == AccessState::Retired));
         proto.update(&db, &mut ctx, t, 8, &mut add_100).unwrap();
         proto.update(&db, &mut ctx, t, 9, &mut add_100).unwrap();
         assert_eq!(

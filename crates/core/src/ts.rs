@@ -25,7 +25,9 @@ impl TsSource {
     /// Creates a source starting at 1 (0 is reserved so that "smallest
     /// possible timestamp" comparisons never collide with a real value).
     pub fn new() -> Self {
-        TsSource { next: AtomicU64::new(1) }
+        TsSource {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Draws the next unique timestamp.

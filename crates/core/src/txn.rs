@@ -222,7 +222,8 @@ impl TxnShared {
             )
             .is_ok();
         if ok {
-            self.abort_reason.store(encode_reason(reason), Ordering::Release);
+            self.abort_reason
+                .store(encode_reason(reason), Ordering::Release);
             self.notify();
         }
         ok

@@ -50,11 +50,7 @@ impl OrderedIndex {
     /// *next key* of next-key locking), with its row id.
     pub fn next_key_after(&self, key: u64) -> Option<(u64, u64)> {
         let next = key.checked_add(1)?;
-        self.map
-            .read()
-            .range(next..)
-            .next()
-            .map(|(k, v)| (*k, *v))
+        self.map.read().range(next..).next().map(|(k, v)| (*k, *v))
     }
 
     /// Number of entries.

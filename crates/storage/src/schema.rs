@@ -37,7 +37,9 @@ pub struct Schema {
 impl Schema {
     /// Starts a builder-style schema. Chain [`Schema::column`] calls.
     pub fn build() -> Self {
-        Schema { columns: Vec::new() }
+        Schema {
+            columns: Vec::new(),
+        }
     }
 
     /// Appends a column; panics on duplicate names (schemas are static

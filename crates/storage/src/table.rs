@@ -104,7 +104,11 @@ impl<M: Default> Table<M> {
         slab.push(Arc::clone(&tuple));
         drop(slab);
         let prev = self.pk_index.insert(key, row_id);
-        assert!(prev.is_none(), "duplicate primary key {key} in {}", self.name);
+        assert!(
+            prev.is_none(),
+            "duplicate primary key {key} in {}",
+            self.name
+        );
         if let Some(idx) = self.ordered.read().as_ref() {
             idx.insert(key, row_id);
         }

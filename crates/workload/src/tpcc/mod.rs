@@ -17,9 +17,9 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 pub use loader::{load, TpccTables};
-pub use templates::templates;
-use schema::*;
 use readonly::{OrderStatusTxn, StockLevelTxn};
+use schema::*;
+pub use templates::templates;
 use txns::{NewOrderTxn, OrderLineReq, PaymentTxn, INVALID_ITEM};
 
 /// TPC-C configuration.
@@ -164,21 +164,22 @@ impl TpccWorkload {
         let w = rng.gen_range(0..self.cfg.warehouses);
         let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
         // 15% remote customer (when possible).
-        let (c_w, c_d) = if self.cfg.warehouses > 1
-            && rng.gen::<f64>() < self.cfg.remote_payment_fraction
-        {
-            let mut rw = rng.gen_range(0..self.cfg.warehouses - 1);
-            if rw >= w {
-                rw += 1;
-            }
-            (rw, rng.gen_range(0..DISTRICTS_PER_WAREHOUSE))
-        } else {
-            (w, d)
-        };
+        let (c_w, c_d) =
+            if self.cfg.warehouses > 1 && rng.gen::<f64>() < self.cfg.remote_payment_fraction {
+                let mut rw = rng.gen_range(0..self.cfg.warehouses - 1);
+                if rw >= w {
+                    rw += 1;
+                }
+                (rw, rng.gen_range(0..DISTRICTS_PER_WAREHOUSE))
+            } else {
+                (w, d)
+            };
         // 60% by last name through the secondary index, 40% by id.
         let c_key = if rng.gen::<f64>() < 0.6 {
             let name_num = nurand(rng, 255, 0, LAST_NAMES - 1);
-            let rows = self.lastname_idx.get(lastname_index_key(c_w, c_d, name_num));
+            let rows = self
+                .lastname_idx
+                .get(lastname_index_key(c_w, c_d, name_num));
             if rows.is_empty() {
                 cust_key(
                     c_w,
@@ -284,14 +285,28 @@ mod tests {
         let mut d_ytd = 0.0;
         let mut c_bal = 0.0;
         for w in 0..db.table(t.warehouse).len() as u64 {
-            w_ytd += db.table(t.warehouse).get(w).unwrap().read_row().get_f64(wh::W_YTD);
+            w_ytd += db
+                .table(t.warehouse)
+                .get(w)
+                .unwrap()
+                .read_row()
+                .get_f64(wh::W_YTD);
         }
         for d in 0..db.table(t.district).len() as u64 {
-            d_ytd += db.table(t.district).get(d).unwrap().read_row().get_f64(dist::D_YTD);
+            d_ytd += db
+                .table(t.district)
+                .get(d)
+                .unwrap()
+                .read_row()
+                .get_f64(dist::D_YTD);
         }
         let ct = db.table(t.customer);
         for r in 0..ct.len() as u64 {
-            c_bal += ct.get_by_row_id(r).unwrap().read_row().get_f64(cust::C_BALANCE);
+            c_bal += ct
+                .get_by_row_id(r)
+                .unwrap()
+                .read_row()
+                .get_f64(cust::C_BALANCE);
         }
         (w_ytd, d_ytd, c_bal)
     }
@@ -340,8 +355,7 @@ mod tests {
     fn ic3_runs_tpcc_and_conserves_money() {
         let cfg = tiny_cfg();
         let (db, wl) = build(&cfg);
-        let proto: Arc<dyn Protocol> =
-            Arc::new(Ic3Protocol::new(wl.ic3_templates(), false));
+        let proto: Arc<dyn Protocol> = Arc::new(Ic3Protocol::new(wl.ic3_templates(), false));
         let before = money_totals(&db, &wl.tables());
         let wl2: Arc<dyn Workload> = Arc::clone(&wl) as _;
         let res = run_bench(&db, &proto, &wl2, &BenchConfig::quick(2));

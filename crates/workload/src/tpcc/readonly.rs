@@ -206,12 +206,8 @@ mod tests {
         let mut cfg = tiny();
         cfg.readonly_fraction = 0.3;
         let (db, tables, idx) = load(&cfg);
-        let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(
-            cfg.clone(),
-            Arc::clone(&db),
-            tables,
-            idx,
-        ));
+        let wl: Arc<dyn Workload> =
+            Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
         let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
         let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
         assert!(res.totals.commits > 0);

@@ -101,10 +101,7 @@ pub fn templates(tables: &TpccTables, neworder_reads_wytd: bool) -> Vec<Template
         pieces: vec![PieceDecl::new(vec![
             PieceAccess::read(tables.customer, bit(cust::C_BALANCE) | bit(cust::C_LAST)),
             PieceAccess::read(tables.district, bit(dist::D_NEXT_O_ID)),
-            PieceAccess::read(
-                tables.orders,
-                bit(orders::O_C_KEY) | bit(orders::O_OL_CNT),
-            ),
+            PieceAccess::read(tables.orders, bit(orders::O_C_KEY) | bit(orders::O_OL_CNT)),
             PieceAccess::read(tables.order_line, bit(order_line::OL_AMOUNT)),
         ])],
     };

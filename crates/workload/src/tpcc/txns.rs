@@ -89,13 +89,17 @@ impl TxnSpec for NewOrderTxn {
                 }
                 Ok(())
             }
-            1 => {
-                proto.update(db, ctx, self.tables.district, dist_key(self.w, self.d), &mut |row| {
+            1 => proto.update(
+                db,
+                ctx,
+                self.tables.district,
+                dist_key(self.w, self.d),
+                &mut |row| {
                     let next = row.get_u64(dist::D_NEXT_O_ID);
                     std::hint::black_box(row.get_f64(dist::D_TAX));
                     row.set(dist::D_NEXT_O_ID, Value::U64(next + 1));
-                })
-            }
+                },
+            ),
             2 => {
                 let row = proto.read(db, ctx, self.tables.customer, self.c_key)?;
                 std::hint::black_box(row.get_f64(cust::C_DISCOUNT));

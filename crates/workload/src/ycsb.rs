@@ -279,8 +279,7 @@ mod tests {
             Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
             Arc::new(SiloProtocol::new()) as Arc<dyn Protocol>,
         ] {
-            let wl: Arc<dyn Workload> =
-                Arc::new(YcsbWorkload::new(cfg.clone(), t));
+            let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg.clone(), t));
             let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
             assert!(
                 res.totals.commits > 0,

@@ -75,7 +75,9 @@ fn main() {
         .unwrap();
     ser.commit(&db, &mut w, &mut wal).unwrap();
     let second = rc.read(&db, &mut reader, t, 0).unwrap().get_i64(1);
-    println!("first read: {first}, second read: {second} (changed mid-transaction — allowed under RC)");
+    println!(
+        "first read: {first}, second read: {second} (changed mid-transaction — allowed under RC)"
+    );
     rc.commit(&db, &mut reader, &mut wal).unwrap();
     assert_ne!(first, second);
 

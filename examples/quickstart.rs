@@ -56,10 +56,16 @@ fn main() {
 
     // 4. Commits must follow the dependency order: T1 first, then T2.
     proto.commit(&db, &mut t1, &mut wal).expect("T1 commits");
-    proto.commit(&db, &mut t2, &mut wal).expect("T2 commits after T1");
+    proto
+        .commit(&db, &mut t2, &mut wal)
+        .expect("T2 commits after T1");
 
     let final_balance = db.table(accounts).get(0).unwrap().read_row().get_i64(1);
     println!("final balance of account 0: {final_balance}");
-    println!("wal records: {}, bytes: {}", wal.records(), wal.bytes_logged());
+    println!(
+        "wal records: {}, bytes: {}",
+        wal.records(),
+        wal.bytes_logged()
+    );
     assert_eq!(final_balance, 70);
 }

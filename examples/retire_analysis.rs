@@ -106,13 +106,19 @@ fn main() {
     let mut ctx = proto.begin(&db);
     let stats = run_program(&db, &proto, &mut ctx, &a1.program, &[1, 9]).unwrap();
     proto.commit(&db, &mut ctx, &mut wal).unwrap();
-    println!("run(cond=1, key=9): retires={} skipped={}", stats.retires, stats.retires_skipped);
+    println!(
+        "run(cond=1, key=9): retires={} skipped={}",
+        stats.retires, stats.retires_skipped
+    );
     assert_eq!(stats.retires, 2); // op1's conditional + op2's immediate
-    // cond = true and keys EQUAL: retire of op1 must be skipped.
+                                  // cond = true and keys EQUAL: retire of op1 must be skipped.
     let mut ctx = proto.begin(&db);
     let stats = run_program(&db, &proto, &mut ctx, &a1.program, &[1, 5]).unwrap();
     proto.commit(&db, &mut ctx, &mut wal).unwrap();
-    println!("run(cond=1, key=5): retires={} skipped={}", stats.retires, stats.retires_skipped);
+    println!(
+        "run(cond=1, key=5): retires={} skipped={}",
+        stats.retires, stats.retires_skipped
+    );
     assert_eq!(stats.retires_skipped, 1);
     assert_eq!(stats.reacquires, 0, "analysis never retires unsafely");
 

@@ -21,12 +21,7 @@ fn main() {
         cfg.warehouses, cfg.items, cfg.customers_per_district
     );
     let (db, tables, idx) = tpcc::load(&cfg);
-    let wl_typed = Arc::new(TpccWorkload::new(
-        cfg.clone(),
-        Arc::clone(&db),
-        tables,
-        idx,
-    ));
+    let wl_typed = Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
     let templates = wl_typed.ic3_templates();
     let wl: Arc<dyn Workload> = wl_typed;
 
@@ -79,9 +74,7 @@ fn main() {
         orders_expected,
         db.table(tables.orders).len()
     );
-    println!(
-        "  ΣD_YTD delta = {d_ytd_sum:.2}, W_YTD delta = {w_ytd_delta:.2} (must match)"
-    );
+    println!("  ΣD_YTD delta = {d_ytd_sum:.2}, W_YTD delta = {w_ytd_delta:.2} (must match)");
     assert_eq!(orders_expected, db.table(tables.orders).len() as u64);
     assert!((d_ytd_sum - w_ytd_delta).abs() < 1e-2);
     println!("  books balance ✓");

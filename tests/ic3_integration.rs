@@ -34,14 +34,8 @@ fn ic3_optimistic_and_pessimistic_both_conserve_money() {
     for optimistic in [false, true] {
         let cfg = tiny_cfg();
         let (db, tables, idx) = tpcc::load(&cfg);
-        let wl_t = Arc::new(TpccWorkload::new(
-            cfg.clone(),
-            Arc::clone(&db),
-            tables,
-            idx,
-        ));
-        let proto: Arc<dyn Protocol> =
-            Arc::new(Ic3Protocol::new(wl_t.ic3_templates(), optimistic));
+        let wl_t = Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
+        let proto: Arc<dyn Protocol> = Arc::new(Ic3Protocol::new(wl_t.ic3_templates(), optimistic));
         let wl: Arc<dyn Workload> = wl_t;
         let w_before = db
             .table(tables.warehouse)
@@ -104,14 +98,8 @@ fn modified_neworder_creates_warehouse_conflicts_for_ic3_only() {
         }
         .with_neworder_reads_wytd(modified);
         let (db, tables, idx) = tpcc::load(&cfg);
-        let wl_t = Arc::new(TpccWorkload::new(
-            cfg.clone(),
-            Arc::clone(&db),
-            tables,
-            idx,
-        ));
-        let proto: Arc<dyn Protocol> =
-            Arc::new(Ic3Protocol::new(wl_t.ic3_templates(), true));
+        let wl_t = Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
+        let proto: Arc<dyn Protocol> = Arc::new(Ic3Protocol::new(wl_t.ic3_templates(), true));
         let wl: Arc<dyn Workload> = wl_t;
         run_bench(
             &db,
@@ -147,12 +135,8 @@ fn bamboo_is_unaffected_by_the_modified_neworder() {
     let run = |modified: bool| {
         let cfg = tiny_cfg().with_neworder_reads_wytd(modified);
         let (db, tables, idx) = tpcc::load(&cfg);
-        let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new(
-            cfg.clone(),
-            Arc::clone(&db),
-            tables,
-            idx,
-        ));
+        let wl: Arc<dyn Workload> =
+            Arc::new(TpccWorkload::new(cfg.clone(), Arc::clone(&db), tables, idx));
         let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
         run_bench(
             &db,

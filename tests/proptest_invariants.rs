@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use bamboo_repro::analysis::ir::{AccessMode, Expr, Program, Stmt};
 use bamboo_repro::analysis::{insert_retire_points, run_program};
-use bamboo_repro::core::lock::{Acquired, LockPolicy, LockState};
+use bamboo_repro::core::lock::{Acquired, LockPolicy};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol, SiloProtocol};
 use bamboo_repro::core::ts::TsSource;
 use bamboo_repro::core::txn::{LockMode, TxnShared};
@@ -66,8 +66,12 @@ proptest! {
         let txns: Vec<Arc<TxnShared>> =
             (0..6).map(|i| TxnShared::new(i as u64 + 1, ts.assign())).collect();
         // Track what each txn currently holds: None | Some(granted).
-        let mut state = vec![0u8; 6]; // 0 none, 1 waiting, 2 granted-owner, 3 granted-retired
-        let mut dirty = vec![false; 6];
+        let mut state = [0u8; 6]; // 0 none, 1 waiting, 2 granted-owner, 3 granted-retired
+        // `ex[t]` records whether t's grant was exclusive (only EX entries
+        // may retire); `rows[t]` keeps the granted image so retire can
+        // publish it and a committing release can install it.
+        let mut ex_mode = [false; 6];
+        let mut rows: [Option<bamboo_repro::storage::Row>; 6] = Default::default();
         for op in ops {
             match op {
                 LockOp::Acquire { txn, ex } => {
@@ -77,8 +81,10 @@ proptest! {
                     let mode = if ex { LockMode::Ex } else { LockMode::Sh };
                     let mut st = tup.meta.lock.lock();
                     match st.acquire(&tup, &pol, &txns[txn], mode, &ts) {
-                        Acquired::Granted { retired, .. } => {
+                        Acquired::Granted { retired, row } => {
                             state[txn] = if retired { 3 } else { 2 };
+                            ex_mode[txn] = ex;
+                            rows[txn] = Some(row);
                         }
                         Acquired::Wait => state[txn] = 1,
                         Acquired::Die(_) => {}
@@ -86,25 +92,16 @@ proptest! {
                     st.assert_invariants();
                 }
                 LockOp::Retire { txn } => {
-                    if state[txn] != 2 {
+                    // Only exclusive owners retire through LockState::retire;
+                    // skip wounded txns like a real worker would.
+                    if state[txn] != 2 || !ex_mode[txn] || txns[txn].is_aborted() {
                         continue;
                     }
+                    let row = rows[txn].clone().expect("granted txn kept its row");
                     let mut st = tup.meta.lock.lock();
-                    // Only exclusive owners retire through LockRetire.
-                    let row = tup.read_row();
-                    // Check the entry is EX by attempting only when we
-                    // acquired EX — track via dirty flag side-channel:
-                    // acquire stored mode implicitly; re-derive via
-                    // check_granted (row) and only retire EX entries.
-                    // Simplest: mark dirty and retire if we were EX.
-                    if st.check_granted(&tup, &txns[txn]).is_some() {
-                        // We cannot see the mode from outside; retire only
-                        // entries we acquired exclusively. Encode that in
-                        // `dirty` at acquire time instead.
-                        let _ = row;
-                    }
-                    drop(st);
-                    let _ = dirty;
+                    st.retire(&txns[txn], row, &pol);
+                    st.assert_invariants();
+                    state[txn] = 3;
                 }
                 LockOp::Release { txn, commit } => {
                     if state[txn] == 0 {
@@ -114,10 +111,18 @@ proptest! {
                     if state[txn] == 1 {
                         st.cancel_wait(&txns[txn], &pol);
                     } else {
-                        st.release(&txns[txn], &pol, commit && !txns[txn].is_aborted(), None);
+                        let committed = commit && !txns[txn].is_aborted();
+                        // Retired EX commits install their published version,
+                        // mirroring the protocol's commit path.
+                        let install = match (state[txn], committed, ex_mode[txn]) {
+                            (3, true, true) => rows[txn].as_ref().map(|r| (&*tup, r)),
+                            _ => None,
+                        };
+                        st.release(&txns[txn], &pol, committed, install);
                     }
                     st.assert_invariants();
                     state[txn] = 0;
+                    rows[txn] = None;
                 }
                 LockOp::Wound { txn } => {
                     txns[txn].set_abort(bamboo_repro::core::AbortReason::Wounded);

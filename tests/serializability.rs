@@ -205,12 +205,12 @@ fn commit_point_order_follows_dependency_order() {
     let proto = LockingProtocol::bamboo_base();
     let mut wal = WalBuffer::for_tests();
     let mut ctxs = Vec::new();
-    for i in 0..8 {
+    for _ in 0..8 {
         let mut c = proto.begin(&db);
         proto
             .update(&db, &mut c, t, 9, &mut |row| {
                 let v = row.get_i64(1);
-                row.set(1, Value::I64(v + 1 + i * 0));
+                row.set(1, Value::I64(v + 1));
             })
             .unwrap();
         ctxs.push(c);
@@ -227,7 +227,10 @@ fn commit_point_order_follows_dependency_order() {
     for mut c in ctxs {
         proto.commit(&db, &mut c, &mut wal).unwrap();
     }
-    assert_eq!(db.table(t).get(9).unwrap().read_row().get_i64(1), INITIAL + 8);
+    assert_eq!(
+        db.table(t).get(9).unwrap().read_row().get_i64(1),
+        INITIAL + 8
+    );
 }
 
 #[test]

@@ -1,0 +1,348 @@
+//! Vendored shim for the subset of the `criterion` API this workspace's
+//! benches use: `Criterion::benchmark_group`, group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`), `bench_function` with `&str` or
+//! [`BenchmarkId`] ids, `Bencher::{iter, iter_custom}`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. The build environment
+//! has no registry access, so the real crate cannot be fetched.
+//!
+//! Instead of criterion's statistical machinery this shim runs a
+//! warm-up, then samples the closure for the configured measurement time
+//! and reports mean ns/iter (plus min/max over samples) on stdout — enough
+//! to compare protocols and catch gross regressions. `--bench`/`--test`
+//! flags and name filters are accepted; `--test` runs each benchmark for
+//! a single iteration. Note that with `harness = false` cargo does NOT
+//! pass `--test` on its own — `cargo test --benches` runs the binaries
+//! in full measurement mode unless you append `-- --test` (CI does).
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How the harness was invoked (parsed from CLI args cargo passes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement run (`cargo bench`).
+    Bench,
+    /// Smoke run: one iteration per benchmark (`-- --test`).
+    Test,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mode = self.mode;
+        let filter = self.filter.clone();
+        run_one(
+            &id.into().full(""),
+            mode,
+            &filter,
+            10,
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+            f,
+        );
+        self
+    }
+}
+
+/// A set of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.into().full(&self.name),
+            self.criterion.mode,
+            &self.criterion.filter,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full(&self, group: &str) -> String {
+        let mut s = String::new();
+        if !group.is_empty() {
+            s.push_str(group);
+        }
+        if !self.function.is_empty() {
+            if !s.is_empty() {
+                s.push('/');
+            }
+            s.push_str(&self.function);
+        }
+        if let Some(p) = &self.parameter {
+            if !s.is_empty() {
+                s.push('/');
+            }
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the
+    /// total duration (used for contended multi-thread sections).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    mode: Mode,
+    filter: &Option<String>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    if mode == Mode::Test {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok (1 iter smoke)");
+        return;
+    }
+
+    // Warm-up and iteration-count calibration: grow iters until one sample
+    // costs ~1/sample_size of the measurement budget.
+    let per_sample = measurement_time
+        .checked_div(sample_size as u32)
+        .unwrap_or(Duration::from_millis(10));
+    let mut iters: u64 = 1;
+    let warm_deadline = Instant::now() + warm_up_time;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample || Instant::now() >= warm_deadline {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let deadline = Instant::now() + measurement_time;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters.max(1) as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    let n = samples_ns.len().max(1) as f64;
+    let mean = samples_ns.iter().sum::<f64>() / n;
+    let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{name:<60} {mean:>12.1} ns/iter (min {min:.1}, max {max:.1}, {} samples x {iters} iters)",
+        samples_ns.len()
+    );
+}
+
+/// Groups benchmark functions under one runner function, mirroring
+/// criterion's macro of the same name (simple `name, targets...` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).full("g"), "g/f/3");
+        assert_eq!(BenchmarkId::from("plain").full("g"), "g/plain");
+        assert_eq!(BenchmarkId::from_parameter(9).full(""), "9");
+    }
+
+    #[test]
+    fn bencher_iter_counts() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn iter_custom_records_reported_duration() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 10));
+        assert_eq!(b.elapsed, Duration::from_nanos(40));
+    }
+}

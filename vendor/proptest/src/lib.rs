@@ -1,0 +1,486 @@
+//! Vendored shim for the subset of the `proptest` API this workspace's
+//! tests use: the [`Strategy`] trait with `prop_map`/`boxed`, range and
+//! tuple strategies, `any::<T>()`, `collection::vec`, `prop_oneof!`, the
+//! `proptest!` macro with `#![proptest_config(..)]`, `prop_assert!`/
+//! `prop_assert_eq!`, and [`ProptestConfig::with_cases`]. The build
+//! environment has no registry access, so the real crate cannot be
+//! fetched.
+//!
+//! Differences from upstream, deliberate for a test shim:
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (every strategy value is `Debug`-printed) instead
+//!   of a minimized counterexample.
+//! * **Deterministic by default.** Cases derive from a fixed seed so CI
+//!   runs are reproducible; set `PROPTEST_SEED` (u64) to explore a
+//!   different stream. `PROPTEST_CASES` scales the case count for tests
+//!   using the default config; an explicit `with_cases(n)` wins over the
+//!   env var, matching upstream precedence.
+
+#![deny(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving strategy generation.
+pub type TestRng = SmallRng;
+
+/// Default seed for deterministic runs (overridden by `PROPTEST_SEED`).
+pub const DEFAULT_SEED: u64 = 0xBA4B_005E_ED01;
+
+/// Builds the per-test RNG honouring the `PROPTEST_SEED` env var.
+pub fn test_rng() -> TestRng {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SEED);
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Runner configuration (the `cases` knob is the only one honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property. An explicit count wins
+    /// over the `PROPTEST_CASES` env var, matching upstream precedence
+    /// (the env var only feeds [`Default`]).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to actually run.
+    pub fn resolved_cases(&self) -> u32 {
+        self.cases
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of an associated type.
+///
+/// Object-safe core (`generate`) plus `Sized`-gated combinators, so
+/// `Box<dyn Strategy<Value = T>>` works for `prop_oneof!`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy mapping another strategy's output ([`Strategy::prop_map`]).
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy for [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical unconstrained strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: a fixed size or a half-open /
+    /// inclusive range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration module, mirroring upstream's layout.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+}
+
+/// The glob-import surface tests use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Uniform choice among strategy arms (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+/// Failing inputs are included in the panic message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let mut rng = $crate::test_rng();
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    // Describe the case before the body (which may move the
+                    // bindings) so a failure can still report its inputs.
+                    let mut case_desc = String::new();
+                    $(case_desc.push_str(&format!(
+                        "  {} = {:?}\n",
+                        stringify!($arg),
+                        $arg
+                    ));)*
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed in `{}` with inputs:\n{}",
+                            case + 1,
+                            cases,
+                            stringify!($name),
+                            case_desc,
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn explicit_case_count_beats_env_var() {
+        // No env mutation needed for the precedence half of the claim.
+        assert_eq!(ProptestConfig::with_cases(1024).resolved_cases(), 1024);
+        // The Default-reads-env half mutates process-global state: save and
+        // restore the prior value so a harness-exported PROPTEST_CASES
+        // survives this test. No sibling test in this binary reads the var;
+        // any future one must coordinate with this block.
+        let prev = std::env::var("PROPTEST_CASES").ok();
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().resolved_cases(), 7);
+        assert_eq!(ProptestConfig::with_cases(1024).resolved_cases(), 1024);
+        match prev {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
+    }
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = super::test_rng();
+        let s = (0u32..3, 0u64..4).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..1000 {
+            assert!(s.generate(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = super::test_rng();
+        let s = prop_oneof![(0usize..1).prop_map(|_| 0u8), (0usize..1).prop_map(|_| 1u8)];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = super::test_rng();
+        let s = collection::vec(any::<bool>(), 1..4);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_runs(a in 0u64..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+}
