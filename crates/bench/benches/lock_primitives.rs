@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bamboo_core::lock::LockPolicy;
+use bamboo_core::lock::{CommitInstall, LockPolicy};
 use bamboo_core::ts::TsSource;
 use bamboo_core::txn::{LockMode, TxnShared};
 use bamboo_core::TupleCc;
@@ -62,7 +62,7 @@ fn bench(c: &mut Criterion) {
                 st.retire(&txn, row.clone(), &pol);
             }
             let mut st = tup.meta.lock.lock();
-            st.release(&txn, &pol, true, Some((&tup, &row)));
+            st.release(&txn, &pol, true, Some(CommitInstall::untimed(&tup, &row)));
         })
     });
 
@@ -88,7 +88,12 @@ fn bench(c: &mut Criterion) {
             st.release(&txn, &pol, true, None);
         });
         let mut st = tup.meta.lock.lock();
-        st.release(&writer, &pol, true, Some((&tup, &row)));
+        st.release(
+            &writer,
+            &pol,
+            true,
+            Some(CommitInstall::untimed(&tup, &row)),
+        );
     });
 
     g.finish();

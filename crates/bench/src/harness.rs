@@ -101,6 +101,24 @@ pub fn time_serial_txns(
     start.elapsed()
 }
 
+/// Runs one short contended measurement (`threads` workers, 120 ms) and
+/// returns the full result — the criterion helpers and the bench-side
+/// snapshot assertions share it.
+pub fn run_contended(
+    db: &Arc<Database>,
+    proto: &Arc<dyn Protocol>,
+    wl: &Arc<dyn Workload>,
+    threads: usize,
+) -> BenchResult {
+    let cfg = BenchConfig {
+        threads,
+        duration: Duration::from_millis(120),
+        warmup: Duration::from_millis(30),
+        seed: 11,
+    };
+    run_bench(db, proto, wl, &cfg)
+}
+
 /// Criterion helper: runs a short contended benchmark (`threads` workers,
 /// 120 ms) and scales the measured per-commit time to `iters` transactions,
 /// so Criterion reports time-per-transaction *under contention*.
@@ -111,13 +129,7 @@ pub fn time_contended_txns(
     threads: usize,
     iters: u64,
 ) -> Duration {
-    let cfg = BenchConfig {
-        threads,
-        duration: Duration::from_millis(120),
-        warmup: Duration::from_millis(30),
-        seed: 11,
-    };
-    let res = run_bench(db, proto, wl, &cfg);
+    let res = run_contended(db, proto, wl, threads);
     let per_txn = res.elapsed.as_secs_f64() / res.totals.commits.max(1) as f64;
     Duration::from_secs_f64(per_txn * iters as f64)
 }

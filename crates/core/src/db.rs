@@ -1,22 +1,160 @@
 //! The database: a storage catalog instantiated with [`crate::TupleCc`]
 //! metadata plus the global counters the protocols share (timestamp source,
-//! transaction-id allocator, Silo epoch).
+//! transaction-id allocator, Silo epoch) and the MVCC snapshot machinery
+//! (commit clock, active-snapshot registry, published GC watermark).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bamboo_storage::{Catalog, Schema, Table, TableId};
+use parking_lot::Mutex;
 
 use crate::meta::TupleCc;
 use crate::ts::TsSource;
+
+/// Every `EPOCH_COMMITS`-th commit advances the Silo epoch and republishes
+/// the snapshot watermark (the epoch advance doubles as the watermark
+/// publisher, so GC keeps up even when no snapshot churn refreshes it).
+const EPOCH_COMMITS: u64 = 64;
+
+/// Allocates commit timestamps and tracks which are still *in flight*
+/// (allocated but not fully installed). [`CommitClock::stable`] is the
+/// largest timestamp `s` such that every commit with timestamp `<= s` has
+/// finished installing — the only timestamps snapshots may be taken at:
+/// reading at a higher timestamp could miss a write that is still being
+/// installed.
+pub struct CommitClock {
+    inner: Mutex<ClockInner>,
+}
+
+struct ClockInner {
+    /// Next timestamp to hand out (1-based; 0 is the loader timestamp).
+    next: u64,
+    /// Allocated-but-unfinished commit timestamps.
+    inflight: BTreeSet<u64>,
+}
+
+impl CommitClock {
+    fn new() -> Self {
+        CommitClock {
+            inner: Mutex::new(ClockInner {
+                next: 1,
+                inflight: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// Allocates a fresh commit timestamp, marked in flight until
+    /// [`CommitClock::finish`].
+    pub fn allocate(&self) -> u64 {
+        let mut g = self.inner.lock();
+        let ts = g.next;
+        g.next += 1;
+        g.inflight.insert(ts);
+        ts
+    }
+
+    /// Marks `ts` fully installed. Must be called exactly once per
+    /// [`CommitClock::allocate`], including on the abort path after the
+    /// commit point failed — a leaked timestamp would pin [`stable`]
+    /// forever.
+    ///
+    /// [`stable`]: CommitClock::stable
+    pub fn finish(&self, ts: u64) {
+        let removed = self.inner.lock().inflight.remove(&ts);
+        debug_assert!(removed, "finish of unallocated commit ts {ts}");
+    }
+
+    /// The newest timestamp at which a consistent snapshot can be taken
+    /// (monotonically non-decreasing).
+    pub fn stable(&self) -> u64 {
+        let g = self.inner.lock();
+        match g.inflight.first() {
+            Some(&min) => min - 1,
+            None => g.next - 1,
+        }
+    }
+}
+
+/// Registry of live read-only snapshots. The *watermark* — the oldest
+/// timestamp any live snapshot can still read — gates version-chain GC:
+/// [`bamboo_storage::VersionChain::gc`] only reclaims versions superseded
+/// at or below it.
+pub struct SnapshotRegistry {
+    /// Live snapshot timestamps with reference counts.
+    active: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl SnapshotRegistry {
+    fn new() -> Self {
+        SnapshotRegistry {
+            active: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers a snapshot and returns `(snapshot ts, current floor)` —
+    /// the floor is computed while the lock is already held so callers can
+    /// publish it without re-locking.
+    fn register(&self, clock: &CommitClock) -> (u64, u64) {
+        let mut g = self.active.lock();
+        // `stable` is read under the registry lock so a concurrent
+        // watermark computation can never observe a floor above a snapshot
+        // that is about to register (stable is monotonic, so the snapshot's
+        // timestamp is >= any previously published watermark).
+        let snap = clock.stable();
+        *g.entry(snap).or_insert(0) += 1;
+        let floor = *g.keys().next().expect("just inserted");
+        (snap, floor)
+    }
+
+    /// Unregisters a snapshot and returns the new floor.
+    fn unregister(&self, snap: u64, clock: &CommitClock) -> u64 {
+        let mut g = self.active.lock();
+        match g.get_mut(&snap) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                g.remove(&snap);
+            }
+            None => debug_assert!(false, "unregister of unknown snapshot {snap}"),
+        }
+        match g.keys().next() {
+            Some(&min) => min,
+            None => clock.stable(),
+        }
+    }
+
+    fn floor(&self, clock: &CommitClock) -> u64 {
+        let g = self.active.lock();
+        match g.keys().next() {
+            Some(&min) => min,
+            None => clock.stable(),
+        }
+    }
+
+    /// Number of live snapshots (tests/stats).
+    pub fn active_count(&self) -> usize {
+        self.active.lock().values().sum()
+    }
+}
 
 /// A loaded database shared by all worker threads.
 pub struct Database {
     catalog: Catalog<TupleCc>,
     /// Global timestamp source (Wound-Wait priorities).
     pub ts_source: TsSource,
-    /// Silo epoch counter (advanced by the executor).
+    /// Silo epoch counter (advanced every [`EPOCH_COMMITS`] commits; the
+    /// advance also republishes the snapshot watermark).
     pub epoch: AtomicU64,
+    /// MVCC commit clock: versioned installs are tagged with its
+    /// timestamps; snapshots are taken at its stable point.
+    pub commit_clock: CommitClock,
+    /// Live read-only snapshots (watermark source).
+    pub snapshots: SnapshotRegistry,
+    /// Published GC watermark: a cached, possibly slightly stale lower
+    /// bound on the oldest timestamp a live snapshot can read. Staleness
+    /// only delays GC; it never reclaims a visible version.
+    watermark: AtomicU64,
     txn_ids: AtomicU64,
 }
 
@@ -50,6 +188,57 @@ impl Database {
         self.txn_ids.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Registers a live read-only snapshot and returns its timestamp: the
+    /// commit clock's stable point, at which every smaller commit is fully
+    /// installed. Must be paired with [`Database::release_snapshot`].
+    pub fn register_snapshot(&self) -> u64 {
+        let (snap, floor) = self.snapshots.register(&self.commit_clock);
+        self.watermark.fetch_max(floor, Ordering::AcqRel);
+        snap
+    }
+
+    /// Releases a snapshot previously returned by
+    /// [`Database::register_snapshot`], letting the watermark advance.
+    pub fn release_snapshot(&self, snap: u64) {
+        let floor = self.snapshots.unregister(snap, &self.commit_clock);
+        self.watermark.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// The published GC watermark: version-chain GC may reclaim versions
+    /// superseded at or below it. Reads a cached atomic — the hot commit
+    /// path never takes the registry lock.
+    #[inline]
+    pub fn gc_watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Recomputes and publishes the watermark from the registry/clock.
+    pub fn publish_watermark(&self) {
+        let floor = self.snapshots.floor(&self.commit_clock);
+        // Monotonic publish: a stale racer must not move the watermark
+        // backwards past a newer floor (fetch_max keeps it safe — the
+        // watermark is a lower bound on every *live* snapshot by
+        // construction, see `SnapshotRegistry::register`).
+        self.watermark.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// Commit-side bookkeeping after a versioned install completes: marks
+    /// `commit_ts` finished on the clock and, every [`EPOCH_COMMITS`]-th
+    /// commit, advances the Silo epoch and republishes the watermark.
+    pub fn note_commit(&self, commit_ts: u64) {
+        self.commit_clock.finish(commit_ts);
+        if commit_ts % EPOCH_COMMITS == 0 {
+            self.advance_epoch();
+        }
+    }
+
+    /// Advances the Silo epoch and republishes the snapshot watermark (the
+    /// paper-style epoch tick doubles as the watermark publisher).
+    pub fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.publish_watermark();
+    }
+
     /// Total rows across all tables (sanity checks / stats).
     pub fn total_rows(&self) -> usize {
         self.catalog.tables().iter().map(|t| t.len()).sum()
@@ -78,6 +267,9 @@ impl DatabaseBuilder {
             catalog: self.catalog,
             ts_source: TsSource::new(),
             epoch: AtomicU64::new(1),
+            commit_clock: CommitClock::new(),
+            snapshots: SnapshotRegistry::new(),
+            watermark: AtomicU64::new(0),
             txn_ids: AtomicU64::new(1),
         })
     }
@@ -104,5 +296,68 @@ mod tests {
         let a = db.next_txn_id();
         let b = db.next_txn_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn commit_clock_stable_excludes_inflight() {
+        let db = Database::builder().build();
+        assert_eq!(db.commit_clock.stable(), 0);
+        let a = db.commit_clock.allocate();
+        let b = db.commit_clock.allocate();
+        assert_eq!((a, b), (1, 2));
+        // Both in flight: nothing is stable yet.
+        assert_eq!(db.commit_clock.stable(), 0);
+        // Finishing out of order: stable only advances past the gap once
+        // the oldest in-flight commit finishes.
+        db.commit_clock.finish(b);
+        assert_eq!(db.commit_clock.stable(), 0);
+        db.commit_clock.finish(a);
+        assert_eq!(db.commit_clock.stable(), 2);
+    }
+
+    #[test]
+    fn snapshot_registry_pins_watermark() {
+        let db = Database::builder().build();
+        for _ in 0..3 {
+            let ts = db.commit_clock.allocate();
+            db.note_commit(ts);
+        }
+        let snap = db.register_snapshot();
+        assert_eq!(snap, 3);
+        assert_eq!(db.snapshots.active_count(), 1);
+        // Later commits do not move the watermark past the live snapshot.
+        for _ in 0..5 {
+            let ts = db.commit_clock.allocate();
+            db.note_commit(ts);
+        }
+        db.publish_watermark();
+        assert_eq!(db.gc_watermark(), 3);
+        db.release_snapshot(snap);
+        assert_eq!(db.snapshots.active_count(), 0);
+        assert_eq!(db.gc_watermark(), 8);
+    }
+
+    #[test]
+    fn duplicate_snapshots_refcount() {
+        let db = Database::builder().build();
+        let a = db.register_snapshot();
+        let b = db.register_snapshot();
+        assert_eq!(a, b);
+        db.release_snapshot(a);
+        assert_eq!(db.snapshots.active_count(), 1);
+        db.release_snapshot(b);
+        assert_eq!(db.snapshots.active_count(), 0);
+    }
+
+    #[test]
+    fn epoch_advance_publishes_watermark() {
+        let db = Database::builder().build();
+        let e0 = db.epoch.load(Ordering::Acquire);
+        for _ in 0..EPOCH_COMMITS {
+            let ts = db.commit_clock.allocate();
+            db.note_commit(ts);
+        }
+        assert_eq!(db.epoch.load(Ordering::Acquire), e0 + 1);
+        assert_eq!(db.gc_watermark(), EPOCH_COMMITS);
     }
 }

@@ -39,6 +39,14 @@ pub trait TxnSpec: Send {
         0
     }
 
+    /// True when this transaction is read-only and should run in snapshot
+    /// mode: reads resolve against the committed version chains with zero
+    /// lock-manager interaction ([`Protocol::begin_snapshot`]). Defaults
+    /// to the locking read path.
+    fn read_only_snapshot(&self) -> bool {
+        false
+    }
+
     /// Executes piece `piece`. Called in order; any `Err` aborts the
     /// attempt. Retries re-run all pieces with the same inputs.
     fn run_piece(
@@ -97,8 +105,12 @@ fn run_attempt(
     db: &Database,
     proto: &dyn Protocol,
     wal: &mut WalBuffer,
-) -> (Result<(), Abort>, usize, crate::txn::TxnTimers) {
-    let mut ctx = proto.begin(db);
+) -> (Result<(), Abort>, usize, crate::txn::TxnTimers, u64) {
+    let mut ctx = if spec.read_only_snapshot() {
+        proto.begin_snapshot(db)
+    } else {
+        proto.begin(db)
+    };
     ctx.planned_ops = spec.planned_ops();
     ctx.ic3.template = spec.template();
     let res = (|| -> Result<(), Abort> {
@@ -110,10 +122,10 @@ fn run_attempt(
         proto.commit(db, &mut ctx, wal)
     })();
     match res {
-        Ok(()) => (Ok(()), 0, ctx.timers),
+        Ok(()) => (Ok(()), 0, ctx.timers, ctx.locks_acquired),
         Err(e) => {
             let cascaded = proto.abort(db, &mut ctx);
-            (Err(e), cascaded, ctx.timers)
+            (Err(e), cascaded, ctx.timers, ctx.locks_acquired)
         }
     }
 }
@@ -130,18 +142,31 @@ fn run_txn_to_commit(
     deadline: Instant,
 ) -> bool {
     let mut attempt = 0u32;
+    let snapshot = spec.read_only_snapshot();
     loop {
         let t0 = Instant::now();
-        let (res, cascaded, timers) = run_attempt(spec, db, proto, wal);
+        let (res, cascaded, timers, locks) = run_attempt(spec, db, proto, wal);
         stats.lock_wait += timers.lock_wait;
         stats.commit_wait += timers.commit_wait;
+        if snapshot {
+            stats.snapshot_lock_acquisitions += locks;
+        } else {
+            stats.lock_acquisitions += locks;
+        }
         match res {
             Ok(()) => {
-                stats.record_commit(t0.elapsed());
+                if snapshot {
+                    stats.record_snapshot_commit(t0.elapsed());
+                } else {
+                    stats.record_commit(t0.elapsed());
+                }
                 return true;
             }
             Err(e) => {
                 stats.record_abort(e.0, t0.elapsed(), cascaded);
+                if snapshot {
+                    stats.snapshot_aborts += 1;
+                }
                 // User-initiated aborts are logical rollbacks (e.g. TPC-C's
                 // invalid-item NewOrder): the transaction is *done*, not
                 // retried — re-running it would abort identically forever.
@@ -178,7 +203,7 @@ pub fn execute_to_commit(
     let mut attempts = 0;
     loop {
         attempts += 1;
-        let (res, _, _) = run_attempt(spec, db, proto, wal);
+        let (res, _, _, _) = run_attempt(spec, db, proto, wal);
         if res.is_ok() {
             return attempts;
         }

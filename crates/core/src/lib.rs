@@ -18,6 +18,29 @@
 //!   runtime breakdown (lock wait / commit wait / abort time, §4.2).
 //! * [`model`] — the analytic waits-vs-aborts model of §4.2.
 //!
+//! ## Multi-version snapshot reads
+//!
+//! Long read-only transactions are the worst case for every lock-based
+//! scheme (Figure 7): a scan holding shared locks pins writers behind it,
+//! and retiring cannot help readers. The MVCC subsystem removes that cliff:
+//!
+//! * Every committing writer installs its after-images as new *committed
+//!   versions* on the tuples' [`bamboo_storage::VersionChain`], tagged with
+//!   a commit timestamp from [`db::CommitClock`]; the clock's *stable*
+//!   point (all smaller timestamps fully installed) is the only timestamp
+//!   snapshots are taken at.
+//! * [`protocol::Protocol::begin_snapshot`] registers a snapshot in the
+//!   [`db::SnapshotRegistry`] and returns a context whose reads resolve
+//!   against the version chains with **zero lock-manager interaction** —
+//!   the reader can neither block nor be wounded, and writers never wait
+//!   for it.
+//! * The registry's floor is published as the GC watermark
+//!   ([`db::Database::gc_watermark`]); every install eagerly reclaims
+//!   versions no live snapshot can still see, and the Silo-style epoch
+//!   tick ([`db::Database::advance_epoch`], fired every N commits) doubles
+//!   as the watermark publisher so chains drain even without snapshot
+//!   churn.
+//!
 //! ```
 //! use bamboo_core::{Database, protocol::{LockingProtocol, Protocol}};
 //! use bamboo_storage::{Schema, DataType, Value, Row};

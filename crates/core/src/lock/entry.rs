@@ -171,6 +171,38 @@ pub enum Acquired {
     Die(AbortReason),
 }
 
+/// The commit-time install a releasing writer hands to
+/// [`LockState::release`]: the final row image becomes a new committed
+/// version on the tuple's [`bamboo_storage::VersionChain`], tagged with the
+/// transaction's commit timestamp, with versions below `watermark` eagerly
+/// reclaimed.
+pub struct CommitInstall<'a> {
+    /// The tuple being written.
+    pub tuple: &'a Tuple<TupleCc>,
+    /// The final committed image.
+    pub row: &'a Row,
+    /// The writer's commit timestamp. 0 means "no MVCC context": the image
+    /// overwrites the newest committed version in place instead of pushing
+    /// a new chain entry (read-uncommitted early installs, tests) — pushing
+    /// entries that no watermark will ever collect would leak versions.
+    pub commit_ts: u64,
+    /// GC watermark for the eager version-chain collection.
+    pub watermark: u64,
+}
+
+impl<'a> CommitInstall<'a> {
+    /// An install without MVCC context (tests and the read-uncommitted
+    /// early-install path): overwrites in place, creating no version.
+    pub fn untimed(tuple: &'a Tuple<TupleCc>, row: &'a Row) -> Self {
+        CommitInstall {
+            tuple,
+            row,
+            commit_ts: 0,
+            watermark: 0,
+        }
+    }
+}
+
 /// Result of [`LockState::release`].
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct ReleaseOutcome {
@@ -771,7 +803,9 @@ impl LockState {
     /// Algorithm 2 `LockRelease`.
     ///
     /// * On commit of a write, `install` carries the final row image, which
-    ///   replaces the committed row (the version chain entry is dropped).
+    ///   becomes the new committed version (the *dirty* version-chain entry
+    ///   is dropped; the old committed image moves onto the tuple's MVCC
+    ///   chain for live snapshots).
     /// * On abort of a write, every successor is cascade-aborted (line 17)
     ///   and the published version is discarded.
     pub fn release(
@@ -779,7 +813,7 @@ impl LockState {
         txn: &Arc<TxnShared>,
         pol: &LockPolicy,
         committed: bool,
-        install: Option<(&Tuple<TupleCc>, &Row)>,
+        install: Option<CommitInstall<'_>>,
     ) -> ReleaseOutcome {
         let Some((in_retired, i)) = self.find_entry(txn.id) else {
             // Already gone (e.g. cancel_wait raced); nothing to do.
@@ -806,8 +840,15 @@ impl LockState {
         if mode == LockMode::Ex {
             self.remove_version(txn.id);
             if committed {
-                if let Some((tuple, row)) = install {
-                    tuple.install(row.clone());
+                if let Some(ci) = install {
+                    if ci.commit_ts == 0 {
+                        // Untimed (non-MVCC) install: overwrite in place —
+                        // a pushed version would never be collected.
+                        ci.tuple.install(ci.row.clone());
+                    } else {
+                        ci.tuple
+                            .install_versioned(ci.row.clone(), ci.commit_ts, ci.watermark);
+                    }
                 }
             }
         }
@@ -938,10 +979,10 @@ mod tests {
         st.retire(&t2, r2.clone(), &pol);
         assert_eq!(t2.semaphore(), 1);
         // t1 commits: install and wake t2's dependency.
-        st.release(&t1, &pol, true, Some((&tup, &r1)));
+        st.release(&t1, &pol, true, Some(CommitInstall::untimed(&tup, &r1)));
         assert_eq!(t2.semaphore(), 0);
         assert_eq!(tup.read_row().get_i64(1), 11);
-        st.release(&t2, &pol, true, Some((&tup, &r2)));
+        st.release(&t2, &pol, true, Some(CommitInstall::untimed(&tup, &r2)));
         assert_eq!(tup.read_row().get_i64(1), 12);
         assert!(st.is_quiescent());
     }
@@ -1136,7 +1177,7 @@ mod tests {
         img.set(1, Value::I64(60));
         st.retire(&w, img.clone(), &pol);
         st.release(&r, &pol, false, None);
-        st.release(&w, &pol, true, Some((&tup, &img)));
+        st.release(&w, &pol, true, Some(CommitInstall::untimed(&tup, &img)));
         assert_eq!(tup.read_row().get_i64(1), 60);
         assert!(st.is_quiescent());
     }
@@ -1266,11 +1307,11 @@ mod tests {
         assert_eq!(w3.semaphore(), 1);
         // w1 commits: w2 clears, w3 still depends on w2.
         let r1 = tup.read_row();
-        st.release(&w1, &pol, true, Some((&tup, &r1)));
+        st.release(&w1, &pol, true, Some(CommitInstall::untimed(&tup, &r1)));
         assert_eq!(w2.semaphore(), 0);
         assert_eq!(w3.semaphore(), 1);
         let r2 = tup.read_row();
-        st.release(&w2, &pol, true, Some((&tup, &r2)));
+        st.release(&w2, &pol, true, Some(CommitInstall::untimed(&tup, &r2)));
         assert_eq!(w3.semaphore(), 0);
         st.assert_invariants();
     }
@@ -1297,7 +1338,7 @@ mod tests {
         st.release(&w3, &pol, false, None);
         // w1 can still commit.
         let r1 = tup.read_row();
-        st.release(&w1, &pol, true, Some((&tup, &r1)));
+        st.release(&w1, &pol, true, Some(CommitInstall::untimed(&tup, &r1)));
         assert!(st.is_quiescent());
     }
 }
@@ -1435,7 +1476,7 @@ mod upgrade_and_edge_tests {
         row.set(1, Value::I64(42));
         st.retire(&w, row.clone(), &pol);
         assert_eq!(st.dirty_snapshot(&tup).get_i64(1), 42);
-        st.release(&w, &pol, true, Some((&tup, &row)));
+        st.release(&w, &pol, true, Some(CommitInstall::untimed(&tup, &row)));
         assert_eq!(st.dirty_snapshot(&tup).get_i64(1), 42);
     }
 
@@ -1533,7 +1574,7 @@ mod committed_unreleased_tests {
         }
         assert_eq!(young.status(), TxnStatus::Committed);
         // Young releases (installs): old is promoted and sees 101.
-        st.release(&young, &pol, true, Some((&tup, &row)));
+        st.release(&young, &pol, true, Some(CommitInstall::untimed(&tup, &row)));
         let (granted_row, _) = st
             .check_granted(&tup, &old)
             .expect("promoted after release");
@@ -1574,7 +1615,7 @@ mod committed_unreleased_tests {
             }
             Acquired::Die(_) => unreachable!(),
         }
-        st.release(&young, &pol, true, Some((&tup, &row)));
+        st.release(&young, &pol, true, Some(CommitInstall::untimed(&tup, &row)));
         let (granted_row, _) = st.check_granted(&tup, &old).expect("promoted");
         assert_eq!(granted_row.get_i64(1), 101);
         st.release(&old, &pol, true, None);

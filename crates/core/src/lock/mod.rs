@@ -10,4 +10,6 @@
 
 mod entry;
 
-pub use entry::{Acquired, CancelOutcome, LockPolicy, LockState, LockVariant, ReleaseOutcome};
+pub use entry::{
+    Acquired, CancelOutcome, CommitInstall, LockPolicy, LockState, LockVariant, ReleaseOutcome,
+};

@@ -456,6 +456,9 @@ impl Protocol for Ic3Protocol {
         table: TableId,
         key: u64,
     ) -> Result<&'c Row, Abort> {
+        if ctx.snapshot.is_some() {
+            return crate::protocol::snapshot_read(db, ctx, table, key);
+        }
         let i = self.access(db, ctx, table, key, false)?;
         Ok(&ctx.accesses[i].local)
     }
@@ -468,6 +471,7 @@ impl Protocol for Ic3Protocol {
         key: u64,
         f: &mut dyn FnMut(&mut Row),
     ) -> Result<(), Abort> {
+        ctx.forbid_snapshot_write("update");
         let i = self.access(db, ctx, table, key, true)?;
         f(&mut ctx.accesses[i].local);
         ctx.accesses[i].dirty = true;
@@ -486,6 +490,7 @@ impl Protocol for Ic3Protocol {
         if ctx.shared.is_aborted() {
             return Err(ctx.abort_err());
         }
+        ctx.forbid_snapshot_write("insert");
         ctx.op_seq += 1;
         ctx.inserts.push(PendingInsert {
             table,
@@ -497,6 +502,12 @@ impl Protocol for Ic3Protocol {
     }
 
     fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+        // Snapshot mode bypasses pieces, dependencies and accessor lists.
+        if ctx.snapshot.is_some() {
+            let res = crate::protocol::commit_snapshot(db, ctx);
+            ctx.shared.mark_released();
+            return res;
+        }
         // Commit ordering: wait for every dependency to finish; a finished-
         // aborted dependency that wrote data we (may) have read cascades.
         let t0 = Instant::now();
@@ -532,11 +543,15 @@ impl Protocol for Ic3Protocol {
                 .filter(|a| a.dirty)
                 .map(|a| (a.table, a.tuple.row_id, &a.local)),
         );
+        // MVCC commit timestamp for the versioned installs below.
+        ctx.commit_ts = db.commit_clock.allocate();
         if !ctx.shared.try_commit_point() {
+            db.commit_clock.finish(ctx.commit_ts);
             return Err(ctx.abort_err());
         }
-        // Install writes (column-masked) and clear accessor entries and
-        // versions.
+        // Install writes (column-masked) as new committed versions and
+        // clear accessor entries and versions.
+        let watermark = db.gc_watermark();
         for i in 0..ctx.accesses.len() {
             let a = &ctx.accesses[i];
             let mut st = a.tuple.meta.ic3.lock();
@@ -546,7 +561,7 @@ impl Protocol for Ic3Protocol {
                 st.versions.retain(|v| v.txn.id != ctx.shared.id);
                 let mut base = a.tuple.read_row();
                 apply_masked(&mut base, &a.local, wmask);
-                a.tuple.install(base);
+                a.tuple.install_versioned(base, ctx.commit_ts, watermark);
                 st.install_seq += 1;
             }
             st.accessors.retain(|e| e.txn.id != ctx.shared.id);
@@ -554,13 +569,15 @@ impl Protocol for Ic3Protocol {
             ctx.accesses[i].state = AccessState::Released;
         }
         apply_inserts(db, ctx);
+        db.note_commit(ctx.commit_ts);
         ctx.shared.mark_released();
         Ok(())
     }
 
-    fn abort(&self, _db: &Database, ctx: &mut TxnCtx) -> usize {
+    fn abort(&self, db: &Database, ctx: &mut TxnCtx) -> usize {
         ctx.shared.set_abort(AbortReason::User);
         ctx.inserts.clear();
+        ctx.end_snapshot(db);
         let mut cascaded = 0;
         for i in 0..ctx.accesses.len() {
             if ctx.accesses[i].state == AccessState::Released {

@@ -21,9 +21,9 @@ use std::time::{Duration, Instant};
 use bamboo_storage::{Row, TableId, Tuple};
 
 use crate::db::Database;
-use crate::lock::{Acquired, LockPolicy};
+use crate::lock::{Acquired, CommitInstall, LockPolicy};
 use crate::meta::TupleCc;
-use crate::protocol::{apply_inserts, Protocol};
+use crate::protocol::{apply_inserts, commit_snapshot, snapshot_read, Protocol};
 use crate::ts::UNASSIGNED;
 use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
 use crate::wal::WalBuffer;
@@ -58,7 +58,13 @@ pub enum IsolationLevel {
     ReadCommitted,
     /// "Read uncommitted means each retire becomes a release": writes
     /// install at retire time with no dependency tracking; reads take the
-    /// newest dirty version with no locks at all.
+    /// newest dirty version with no locks at all. These early installs
+    /// overwrite the committed image *in place* (no commit timestamp, no
+    /// version-chain entry), so RU writers are **not** snapshot-consistent:
+    /// a concurrent [`crate::protocol::Protocol::begin_snapshot`] reader
+    /// may see RU writes mutate under its snapshot. Snapshot mode composes
+    /// with the timestamped commit paths (Serializable / RepeatableRead /
+    /// ReadCommitted writers, Silo, IC3) only.
     ReadUncommitted,
 }
 
@@ -191,6 +197,7 @@ impl LockingProtocol {
         tuple: &Arc<Tuple<TupleCc>>,
         mode: LockMode,
     ) -> Result<(Row, bool), Abort> {
+        ctx.locks_acquired += 1;
         let pol = self.access_policy(ctx);
         if ctx.opaque {
             // §3.4 opacity: "wait on a tuple until the retired and owners
@@ -406,15 +413,24 @@ impl LockingProtocol {
         }
     }
 
-    /// Releases every entry (commit or abort path). Returns cascaded count.
-    fn release_all(&self, ctx: &mut TxnCtx, committed: bool) -> usize {
+    /// Releases every entry (commit or abort path). On commit, dirty
+    /// images install as new committed versions tagged with the
+    /// transaction's commit timestamp; `watermark` drives the eager
+    /// version-chain GC. Returns cascaded count.
+    fn release_all(&self, ctx: &mut TxnCtx, committed: bool, watermark: u64) -> usize {
         let mut cascaded = 0;
+        let commit_ts = ctx.commit_ts;
         for a in ctx.accesses.iter_mut() {
             if a.state == AccessState::Released {
                 continue;
             }
             let install = if committed && a.dirty {
-                Some((&*a.tuple, &a.local))
+                Some(CommitInstall {
+                    tuple: &a.tuple,
+                    row: &a.local,
+                    commit_ts,
+                    watermark,
+                })
             } else {
                 None
             };
@@ -453,6 +469,9 @@ impl Protocol for LockingProtocol {
             return Err(ctx.abort_err());
         }
         ctx.op_seq += 1;
+        if ctx.snapshot.is_some() {
+            return snapshot_read(db, ctx, table, key);
+        }
         let tuple = db
             .table(table)
             .get(key)
@@ -548,6 +567,7 @@ impl Protocol for LockingProtocol {
         if ctx.shared.is_aborted() {
             return Err(ctx.abort_err());
         }
+        ctx.forbid_snapshot_write("update");
         ctx.op_seq += 1;
         let tuple = db
             .table(table)
@@ -579,6 +599,7 @@ impl Protocol for LockingProtocol {
                         // ownership). The local copy stays valid: we held SH
                         // continuously, so the committed image cannot have
                         // changed under us.
+                        ctx.locks_acquired += 1;
                         let t0 = Instant::now();
                         let res = loop {
                             let outcome = {
@@ -673,7 +694,12 @@ impl Protocol for LockingProtocol {
             let a = &mut ctx.accesses[i];
             if self.isolation == IsolationLevel::ReadUncommitted {
                 let mut st = a.tuple.meta.lock.lock();
-                st.release(&ctx.shared, &self.policy, true, Some((&*a.tuple, &a.local)));
+                st.release(
+                    &ctx.shared,
+                    &self.policy,
+                    true,
+                    Some(CommitInstall::untimed(&a.tuple, &a.local)),
+                );
                 a.state = AccessState::Released;
             } else {
                 let mut st = a.tuple.meta.lock.lock();
@@ -696,6 +722,7 @@ impl Protocol for LockingProtocol {
         if ctx.shared.is_aborted() {
             return Err(ctx.abort_err());
         }
+        ctx.forbid_snapshot_write("insert");
         ctx.op_seq += 1;
         // Phantom protection: lock the gap before making the insert
         // pending (tables without an ordered index skip this, as DBx1000's
@@ -711,6 +738,11 @@ impl Protocol for LockingProtocol {
     }
 
     fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+        // Snapshot mode holds no locks, wrote nothing, and cannot be
+        // wounded: the commit is just the registry release.
+        if ctx.snapshot.is_some() {
+            return commit_snapshot(db, ctx);
+        }
         // Algorithm 1 lines 4–5: wait for the commit semaphore. The
         // adaptive clause of Optimization 2 fires mid-wait: once we have
         // been stalled for longer than δ of the execution time so far, the
@@ -749,19 +781,29 @@ impl Protocol for LockingProtocol {
                 .filter(|a| a.dirty)
                 .map(|a| (a.table, a.tuple.row_id, &a.local)),
         );
+        // Allocate the MVCC commit timestamp just before the commit point:
+        // installs (and commit-time inserts) are tagged with it, and the
+        // clock keeps it "in flight" until every install landed, so
+        // snapshots can never be taken in the middle of this commit.
+        ctx.commit_ts = db.commit_clock.allocate();
         if !ctx.shared.try_commit_point() {
+            // A wound won the race: nothing installs under this timestamp,
+            // so retire it immediately or the stable point stalls.
+            db.commit_clock.finish(ctx.commit_ts);
             return Err(ctx.abort_err());
         }
         apply_inserts(db, ctx);
-        self.release_all(ctx, true);
+        self.release_all(ctx, true, db.gc_watermark());
+        db.note_commit(ctx.commit_ts);
         Ok(())
     }
 
-    fn abort(&self, _db: &Database, ctx: &mut TxnCtx) -> usize {
+    fn abort(&self, db: &Database, ctx: &mut TxnCtx) -> usize {
         // Self-aborts (user logic) arrive here without a prior set_abort.
         ctx.shared.set_abort(AbortReason::User);
         ctx.inserts.clear();
-        self.release_all(ctx, false)
+        ctx.end_snapshot(db);
+        self.release_all(ctx, false, 0)
     }
 }
 
@@ -969,6 +1011,28 @@ mod tests {
         proto.update(&db, &mut ctx, t, 1, &mut add_100).unwrap();
         proto.commit(&db, &mut ctx, &mut wal).unwrap();
         assert_eq!(db.table(t).get(1).unwrap().read_row().get_i64(1), 300);
+    }
+
+    #[test]
+    fn read_uncommitted_early_installs_do_not_version() {
+        // RU's retire-becomes-release installs have no commit timestamp;
+        // they must overwrite in place — pushing chain entries that no
+        // watermark ever collects would leak a version per write.
+        let (db, t) = setup();
+        let proto = LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadUncommitted);
+        let mut wal = WalBuffer::for_tests();
+        for _ in 0..50 {
+            let mut ctx = proto.begin(&db);
+            proto.update(&db, &mut ctx, t, 0, &mut add_100).unwrap();
+            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        }
+        let tup = db.table(t).get(0).unwrap();
+        assert_eq!(
+            tup.retained_versions(),
+            0,
+            "untimed installs must not grow the version chain"
+        );
+        assert_eq!(tup.read_row().get_i64(1), 5000);
     }
 
     #[test]

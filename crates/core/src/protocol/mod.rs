@@ -42,6 +42,22 @@ pub trait Protocol: Send + Sync {
     /// Starts a new transaction attempt.
     fn begin(&self, db: &Database) -> TxnCtx;
 
+    /// Starts a *read-only snapshot* attempt: every read resolves against
+    /// the committed version chains at the registered snapshot timestamp
+    /// with zero lock-manager interaction — the transaction can neither
+    /// block nor be aborted by writers. Writes are forbidden in this mode.
+    ///
+    /// Consistency requires writers to commit through the timestamped MVCC
+    /// install path, which every protocol's commit does — except
+    /// [`IsolationLevel::ReadUncommitted`](crate::protocol::IsolationLevel)
+    /// writers, whose early installs overwrite in place and are therefore
+    /// not snapshot-consistent (RU permits dirty reads by definition).
+    fn begin_snapshot(&self, db: &Database) -> TxnCtx {
+        let mut ctx = self.begin(db);
+        ctx.snapshot = Some(db.register_snapshot());
+        ctx
+    }
+
     /// Reads a row (shared access); returns a reference to the
     /// transaction-local copy.
     fn read<'c>(
@@ -96,13 +112,69 @@ pub trait Protocol: Send + Sync {
     }
 }
 
-/// Applies buffered inserts at commit time (shared by all protocols).
+/// Applies buffered inserts at commit time (shared by all protocols). The
+/// new rows' first version carries the transaction's commit timestamp, so
+/// snapshots older than the inserting transaction do not see them.
 pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
     for ins in ctx.inserts.drain(..) {
         let table = db.table(ins.table);
-        let tuple = table.insert(ins.key, ins.row);
+        let tuple = table.insert_at(ins.key, ins.row, ctx.commit_ts);
         if let Some((slot, skey)) = ins.secondary {
             table.secondary_index(slot).insert(skey, tuple.row_id);
         }
     }
+}
+
+/// Shared read path of snapshot mode: resolve `key` against the version
+/// chain at the context's snapshot timestamp — no lock-manager interaction
+/// of any kind. Panics when the row is invisible at the snapshot (callers
+/// scanning volatile key spaces must check [`bamboo_storage::Tuple::visible_at`]
+/// first, exactly like the existing storage-level existence guards).
+pub(crate) fn snapshot_read<'c>(
+    db: &Database,
+    ctx: &'c mut TxnCtx,
+    table: TableId,
+    key: u64,
+) -> Result<&'c Row, crate::txn::Abort> {
+    let snap = ctx.snapshot.expect("snapshot_read outside snapshot mode");
+    let tuple = db
+        .table(table)
+        .get(key)
+        .unwrap_or_else(|| panic!("snapshot read: missing key {key} in table {}", table.0));
+    if let Some(i) = ctx.find_access(table, tuple.row_id) {
+        return Ok(&ctx.accesses[i].local);
+    }
+    let row = tuple.read_at(snap).unwrap_or_else(|| {
+        panic!(
+            "snapshot read of key {key} in table {} invisible at ts {snap} \
+             (check Tuple::visible_at before reading volatile keys)",
+            table.0
+        )
+    });
+    let i = ctx.push_access(crate::txn::Access {
+        table,
+        tuple,
+        mode: crate::txn::LockMode::Sh,
+        local: row,
+        dirty: false,
+        state: crate::txn::AccessState::Released,
+        observed_tid: 0,
+        observed_seq: 0,
+        group: 0,
+    });
+    Ok(&ctx.accesses[i].local)
+}
+
+/// Shared commit path of snapshot mode: no locks to release, no log to
+/// write — pass the commit point and release the snapshot registration so
+/// the GC watermark can advance.
+pub(crate) fn commit_snapshot(db: &Database, ctx: &mut TxnCtx) -> Result<(), Abort> {
+    debug_assert_eq!(
+        ctx.locks_acquired, 0,
+        "snapshot mode must never touch the lock manager"
+    );
+    let committed = ctx.shared.try_commit_point();
+    debug_assert!(committed, "nothing can wound a snapshot transaction");
+    ctx.end_snapshot(db);
+    Ok(())
 }

@@ -71,6 +71,23 @@ pub struct WorkerStats {
     /// Commit-latency histogram: bucket i counts commits with latency in
     /// [2^i, 2^{i+1}) microseconds (32 buckets ≈ up to ~1 hour).
     pub latency_us_log2: [u64; 32],
+    /// Lock-manager acquisitions across all non-snapshot attempts (lock
+    /// table requests, upgrades, Silo write-set locks).
+    pub lock_acquisitions: u64,
+    /// Committed read-only snapshot transactions (own bucket — not
+    /// included in [`WorkerStats::commits`]).
+    pub snapshot_commits: u64,
+    /// Aborted snapshot attempts (should stay 0: snapshot mode can neither
+    /// block nor be wounded; also counted in [`WorkerStats::aborts`]).
+    pub snapshot_aborts: u64,
+    /// Lock-manager acquisitions by snapshot-mode attempts. The snapshot
+    /// read path bypasses the lock manager entirely, so this must be 0 —
+    /// benches assert it.
+    pub snapshot_lock_acquisitions: u64,
+    /// Latency histogram of snapshot commits, same bucketing as
+    /// [`WorkerStats::latency_us_log2`] (own bucket so 1000-tuple scans do
+    /// not pollute the short-transaction percentiles).
+    pub snapshot_latency_us_log2: [u64; 32],
 }
 
 impl WorkerStats {
@@ -90,9 +107,19 @@ impl WorkerStats {
     pub fn record_commit(&mut self, wall: Duration) {
         self.commits += 1;
         self.committed_wall += wall;
+        self.latency_us_log2[Self::latency_bucket(wall)] += 1;
+    }
+
+    /// Records one committed read-only snapshot attempt (own bucket).
+    pub fn record_snapshot_commit(&mut self, wall: Duration) {
+        self.snapshot_commits += 1;
+        self.snapshot_latency_us_log2[Self::latency_bucket(wall)] += 1;
+    }
+
+    #[inline]
+    fn latency_bucket(wall: Duration) -> usize {
         let us = wall.as_micros().max(1) as u64;
-        let bucket = (63 - us.leading_zeros() as usize).min(31);
-        self.latency_us_log2[bucket] += 1;
+        (63 - us.leading_zeros() as usize).min(31)
     }
 
     /// Accumulates another worker's counters into this one.
@@ -110,8 +137,13 @@ impl WorkerStats {
         self.cascade_victims += other.cascade_victims;
         self.max_chain = self.max_chain.max(other.max_chain);
         self.log_bytes += other.log_bytes;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.snapshot_commits += other.snapshot_commits;
+        self.snapshot_aborts += other.snapshot_aborts;
+        self.snapshot_lock_acquisitions += other.snapshot_lock_acquisitions;
         for i in 0..32 {
             self.latency_us_log2[i] += other.latency_us_log2[i];
+            self.snapshot_latency_us_log2[i] += other.snapshot_latency_us_log2[i];
         }
     }
 }
@@ -173,13 +205,35 @@ impl BenchResult {
     /// Approximate latency percentile in microseconds (upper bucket bound),
     /// e.g. `latency_percentile_us(0.99)` for p99.
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        let total: u64 = self.totals.latency_us_log2.iter().sum();
+        Self::percentile_of(&self.totals.latency_us_log2, q)
+    }
+
+    /// Commits per second of the read-only snapshot bucket.
+    pub fn snapshot_throughput(&self) -> f64 {
+        self.totals.snapshot_commits as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Commits per second across *both* buckets (locking + snapshot).
+    /// Use this when comparing runs whose read-only transactions land in
+    /// different buckets (e.g. fig7's locking vs snapshot series) — the
+    /// per-bucket rates have mismatched denominators.
+    pub fn total_throughput(&self) -> f64 {
+        (self.totals.commits + self.totals.snapshot_commits) as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Approximate latency percentile of the snapshot-commit bucket.
+    pub fn snapshot_latency_percentile_us(&self, q: f64) -> u64 {
+        Self::percentile_of(&self.totals.snapshot_latency_us_log2, q)
+    }
+
+    fn percentile_of(hist: &[u64; 32], q: f64) -> u64 {
+        let total: u64 = hist.iter().sum();
         if total == 0 {
             return 0;
         }
         let target = (total as f64 * q).ceil() as u64;
         let mut seen = 0;
-        for (i, &c) in self.totals.latency_us_log2.iter().enumerate() {
+        for (i, &c) in hist.iter().enumerate() {
             seen += c;
             if seen >= target {
                 return 1u64 << (i + 1);

@@ -433,6 +433,19 @@ pub struct TxnCtx {
     index: HashMap<(u32, RowId), usize>,
     /// Buffered inserts.
     pub inserts: Vec<PendingInsert>,
+    /// Read-only snapshot mode: `Some(ts)` when every read resolves
+    /// against the committed version chains at timestamp `ts` with zero
+    /// lock-manager interaction. Writes are forbidden. Set by
+    /// [`crate::protocol::Protocol::begin_snapshot`], cleared (and the
+    /// registry entry released) by [`TxnCtx::end_snapshot`].
+    pub snapshot: Option<u64>,
+    /// Commit timestamp allocated at the commit point (0 until then);
+    /// versioned installs and commit-time inserts are tagged with it.
+    pub commit_ts: u64,
+    /// Lock-manager acquisitions this attempt (lock table requests, Silo
+    /// write-set locks). Snapshot-mode attempts must end with 0 — the
+    /// stats layer asserts the read path truly bypasses the lock manager.
+    pub locks_acquired: u64,
     /// Declared number of operations (stored-procedure mode) for the δ
     /// heuristic of Optimization 2; `None` in interactive mode.
     pub planned_ops: Option<usize>,
@@ -461,6 +474,9 @@ impl TxnCtx {
             accesses: Vec::with_capacity(16),
             index: HashMap::with_capacity(16),
             inserts: Vec::new(),
+            snapshot: None,
+            commit_ts: 0,
+            locks_acquired: 0,
             planned_ops: None,
             op_seq: 0,
             timers: TxnTimers::default(),
@@ -502,6 +518,26 @@ impl TxnCtx {
     /// Returns an abort error carrying the shared handle's recorded reason.
     pub fn abort_err(&self) -> Abort {
         Abort(self.shared.abort_reason())
+    }
+
+    /// Panics when this context is a read-only snapshot: every protocol's
+    /// write paths call this before mutating, keeping the enforcement (and
+    /// its message) uniform.
+    #[inline]
+    pub fn forbid_snapshot_write(&self, op: &str) {
+        assert!(
+            self.snapshot.is_none(),
+            "read-only snapshot transactions cannot {op}"
+        );
+    }
+
+    /// Ends snapshot mode: releases the registry entry so the GC
+    /// watermark can advance past this snapshot. Idempotent; called by
+    /// every protocol's commit and abort paths.
+    pub fn end_snapshot(&mut self, db: &crate::db::Database) {
+        if let Some(ts) = self.snapshot.take() {
+            db.release_snapshot(ts);
+        }
     }
 }
 

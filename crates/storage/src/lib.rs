@@ -14,6 +14,25 @@
 //! lightweight `parking_lot::RwLock`; *logical* isolation is entirely the
 //! protocol's job.
 //!
+//! ## Module map and the version-chain lifecycle
+//!
+//! * [`catalog`]/[`table`] — tables, tuples, and the append-only tuple
+//!   slab; [`index`]/[`ordered`] — primary/secondary hash indexes and the
+//!   ordered (range/next-key) index.
+//! * [`version`] — each tuple's committed [`VersionChain`]: the newest
+//!   image plus older versions tagged with commit timestamps. Committing
+//!   writers call [`Tuple::install_versioned`] with the commit timestamp
+//!   allocated by `bamboo-core`'s commit clock, which pushes the previous
+//!   image onto the chain; lock-free snapshot readers resolve
+//!   [`Tuple::read_at`] against it; every install eagerly garbage-collects
+//!   versions superseded at or below the global snapshot watermark
+//!   published by the active-transaction registry in `bamboo_core::db`, so
+//!   chains stay empty when no snapshot is live and bounded by the commits
+//!   since the oldest live snapshot otherwise. Rows inserted
+//!   transactionally enter via [`Table::insert_at`] with their commit
+//!   timestamp, making them invisible to older snapshots (no snapshot
+//!   phantoms).
+//!
 //! ```
 //! use bamboo_storage::{Catalog, Schema, DataType, Value, Row};
 //!
@@ -27,13 +46,14 @@
 //! assert_eq!(t.get(1).unwrap().read_row().get_i64(1), 100);
 //! ```
 
-mod catalog;
-mod index;
-mod ordered;
+pub mod catalog;
+pub mod index;
+pub mod ordered;
 mod row;
 mod schema;
-mod table;
-mod value;
+pub mod table;
+pub mod value;
+pub mod version;
 
 pub use catalog::{Catalog, TableId};
 pub use index::{hash_key, SecondaryIndex, ShardedIndex};
@@ -42,3 +62,4 @@ pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::{RowId, Table, Tuple};
 pub use value::Value;
+pub use version::{VersionChain, TS_LOADER};

@@ -116,6 +116,92 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_range_scans_race_interleaved_inserts() {
+        // Two writers interleave inserts into disjoint key classes (even /
+        // odd) while readers range-scan: every observed scan must be a
+        // sorted, duplicate-free subset of the final key set, and within a
+        // class the observed prefix must be contiguous (each writer inserts
+        // its class in ascending order).
+        use std::sync::Arc;
+        let i = Arc::new(OrderedIndex::new());
+        let writers: Vec<_> = [0u64, 1]
+            .into_iter()
+            .map(|parity| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || {
+                    for k in (parity..2000).step_by(2) {
+                        i.insert(k, k * 10);
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let v = i.range(0..=1999);
+                        assert!(
+                            v.windows(2).all(|w| w[0].0 < w[1].0),
+                            "scan must be sorted and duplicate-free"
+                        );
+                        for (k, row) in &v {
+                            assert_eq!(*row, k * 10, "value must match its key");
+                        }
+                        for parity in [0u64, 1] {
+                            let class: Vec<u64> = v
+                                .iter()
+                                .map(|(k, _)| *k)
+                                .filter(|k| k % 2 == parity)
+                                .collect();
+                            assert!(
+                                class.windows(2).all(|w| w[1] == w[0] + 2),
+                                "per-writer inserts must appear as a contiguous prefix"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(i.len(), 2000);
+        assert_eq!(i.range(0..=1999).len(), 2000);
+    }
+
+    #[test]
+    fn next_key_after_races_insert_and_remove() {
+        // A mutator inserts and removes a gap key while readers probe
+        // next_key_after around it: the answer must always be one of the
+        // two legal successors, never a torn state.
+        use std::sync::Arc;
+        let i = Arc::new(OrderedIndex::new());
+        i.insert(10, 100);
+        i.insert(30, 300);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mutator = {
+            let i = Arc::clone(&i);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    i.insert(20, 200);
+                    i.remove(20);
+                }
+            })
+        };
+        for _ in 0..20_000 {
+            match i.next_key_after(10) {
+                Some((20, 200)) | Some((30, 300)) => {}
+                other => panic!("next_key_after saw inconsistent successor {other:?}"),
+            }
+            assert_eq!(i.next_key_after(30), None);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        mutator.join().unwrap();
+    }
+
+    #[test]
     fn concurrent_insert_and_scan() {
         use std::sync::Arc;
         let i = Arc::new(OrderedIndex::new());

@@ -1,7 +1,8 @@
 //! Tables and tuples.
 //!
 //! A [`Table`] owns its tuples and a primary-key hash index. Each [`Tuple`]
-//! carries the committed row image behind a `RwLock` plus a generic `meta`
+//! carries its committed [`VersionChain`] (newest image + older versions
+//! retained for live snapshots) behind a `RwLock`, plus a generic `meta`
 //! slot where the concurrency-control layer keeps its per-tuple state (lock
 //! entry with `owners`/`waiters`/`retired` lists for the 2PL family, TID
 //! word for Silo, accessor lists for IC3 — see `bamboo-core`).
@@ -17,39 +18,78 @@ use crate::index::{SecondaryIndex, ShardedIndex};
 use crate::ordered::OrderedIndex;
 use crate::row::Row;
 use crate::schema::Schema;
+use crate::version::VersionChain;
 
 /// Stable identifier of a tuple within its table (slab position).
 pub type RowId = u64;
 
-/// A physical tuple: committed row image + protocol metadata.
+/// A physical tuple: committed version chain + protocol metadata.
 pub struct Tuple<M> {
     /// Stable id of this tuple within its table.
     pub row_id: RowId,
     /// Primary key the tuple was inserted under.
     pub key: u64,
-    /// Committed row image. Protocols install new images at commit.
-    data: RwLock<Row>,
+    /// Committed images: the current row plus older versions retained for
+    /// live snapshots. Protocols install new versions at commit.
+    data: RwLock<VersionChain>,
     /// Per-tuple concurrency-control metadata.
     pub meta: M,
 }
 
 impl<M> Tuple<M> {
-    /// Snapshot the committed row (clones values; strings are refcounted).
+    /// Snapshot the newest committed row (clones values; strings are
+    /// refcounted).
     #[inline]
     pub fn read_row(&self) -> Row {
-        self.data.read().clone()
+        self.data.read().latest().clone()
     }
 
-    /// Applies `f` to the committed row without cloning it.
+    /// Applies `f` to the newest committed row without cloning it.
     #[inline]
     pub fn with_row<R>(&self, f: impl FnOnce(&Row) -> R) -> R {
-        f(&self.data.read())
+        f(self.data.read().latest())
     }
 
-    /// Overwrites the committed row image (protocol commit path).
+    /// Overwrites the newest committed image in place without creating a
+    /// version (legacy install path; snapshot visibility is unchanged).
     #[inline]
     pub fn install(&self, row: Row) {
-        *self.data.write() = row;
+        self.data.write().overwrite(row);
+    }
+
+    /// Installs `row` as a new committed version at `commit_ts`, pushing
+    /// the previous image onto the version chain and eagerly collecting
+    /// versions no snapshot at or above `watermark` can see (MVCC commit
+    /// path).
+    #[inline]
+    pub fn install_versioned(&self, row: Row, commit_ts: u64, watermark: u64) {
+        self.data.write().install_at(row, commit_ts, watermark);
+    }
+
+    /// The newest version visible at snapshot timestamp `snap`, or `None`
+    /// when the tuple was inserted after the snapshot was taken.
+    #[inline]
+    pub fn read_at(&self, snap: u64) -> Option<Row> {
+        self.data.read().read_at(snap).cloned()
+    }
+
+    /// True when some version of this tuple is visible at `snap`.
+    #[inline]
+    pub fn visible_at(&self, snap: u64) -> bool {
+        self.data.read().visible_at(snap)
+    }
+
+    /// Commit timestamp of the newest committed image (0 for loader rows).
+    #[inline]
+    pub fn commit_ts(&self) -> u64 {
+        self.data.read().latest_ts()
+    }
+
+    /// Number of retained older versions (0 when only the newest image
+    /// exists).
+    #[inline]
+    pub fn retained_versions(&self) -> usize {
+        self.data.read().retained()
     }
 }
 
@@ -92,13 +132,21 @@ impl<M: Default> Table<M> {
     /// inserts; storage-level insert is immediately visible, matching
     /// DBx1000.)
     pub fn insert(&self, key: u64, row: Row) -> Arc<Tuple<M>> {
+        self.insert_at(key, row, crate::version::TS_LOADER)
+    }
+
+    /// Inserts a new tuple whose first version is committed at `commit_ts`:
+    /// snapshots older than `commit_ts` do not see it (transactional
+    /// inserts applied at commit). Duplicate keys panic, as in
+    /// [`Table::insert`].
+    pub fn insert_at(&self, key: u64, row: Row, commit_ts: u64) -> Arc<Tuple<M>> {
         debug_assert!(self.schema.validate(row.values()).is_ok());
         let mut slab = self.slab.write();
         let row_id = slab.len() as RowId;
         let tuple = Arc::new(Tuple {
             row_id,
             key,
-            data: RwLock::new(row),
+            data: RwLock::new(VersionChain::new_at(row, commit_ts)),
             meta: M::default(),
         });
         slab.push(Arc::clone(&tuple));
@@ -232,6 +280,36 @@ mod tests {
         let t = table();
         t.insert(1, row(1, 0));
         t.insert(1, row(1, 0));
+    }
+
+    #[test]
+    fn versioned_install_preserves_snapshot_reads() {
+        let t = table();
+        let tup = t.insert(1, row(1, 5));
+        // Commit at ts=10 with no live snapshot below 0: the old image is
+        // retained until GC's watermark passes it.
+        tup.install_versioned(row(1, 99), 10, 0);
+        assert_eq!(tup.read_row().get_i64(1), 99);
+        assert_eq!(tup.read_at(9).unwrap().get_i64(1), 5);
+        assert_eq!(tup.read_at(10).unwrap().get_i64(1), 99);
+        assert_eq!(tup.commit_ts(), 10);
+        assert_eq!(tup.retained_versions(), 1);
+        // A later install with the watermark at 10 reclaims the ts=0 image.
+        tup.install_versioned(row(1, 100), 20, 10);
+        assert_eq!(tup.retained_versions(), 1);
+        assert_eq!(tup.read_at(10).unwrap().get_i64(1), 99);
+    }
+
+    #[test]
+    fn insert_at_hides_row_from_older_snapshots() {
+        let t = table();
+        let tup = t.insert_at(7, row(7, 1), 42);
+        assert!(!tup.visible_at(41));
+        assert!(tup.read_at(41).is_none());
+        assert_eq!(tup.read_at(42).unwrap().get_i64(1), 1);
+        // Point lookups still find the tuple (visibility is the caller's
+        // check, matching the protocol layer's contract).
+        assert!(t.get(7).is_some());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Committed version chains (MVCC substrate).
+//!
+//! Each [`crate::Tuple`] keeps, besides the newest committed image, a short
+//! chain of *older* committed images tagged with the commit timestamp at
+//! which each became current. Read-only snapshot transactions resolve their
+//! reads against this chain with **no lock-manager interaction**: a
+//! snapshot at timestamp `s` sees, for every tuple, the newest version
+//! whose commit timestamp is `<= s`.
+//!
+//! Lifecycle of a version:
+//!
+//! 1. A committing writer calls [`VersionChain::install_at`] with its
+//!    commit timestamp: the previous newest image moves into the `older`
+//!    chain, tagged with the timestamp it had been current since.
+//! 2. Snapshot readers call [`VersionChain::read_at`]; rows whose first
+//!    version postdates the snapshot are *invisible* (`None`), which is how
+//!    snapshot scans avoid phantoms from later inserts.
+//! 3. Every install eagerly garbage-collects ([`VersionChain::gc`])
+//!    versions that no live snapshot can still see — i.e. versions
+//!    superseded at or below the global snapshot watermark maintained by
+//!    `bamboo-core`'s active-transaction registry. Chain length is thus
+//!    bounded by the number of commits since the oldest live snapshot, and
+//!    is zero when no snapshot is active.
+//!
+//! The chain stores `(commit_ts, row)` pairs sorted by ascending timestamp;
+//! commit timestamps are forced per-tuple monotonic so a chain can never
+//! contain two versions with the same tag.
+
+use crate::row::Row;
+
+/// Commit timestamp of loader-inserted rows: visible to every snapshot.
+pub const TS_LOADER: u64 = 0;
+
+/// A tuple's committed image plus its retained older versions.
+pub struct VersionChain {
+    /// Commit timestamp at which `latest` became the current image.
+    latest_ts: u64,
+    /// The newest committed image.
+    latest: Row,
+    /// Older committed images as `(commit_ts, row)`, ascending by
+    /// timestamp. Empty unless a live snapshot pins history.
+    older: Vec<(u64, Row)>,
+}
+
+impl VersionChain {
+    /// A chain whose initial image is visible to every snapshot (loader
+    /// path).
+    pub fn new(row: Row) -> Self {
+        Self::new_at(row, TS_LOADER)
+    }
+
+    /// A chain created at commit timestamp `commit_ts` (transactional
+    /// insert): invisible to snapshots older than `commit_ts`.
+    pub fn new_at(row: Row, commit_ts: u64) -> Self {
+        VersionChain {
+            latest_ts: commit_ts,
+            latest: row,
+            older: Vec::new(),
+        }
+    }
+
+    /// The newest committed image.
+    #[inline]
+    pub fn latest(&self) -> &Row {
+        &self.latest
+    }
+
+    /// Commit timestamp of the newest image.
+    #[inline]
+    pub fn latest_ts(&self) -> u64 {
+        self.latest_ts
+    }
+
+    /// Overwrites the newest image in place without creating a version
+    /// (non-MVCC legacy install path; the timestamp is unchanged).
+    pub fn overwrite(&mut self, row: Row) {
+        self.latest = row;
+    }
+
+    /// Installs `row` as the new current image committed at `commit_ts`,
+    /// pushing the previous image onto the chain, then eagerly collects
+    /// everything below `watermark`. Timestamps are forced monotonic per
+    /// tuple, so an out-of-order or zero `commit_ts` still yields a valid
+    /// chain.
+    pub fn install_at(&mut self, row: Row, commit_ts: u64, watermark: u64) {
+        let ts = commit_ts.max(self.latest_ts + 1);
+        let prev = std::mem::replace(&mut self.latest, row);
+        self.older.push((self.latest_ts, prev));
+        self.latest_ts = ts;
+        self.gc(watermark);
+    }
+
+    /// The newest version visible at snapshot timestamp `snap`, or `None`
+    /// when the tuple did not yet exist at `snap` (or the needed version
+    /// was reclaimed — callers must register their snapshot with the
+    /// watermark registry to rule that out).
+    pub fn read_at(&self, snap: u64) -> Option<&Row> {
+        if self.latest_ts <= snap {
+            return Some(&self.latest);
+        }
+        // Newest older version with ts <= snap (chain is ascending).
+        self.older
+            .iter()
+            .rev()
+            .find(|(ts, _)| *ts <= snap)
+            .map(|(_, row)| row)
+    }
+
+    /// True when some version of this tuple is visible at `snap`.
+    #[inline]
+    pub fn visible_at(&self, snap: u64) -> bool {
+        self.latest_ts <= snap || self.older.first().is_some_and(|(ts, _)| *ts <= snap)
+    }
+
+    /// Reclaims every version that no snapshot at or above `watermark` can
+    /// see: a version is dead once its *successor* was already committed at
+    /// or below the watermark. Returns the number of versions reclaimed.
+    pub fn gc(&mut self, watermark: u64) -> usize {
+        let mut cut = 0;
+        while cut < self.older.len() {
+            let successor_ts = self
+                .older
+                .get(cut + 1)
+                .map_or(self.latest_ts, |(ts, _)| *ts);
+            if successor_ts <= watermark {
+                cut += 1;
+            } else {
+                break;
+            }
+        }
+        self.older.drain(..cut);
+        cut
+    }
+
+    /// Number of retained *older* versions (0 when only the newest image
+    /// exists).
+    #[inline]
+    pub fn retained(&self) -> usize {
+        self.older.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(v: i64) -> Row {
+        Row::from(vec![Value::I64(v)])
+    }
+
+    fn val(r: &Row) -> i64 {
+        r.get_i64(0)
+    }
+
+    #[test]
+    fn loader_row_visible_at_any_snapshot() {
+        let c = VersionChain::new(row(1));
+        assert_eq!(c.read_at(0).map(val), Some(1));
+        assert_eq!(c.read_at(u64::MAX).map(val), Some(1));
+        assert!(c.visible_at(0));
+        assert_eq!(c.retained(), 0);
+    }
+
+    #[test]
+    fn insert_at_ts_invisible_before_it() {
+        let c = VersionChain::new_at(row(7), 10);
+        assert_eq!(c.read_at(9), None);
+        assert!(!c.visible_at(9));
+        assert_eq!(c.read_at(10).map(val), Some(7));
+    }
+
+    #[test]
+    fn install_retains_history_without_gc() {
+        let mut c = VersionChain::new(row(0));
+        c.install_at(row(1), 10, 0);
+        c.install_at(row(2), 20, 0);
+        assert_eq!(c.retained(), 2);
+        assert_eq!(c.read_at(0).map(val), Some(0));
+        assert_eq!(c.read_at(9).map(val), Some(0));
+        assert_eq!(c.read_at(10).map(val), Some(1));
+        assert_eq!(c.read_at(19).map(val), Some(1));
+        assert_eq!(c.read_at(20).map(val), Some(2));
+        assert_eq!(c.latest_ts(), 20);
+    }
+
+    #[test]
+    fn gc_reclaims_only_below_watermark() {
+        let mut c = VersionChain::new(row(0));
+        c.install_at(row(1), 10, 0);
+        c.install_at(row(2), 20, 0);
+        // Watermark 15: a snapshot at 15 needs the ts=10 version; only the
+        // ts=0 version (superseded at 10 <= 15) is dead.
+        assert_eq!(c.gc(15), 1);
+        assert_eq!(c.retained(), 1);
+        assert_eq!(c.read_at(15).map(val), Some(1));
+        // Watermark 20: the ts=10 version is superseded at 20 <= 20.
+        assert_eq!(c.gc(20), 1);
+        assert_eq!(c.retained(), 0);
+        assert_eq!(c.read_at(20).map(val), Some(2));
+    }
+
+    #[test]
+    fn eager_gc_at_install_keeps_chain_empty_without_snapshots() {
+        let mut c = VersionChain::new(row(0));
+        for i in 1..100u64 {
+            // Watermark tracks the clock when no snapshot is live.
+            c.install_at(row(i as i64), i, i);
+            assert_eq!(c.retained(), 0, "chain must stay empty at install {i}");
+        }
+        assert_eq!(c.read_at(99).map(val), Some(99));
+    }
+
+    #[test]
+    fn monotonic_timestamps_forced() {
+        let mut c = VersionChain::new(row(0));
+        c.install_at(row(1), 10, 0);
+        // Out-of-order (or legacy ts=0) install still moves forward.
+        c.install_at(row(2), 0, 0);
+        assert_eq!(c.latest_ts(), 11);
+        assert_eq!(c.read_at(10).map(val), Some(1));
+        assert_eq!(c.read_at(11).map(val), Some(2));
+    }
+
+    #[test]
+    fn overwrite_keeps_timestamp_and_history() {
+        let mut c = VersionChain::new(row(0));
+        c.install_at(row(1), 5, 0);
+        c.overwrite(row(9));
+        assert_eq!(c.latest_ts(), 5);
+        assert_eq!(c.read_at(5).map(val), Some(9));
+        assert_eq!(c.read_at(4).map(val), Some(0));
+    }
+}

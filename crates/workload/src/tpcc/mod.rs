@@ -45,6 +45,9 @@ pub struct TpccConfig {
     /// read-only OrderStatus/StockLevel (0 = the paper's pure
     /// NewOrder/Payment mix).
     pub readonly_fraction: f64,
+    /// Run the read-only transactions as lock-free MVCC snapshots instead
+    /// of locking readers.
+    pub readonly_snapshot: bool,
 }
 
 impl Default for TpccConfig {
@@ -58,6 +61,7 @@ impl Default for TpccConfig {
             remote_stock_fraction: 0.01,
             neworder_reads_wytd: false,
             readonly_fraction: 0.0,
+            readonly_snapshot: false,
         }
     }
 }
@@ -72,6 +76,14 @@ impl TpccConfig {
     /// Enables the Figure-11c modified NewOrder.
     pub fn with_neworder_reads_wytd(mut self, on: bool) -> Self {
         self.neworder_reads_wytd = on;
+        self
+    }
+
+    /// Enables a read-only OrderStatus/StockLevel fraction, optionally in
+    /// lock-free MVCC snapshot mode.
+    pub fn with_readonly(mut self, fraction: f64, snapshot: bool) -> Self {
+        self.readonly_fraction = fraction;
+        self.readonly_snapshot = snapshot;
         self
     }
 }
@@ -237,6 +249,7 @@ impl Workload for TpccWorkload {
                         nurand(rng, 1023, 0, self.cfg.customers_per_district - 1),
                         self.cfg.customers_per_district,
                     ),
+                    snapshot: self.cfg.readonly_snapshot,
                 });
             }
             return Box::new(StockLevelTxn {
@@ -245,6 +258,7 @@ impl Workload for TpccWorkload {
                 d,
                 threshold: rng.gen_range(10..=20),
                 items_per_wh: self.cfg.items,
+                snapshot: self.cfg.readonly_snapshot,
             });
         }
         // The paper: "50% new-order transactions and 50% payment".

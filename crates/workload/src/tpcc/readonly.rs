@@ -11,9 +11,22 @@ use bamboo_core::executor::TxnSpec;
 use bamboo_core::protocol::Protocol;
 use bamboo_core::txn::Abort;
 use bamboo_core::{Database, TxnCtx};
+use bamboo_storage::TableId;
 
 use super::loader::TpccTables;
 use super::schema::*;
+
+/// Existence guard for keys materialized by concurrent writers. The
+/// storage-level check (`get(..).is_none()`) says "no committed writer
+/// created this row yet"; in snapshot mode a row must additionally be
+/// *visible at the snapshot* — a row inserted after the snapshot was taken
+/// is a phantom this transaction must skip.
+fn absent(db: &Database, ctx: &TxnCtx, table: TableId, key: u64) -> bool {
+    match db.table(table).get(key) {
+        None => true,
+        Some(tuple) => ctx.snapshot.is_some_and(|snap| !tuple.visible_at(snap)),
+    }
+}
 
 /// ORDER-STATUS: a customer's most recent order and its lines.
 pub struct OrderStatusTxn {
@@ -25,6 +38,8 @@ pub struct OrderStatusTxn {
     pub d: u64,
     /// Encoded customer key.
     pub c_key: u64,
+    /// Run as a lock-free MVCC snapshot instead of taking SH locks.
+    pub snapshot: bool,
 }
 
 impl TxnSpec for OrderStatusTxn {
@@ -34,6 +49,10 @@ impl TxnSpec for OrderStatusTxn {
 
     fn template(&self) -> usize {
         super::txns::TEMPLATE_ORDER_STATUS
+    }
+
+    fn read_only_snapshot(&self) -> bool {
+        self.snapshot
     }
 
     fn run_piece(
@@ -57,8 +76,8 @@ impl TxnSpec for OrderStatusTxn {
         let lo = next.saturating_sub(20).max(3001);
         for o in (lo..next).rev() {
             let okey = order_key(self.w, self.d, o);
-            if db.table(self.tables.orders).get(okey).is_none() {
-                continue; // order not yet committed by its writer
+            if absent(db, ctx, self.tables.orders, okey) {
+                continue; // order not yet committed / not visible at snapshot
             }
             let (c, ol_cnt) = {
                 let row = proto.read(db, ctx, self.tables.orders, okey)?;
@@ -69,7 +88,7 @@ impl TxnSpec for OrderStatusTxn {
             }
             for line in 0..ol_cnt {
                 let lkey = order_line_key(okey, line);
-                if db.table(self.tables.order_line).get(lkey).is_some() {
+                if !absent(db, ctx, self.tables.order_line, lkey) {
                     let row = proto.read(db, ctx, self.tables.order_line, lkey)?;
                     std::hint::black_box(row.get_f64(order_line::OL_AMOUNT));
                 }
@@ -92,6 +111,8 @@ pub struct StockLevelTxn {
     pub threshold: i64,
     /// Items per warehouse (stock-key encoding).
     pub items_per_wh: u64,
+    /// Run as a lock-free MVCC snapshot instead of taking SH locks.
+    pub snapshot: bool,
 }
 
 impl TxnSpec for StockLevelTxn {
@@ -101,6 +122,10 @@ impl TxnSpec for StockLevelTxn {
 
     fn template(&self) -> usize {
         super::txns::TEMPLATE_STOCK_LEVEL
+    }
+
+    fn read_only_snapshot(&self) -> bool {
+        self.snapshot
     }
 
     fn run_piece(
@@ -119,7 +144,7 @@ impl TxnSpec for StockLevelTxn {
         let mut seen: Vec<u64> = Vec::new();
         for o in lo..next {
             let okey = order_key(self.w, self.d, o);
-            if db.table(self.tables.orders).get(okey).is_none() {
+            if absent(db, ctx, self.tables.orders, okey) {
                 continue;
             }
             let ol_cnt = {
@@ -128,7 +153,7 @@ impl TxnSpec for StockLevelTxn {
             };
             for line in 0..ol_cnt {
                 let lkey = order_line_key(okey, line);
-                if db.table(self.tables.order_line).get(lkey).is_none() {
+                if absent(db, ctx, self.tables.order_line, lkey) {
                     continue;
                 }
                 let item = {
@@ -185,6 +210,7 @@ mod tests {
             w: 0,
             d: 0,
             c_key: cust_key(0, 0, 5, cfg.customers_per_district),
+            snapshot: false,
         };
         let mut ctx = proto.begin(&db);
         os.run_piece(0, &db, &proto, &mut ctx).unwrap();
@@ -195,10 +221,33 @@ mod tests {
             d: 0,
             threshold: 15,
             items_per_wh: cfg.items,
+            snapshot: false,
         };
         let mut ctx = proto.begin(&db);
         sl.run_piece(0, &db, &proto, &mut ctx).unwrap();
         proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    }
+
+    #[test]
+    fn snapshot_readonly_txns_run_lock_free() {
+        let cfg = tiny();
+        let (db, tables, _) = load(&cfg);
+        let proto = LockingProtocol::bamboo();
+        let mut wal = WalBuffer::for_tests();
+        let os = OrderStatusTxn {
+            tables,
+            w: 0,
+            d: 0,
+            c_key: cust_key(0, 0, 5, cfg.customers_per_district),
+            snapshot: true,
+        };
+        use bamboo_core::executor::TxnSpec as _;
+        assert!(os.read_only_snapshot());
+        let mut ctx = proto.begin_snapshot(&db);
+        os.run_piece(0, &db, &proto, &mut ctx).unwrap();
+        assert_eq!(ctx.locks_acquired, 0, "snapshot reads must stay lock-free");
+        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        assert_eq!(db.snapshots.active_count(), 0, "snapshot must deregister");
     }
 
     #[test]

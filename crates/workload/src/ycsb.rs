@@ -38,6 +38,11 @@ pub struct YcsbConfig {
     pub long_ro_fraction: f64,
     /// Accesses per long read-only transaction (Figure 7: 1000).
     pub long_ro_ops: usize,
+    /// Run the long read-only transactions in MVCC snapshot mode: reads
+    /// resolve against the committed version chains with zero lock-manager
+    /// interaction instead of taking SH locks (the "snapshot" series of
+    /// the Figure-7 reproduction).
+    pub snapshot_ro: bool,
 }
 
 impl Default for YcsbConfig {
@@ -49,6 +54,7 @@ impl Default for YcsbConfig {
             ops_per_txn: 16,
             long_ro_fraction: 0.0,
             long_ro_ops: 1000,
+            snapshot_ro: false,
         }
     }
 }
@@ -76,6 +82,12 @@ impl YcsbConfig {
     pub fn with_long_readonly(mut self, fraction: f64, ops: usize) -> Self {
         self.long_ro_fraction = fraction;
         self.long_ro_ops = ops;
+        self
+    }
+
+    /// Runs the long read-only transactions as lock-free MVCC snapshots.
+    pub fn with_snapshot_readonly(mut self, on: bool) -> Self {
+        self.snapshot_ro = on;
         self
     }
 }
@@ -114,11 +126,16 @@ struct YcsbOp {
 struct YcsbTxn {
     table: TableId,
     ops: Vec<YcsbOp>,
+    snapshot: bool,
 }
 
 impl TxnSpec for YcsbTxn {
     fn planned_ops(&self) -> Option<usize> {
         Some(self.ops.len())
+    }
+
+    fn read_only_snapshot(&self) -> bool {
+        self.snapshot
     }
 
     fn run_piece(
@@ -196,6 +213,7 @@ impl Workload for YcsbWorkload {
             return Box::new(YcsbTxn {
                 table: self.table,
                 ops,
+                snapshot: self.cfg.snapshot_ro,
             });
         }
         let keys = self.distinct_keys(self.cfg.ops_per_txn, rng);
@@ -214,6 +232,7 @@ impl Workload for YcsbWorkload {
         Box::new(YcsbTxn {
             table: self.table,
             ops,
+            snapshot: false,
         })
     }
 }
@@ -233,6 +252,7 @@ mod tests {
             ops_per_txn: 8,
             long_ro_fraction: 0.0,
             long_ro_ops: 64,
+            snapshot_ro: false,
         }
     }
 
@@ -269,6 +289,37 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let spec = wl.generate(0, &mut rng);
         assert_eq!(spec.planned_ops(), Some(100));
+    }
+
+    #[test]
+    fn snapshot_long_ro_commits_lock_free() {
+        let mut cfg = small_cfg();
+        cfg.long_ro_fraction = 0.3;
+        cfg.long_ro_ops = 64;
+        cfg.snapshot_ro = true;
+        let (db, t) = load(&cfg);
+        for proto in [
+            Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+            Arc::new(SiloProtocol::new()) as Arc<dyn Protocol>,
+        ] {
+            let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg.clone(), t));
+            let res = run_bench(&db, &proto, &wl, &BenchConfig::quick(2));
+            assert!(
+                res.totals.snapshot_commits > 0,
+                "{}: snapshot transactions must commit",
+                res.protocol
+            );
+            assert_eq!(
+                res.totals.snapshot_lock_acquisitions, 0,
+                "{}: snapshot mode must never touch the lock manager",
+                res.protocol
+            );
+            assert_eq!(
+                res.totals.snapshot_aborts, 0,
+                "{}: snapshot readers can neither block nor abort",
+                res.protocol
+            );
+        }
     }
 
     #[test]

@@ -110,6 +110,96 @@ fn user_aborts_counted_and_not_retried() {
     assert!(sum >= res.totals.commits as i64);
 }
 
+/// A read-only scan over all keys, run in MVCC snapshot mode.
+struct SnapScan {
+    t: TableId,
+}
+
+impl TxnSpec for SnapScan {
+    fn planned_ops(&self) -> Option<usize> {
+        Some(32)
+    }
+
+    fn read_only_snapshot(&self) -> bool {
+        true
+    }
+
+    fn run_piece(
+        &self,
+        _p: usize,
+        db: &Database,
+        proto: &dyn Protocol,
+        ctx: &mut TxnCtx,
+    ) -> Result<(), Abort> {
+        for k in 0..32u64 {
+            std::hint::black_box(proto.read(db, ctx, self.t, k)?.get_i64(1));
+        }
+        Ok(())
+    }
+}
+
+struct SnapMixWl {
+    t: TableId,
+}
+
+impl Workload for SnapMixWl {
+    fn name(&self) -> &str {
+        "snapshot-mix"
+    }
+
+    fn generate(&self, _w: usize, rng: &mut SmallRng) -> Box<dyn TxnSpec> {
+        if rng.gen_bool(0.3) {
+            return Box::new(SnapScan { t: self.t });
+        }
+        Box::new(MaybeAbort {
+            t: self.t,
+            key: rng.gen_range(0..32),
+            fail: false,
+        })
+    }
+}
+
+/// Snapshot-mode transactions land in their own stats bucket: commits,
+/// latency histogram and lock-acquisition counters are all separated from
+/// the locking transactions of the same run.
+#[test]
+fn snapshot_transactions_counted_in_their_own_bucket() {
+    let (db, t) = load();
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let wl: Arc<dyn Workload> = Arc::new(SnapMixWl { t });
+    let res = run_bench(
+        &db,
+        &proto,
+        &wl,
+        &BenchConfig {
+            threads: 2,
+            duration: Duration::from_millis(250),
+            warmup: Duration::from_millis(25),
+            seed: 9,
+        },
+    );
+    // Both buckets populated, independently.
+    assert!(res.totals.commits > 0, "locking commits missing");
+    assert!(res.totals.snapshot_commits > 0, "snapshot bucket empty");
+    // Snapshot latency histogram filled exactly per snapshot commit; the
+    // main histogram holds exactly the locking commits.
+    let snap_hist: u64 = res.totals.snapshot_latency_us_log2.iter().sum();
+    let main_hist: u64 = res.totals.latency_us_log2.iter().sum();
+    assert_eq!(snap_hist, res.totals.snapshot_commits);
+    assert_eq!(main_hist, res.totals.commits);
+    // Lock accounting split: writers acquire locks, snapshots never.
+    assert!(res.totals.lock_acquisitions > 0, "writer locks uncounted");
+    assert_eq!(
+        res.totals.snapshot_lock_acquisitions, 0,
+        "snapshot transactions touched the lock manager"
+    );
+    assert_eq!(res.totals.snapshot_aborts, 0, "snapshot scans cannot abort");
+    // Derived metrics are available per bucket.
+    assert!(res.snapshot_throughput() > 0.0);
+    assert!(res.snapshot_latency_percentile_us(0.5) > 0);
+    assert!(res.snapshot_latency_percentile_us(0.99) >= res.snapshot_latency_percentile_us(0.5));
+}
+
 #[test]
 fn latency_percentiles_are_monotonic() {
     let (db, t) = load();

@@ -115,7 +115,9 @@ proptest! {
                         // Retired EX commits install their published version,
                         // mirroring the protocol's commit path.
                         let install = match (state[txn], committed, ex_mode[txn]) {
-                            (3, true, true) => rows[txn].as_ref().map(|r| (&*tup, r)),
+                            (3, true, true) => rows[txn]
+                                .as_ref()
+                                .map(|r| bamboo_repro::core::lock::CommitInstall::untimed(&tup, r)),
                             _ => None,
                         };
                         st.release(&txns[txn], &pol, committed, install);

@@ -1,0 +1,185 @@
+//! Property-based tests for the MVCC version chain and the snapshot read
+//! path:
+//!
+//! * model-based version-chain check: arbitrary interleavings of versioned
+//!   installs, snapshot registrations/releases and GC always read exactly
+//!   what a full-history reference model reads, and GC never reclaims a
+//!   version a live snapshot can still see;
+//! * end-to-end prefix consistency: every snapshot taken between committed
+//!   transactions observes precisely the state after some prefix of the
+//!   commit order.
+
+use std::sync::Arc;
+
+use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
+use bamboo_repro::core::wal::WalBuffer;
+use bamboo_repro::core::Database;
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value, VersionChain};
+use proptest::prelude::*;
+
+/// Operations the model test drives against one version chain.
+#[derive(Clone, Debug)]
+enum ChainOp {
+    /// Install a new committed version with this payload.
+    Install(i64),
+    /// Register a snapshot at the current latest timestamp.
+    Snapshot,
+    /// Release the `i % live`-th live snapshot.
+    Release(usize),
+    /// Run GC at the current watermark.
+    Gc,
+}
+
+fn chain_op_strategy() -> impl Strategy<Value = ChainOp> {
+    prop_oneof![
+        (0i64..1_000).prop_map(ChainOp::Install),
+        (0usize..1).prop_map(|_| ChainOp::Snapshot),
+        (0usize..8).prop_map(ChainOp::Release),
+        (0usize..1).prop_map(|_| ChainOp::Gc),
+    ]
+}
+
+fn row(v: i64) -> Row {
+    Row::from(vec![Value::I64(v)])
+}
+
+/// Reference answer: newest history entry with ts <= snap.
+fn model_read(history: &[(u64, i64)], snap: u64) -> Option<i64> {
+    history
+        .iter()
+        .rev()
+        .find(|(ts, _)| *ts <= snap)
+        .map(|(_, v)| *v)
+}
+
+proptest! {
+    // Default config: CI pins PROPTEST_CASES=64 / PROPTEST_SEED.
+    #![proptest_config(ProptestConfig::default())]
+
+    /// The version chain agrees with a full-history model under arbitrary
+    /// install / snapshot / release / GC interleavings, and GC never
+    /// reclaims a version some live snapshot still needs.
+    #[test]
+    fn version_chain_matches_full_history_model(
+        ops in proptest::collection::vec(chain_op_strategy(), 1..80),
+    ) {
+        let mut chain = VersionChain::new(row(0));
+        let mut history: Vec<(u64, i64)> = vec![(0, 0)];
+        let mut ts = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for op in ops {
+            let watermark = live.iter().min().copied().unwrap_or(ts);
+            match op {
+                ChainOp::Install(v) => {
+                    ts += 1;
+                    chain.install_at(row(v), ts, watermark);
+                    history.push((ts, v));
+                }
+                ChainOp::Snapshot => {
+                    // Snapshots are taken at the stable point = latest ts
+                    // in this single-writer model.
+                    live.push(ts);
+                }
+                ChainOp::Release(i) => {
+                    if !live.is_empty() {
+                        let i = i % live.len();
+                        live.swap_remove(i);
+                    }
+                }
+                ChainOp::Gc => {
+                    chain.gc(watermark);
+                }
+            }
+            // Every live snapshot (and the current timestamp) reads exactly
+            // the model answer — i.e. GC reclaimed nothing still visible.
+            for &snap in live.iter().chain(std::iter::once(&ts)) {
+                let got = chain.read_at(snap).map(|r| r.get_i64(0));
+                prop_assert_eq!(
+                    got,
+                    model_read(&history, snap),
+                    "chain diverged from model at snap {} (latest ts {})",
+                    snap,
+                    ts
+                );
+            }
+        }
+        // Drain: with no live snapshots, one GC at the clock returns the
+        // chain to a single version (the eager-GC bound).
+        live.clear();
+        chain.gc(ts);
+        prop_assert_eq!(chain.retained(), 0, "chain must drain without snapshots");
+        prop_assert_eq!(chain.read_at(ts).map(|r| r.get_i64(0)), model_read(&history, ts));
+    }
+
+    /// End-to-end through the protocol stack: commit a random sequence of
+    /// single-key writes, registering snapshots at random points; every
+    /// snapshot's table view equals the model state after exactly the
+    /// prefix of commits that preceded it.
+    #[test]
+    fn every_snapshot_reads_a_prefix_of_the_commit_order(
+        writes in proptest::collection::vec((0u64..8, 0i64..1_000, any::<bool>()), 1..40),
+    ) {
+        const KEYS: u64 = 8;
+        let mut b = Database::builder();
+        let t: TableId = b.add_table(
+            "kv",
+            Schema::build().column("k", DataType::U64).column("v", DataType::I64),
+        );
+        let db: Arc<Database> = b.build();
+        for k in 0..KEYS {
+            db.table(t).insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+        }
+        let proto = LockingProtocol::bamboo();
+        let mut wal = WalBuffer::for_tests();
+
+        // Model: the table state after each commit prefix.
+        let mut state = [0i64; KEYS as usize];
+        let mut prefixes: Vec<[i64; KEYS as usize]> = vec![state];
+        // Live snapshots: (ctx, commit-prefix length at registration).
+        let mut snaps = Vec::new();
+
+        for (key, val, take_snap) in writes {
+            if take_snap {
+                let ctx = proto.begin_snapshot(&db);
+                // Single-threaded: the stable point is exactly the number
+                // of commits so far.
+                prop_assert_eq!(ctx.snapshot.unwrap() as usize, prefixes.len() - 1);
+                snaps.push((ctx, prefixes.len() - 1));
+            }
+            let mut ctx = proto.begin(&db);
+            proto
+                .update(&db, &mut ctx, t, key, &mut |row| row.set(1, Value::I64(val)))
+                .unwrap();
+            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+            state[key as usize] = val;
+            prefixes.push(state);
+        }
+
+        // Every snapshot — including ones pinned across many later commits
+        // — reads exactly its registration-time prefix.
+        for (mut ctx, prefix) in snaps {
+            for k in 0..KEYS {
+                let got = proto.read(&db, &mut ctx, t, k).unwrap().get_i64(1);
+                prop_assert_eq!(
+                    got,
+                    prefixes[prefix][k as usize],
+                    "snapshot at prefix {} read a non-prefix state for key {}",
+                    prefix,
+                    k
+                );
+            }
+            prop_assert_eq!(ctx.locks_acquired, 0);
+            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        }
+        prop_assert_eq!(db.snapshots.active_count(), 0);
+
+        // With all snapshots released, the next commit's eager GC can drain
+        // chains; verify the committed image matches the final model state.
+        for k in 0..KEYS {
+            prop_assert_eq!(
+                db.table(t).get(k).unwrap().read_row().get_i64(1),
+                state[k as usize]
+            );
+        }
+    }
+}

@@ -38,6 +38,7 @@ fn high_skew_progress_for_every_protocol() {
         ops_per_txn: 16,
         long_ro_fraction: 0.0,
         long_ro_ops: 0,
+        snapshot_ro: false,
     };
     let (db, t) = ycsb::load(&cfg);
     for proto in protocols() {
@@ -61,6 +62,7 @@ fn long_readonly_mix_commits_long_transactions() {
         ops_per_txn: 16,
         long_ro_fraction: 0.3, // exaggerate so quick runs surely sample them
         long_ro_ops: 200,
+        snapshot_ro: false,
     };
     let (db, t) = ycsb::load(&cfg);
     for proto in [
@@ -93,6 +95,7 @@ fn uniform_load_all_protocols_agree_on_progress() {
         ops_per_txn: 8,
         long_ro_fraction: 0.0,
         long_ro_ops: 0,
+        snapshot_ro: false,
     };
     let (db, t) = ycsb::load(&cfg);
     for proto in protocols() {
@@ -116,6 +119,7 @@ fn tuple_lock_state_quiesces_after_run() {
         ops_per_txn: 8,
         long_ro_fraction: 0.0,
         long_ro_ops: 0,
+        snapshot_ro: false,
     };
     let (db, t) = ycsb::load(&cfg);
     let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
