@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use bamboo_core::protocol::{LockingProtocol, Protocol};
 use bamboo_core::txn::AccessState;
-use bamboo_core::{Abort, Database, TxnCtx};
+use bamboo_core::{Abort, Database, Txn, TxnCtx};
 use bamboo_storage::Value;
 
 use crate::ir::{AccessMode, Expr, Program, Stmt};
@@ -67,13 +67,17 @@ impl Env {
     }
 }
 
-/// Runs `program` with `params` inside the transaction `ctx`. The caller
-/// owns begin/commit/abort so programs compose with the normal protocol
-/// lifecycle.
+/// Runs `program` with `params` inside the open transaction `txn`. The
+/// caller owns the transaction lifecycle ([`Txn::commit`]/[`Txn::abort`],
+/// or RAII drop) so programs compose with the normal session flow; the
+/// interpreter only issues accesses and the §3.3 retire calls. `proto`
+/// must be the protocol configuration the transaction's session runs —
+/// the interpreter drives [`LockingProtocol::update_manual`] /
+/// [`LockingProtocol::retire_now`] with it, the low-level knobs the
+/// retire-point deployment model needs.
 pub fn run_program(
-    db: &Database,
     proto: &LockingProtocol,
-    ctx: &mut TxnCtx,
+    txn: &mut Txn<'_>,
     program: &Program,
     params: &[u64],
 ) -> Result<RunStats, Abort> {
@@ -83,6 +87,7 @@ pub fn run_program(
         ..Default::default()
     };
     let mut stats = RunStats::default();
+    let (db, ctx) = txn.raw_parts();
     exec_block(db, proto, ctx, &program.stmts, &mut env, &mut stats)?;
     Ok(stats)
 }
@@ -180,11 +185,11 @@ fn exec_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bamboo_core::protocol::Protocol;
-    use bamboo_core::wal::WalBuffer;
+    use bamboo_core::Session;
     use bamboo_storage::{DataType, Row, Schema, TableId};
+    use std::sync::Arc;
 
-    fn setup(rows: u64) -> std::sync::Arc<Database> {
+    fn setup(rows: u64) -> (std::sync::Arc<Database>, LockingProtocol, Session) {
         let mut b = Database::builder();
         let t = b.add_table(
             "t",
@@ -198,14 +203,15 @@ mod tests {
             db.table(t)
                 .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
         }
-        db
+        let proto = LockingProtocol::bamboo();
+        let session = Session::new(Arc::clone(&db), Arc::new(proto.clone()));
+        (db, proto, session)
     }
 
     #[test]
     fn straight_line_program_executes() {
-        let db = setup(8);
-        let proto = LockingProtocol::bamboo();
-        let mut ctx = proto.begin(&db);
+        let (db, proto, session) = setup(8);
+        let mut txn = session.begin();
         let p = Program {
             params: 1,
             stmts: vec![
@@ -227,11 +233,10 @@ mod tests {
                 },
             ],
         };
-        let stats = run_program(&db, &proto, &mut ctx, &p, &[3]).unwrap();
+        let stats = run_program(&proto, &mut txn, &p, &[3]).unwrap();
         assert_eq!(stats.retires, 1);
         assert_eq!(stats.reacquires, 0);
-        let mut wal = WalBuffer::for_tests();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        txn.commit().unwrap();
         assert_eq!(
             db.table(TableId(0)).get(3).unwrap().read_row().get_i64(1),
             1
@@ -240,9 +245,8 @@ mod tests {
 
     #[test]
     fn loops_and_arrays_evaluate() {
-        let db = setup(4);
-        let proto = LockingProtocol::bamboo();
-        let mut ctx = proto.begin(&db);
+        let (db, proto, session) = setup(4);
+        let mut txn = session.begin();
         let p = Program {
             params: 0,
             stmts: vec![Stmt::For {
@@ -263,10 +267,9 @@ mod tests {
                 ],
             }],
         };
-        let stats = run_program(&db, &proto, &mut ctx, &p, &[]).unwrap();
+        let stats = run_program(&proto, &mut txn, &p, &[]).unwrap();
         assert_eq!(stats.accesses, 4);
-        let mut wal = WalBuffer::for_tests();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        txn.commit().unwrap();
         for k in 0..4 {
             assert_eq!(
                 db.table(TableId(0)).get(k).unwrap().read_row().get_i64(1),
@@ -278,9 +281,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "undefined variable")]
     fn undefined_variable_panics() {
-        let db = setup(1);
-        let proto = LockingProtocol::bamboo();
-        let mut ctx = proto.begin(&db);
+        let (_db, proto, session) = setup(1);
+        let mut txn = session.begin();
         let p = Program {
             params: 0,
             stmts: vec![Stmt::Let {
@@ -288,6 +290,6 @@ mod tests {
                 expr: Expr::var("missing"),
             }],
         };
-        let _ = run_program(&db, &proto, &mut ctx, &p, &[]);
+        let _ = run_program(&proto, &mut txn, &p, &[]);
     }
 }

@@ -11,8 +11,9 @@
 //!
 //! * [`ir`] — the mini-language (expressions, lets, ifs, `for`, accesses);
 //! * [`analyze`] — [`analyze::insert_retire_points`]: the transformation;
-//! * [`interp`] — an interpreter that runs (analysed) programs as real
-//!   transactions through [`bamboo_core::protocol::LockingProtocol`],
+//! * [`interp`] — an interpreter that runs (analysed) programs inside an
+//!   open [`bamboo_core::Txn`] (driving
+//!   [`bamboo_core::protocol::LockingProtocol`]'s manual-retire knobs),
 //!   retiring exactly where the analysis said to.
 //!
 //! ```

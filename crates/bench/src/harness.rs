@@ -7,7 +7,7 @@ use std::time::Duration;
 use bamboo_core::executor::{run_bench, BenchConfig, Workload};
 use bamboo_core::protocol::{InteractiveProtocol, LockingProtocol, Protocol, SiloProtocol};
 use bamboo_core::stats::BenchResult;
-use bamboo_core::Database;
+use bamboo_core::{Database, Session};
 
 /// Options shared by every experiment run.
 #[derive(Clone, Debug)]
@@ -48,12 +48,10 @@ impl RunOpts {
 
     /// Builds the per-point bench config.
     pub fn config(&self, threads: usize) -> BenchConfig {
-        BenchConfig {
-            threads,
-            duration: self.duration,
-            warmup: self.warmup,
-            seed: self.seed,
-        }
+        BenchConfig::quick(threads)
+            .with_duration(self.duration)
+            .with_warmup(self.warmup)
+            .with_seed(self.seed)
     }
 }
 
@@ -88,15 +86,14 @@ pub fn time_serial_txns(
     wl: &Arc<dyn Workload>,
     iters: u64,
 ) -> Duration {
-    use bamboo_core::executor::execute_to_commit;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
-    let mut wal = bamboo_core::wal::WalBuffer::new();
+    let session = Session::new(Arc::clone(db), Arc::clone(proto));
     let start = std::time::Instant::now();
     for _ in 0..iters {
         let spec = wl.generate(0, &mut rng);
-        execute_to_commit(spec.as_ref(), db, proto.as_ref(), &mut wal);
+        let _ = session.run(spec.as_ref());
     }
     start.elapsed()
 }
@@ -110,12 +107,10 @@ pub fn run_contended(
     wl: &Arc<dyn Workload>,
     threads: usize,
 ) -> BenchResult {
-    let cfg = BenchConfig {
-        threads,
-        duration: Duration::from_millis(120),
-        warmup: Duration::from_millis(30),
-        seed: 11,
-    };
+    let cfg = BenchConfig::quick(threads)
+        .with_duration(Duration::from_millis(120))
+        .with_warmup(Duration::from_millis(30))
+        .with_seed(11);
     run_bench(db, proto, wl, &cfg)
 }
 

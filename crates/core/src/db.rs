@@ -143,7 +143,7 @@ pub struct Database {
     catalog: Catalog<TupleCc>,
     /// Global timestamp source (Wound-Wait priorities).
     pub ts_source: TsSource,
-    /// Silo epoch counter (advanced every [`EPOCH_COMMITS`] commits; the
+    /// Silo epoch counter (advanced every `EPOCH_COMMITS` commits; the
     /// advance also republishes the snapshot watermark).
     pub epoch: AtomicU64,
     /// MVCC commit clock: versioned installs are tagged with its
@@ -223,7 +223,7 @@ impl Database {
     }
 
     /// Commit-side bookkeeping after a versioned install completes: marks
-    /// `commit_ts` finished on the clock and, every [`EPOCH_COMMITS`]-th
+    /// `commit_ts` finished on the clock and, every `EPOCH_COMMITS`-th
     /// commit, advances the Silo epoch and republishes the watermark.
     pub fn note_commit(&self, commit_ts: u64) {
         self.commit_clock.finish(commit_ts);

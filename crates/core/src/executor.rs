@@ -1,10 +1,14 @@
 //! The benchmark executor: one worker per thread, each running a
 //! generate → execute → commit/abort/retry loop against a shared
-//! [`Database`] through a pluggable [`Protocol`] — the same harness shape
+//! [`Database`] through a per-worker [`Session`] — the same harness shape
 //! as DBx1000's (paper §5.1: "We collect transaction statistics, such as
 //! throughput, latency, and abort rates by running each workload for at
 //! least 30 seconds"; our durations are configurable because the figure
 //! reproduction sweeps dozens of points).
+//!
+//! The attempt/retry machinery itself lives on
+//! [`Session::run`]/[`Session::run_reporting`] — this module only owns the
+//! worker orchestration (threads, warmup/measure switching, stats merging).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,9 +19,9 @@ use rand::SeedableRng;
 
 use crate::db::Database;
 use crate::protocol::Protocol;
+use crate::session::{RetryPolicy, Session, Txn};
 use crate::stats::{BenchResult, WorkerStats};
-use crate::txn::{Abort, TxnCtx};
-use crate::wal::WalBuffer;
+use crate::txn::Abort;
 
 /// One generated transaction instance: executed piece by piece (non-IC3
 /// protocols see the pieces as consecutive program segments; IC3 uses the
@@ -41,21 +45,17 @@ pub trait TxnSpec: Send {
 
     /// True when this transaction is read-only and should run in snapshot
     /// mode: reads resolve against the committed version chains with zero
-    /// lock-manager interaction ([`Protocol::begin_snapshot`]). Defaults
-    /// to the locking read path.
+    /// lock-manager interaction
+    /// ([`Protocol::begin_snapshot`]).
+    /// Defaults to the locking read path.
     fn read_only_snapshot(&self) -> bool {
         false
     }
 
-    /// Executes piece `piece`. Called in order; any `Err` aborts the
-    /// attempt. Retries re-run all pieces with the same inputs.
-    fn run_piece(
-        &self,
-        piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort>;
+    /// Executes piece `piece` against the attempt's [`Txn`] handle. Called
+    /// in order; any `Err` aborts the attempt (the `Txn` owns the release
+    /// path). Retries re-run all pieces with the same inputs.
+    fn run_piece(&self, piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort>;
 }
 
 /// A workload generates transaction instances.
@@ -78,6 +78,14 @@ pub struct BenchConfig {
     pub warmup: Duration,
     /// RNG seed (worker `i` uses `seed + i`).
     pub seed: u64,
+    /// Retry/backoff rules handed to each worker's [`Session`].
+    pub retry: RetryPolicy,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig::quick(1)
+    }
 }
 
 impl BenchConfig {
@@ -88,6 +96,7 @@ impl BenchConfig {
             duration: Duration::from_millis(200),
             warmup: Duration::from_millis(20),
             seed: 42,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -96,118 +105,29 @@ impl BenchConfig {
         self.duration = d;
         self
     }
-}
 
-/// Runs one transaction attempt to completion (commit or abort). Returns
-/// the abort cascade count on failure.
-fn run_attempt(
-    spec: &dyn TxnSpec,
-    db: &Database,
-    proto: &dyn Protocol,
-    wal: &mut WalBuffer,
-) -> (Result<(), Abort>, usize, crate::txn::TxnTimers, u64) {
-    let mut ctx = if spec.read_only_snapshot() {
-        proto.begin_snapshot(db)
-    } else {
-        proto.begin(db)
-    };
-    ctx.planned_ops = spec.planned_ops();
-    ctx.ic3.template = spec.template();
-    let res = (|| -> Result<(), Abort> {
-        for p in 0..spec.pieces() {
-            proto.piece_begin(db, &mut ctx, p)?;
-            spec.run_piece(p, db, proto, &mut ctx)?;
-            proto.piece_end(db, &mut ctx)?;
-        }
-        proto.commit(db, &mut ctx, wal)
-    })();
-    match res {
-        Ok(()) => (Ok(()), 0, ctx.timers, ctx.locks_acquired),
-        Err(e) => {
-            let cascaded = proto.abort(db, &mut ctx);
-            (Err(e), cascaded, ctx.timers, ctx.locks_acquired)
-        }
+    /// Sets the warm-up duration.
+    pub fn with_warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
     }
-}
 
-/// Executes one transaction until it commits, the stop flag rises, or the
-/// deadline passes. Returns whether it committed.
-fn run_txn_to_commit(
-    spec: &dyn TxnSpec,
-    db: &Database,
-    proto: &dyn Protocol,
-    wal: &mut WalBuffer,
-    stats: &mut WorkerStats,
-    stop: &AtomicBool,
-    deadline: Instant,
-) -> bool {
-    let mut attempt = 0u32;
-    let snapshot = spec.read_only_snapshot();
-    loop {
-        let t0 = Instant::now();
-        let (res, cascaded, timers, locks) = run_attempt(spec, db, proto, wal);
-        stats.lock_wait += timers.lock_wait;
-        stats.commit_wait += timers.commit_wait;
-        if snapshot {
-            stats.snapshot_lock_acquisitions += locks;
-        } else {
-            stats.lock_acquisitions += locks;
-        }
-        match res {
-            Ok(()) => {
-                if snapshot {
-                    stats.record_snapshot_commit(t0.elapsed());
-                } else {
-                    stats.record_commit(t0.elapsed());
-                }
-                return true;
-            }
-            Err(e) => {
-                stats.record_abort(e.0, t0.elapsed(), cascaded);
-                if snapshot {
-                    stats.snapshot_aborts += 1;
-                }
-                // User-initiated aborts are logical rollbacks (e.g. TPC-C's
-                // invalid-item NewOrder): the transaction is *done*, not
-                // retried — re-running it would abort identically forever.
-                if e.0 == crate::txn::AbortReason::User {
-                    return false;
-                }
-                if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
-                    return false;
-                }
-                // Exponential restart backoff (DBx1000's restart penalty):
-                // lets the conflicting transactions drain instead of
-                // re-colliding immediately — vital for cascade storms.
-                attempt += 1;
-                if attempt <= 1 {
-                    std::thread::yield_now();
-                } else {
-                    let us = 5u64 << attempt.min(6);
-                    std::thread::sleep(Duration::from_micros(us));
-                }
-            }
-        }
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
-}
 
-/// Executes one transaction until it commits, retrying aborted attempts.
-/// Returns the number of attempts (1 = committed first try). Used by the
-/// Criterion micro-benchmarks; the figure harness uses [`run_bench`].
-pub fn execute_to_commit(
-    spec: &dyn TxnSpec,
-    db: &Database,
-    proto: &dyn Protocol,
-    wal: &mut WalBuffer,
-) -> usize {
-    let mut attempts = 0;
-    loop {
-        attempts += 1;
-        let (res, _, _, _) = run_attempt(spec, db, proto, wal);
-        if res.is_ok() {
-            return attempts;
-        }
-        std::thread::yield_now();
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -228,10 +148,11 @@ pub fn run_bench(
         let measuring = Arc::clone(&measuring);
         let stop = Arc::clone(&stop);
         let seed = cfg.seed + w as u64;
+        let retry = cfg.retry.clone();
         let total_time = cfg.warmup + cfg.duration + Duration::from_secs(30);
         handles.push(std::thread::spawn(move || {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let mut wal = WalBuffer::new();
+            let session = Session::new(db, proto).with_retry(retry);
             let mut warm = WorkerStats::default();
             let mut measured = WorkerStats::default();
             let hard_deadline = Instant::now() + total_time;
@@ -242,17 +163,9 @@ pub fn run_bench(
                 } else {
                     &mut warm
                 };
-                run_txn_to_commit(
-                    spec.as_ref(),
-                    &db,
-                    proto.as_ref(),
-                    &mut wal,
-                    stats,
-                    &stop,
-                    hard_deadline,
-                );
+                session.run_reporting(spec.as_ref(), stats, &stop, hard_deadline);
             }
-            measured.log_bytes = wal.bytes_logged();
+            measured.log_bytes = session.log_bytes();
             measured
         }));
     }
@@ -298,14 +211,8 @@ mod tests {
             Some(1)
         }
 
-        fn run_piece(
-            &self,
-            _piece: usize,
-            db: &Database,
-            proto: &dyn Protocol,
-            ctx: &mut TxnCtx,
-        ) -> Result<(), Abort> {
-            proto.update(db, ctx, self.table, self.key, &mut |row| {
+        fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
+            txn.update(self.table, self.key, |row| {
                 let v = row.get_i64(1);
                 row.set(1, Value::I64(v + 1));
             })
@@ -354,5 +261,47 @@ mod tests {
             sum >= res.totals.commits as i64,
             "each committed txn incremented exactly one counter"
         );
+    }
+
+    #[test]
+    fn session_run_commits_and_respects_user_aborts() {
+        use crate::txn::AbortReason;
+        let mut b = Database::builder();
+        let t = b.add_table(
+            "kv",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        let db = b.build();
+        db.table(t)
+            .insert(0, Row::from(vec![Value::U64(0), Value::I64(0)]));
+        let session = Session::new(
+            Arc::clone(&db),
+            Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+        );
+        session.run(&IncSpec { table: t, key: 0 }).unwrap();
+        assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 1);
+
+        struct UserAbort {
+            table: TableId,
+        }
+        impl TxnSpec for UserAbort {
+            fn run_piece(&self, _p: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
+                txn.update(self.table, 0, |row| row.set(1, Value::I64(99)))?;
+                Err(Abort(AbortReason::User))
+            }
+        }
+        // User aborts are logical rollbacks: surfaced, not retried.
+        assert_eq!(
+            session.run(&UserAbort { table: t }),
+            Err(Abort(AbortReason::User))
+        );
+        assert_eq!(
+            db.table(t).get(0).unwrap().read_row().get_i64(1),
+            1,
+            "user-aborted write rolled back"
+        );
+        assert!(db.table(t).get(0).unwrap().meta.lock.lock().is_quiescent());
     }
 }

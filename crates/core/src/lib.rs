@@ -12,11 +12,60 @@
 //!
 //! * [`lock`] — the per-tuple lock table with Bamboo's `retired` list and
 //!   dirty-version chain (Algorithm 2, Figure 2).
-//! * [`protocol`] — transaction-facing protocols: the 2PL family (including
-//!   Bamboo and its four optimizations from §3.5), Silo, and IC3.
+//! * [`protocol`] — the *internal* plug: the 2PL family (including Bamboo
+//!   and its four optimizations from §3.5), Silo, and IC3.
+//! * [`session`] — the *public* transaction API: [`Session`] binds a
+//!   database to a protocol, the RAII [`Txn`] guard owns one attempt's
+//!   lifecycle.
 //! * [`executor`] — a worker-per-thread benchmark harness with the paper's
 //!   runtime breakdown (lock wait / commit wait / abort time, §4.2).
 //! * [`model`] — the analytic waits-vs-aborts model of §4.2.
+//!
+//! ## Transactions: `Session` and the RAII `Txn` guard
+//!
+//! A transaction is started from a [`Session`] and driven through the
+//! [`Txn`] handle — no database/protocol/context threading, and no abort
+//! obligation: dropping an uncommitted `Txn` (early return, `?`, panic)
+//! aborts the attempt exactly once.
+//!
+//! Before (the raw protocol surface — still available to protocol
+//! implementors, no longer needed by users):
+//!
+//! ```text
+//! let mut ctx = proto.begin(&db);
+//! proto.update(&db, &mut ctx, t, 1, &mut |row| { /* … */ })?;   // on Err:
+//! proto.commit(&db, &mut ctx, &mut wal)?;                       // caller MUST
+//! // … proto.abort(&db, &mut ctx) exactly once, by convention   // remember
+//! ```
+//!
+//! After:
+//!
+//! ```
+//! use bamboo_core::{Database, Session, protocol::LockingProtocol};
+//! use bamboo_storage::{Schema, DataType, Value, Row};
+//! use std::sync::Arc;
+//!
+//! let mut b = Database::builder();
+//! let t = b.add_table("kv", Schema::build()
+//!     .column("k", DataType::U64)
+//!     .column("v", DataType::I64));
+//! let db = b.build();
+//! db.table(t).insert(1, Row::from(vec![Value::U64(1), Value::I64(0)]));
+//!
+//! let session = Session::new(db, Arc::new(LockingProtocol::bamboo()));
+//! let mut txn = session.begin();
+//! txn.update(t, 1, |row| {
+//!     let v = row.get_i64(1);
+//!     row.set(1, Value::I64(v + 40));
+//! }).unwrap();
+//! txn.commit().unwrap();   // or: drop(txn) → aborts, exactly once
+//! assert_eq!(session.db().table(t).get(1).unwrap().read_row().get_i64(1), 40);
+//! ```
+//!
+//! [`session::TxnOptions`] selects snapshot mode, opacity, planned
+//! operations (Optimization 2's δ) and the IC3 template;
+//! [`Session::run`] executes a whole [`executor::TxnSpec`] with the
+//! session's [`session::RetryPolicy`] governing restarts.
 //!
 //! ## Multi-version snapshot reads
 //!
@@ -29,39 +78,20 @@
 //!   a commit timestamp from [`db::CommitClock`]; the clock's *stable*
 //!   point (all smaller timestamps fully installed) is the only timestamp
 //!   snapshots are taken at.
-//! * [`protocol::Protocol::begin_snapshot`] registers a snapshot in the
-//!   [`db::SnapshotRegistry`] and returns a context whose reads resolve
+//! * [`Session::snapshot`] (over
+//!   [`protocol::Protocol::begin_snapshot`]) registers a snapshot in the
+//!   [`db::SnapshotRegistry`] and returns a [`Txn`] whose reads resolve
 //!   against the version chains with **zero lock-manager interaction** —
 //!   the reader can neither block nor be wounded, and writers never wait
-//!   for it.
+//!   for it. A row invisible at the snapshot surfaces as
+//!   [`AbortReason::SnapshotNotVisible`] (or `Ok(None)` through
+//!   [`Txn::read_opt`]), never as a panic.
 //! * The registry's floor is published as the GC watermark
 //!   ([`db::Database::gc_watermark`]); every install eagerly reclaims
 //!   versions no live snapshot can still see, and the Silo-style epoch
 //!   tick ([`db::Database::advance_epoch`], fired every N commits) doubles
 //!   as the watermark publisher so chains drain even without snapshot
 //!   churn.
-//!
-//! ```
-//! use bamboo_core::{Database, protocol::{LockingProtocol, Protocol}};
-//! use bamboo_storage::{Schema, DataType, Value, Row};
-//!
-//! let mut db = Database::builder();
-//! let t = db.add_table("kv", Schema::build()
-//!     .column("k", DataType::U64)
-//!     .column("v", DataType::I64));
-//! let db = db.build();
-//! db.table(t).insert(1, Row::from(vec![Value::U64(1), Value::I64(0)]));
-//!
-//! let bamboo = LockingProtocol::bamboo();
-//! let mut ctx = bamboo.begin(&db);
-//! bamboo.update(&db, &mut ctx, t, 1, &mut |row| {
-//!     let v = row.get_i64(1);
-//!     row.set(1, Value::I64(v + 40));
-//! }).unwrap();
-//! let mut wal = bamboo_core::wal::WalBuffer::for_tests();
-//! bamboo.commit(&db, &mut ctx, &mut wal).unwrap();
-//! assert_eq!(db.table(t).get(1).unwrap().read_row().get_i64(1), 40);
-//! ```
 
 pub mod db;
 pub mod executor;
@@ -69,6 +99,7 @@ pub mod lock;
 pub mod meta;
 pub mod model;
 pub mod protocol;
+pub mod session;
 pub mod stats;
 pub mod ts;
 pub mod txn;
@@ -76,4 +107,5 @@ pub mod wal;
 
 pub use db::{Database, DatabaseBuilder};
 pub use meta::TupleCc;
+pub use session::{RetryPolicy, Session, Txn, TxnOptions};
 pub use txn::{Abort, AbortReason, LockMode, TxnCtx, TxnShared};

@@ -5,7 +5,7 @@
 //! uncommitted ("dirty") row versions published by retired writers. The
 //! whole 2PL family (Bamboo, Wound-Wait, Wait-Die, No-Wait) is implemented
 //! here behind a [`LockPolicy`], because the paper frames them as one lock
-//! manager with features toggled: *"If [LockRetire] is never called for all
+//! manager with features toggled: *"If \[LockRetire\] is never called for all
 //! transactions, then Bamboo degenerates to Wound-Wait"* (§3.2.2).
 
 mod entry;

@@ -32,7 +32,7 @@ use crate::db::Database;
 use crate::meta::TupleCc;
 use crate::protocol::{apply_inserts, Protocol};
 use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
-use crate::wal::WalBuffer;
+use crate::wal::WalHandle;
 
 /// Ceiling on a single piece-level wait; exceeded waits self-abort. Piece
 /// waits are normally microseconds — this is a liveness backstop, not a
@@ -501,7 +501,7 @@ impl Protocol for Ic3Protocol {
         Ok(())
     }
 
-    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &WalHandle) -> Result<(), Abort> {
         // Snapshot mode bypasses pieces, dependencies and accessor lists.
         if ctx.snapshot.is_some() {
             let res = crate::protocol::commit_snapshot(db, ctx);
@@ -648,7 +648,7 @@ mod tests {
         keys: [u64; 2],
         tables: [TableId; 2],
     ) -> Result<(), Abort> {
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut ctx = p.begin(db);
         ctx.ic3.template = 0;
         let res = (|| {
@@ -657,7 +657,7 @@ mod tests {
                 p.update(db, &mut ctx, tables[piece], keys[piece], &mut bump_a)?;
                 p.piece_end(db, &mut ctx)?;
             }
-            p.commit(db, &mut ctx, &mut wal)
+            p.commit(db, &mut ctx, &wal)
         })();
         if res.is_err() {
             p.abort(db, &mut ctx);
@@ -690,7 +690,7 @@ mod tests {
         // commit dependency.
         let (db, t0, t1) = setup();
         let p = Ic3Protocol::new(vec![two_piece_template(t0, t1)], false);
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut c1 = p.begin(&db);
         c1.ic3.template = 0;
         p.piece_begin(&db, &mut c1, 0).unwrap();
@@ -711,11 +711,11 @@ mod tests {
         p.piece_begin(&db, &mut c1, 1).unwrap();
         p.update(&db, &mut c1, t1, 1, &mut bump_a).unwrap();
         p.piece_end(&db, &mut c1).unwrap();
-        p.commit(&db, &mut c1, &mut wal).unwrap();
+        p.commit(&db, &mut c1, &wal).unwrap();
         p.piece_begin(&db, &mut c2, 1).unwrap();
         p.update(&db, &mut c2, t1, 2, &mut bump_a).unwrap();
         p.piece_end(&db, &mut c2).unwrap();
-        p.commit(&db, &mut c2, &mut wal).unwrap();
+        p.commit(&db, &mut c2, &wal).unwrap();
         assert_eq!(db.table(t0).get(0).unwrap().read_row().get_i64(1), 2);
         assert!(db.table(t0).get(0).unwrap().meta.ic3.lock().is_quiescent());
     }
@@ -786,7 +786,7 @@ mod tests {
             pieces: vec![PieceDecl::new(vec![PieceAccess::write(t0, COL_B, COL_B)])],
         };
         let p = Ic3Protocol::new(vec![ta, tb], false);
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut c1 = p.begin(&db);
         c1.ic3.template = 0;
         p.piece_begin(&db, &mut c1, 0).unwrap();
@@ -802,10 +802,10 @@ mod tests {
         })
         .unwrap();
         p.piece_end(&db, &mut c2).unwrap();
-        p.commit(&db, &mut c2, &mut wal).unwrap();
+        p.commit(&db, &mut c2, &wal).unwrap();
         assert!(c2.ic3.deps.is_empty(), "no dependency across columns");
         p.piece_end(&db, &mut c1).unwrap();
-        p.commit(&db, &mut c1, &mut wal).unwrap();
+        p.commit(&db, &mut c1, &wal).unwrap();
         let row = db.table(t0).get(0).unwrap().read_row();
         assert_eq!(row.get_i64(1), 1, "column a from template A");
         assert_eq!(row.get_i64(2), 1, "column b from template B survives");

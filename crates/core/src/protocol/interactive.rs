@@ -19,7 +19,7 @@ use bamboo_storage::{Row, TableId};
 use crate::db::Database;
 use crate::protocol::Protocol;
 use crate::txn::{Abort, TxnCtx};
-use crate::wal::WalBuffer;
+use crate::wal::WalHandle;
 
 /// Default simulated round-trip: in the ballpark of an intra-datacenter
 /// gRPC call.
@@ -102,7 +102,21 @@ impl<P: Protocol> Protocol for InteractiveProtocol<P> {
         self.inner.insert(db, ctx, table, key, row, secondary)
     }
 
-    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+    fn scan(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        range: std::ops::RangeInclusive<u64>,
+    ) -> Result<Vec<Row>, Abort> {
+        // One round trip: an interactive client issues the range predicate
+        // as a single request; the server-side scan (including the inner
+        // protocol's next-key locking) runs without further hops.
+        self.round_trip();
+        self.inner.scan(db, ctx, table, range)
+    }
+
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &WalHandle) -> Result<(), Abort> {
         self.round_trip();
         self.inner.commit(db, ctx, wal)
     }
@@ -142,14 +156,14 @@ mod tests {
             .insert(1, Row::from(vec![Value::U64(1), Value::I64(0)]));
         let p = InteractiveProtocol::new(LockingProtocol::bamboo(), Duration::from_millis(2));
         assert!(p.name().contains("interactive"));
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut ctx = p.begin(&db);
         assert_eq!(ctx.planned_ops, None);
         let t0 = Instant::now();
         p.read(&db, &mut ctx, t, 1).unwrap();
         p.update(&db, &mut ctx, t, 1, &mut |r| r.set(1, Value::I64(9)))
             .unwrap();
-        p.commit(&db, &mut ctx, &mut wal).unwrap();
+        p.commit(&db, &mut ctx, &wal).unwrap();
         assert!(
             t0.elapsed() >= Duration::from_millis(6),
             "three operations at 2ms RPC each"

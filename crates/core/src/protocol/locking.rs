@@ -26,7 +26,7 @@ use crate::meta::TupleCc;
 use crate::protocol::{apply_inserts, commit_snapshot, snapshot_read, Protocol};
 use crate::ts::UNASSIGNED;
 use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
-use crate::wal::WalBuffer;
+use crate::wal::WalHandle;
 
 /// Liveness backstop on lock/upgrade waits: three orders of magnitude above
 /// a healthy wait (which is microseconds to a few milliseconds), so it never
@@ -284,42 +284,6 @@ impl LockingProtocol {
                 a.state = AccessState::Retired;
             }
         }
-    }
-
-    /// Range scan with phantom protection (§3.4: "next-key locking in
-    /// indexes; this technique achieves the same effect as predicate
-    /// locking"). Requires the table's ordered index
-    /// ([`bamboo_storage::Table::enable_ordered_index`]).
-    ///
-    /// Every matching key is read (shared access) and — under
-    /// [`IsolationLevel::Serializable`] — the *next existing key* past the
-    /// range end is share-locked too, so a concurrent insert into the gap
-    /// must order itself after this transaction. Under
-    /// [`IsolationLevel::RepeatableRead`] the next-key lock is skipped:
-    /// "repeatable read is supported by giving up phantom protection".
-    /// Ranges extending past the largest existing key are protected only
-    /// when a sentinel max-key row exists (documented in DESIGN.md).
-    pub fn scan(
-        &self,
-        db: &Database,
-        ctx: &mut TxnCtx,
-        table: TableId,
-        range: std::ops::RangeInclusive<u64>,
-    ) -> Result<Vec<Row>, Abort> {
-        let idx = db
-            .table(table)
-            .ordered_index()
-            .expect("scan requires an ordered index (Table::enable_ordered_index)");
-        let mut rows = Vec::new();
-        for (key, _) in idx.range(range.clone()) {
-            rows.push(self.read(db, ctx, table, key)?.clone());
-        }
-        if self.isolation == IsolationLevel::Serializable {
-            if let Some((next, _)) = idx.next_key_after(*range.end()) {
-                self.read(db, ctx, table, next)?;
-            }
-        }
-        Ok(rows)
     }
 
     /// Next-key (gap) lock for an insert of `key`: exclusive-locks the
@@ -737,7 +701,7 @@ impl Protocol for LockingProtocol {
         Ok(())
     }
 
-    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &WalHandle) -> Result<(), Abort> {
         // Snapshot mode holds no locks, wrote nothing, and cannot be
         // wounded: the commit is just the registry release.
         if ctx.snapshot.is_some() {
@@ -798,6 +762,49 @@ impl Protocol for LockingProtocol {
         Ok(())
     }
 
+    /// Range scan with phantom protection (§3.4: "next-key locking in
+    /// indexes; this technique achieves the same effect as predicate
+    /// locking"). Requires the table's ordered index
+    /// ([`bamboo_storage::Table::enable_ordered_index`]).
+    ///
+    /// Every matching key is read (shared access) and — under
+    /// [`IsolationLevel::Serializable`] — the *next existing key* past the
+    /// range end is share-locked too, so a concurrent insert into the gap
+    /// must order itself after this transaction. Under
+    /// [`IsolationLevel::RepeatableRead`] the next-key lock is skipped:
+    /// "repeatable read is supported by giving up phantom protection".
+    /// Ranges extending past the largest existing key are protected only
+    /// when a sentinel max-key row exists (documented in DESIGN.md).
+    /// Snapshot-mode scans take no locks at all; rows invisible at the
+    /// snapshot are skipped as phantoms.
+    fn scan(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        range: std::ops::RangeInclusive<u64>,
+    ) -> Result<Vec<Row>, Abort> {
+        let idx = db
+            .table(table)
+            .ordered_index()
+            .expect("scan requires an ordered index (Table::enable_ordered_index)");
+        let in_snapshot = ctx.snapshot.is_some();
+        let mut rows = Vec::new();
+        for (key, _) in idx.range(range.clone()) {
+            match self.read(db, ctx, table, key) {
+                Ok(row) => rows.push(row.clone()),
+                Err(Abort(AbortReason::SnapshotNotVisible)) if in_snapshot => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.isolation == IsolationLevel::Serializable && !in_snapshot {
+            if let Some((next, _)) = idx.next_key_after(*range.end()) {
+                self.read(db, ctx, table, next)?;
+            }
+        }
+        Ok(rows)
+    }
+
     fn abort(&self, db: &Database, ctx: &mut TxnCtx) -> usize {
         // Self-aborts (user logic) arrive here without a prior set_abort.
         ctx.shared.set_abort(AbortReason::User);
@@ -845,13 +852,13 @@ mod tests {
             LockingProtocol::no_wait(),
         ] {
             let (db, t) = setup();
-            let mut wal = WalBuffer::for_tests();
+            let wal = WalHandle::for_tests();
             let mut ctx = proto.begin(&db);
             assert_eq!(proto.read(&db, &mut ctx, t, 3).unwrap().get_i64(1), 300);
             proto.update(&db, &mut ctx, t, 3, &mut add_100).unwrap();
             // Read-own-write.
             assert_eq!(proto.read(&db, &mut ctx, t, 3).unwrap().get_i64(1), 400);
-            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+            proto.commit(&db, &mut ctx, &wal).unwrap();
             assert_eq!(
                 db.table(t).get(3).unwrap().read_row().get_i64(1),
                 400,
@@ -887,7 +894,7 @@ mod tests {
     fn insert_visible_after_commit() {
         let (db, t) = setup();
         let proto = LockingProtocol::bamboo();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut ctx = proto.begin(&db);
         proto
             .insert(
@@ -899,7 +906,7 @@ mod tests {
                 None,
             )
             .unwrap();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        proto.commit(&db, &mut ctx, &wal).unwrap();
         assert_eq!(db.table(t).get(42).unwrap().read_row().get_i64(1), 7);
     }
 
@@ -909,7 +916,7 @@ mod tests {
         // commit after T1.
         let (db, t) = setup();
         let proto = LockingProtocol::bamboo_base();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut c1 = proto.begin(&db);
         let mut c2 = proto.begin(&db);
         proto.update(&db, &mut c1, t, 0, &mut add_100).unwrap();
@@ -924,9 +931,9 @@ mod tests {
             "T2 read T1's dirty 100 and added 100"
         );
         assert_eq!(c2.shared.semaphore(), 1, "T2 depends on T1");
-        proto.commit(&db, &mut c1, &mut wal).unwrap();
+        proto.commit(&db, &mut c1, &wal).unwrap();
         assert_eq!(c2.shared.semaphore(), 0);
-        proto.commit(&db, &mut c2, &mut wal).unwrap();
+        proto.commit(&db, &mut c2, &wal).unwrap();
         assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 200);
     }
 
@@ -944,8 +951,8 @@ mod tests {
         assert!(c2.shared.is_aborted());
         assert_eq!(c2.shared.abort_reason(), AbortReason::Cascade);
         // T2's commit fails; its abort releases cleanly.
-        let mut wal = WalBuffer::for_tests();
-        assert!(proto.commit(&db, &mut c2, &mut wal).is_err());
+        let wal = WalHandle::for_tests();
+        assert!(proto.commit(&db, &mut c2, &wal).is_err());
         proto.abort(&db, &mut c2);
         assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 0);
         let st = db.table(t).get(0).unwrap();
@@ -956,21 +963,21 @@ mod tests {
     fn wound_wait_baseline_blocks_second_writer() {
         let (db, t) = setup();
         let proto = LockingProtocol::wound_wait();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut c1 = proto.begin(&db);
         proto.update(&db, &mut c1, t, 0, &mut add_100).unwrap();
         // Younger writer on another thread: must block until T1 commits.
         let db2 = Arc::clone(&db);
         let proto2 = proto.clone();
         let h = std::thread::spawn(move || {
-            let mut wal = WalBuffer::for_tests();
+            let wal = WalHandle::for_tests();
             let mut c2 = proto2.begin(&db2);
             proto2.update(&db2, &mut c2, t, 0, &mut add_100).unwrap();
-            proto2.commit(&db2, &mut c2, &mut wal).unwrap();
+            proto2.commit(&db2, &mut c2, &wal).unwrap();
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!h.is_finished(), "Wound-Wait must block the younger writer");
-        proto.commit(&db, &mut c1, &mut wal).unwrap();
+        proto.commit(&db, &mut c1, &wal).unwrap();
         h.join().unwrap();
         assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 200);
     }
@@ -996,20 +1003,20 @@ mod tests {
             2,
             "trailing writes stay owned"
         );
-        let mut wal = WalBuffer::for_tests();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        let wal = WalHandle::for_tests();
+        proto.commit(&db, &mut ctx, &wal).unwrap();
     }
 
     #[test]
     fn second_write_after_retire_reacquires() {
         let (db, t) = setup();
         let proto = LockingProtocol::bamboo_base();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut ctx = proto.begin(&db);
         proto.update(&db, &mut ctx, t, 1, &mut add_100).unwrap();
         assert_eq!(ctx.accesses[0].state, AccessState::Retired);
         proto.update(&db, &mut ctx, t, 1, &mut add_100).unwrap();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        proto.commit(&db, &mut ctx, &wal).unwrap();
         assert_eq!(db.table(t).get(1).unwrap().read_row().get_i64(1), 300);
     }
 
@@ -1020,11 +1027,11 @@ mod tests {
         // watermark ever collects would leak a version per write.
         let (db, t) = setup();
         let proto = LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadUncommitted);
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         for _ in 0..50 {
             let mut ctx = proto.begin(&db);
             proto.update(&db, &mut ctx, t, 0, &mut add_100).unwrap();
-            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+            proto.commit(&db, &mut ctx, &wal).unwrap();
         }
         let tup = db.table(t).get(0).unwrap();
         assert_eq!(
@@ -1045,7 +1052,7 @@ mod tests {
         let err = proto.update(&db, &mut c2, t, 0, &mut add_100).unwrap_err();
         assert_eq!(err.0, AbortReason::NoWait);
         proto.abort(&db, &mut c2);
-        let mut wal = WalBuffer::for_tests();
-        proto.commit(&db, &mut c1, &mut wal).unwrap();
+        let wal = WalHandle::for_tests();
+        proto.commit(&db, &mut c1, &wal).unwrap();
     }
 }

@@ -27,14 +27,20 @@ pub use silo::SiloProtocol;
 
 use crate::db::Database;
 use crate::txn::{Abort, TxnCtx};
-use crate::wal::WalBuffer;
+use crate::wal::WalHandle;
 
 /// A pluggable concurrency-control protocol.
 ///
 /// Contract: a transaction is driven as
-/// `begin → (read | update | insert)* → commit | abort`; any `Err(Abort)`
-/// from an operation obliges the caller to invoke [`Protocol::abort`]
-/// exactly once for the attempt. `commit` consumes the attempt on success.
+/// `begin → (read | update | insert | scan)* → commit | abort`; any
+/// `Err(Abort)` from an operation obliges the caller to invoke
+/// [`Protocol::abort`] exactly once for the attempt. `commit` consumes the
+/// attempt on success.
+///
+/// This trait is the *internal* plug — the seam protocols implement. User
+/// code drives transactions through [`crate::session::Session`] and the
+/// RAII [`crate::session::Txn`] guard, which own this lifecycle contract
+/// (in particular the "abort exactly once" obligation) by construction.
 pub trait Protocol: Send + Sync {
     /// Protocol display name (matches the paper's legends).
     fn name(&self) -> &str;
@@ -92,8 +98,41 @@ pub trait Protocol: Send + Sync {
         secondary: Option<(usize, u64)>,
     ) -> Result<(), Abort>;
 
+    /// Range scan over the table's ordered index: reads every key in
+    /// `range` (shared access) and returns copies of the matching rows.
+    ///
+    /// The default implementation performs plain per-key reads — correct
+    /// under every protocol, with no phantom protection. Protocols with a
+    /// stronger story override it ([`LockingProtocol`] adds §3.4's
+    /// next-key locking under Serializable). In snapshot mode, rows not
+    /// visible at the snapshot timestamp are skipped — an index entry
+    /// committed after the snapshot was taken is a phantom to this
+    /// transaction, not an error.
+    fn scan(
+        &self,
+        db: &Database,
+        ctx: &mut TxnCtx,
+        table: TableId,
+        range: std::ops::RangeInclusive<u64>,
+    ) -> Result<Vec<Row>, Abort> {
+        let idx = db
+            .table(table)
+            .ordered_index()
+            .expect("scan requires an ordered index (Table::enable_ordered_index)");
+        let in_snapshot = ctx.snapshot.is_some();
+        let mut rows = Vec::new();
+        for (key, _) in idx.range(range) {
+            match self.read(db, ctx, table, key) {
+                Ok(row) => rows.push(row.clone()),
+                Err(Abort(crate::txn::AbortReason::SnapshotNotVisible)) if in_snapshot => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(rows)
+    }
+
     /// Commits: waits out commit dependencies, logs, installs, releases.
-    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort>;
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &WalHandle) -> Result<(), Abort>;
 
     /// Aborts the attempt, releasing everything. Returns the number of
     /// transactions cascadingly aborted by this release (abort-chain
@@ -127,30 +166,29 @@ pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
 
 /// Shared read path of snapshot mode: resolve `key` against the version
 /// chain at the context's snapshot timestamp — no lock-manager interaction
-/// of any kind. Panics when the row is invisible at the snapshot (callers
-/// scanning volatile key spaces must check [`bamboo_storage::Tuple::visible_at`]
-/// first, exactly like the existing storage-level existence guards).
+/// of any kind. A row that does not exist, or is not yet visible at the
+/// snapshot (inserted by a transaction that committed after the snapshot
+/// was taken), surfaces as
+/// [`AbortReason::SnapshotNotVisible`](crate::txn::AbortReason): callers
+/// scanning volatile key spaces treat it as "row absent" (that is what
+/// [`crate::session::Txn::read_opt`] does), never as a failed attempt.
 pub(crate) fn snapshot_read<'c>(
     db: &Database,
     ctx: &'c mut TxnCtx,
     table: TableId,
     key: u64,
 ) -> Result<&'c Row, crate::txn::Abort> {
+    use crate::txn::AbortReason;
     let snap = ctx.snapshot.expect("snapshot_read outside snapshot mode");
-    let tuple = db
-        .table(table)
-        .get(key)
-        .unwrap_or_else(|| panic!("snapshot read: missing key {key} in table {}", table.0));
+    let Some(tuple) = db.table(table).get(key) else {
+        return Err(Abort(AbortReason::SnapshotNotVisible));
+    };
     if let Some(i) = ctx.find_access(table, tuple.row_id) {
         return Ok(&ctx.accesses[i].local);
     }
-    let row = tuple.read_at(snap).unwrap_or_else(|| {
-        panic!(
-            "snapshot read of key {key} in table {} invisible at ts {snap} \
-             (check Tuple::visible_at before reading volatile keys)",
-            table.0
-        )
-    });
+    let Some(row) = tuple.read_at(snap) else {
+        return Err(Abort(AbortReason::SnapshotNotVisible));
+    };
     let i = ctx.push_access(crate::txn::Access {
         table,
         tuple,

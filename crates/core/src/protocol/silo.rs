@@ -32,7 +32,7 @@ use crate::db::Database;
 use crate::meta::TupleCc;
 use crate::protocol::{apply_inserts, commit_snapshot, snapshot_read, Protocol};
 use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
-use crate::wal::WalBuffer;
+use crate::wal::WalHandle;
 
 const LOCK_BIT: u64 = 1;
 
@@ -211,7 +211,7 @@ impl Protocol for SiloProtocol {
         Ok(())
     }
 
-    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &mut WalBuffer) -> Result<(), Abort> {
+    fn commit(&self, db: &Database, ctx: &mut TxnCtx, wal: &WalHandle) -> Result<(), Abort> {
         // Snapshot mode: no write set to lock, no read set to validate.
         if ctx.snapshot.is_some() {
             return commit_snapshot(db, ctx);
@@ -324,11 +324,11 @@ mod tests {
     fn read_update_commit_installs() {
         let (db, t) = setup();
         let p = SiloProtocol::new();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut ctx = p.begin(&db);
         assert_eq!(p.read(&db, &mut ctx, t, 1).unwrap().get_i64(1), 0);
         p.update(&db, &mut ctx, t, 1, &mut inc).unwrap();
-        p.commit(&db, &mut ctx, &mut wal).unwrap();
+        p.commit(&db, &mut ctx, &wal).unwrap();
         assert_eq!(db.table(t).get(1).unwrap().read_row().get_i64(1), 1);
         let tid = db.table(t).get(1).unwrap().meta.tid.load(Ordering::Acquire);
         assert!(tid >= 2 && tid & LOCK_BIT == 0);
@@ -338,7 +338,7 @@ mod tests {
     fn stale_read_fails_validation() {
         let (db, t) = setup();
         let p = SiloProtocol::new();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         // T1 reads key 1.
         let mut c1 = p.begin(&db);
         p.read(&db, &mut c1, t, 1).unwrap();
@@ -346,9 +346,9 @@ mod tests {
         // T2 writes key 1 and commits first.
         let mut c2 = p.begin(&db);
         p.update(&db, &mut c2, t, 1, &mut inc).unwrap();
-        p.commit(&db, &mut c2, &mut wal).unwrap();
+        p.commit(&db, &mut c2, &wal).unwrap();
         // T1's validation must fail.
-        let err = p.commit(&db, &mut c1, &mut wal).unwrap_err();
+        let err = p.commit(&db, &mut c1, &wal).unwrap_err();
         assert_eq!(err.0, AbortReason::SiloValidation);
         // Key 2 untouched by the failed T1.
         assert_eq!(db.table(t).get(2).unwrap().read_row().get_i64(1), 0);
@@ -358,14 +358,14 @@ mod tests {
     fn write_write_conflict_one_wins() {
         let (db, t) = setup();
         let p = SiloProtocol::new();
-        let mut wal = WalBuffer::for_tests();
+        let wal = WalHandle::for_tests();
         let mut c1 = p.begin(&db);
         let mut c2 = p.begin(&db);
         p.update(&db, &mut c1, t, 3, &mut inc).unwrap();
         p.update(&db, &mut c2, t, 3, &mut inc).unwrap();
-        p.commit(&db, &mut c1, &mut wal).unwrap();
+        p.commit(&db, &mut c1, &wal).unwrap();
         // c2 observed the pre-c1 TID → validation failure.
-        assert!(p.commit(&db, &mut c2, &mut wal).is_err());
+        assert!(p.commit(&db, &mut c2, &wal).is_err());
         assert_eq!(db.table(t).get(3).unwrap().read_row().get_i64(1), 1);
     }
 
@@ -380,12 +380,12 @@ mod tests {
                 let db = Arc::clone(&db);
                 let p = Arc::clone(&p);
                 std::thread::spawn(move || {
-                    let mut wal = WalBuffer::for_tests();
+                    let wal = WalHandle::for_tests();
                     let mut done = 0;
                     while done < per {
                         let mut ctx = p.begin(&db);
                         p.update(&db, &mut ctx, t, 0, &mut inc).unwrap();
-                        match p.commit(&db, &mut ctx, &mut wal) {
+                        match p.commit(&db, &mut ctx, &wal) {
                             Ok(()) => done += 1,
                             Err(_) => {
                                 p.abort(&db, &mut ctx);

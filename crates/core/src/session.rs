@@ -1,0 +1,759 @@
+//! The transaction-facing session layer: [`Session`] + the RAII [`Txn`]
+//! guard.
+//!
+//! The [`Protocol`] trait is the paper's
+//! pluggable concurrency-control seam, but driving it raw forces every
+//! call site to thread three handles (`&Database`, `&dyn Protocol`,
+//! `&mut TxnCtx`) through each operation *and* to uphold the lifecycle
+//! contract — "on `Err(Abort)` call `Protocol::abort` exactly once" —
+//! purely by convention. This module owns that contract instead:
+//!
+//! * [`Session`] binds an [`Arc<Database>`] + [`Arc<dyn Protocol>`] pair
+//!   (plus a [`RetryPolicy`] and a per-session WAL ring) and is the only
+//!   thing that starts transactions.
+//! * [`Txn`] is an RAII attempt guard: `read`/`update`/`insert`/`scan`
+//!   without handle-threading, `commit`/`abort` consume the guard, and
+//!   `Drop` aborts an unfinished attempt **exactly once** — leaking a lock
+//!   by forgetting the abort call is unrepresentable.
+//! * [`TxnOptions`] replaces the scattered attempt setup
+//!   (`ctx.planned_ops = …; ctx.ic3.template = …; begin` vs
+//!   `begin_snapshot`) with one builder.
+//! * [`Session::run`] / [`Session::run_reporting`] subsume the executor's
+//!   attempt/retry loop, with the backoff constants carried by the
+//!   session's [`RetryPolicy`] instead of hard-coded in the executor.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bamboo_core::protocol::LockingProtocol;
+//! use bamboo_core::Session;
+//! use bamboo_storage::{Schema, DataType, Value, Row};
+//!
+//! let mut b = bamboo_core::Database::builder();
+//! let t = b.add_table("kv", Schema::build()
+//!     .column("k", DataType::U64)
+//!     .column("v", DataType::I64));
+//! let db = b.build();
+//! db.table(t).insert(1, Row::from(vec![Value::U64(1), Value::I64(2)]));
+//!
+//! let session = Session::new(db, Arc::new(LockingProtocol::bamboo()));
+//! let mut txn = session.begin();
+//! txn.update(t, 1, |row| {
+//!     let v = row.get_i64(1);
+//!     row.set(1, Value::I64(v + 40));
+//! }).unwrap();
+//! txn.commit().unwrap();
+//! assert_eq!(session.db().table(t).get(1).unwrap().read_row().get_i64(1), 42);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::db::Database;
+use crate::executor::TxnSpec;
+use crate::protocol::Protocol;
+use crate::stats::WorkerStats;
+use crate::txn::{Abort, AbortReason, TxnCtx, TxnShared, TxnTimers};
+use crate::wal::{WalBuffer, WalHandle};
+use bamboo_storage::{Row, TableId};
+
+/// Retry rules for [`Session::run`]: when an aborted attempt is retried
+/// and how long to back off between attempts.
+///
+/// The defaults reproduce DBx1000's restart penalty (previously hard-coded
+/// in the executor): the first failure yields the CPU, later failures
+/// sleep `base << min(attempt, max_shift)` microseconds — exponential
+/// backoff that lets conflicting transactions drain instead of re-colliding
+/// immediately, which is vital for cascade storms.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Failures up to this count only yield the CPU (no sleep).
+    pub yield_attempts: u32,
+    /// Backoff base in microseconds (DBx1000's restart penalty: 5).
+    pub backoff_base_us: u64,
+    /// The exponential shift saturates at this many doublings.
+    pub backoff_max_shift: u32,
+    /// Whether user-initiated aborts are retried. `false` by default:
+    /// a user abort (e.g. TPC-C's invalid-item NewOrder) is a logical
+    /// rollback — the transaction is *done*, and re-running it would abort
+    /// identically forever.
+    pub retry_user_aborts: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            yield_attempts: 1,
+            backoff_base_us: 5,
+            backoff_max_shift: 6,
+            retry_user_aborts: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based count of failures so
+    /// far): `None` means yield the CPU, `Some(d)` means sleep `d`.
+    pub fn backoff(&self, attempt: u32) -> Option<Duration> {
+        if attempt <= self.yield_attempts {
+            None
+        } else {
+            // Saturate rather than shift-overflow: a misconfigured
+            // `backoff_max_shift` must degrade to "very long backoff",
+            // never to a debug-build panic or a silently truncated sleep.
+            let shift = attempt.min(self.backoff_max_shift).min(63);
+            let us = self.backoff_base_us.saturating_mul(1u64 << shift);
+            Some(Duration::from_micros(us))
+        }
+    }
+
+    /// Whether an abort for `reason` should be retried at all.
+    ///
+    /// [`AbortReason::SnapshotNotVisible`] is never retried: it means the
+    /// spec issued a hard [`Txn::read`] on a key that is absent at the
+    /// snapshot — retrying with a fresh snapshot would loop forever when
+    /// the key simply does not exist. Specs walking volatile key spaces
+    /// use [`Txn::read_opt`], which absorbs the reason as `Ok(None)`.
+    pub fn retryable(&self, reason: AbortReason) -> bool {
+        match reason {
+            AbortReason::User => self.retry_user_aborts,
+            AbortReason::SnapshotNotVisible => false,
+            _ => true,
+        }
+    }
+}
+
+/// Per-attempt options: the builder replacing the scattered
+/// `ctx.planned_ops = …; ctx.ic3.template = …; begin` vs `begin_snapshot`
+/// setup. Construct with [`TxnOptions::new`], consume with
+/// [`Session::begin_with`].
+#[derive(Clone, Debug, Default)]
+pub struct TxnOptions {
+    snapshot: bool,
+    opaque: bool,
+    planned_ops: Option<usize>,
+    template: usize,
+}
+
+impl TxnOptions {
+    /// Default options: a plain read-write attempt.
+    pub fn new() -> Self {
+        TxnOptions::default()
+    }
+
+    /// Read-only MVCC snapshot mode
+    /// ([`Protocol::begin_snapshot`]):
+    /// reads resolve against the committed version chains with zero
+    /// lock-manager interaction; writes are forbidden.
+    pub fn snapshot(mut self) -> Self {
+        self.snapshot = true;
+        self
+    }
+
+    /// Opacity (§3.4): accesses wait out dirty state and never read
+    /// uncommitted versions — the transaction effectively runs under plain
+    /// Wound-Wait. Only meaningful for the 2PL family; other protocols
+    /// ignore the flag.
+    pub fn opaque(mut self) -> Self {
+        self.opaque = true;
+        self
+    }
+
+    /// Declares the total operation count (stored-procedure mode), driving
+    /// Optimization 2's δ heuristic. Unset means interactive mode: every
+    /// write is treated as potentially the last and retires immediately.
+    pub fn planned_ops(mut self, n: usize) -> Self {
+        self.planned_ops = Some(n);
+        self
+    }
+
+    /// Selects the IC3 template this attempt executes. Ignored by the
+    /// non-chopping protocols.
+    pub fn template(mut self, i: usize) -> Self {
+        self.template = i;
+        self
+    }
+
+    /// Options matching a [`TxnSpec`]'s declarations (snapshot mode,
+    /// planned operations, IC3 template).
+    pub fn for_spec(spec: &dyn TxnSpec) -> Self {
+        TxnOptions {
+            snapshot: spec.read_only_snapshot(),
+            opaque: false,
+            planned_ops: spec.planned_ops(),
+            template: spec.template(),
+        }
+    }
+}
+
+/// A transaction session: one database + one protocol + the retry rules,
+/// plus a per-session WAL ring (the paper's in-memory redo log; §5.1 logs
+/// "to main memory").
+///
+/// Sessions are cheap to construct (two `Arc` clones + the WAL allocation)
+/// and `Sync`; the benchmark executor gives each worker thread its own so
+/// the WAL ring stays thread-local in practice, while tests freely share
+/// one session across scoped threads.
+pub struct Session {
+    db: Arc<Database>,
+    proto: Arc<dyn Protocol>,
+    retry: RetryPolicy,
+    wal: WalHandle,
+}
+
+impl Session {
+    /// Binds a database and a protocol with the default [`RetryPolicy`]
+    /// and a default-sized WAL ring.
+    pub fn new(db: Arc<Database>, proto: Arc<dyn Protocol>) -> Self {
+        Session {
+            db,
+            proto,
+            retry: RetryPolicy::default(),
+            wal: WalHandle::new(),
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Shrinks (or grows) the WAL ring — tests use small rings.
+    pub fn with_wal_capacity(mut self, bytes: usize) -> Self {
+        self.wal = WalHandle::from_buffer(WalBuffer::with_capacity(bytes));
+        self
+    }
+
+    /// The bound database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The bound protocol.
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
+        &self.proto
+    }
+
+    /// The session's retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Total redo-log bytes appended by this session's commits.
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.bytes_logged()
+    }
+
+    /// Number of commit records this session has logged.
+    pub fn log_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Starts a plain read-write transaction.
+    pub fn begin(&self) -> Txn<'_> {
+        self.begin_with(TxnOptions::new())
+    }
+
+    /// Starts a read-only MVCC snapshot transaction (shorthand for
+    /// [`TxnOptions::snapshot`]).
+    pub fn snapshot(&self) -> Txn<'_> {
+        self.begin_with(TxnOptions::new().snapshot())
+    }
+
+    /// Starts a transaction with explicit [`TxnOptions`].
+    pub fn begin_with(&self, opts: TxnOptions) -> Txn<'_> {
+        let mut ctx = if opts.snapshot {
+            self.proto.begin_snapshot(&self.db)
+        } else {
+            self.proto.begin(&self.db)
+        };
+        ctx.opaque = opts.opaque;
+        ctx.planned_ops = opts.planned_ops;
+        ctx.ic3.template = opts.template;
+        Txn {
+            session: self,
+            ctx,
+            finished: false,
+        }
+    }
+
+    /// Runs `spec` to commit, retrying aborted attempts per the session's
+    /// [`RetryPolicy`]. Returns the terminal [`Abort`] only when the
+    /// policy declines to retry it (by default: user-initiated aborts,
+    /// which are logical rollbacks, not failures).
+    pub fn run(&self, spec: &dyn TxnSpec) -> Result<(), Abort> {
+        match self.run_inner(spec, None, None, None) {
+            RunOutcome::Committed => Ok(()),
+            RunOutcome::Abandoned(e) => Err(e),
+        }
+    }
+
+    /// [`Session::run`] with benchmark instrumentation: per-attempt
+    /// timers/locks/latency land in `stats` (snapshot-mode attempts in
+    /// their own bucket), and retrying stops once `stop` rises or
+    /// `deadline` passes. Returns whether the transaction committed.
+    pub fn run_reporting(
+        &self,
+        spec: &dyn TxnSpec,
+        stats: &mut WorkerStats,
+        stop: &AtomicBool,
+        deadline: Instant,
+    ) -> bool {
+        matches!(
+            self.run_inner(spec, Some(stats), Some(stop), Some(deadline)),
+            RunOutcome::Committed
+        )
+    }
+
+    /// The attempt/retry loop shared by [`Session::run`] and
+    /// [`Session::run_reporting`].
+    fn run_inner(
+        &self,
+        spec: &dyn TxnSpec,
+        mut stats: Option<&mut WorkerStats>,
+        stop: Option<&AtomicBool>,
+        deadline: Option<Instant>,
+    ) -> RunOutcome {
+        let snapshot = spec.read_only_snapshot();
+        let mut attempt = 0u32;
+        loop {
+            let t0 = Instant::now();
+            let (res, cascaded, timers, locks) = self.attempt(spec);
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.lock_wait += timers.lock_wait;
+                stats.commit_wait += timers.commit_wait;
+                if snapshot {
+                    stats.snapshot_lock_acquisitions += locks;
+                } else {
+                    stats.lock_acquisitions += locks;
+                }
+                match res {
+                    Ok(()) => {
+                        if snapshot {
+                            stats.record_snapshot_commit(t0.elapsed());
+                        } else {
+                            stats.record_commit(t0.elapsed());
+                        }
+                    }
+                    Err(e) => {
+                        stats.record_abort(e.0, t0.elapsed(), cascaded);
+                        if snapshot {
+                            stats.snapshot_aborts += 1;
+                        }
+                    }
+                }
+            }
+            let e = match res {
+                Ok(()) => return RunOutcome::Committed,
+                Err(e) => e,
+            };
+            if !self.retry.retryable(e.0) {
+                return RunOutcome::Abandoned(e);
+            }
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed))
+                || deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                return RunOutcome::Abandoned(e);
+            }
+            attempt += 1;
+            match self.retry.backoff(attempt) {
+                None => std::thread::yield_now(),
+                Some(d) => std::thread::sleep(d),
+            }
+        }
+    }
+
+    /// One attempt: begin per the spec's options, run the pieces in order,
+    /// commit — aborting the attempt on any failure. Returns the result,
+    /// the abort-cascade count, and the attempt's timers/lock counters.
+    fn attempt(&self, spec: &dyn TxnSpec) -> (Result<(), Abort>, usize, TxnTimers, u64) {
+        let mut txn = self.begin_with(TxnOptions::for_spec(spec));
+        let res = (|| -> Result<(), Abort> {
+            for p in 0..spec.pieces() {
+                txn.piece_begin(p)?;
+                spec.run_piece(p, &mut txn)?;
+                txn.piece_end()?;
+            }
+            txn.commit_in_place()
+        })();
+        let timers = txn.ctx.timers;
+        let locks = txn.ctx.locks_acquired;
+        let cascaded = if res.is_err() {
+            txn.abort_in_place()
+        } else {
+            0
+        };
+        (res, cascaded, timers, locks)
+    }
+}
+
+/// What [`Session::run_inner`] resolved to.
+enum RunOutcome {
+    Committed,
+    Abandoned(Abort),
+}
+
+/// One transaction attempt, RAII-style.
+///
+/// Operations mirror the protocol surface without handle-threading.
+/// [`Txn::commit`] and [`Txn::abort`] consume the guard; a `Txn` dropped
+/// without either — an early `?` return, a panic mid-piece, a forgotten
+/// call — aborts the attempt in `Drop`, releasing all its lock entries
+/// **exactly once**. The abort obligation of the protocol contract is
+/// thereby unviolable by construction.
+pub struct Txn<'s> {
+    session: &'s Session,
+    ctx: TxnCtx,
+    finished: bool,
+}
+
+impl<'s> Txn<'s> {
+    /// Reads a row (shared access); returns the transaction-local copy.
+    ///
+    /// In snapshot mode a missing or not-yet-visible row surfaces as
+    /// [`AbortReason::SnapshotNotVisible`]; use [`Txn::read_opt`] when the
+    /// key's existence is not guaranteed.
+    pub fn read(&mut self, table: TableId, key: u64) -> Result<&Row, Abort> {
+        self.session
+            .proto
+            .read(&self.session.db, &mut self.ctx, table, key)
+    }
+
+    /// Reads a row that may not exist: `Ok(None)` when the key is absent —
+    /// including, in snapshot mode, a row that exists but is invisible at
+    /// the snapshot timestamp (a phantom to this transaction). A key this
+    /// transaction has *itself* inserted (still buffered until commit)
+    /// reads back as present. The TPC-C read-only transactions walk
+    /// volatile order keys through this.
+    pub fn read_opt(&mut self, table: TableId, key: u64) -> Result<Option<&Row>, Abort> {
+        // Read-your-own-buffered-insert: a key this transaction inserted
+        // exists from its own point of view even though the insert is only
+        // applied at commit (latest buffered image wins).
+        if let Some(i) = self
+            .ctx
+            .inserts
+            .iter()
+            .rposition(|ins| ins.table == table && ins.key == key)
+        {
+            return Ok(Some(&self.ctx.inserts[i].row));
+        }
+        let Some(tuple) = self.session.db.table(table).get(key) else {
+            return Ok(None);
+        };
+        let row_id = tuple.row_id;
+        drop(tuple);
+        let in_snapshot = self.ctx.snapshot.is_some();
+        match self
+            .session
+            .proto
+            .read(&self.session.db, &mut self.ctx, table, key)
+        {
+            Ok(_) => {}
+            Err(Abort(AbortReason::SnapshotNotVisible)) if in_snapshot => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        // Re-borrow through the access cache: the match above cannot
+        // return the row directly without extending the mutable borrow
+        // over the error arms (NLL limitation).
+        let i = self
+            .ctx
+            .find_access(table, row_id)
+            .expect("successful read recorded an access");
+        Ok(Some(&self.ctx.accesses[i].local))
+    }
+
+    /// Read-modify-write (exclusive access): `f` mutates the local copy;
+    /// visibility of the dirty result is protocol-specific (Bamboo retires
+    /// the lock per Optimization 2's δ heuristic).
+    pub fn update(
+        &mut self,
+        table: TableId,
+        key: u64,
+        mut f: impl FnMut(&mut Row),
+    ) -> Result<(), Abort> {
+        self.session
+            .proto
+            .update(&self.session.db, &mut self.ctx, table, key, &mut f)
+    }
+
+    /// Buffers an insert; applied atomically at commit. `secondary` is an
+    /// optional `(secondary index slot, secondary key)` to maintain.
+    pub fn insert(
+        &mut self,
+        table: TableId,
+        key: u64,
+        row: Row,
+        secondary: Option<(usize, u64)>,
+    ) -> Result<(), Abort> {
+        self.session
+            .proto
+            .insert(&self.session.db, &mut self.ctx, table, key, row, secondary)
+    }
+
+    /// Range scan over the table's ordered index (phantom-protected under
+    /// the 2PL family's Serializable level; see
+    /// [`Protocol::scan`]).
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        range: std::ops::RangeInclusive<u64>,
+    ) -> Result<Vec<Row>, Abort> {
+        self.session
+            .proto
+            .scan(&self.session.db, &mut self.ctx, table, range)
+    }
+
+    /// IC3 hook: a new piece begins. No-op under other protocols.
+    pub fn piece_begin(&mut self, piece: usize) -> Result<(), Abort> {
+        self.session
+            .proto
+            .piece_begin(&self.session.db, &mut self.ctx, piece)
+    }
+
+    /// IC3 hook: the current piece ended (publish piece writes). No-op
+    /// under other protocols.
+    pub fn piece_end(&mut self) -> Result<(), Abort> {
+        self.session
+            .proto
+            .piece_end(&self.session.db, &mut self.ctx)
+    }
+
+    /// Commits the transaction, consuming the guard. On failure the
+    /// attempt is aborted internally (exactly once) before the error is
+    /// returned — no cleanup is owed by the caller either way.
+    pub fn commit(mut self) -> Result<(), Abort> {
+        let res = self.commit_in_place();
+        if res.is_err() {
+            self.abort_in_place();
+        }
+        res
+    }
+
+    /// Aborts the transaction, consuming the guard. Returns the number of
+    /// transactions cascadingly aborted by the release (the abort-chain
+    /// accounting of §4.2).
+    pub fn abort(mut self) -> usize {
+        self.abort_in_place()
+    }
+
+    /// The shared transaction handle (status word, timestamp, commit
+    /// semaphore) — what concurrent transactions see of this attempt.
+    pub fn shared(&self) -> &Arc<TxnShared> {
+        &self.ctx.shared
+    }
+
+    /// The snapshot timestamp, when running in snapshot mode.
+    pub fn snapshot_ts(&self) -> Option<u64> {
+        self.ctx.snapshot
+    }
+
+    /// Lock-manager acquisitions by this attempt (0 in snapshot mode —
+    /// asserted by the stats layer).
+    pub fn locks_acquired(&self) -> u64 {
+        self.ctx.locks_acquired
+    }
+
+    /// Read-only view of the execution context (assertions, diagnostics).
+    pub fn ctx(&self) -> &TxnCtx {
+        &self.ctx
+    }
+
+    /// The bound database.
+    pub fn db(&self) -> &Database {
+        &self.session.db
+    }
+
+    /// Low-level escape hatch for instrumentation layers that drive
+    /// protocol internals directly (the §3.3 retire-point interpreter in
+    /// `bamboo-analysis` calls `LockingProtocol::update_manual` /
+    /// `retire_now`, which need the raw context). The `Txn` remains the
+    /// lifecycle owner: do **not** commit or abort through the returned
+    /// context — use [`Txn::commit`] / [`Txn::abort`].
+    pub fn raw_parts(&mut self) -> (&Database, &mut TxnCtx) {
+        (&self.session.db, &mut self.ctx)
+    }
+
+    /// Commit without consuming `self` (shared by the public consuming
+    /// `commit` and the session's attempt loop, which still needs the
+    /// context's timers afterwards). Marks the attempt finished on
+    /// success.
+    fn commit_in_place(&mut self) -> Result<(), Abort> {
+        debug_assert!(!self.finished, "commit on a finished attempt");
+        let res = self
+            .session
+            .proto
+            .commit(&self.session.db, &mut self.ctx, &self.session.wal);
+        if res.is_ok() {
+            self.finished = true;
+        }
+        res
+    }
+
+    /// Abort without consuming `self`; idempotence guard included so the
+    /// `Drop` path can never double-release.
+    fn abort_in_place(&mut self) -> usize {
+        if self.finished {
+            return 0;
+        }
+        self.finished = true;
+        self.session.proto.abort(&self.session.db, &mut self.ctx)
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        // An attempt neither committed nor aborted is aborted here —
+        // early returns, `?` propagation and panics all release their
+        // locks exactly once.
+        self.abort_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LockingProtocol;
+    use bamboo_storage::{DataType, Schema, Value};
+
+    fn setup() -> (Arc<Database>, TableId) {
+        let mut b = Database::builder();
+        let t = b.add_table(
+            "kv",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+        );
+        let db = b.build();
+        for k in 0..8u64 {
+            db.table(t)
+                .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+        }
+        (db, t)
+    }
+
+    fn bamboo_session(db: &Arc<Database>) -> Session {
+        Session::new(Arc::clone(db), Arc::new(LockingProtocol::bamboo()))
+            .with_wal_capacity(64 << 10)
+    }
+
+    #[test]
+    fn read_update_commit_round_trip() {
+        let (db, t) = setup();
+        let session = bamboo_session(&db);
+        let mut txn = session.begin();
+        assert_eq!(txn.read(t, 3).unwrap().get_i64(1), 0);
+        txn.update(t, 3, |row| row.set(1, Value::I64(7))).unwrap();
+        assert_eq!(txn.read(t, 3).unwrap().get_i64(1), 7);
+        txn.commit().unwrap();
+        assert_eq!(db.table(t).get(3).unwrap().read_row().get_i64(1), 7);
+        assert_eq!(session.log_records(), 1);
+        assert!(session.log_bytes() > 0);
+    }
+
+    #[test]
+    fn drop_without_commit_aborts_exactly_once() {
+        let (db, t) = setup();
+        let session = bamboo_session(&db);
+        {
+            let mut txn = session.begin();
+            txn.update(t, 0, |row| row.set(1, Value::I64(99))).unwrap();
+            // Dropped here: the exclusive lock must be released.
+        }
+        let tuple = db.table(t).get(0).unwrap();
+        assert!(tuple.meta.lock.lock().is_quiescent());
+        assert_eq!(tuple.read_row().get_i64(1), 0, "aborted write discarded");
+        // A follow-up transaction on the same key commits unobstructed.
+        let mut txn = session.begin();
+        txn.update(t, 0, |row| row.set(1, Value::I64(1))).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(tuple.read_row().get_i64(1), 1);
+    }
+
+    #[test]
+    fn explicit_abort_then_drop_does_not_double_release() {
+        let (db, t) = setup();
+        let session = bamboo_session(&db);
+        let mut txn = session.begin();
+        txn.update(t, 1, |row| row.set(1, Value::I64(5))).unwrap();
+        assert_eq!(txn.abort(), 0); // consumes the guard; Drop is a no-op
+        assert!(db.table(t).get(1).unwrap().meta.lock.lock().is_quiescent());
+    }
+
+    #[test]
+    fn snapshot_txn_reads_lock_free() {
+        let (db, t) = setup();
+        let session = bamboo_session(&db);
+        let mut snap = session.snapshot();
+        assert!(snap.snapshot_ts().is_some());
+        assert_eq!(snap.read(t, 2).unwrap().get_i64(1), 0);
+        assert_eq!(snap.locks_acquired(), 0);
+        snap.commit().unwrap();
+        assert_eq!(db.snapshots.active_count(), 0);
+    }
+
+    #[test]
+    fn read_opt_distinguishes_absent_from_present() {
+        let (db, t) = setup();
+        let session = bamboo_session(&db);
+        let mut txn = session.begin();
+        assert!(txn.read_opt(t, 999).unwrap().is_none());
+        assert_eq!(txn.read_opt(t, 4).unwrap().unwrap().get_i64(1), 0);
+        // Own buffered inserts read back as present before commit.
+        txn.insert(t, 77, Row::from(vec![Value::U64(77), Value::I64(9)]), None)
+            .unwrap();
+        assert_eq!(txn.read_opt(t, 77).unwrap().unwrap().get_i64(1), 9);
+        txn.commit().unwrap();
+        // Snapshot mode: a row inserted after the snapshot is Ok(None).
+        let snap = session.snapshot();
+        let mut w = session.begin();
+        w.insert(t, 50, Row::from(vec![Value::U64(50), Value::I64(1)]), None)
+            .unwrap();
+        w.commit().unwrap();
+        let mut snap = snap;
+        assert!(
+            snap.read_opt(t, 50).unwrap().is_none(),
+            "post-snapshot insert must be invisible"
+        );
+        assert_eq!(
+            snap.read(t, 50).unwrap_err(),
+            Abort(AbortReason::SnapshotNotVisible)
+        );
+        snap.commit().unwrap();
+    }
+
+    #[test]
+    fn retry_policy_backoff_matches_executor_constants() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), None); // first failure: yield
+        assert_eq!(p.backoff(2), Some(Duration::from_micros(5 << 2)));
+        assert_eq!(p.backoff(6), Some(Duration::from_micros(5 << 6)));
+        assert_eq!(p.backoff(60), Some(Duration::from_micros(5 << 6)));
+        assert!(!p.retryable(AbortReason::User));
+        assert!(p.retryable(AbortReason::Wounded));
+        // A hard snapshot read of an absent key must surface, not respin:
+        // retrying with a fresh snapshot loops forever when the key simply
+        // never exists.
+        assert!(!p.retryable(AbortReason::SnapshotNotVisible));
+        // Misconfigured shifts saturate instead of overflowing.
+        let wild = RetryPolicy {
+            backoff_max_shift: 64,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            wild.backoff(64),
+            Some(Duration::from_micros(5u64.saturating_mul(1 << 63)))
+        );
+    }
+
+    #[test]
+    fn txn_options_apply_to_context() {
+        let (db, _t) = setup();
+        let session = bamboo_session(&db);
+        let txn = session.begin_with(TxnOptions::new().planned_ops(7).template(3).opaque());
+        assert_eq!(txn.ctx().planned_ops, Some(7));
+        assert_eq!(txn.ctx().ic3.template, 3);
+        assert!(txn.ctx().opaque);
+        drop(txn);
+    }
+}

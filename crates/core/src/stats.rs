@@ -12,7 +12,7 @@ use std::time::Duration;
 use crate::txn::AbortReason;
 
 /// Number of distinct abort reasons (array-indexed counters).
-pub const REASONS: usize = 8;
+pub const REASONS: usize = 9;
 
 fn reason_idx(r: AbortReason) -> usize {
     match r {
@@ -24,6 +24,7 @@ fn reason_idx(r: AbortReason) -> usize {
         AbortReason::SiloLockFail => 5,
         AbortReason::User => 6,
         AbortReason::Ic3Validation => 7,
+        AbortReason::SnapshotNotVisible => 8,
     }
 }
 
@@ -37,7 +38,8 @@ pub fn reason_name(i: usize) -> &'static str {
         4 => "silo_validation",
         5 => "silo_lock_fail",
         6 => "user",
-        _ => "ic3_validation",
+        7 => "ic3_validation",
+        _ => "snapshot_not_visible",
     }
 }
 

@@ -61,6 +61,12 @@ pub enum AbortReason {
     User,
     /// IC3 piece validation failed (optimistic execution).
     Ic3Validation,
+    /// A snapshot-mode read resolved to a row that does not exist or is
+    /// not yet visible at the snapshot timestamp (e.g. inserted after the
+    /// snapshot was taken). Callers scanning volatile key spaces treat it
+    /// as "row absent" ([`crate::session::Txn::read_opt`] does exactly
+    /// that); surfacing it as an abort keeps the read signature uniform.
+    SnapshotNotVisible,
 }
 
 /// The terminal error of a transaction attempt.
@@ -127,6 +133,7 @@ fn encode_reason(r: AbortReason) -> u8 {
         AbortReason::SiloLockFail => 5,
         AbortReason::User => 6,
         AbortReason::Ic3Validation => 7,
+        AbortReason::SnapshotNotVisible => 8,
     }
 }
 
@@ -139,7 +146,8 @@ fn decode_reason(v: u8) -> AbortReason {
         4 => AbortReason::SiloValidation,
         5 => AbortReason::SiloLockFail,
         6 => AbortReason::User,
-        _ => AbortReason::Ic3Validation,
+        7 => AbortReason::Ic3Validation,
+        _ => AbortReason::SnapshotNotVisible,
     }
 }
 

@@ -138,6 +138,63 @@ impl Default for WalBuffer {
     }
 }
 
+/// A shareable handle to a WAL ring: a [`WalBuffer`] behind a mutex that
+/// is taken **only for the duration of one append**.
+///
+/// [`Protocol::commit`](crate::protocol::Protocol::commit) receives this
+/// instead of `&mut WalBuffer` so that a commit which *waits* (the
+/// commit-semaphore wait of Algorithm 1 lines 4–5) never holds the log:
+/// with an exclusive borrow, a dependent transaction pinned at its commit
+/// wait would block its own predecessor's log append on the same session —
+/// a deadlock the type system would otherwise force on every caller
+/// sharing a ring. One handle per [`Session`](crate::session::Session)
+/// keeps the ring per-worker in the benchmark executor, so the lock is
+/// uncontended on the hot path.
+pub struct WalHandle(parking_lot::Mutex<WalBuffer>);
+
+impl WalHandle {
+    /// Wraps an existing ring.
+    pub fn from_buffer(buf: WalBuffer) -> Self {
+        WalHandle(parking_lot::Mutex::new(buf))
+    }
+
+    /// Default-sized ring.
+    pub fn new() -> Self {
+        Self::from_buffer(WalBuffer::new())
+    }
+
+    /// Small ring for unit tests and doctests.
+    pub fn for_tests() -> Self {
+        Self::from_buffer(WalBuffer::for_tests())
+    }
+
+    /// Appends one commit record (see [`WalBuffer::append_commit`]),
+    /// locking the ring for exactly the append.
+    pub fn append_commit<'a>(
+        &self,
+        txn_id: u64,
+        writes: impl Iterator<Item = (TableId, RowId, &'a Row)>,
+    ) {
+        self.0.lock().append_commit(txn_id, writes);
+    }
+
+    /// Total bytes appended over the ring's lifetime.
+    pub fn bytes_logged(&self) -> u64 {
+        self.0.lock().bytes_logged()
+    }
+
+    /// Number of commit records appended.
+    pub fn records(&self) -> u64 {
+        self.0.lock().records()
+    }
+}
+
+impl Default for WalHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,7 @@
 use std::sync::Arc;
 
 use bamboo_core::executor::{TxnSpec, Workload};
-use bamboo_core::protocol::Protocol;
-use bamboo_core::{Abort, Database, TxnCtx};
+use bamboo_core::{Abort, Database, Txn};
 use bamboo_storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -115,21 +114,15 @@ impl TxnSpec for SyntheticTxn {
         Some(self.ops.len())
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         for op in &self.ops {
             match op {
                 Op::Read(k) => {
-                    let row = proto.read(db, ctx, self.table, *k)?;
+                    let row = txn.read(self.table, *k)?;
                     std::hint::black_box(row.get_i64(1));
                 }
                 Op::HotRmw(k) => {
-                    proto.update(db, ctx, self.table, *k, &mut |row| {
+                    txn.update(self.table, *k, |row| {
                         let v = row.get_i64(1);
                         row.set(1, Value::I64(v + 1));
                     })?;
@@ -189,7 +182,7 @@ impl Workload for SyntheticWorkload {
 mod tests {
     use super::*;
     use bamboo_core::executor::{run_bench, BenchConfig};
-    use bamboo_core::protocol::LockingProtocol;
+    use bamboo_core::protocol::{LockingProtocol, Protocol};
 
     #[test]
     fn position_mapping_covers_endpoints() {

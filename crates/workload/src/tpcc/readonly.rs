@@ -6,27 +6,20 @@
 //! exercise Bamboo's read path against the insert-heavy order tables —
 //! long dependent read chains are where Optimization 3 (no read-after-write
 //! aborts) earns its keep.
+//!
+//! Both transactions walk *volatile* key spaces (order ids claimed by
+//! concurrent NewOrders), so every order/order-line access goes through
+//! [`Txn::read_opt`]: a missing row — or, in snapshot mode, a row committed
+//! after the snapshot was taken
+//! ([`AbortReason::SnapshotNotVisible`](bamboo_core::AbortReason)) — is a
+//! phantom this transaction skips, not an error.
 
 use bamboo_core::executor::TxnSpec;
-use bamboo_core::protocol::Protocol;
 use bamboo_core::txn::Abort;
-use bamboo_core::{Database, TxnCtx};
-use bamboo_storage::TableId;
+use bamboo_core::Txn;
 
 use super::loader::TpccTables;
 use super::schema::*;
-
-/// Existence guard for keys materialized by concurrent writers. The
-/// storage-level check (`get(..).is_none()`) says "no committed writer
-/// created this row yet"; in snapshot mode a row must additionally be
-/// *visible at the snapshot* — a row inserted after the snapshot was taken
-/// is a phantom this transaction must skip.
-fn absent(db: &Database, ctx: &TxnCtx, table: TableId, key: u64) -> bool {
-    match db.table(table).get(key) {
-        None => true,
-        Some(tuple) => ctx.snapshot.is_some_and(|snap| !tuple.visible_at(snap)),
-    }
-}
 
 /// ORDER-STATUS: a customer's most recent order and its lines.
 pub struct OrderStatusTxn {
@@ -55,20 +48,14 @@ impl TxnSpec for OrderStatusTxn {
         self.snapshot
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         // Customer balance.
-        let row = proto.read(db, ctx, self.tables.customer, self.c_key)?;
+        let row = txn.read(self.tables.customer, self.c_key)?;
         std::hint::black_box(row.get_f64(cust::C_BALANCE));
         // The district's order counter bounds the search for the
         // customer's latest order (read-only: no RMW).
         let next = {
-            let row = proto.read(db, ctx, self.tables.district, dist_key(self.w, self.d))?;
+            let row = txn.read(self.tables.district, dist_key(self.w, self.d))?;
             row.get_u64(dist::D_NEXT_O_ID)
         };
         // Walk backwards over recent orders looking for this customer
@@ -76,20 +63,17 @@ impl TxnSpec for OrderStatusTxn {
         let lo = next.saturating_sub(20).max(3001);
         for o in (lo..next).rev() {
             let okey = order_key(self.w, self.d, o);
-            if absent(db, ctx, self.tables.orders, okey) {
-                continue; // order not yet committed / not visible at snapshot
-            }
-            let (c, ol_cnt) = {
-                let row = proto.read(db, ctx, self.tables.orders, okey)?;
-                (row.get_u64(orders::O_C_KEY), row.get_u64(orders::O_OL_CNT))
+            // Order not yet committed / not visible at the snapshot.
+            let Some(row) = txn.read_opt(self.tables.orders, okey)? else {
+                continue;
             };
+            let (c, ol_cnt) = (row.get_u64(orders::O_C_KEY), row.get_u64(orders::O_OL_CNT));
             if c != self.c_key {
                 continue;
             }
             for line in 0..ol_cnt {
                 let lkey = order_line_key(okey, line);
-                if !absent(db, ctx, self.tables.order_line, lkey) {
-                    let row = proto.read(db, ctx, self.tables.order_line, lkey)?;
+                if let Some(row) = txn.read_opt(self.tables.order_line, lkey)? {
                     std::hint::black_box(row.get_f64(order_line::OL_AMOUNT));
                 }
             }
@@ -128,15 +112,9 @@ impl TxnSpec for StockLevelTxn {
         self.snapshot
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         let next = {
-            let row = proto.read(db, ctx, self.tables.district, dist_key(self.w, self.d))?;
+            let row = txn.read(self.tables.district, dist_key(self.w, self.d))?;
             row.get_u64(dist::D_NEXT_O_ID)
         };
         let lo = next.saturating_sub(20).max(3001);
@@ -144,29 +122,23 @@ impl TxnSpec for StockLevelTxn {
         let mut seen: Vec<u64> = Vec::new();
         for o in lo..next {
             let okey = order_key(self.w, self.d, o);
-            if absent(db, ctx, self.tables.orders, okey) {
+            let Some(row) = txn.read_opt(self.tables.orders, okey)? else {
                 continue;
-            }
-            let ol_cnt = {
-                let row = proto.read(db, ctx, self.tables.orders, okey)?;
-                row.get_u64(orders::O_OL_CNT)
             };
+            let ol_cnt = row.get_u64(orders::O_OL_CNT);
             for line in 0..ol_cnt {
                 let lkey = order_line_key(okey, line);
-                if absent(db, ctx, self.tables.order_line, lkey) {
+                let Some(row) = txn.read_opt(self.tables.order_line, lkey)? else {
                     continue;
-                }
-                let item = {
-                    let row = proto.read(db, ctx, self.tables.order_line, lkey)?;
-                    row.get_u64(order_line::OL_I_ID)
                 };
+                let item = row.get_u64(order_line::OL_I_ID);
                 if seen.contains(&item) {
                     continue; // distinct items only (spec 2.8.2.2)
                 }
                 seen.push(item);
                 let skey = stock_key(self.w, item, self.items_per_wh);
                 let qty = {
-                    let row = proto.read(db, ctx, self.tables.stock, skey)?;
+                    let row = txn.read(self.tables.stock, skey)?;
                     row.get_i64(stock::S_QUANTITY)
                 };
                 if qty < self.threshold {
@@ -185,7 +157,7 @@ mod tests {
     use super::*;
     use bamboo_core::executor::{run_bench, BenchConfig, Workload};
     use bamboo_core::protocol::{LockingProtocol, Protocol};
-    use bamboo_core::wal::WalBuffer;
+    use bamboo_core::Session;
     use std::sync::Arc;
 
     fn tiny() -> TpccConfig {
@@ -203,8 +175,10 @@ mod tests {
         // No orders yet: both transactions complete trivially.
         let cfg = tiny();
         let (db, tables, _) = load(&cfg);
-        let proto = LockingProtocol::bamboo();
-        let mut wal = WalBuffer::for_tests();
+        let session = Session::new(
+            Arc::clone(&db),
+            Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+        );
         let os = OrderStatusTxn {
             tables,
             w: 0,
@@ -212,9 +186,9 @@ mod tests {
             c_key: cust_key(0, 0, 5, cfg.customers_per_district),
             snapshot: false,
         };
-        let mut ctx = proto.begin(&db);
-        os.run_piece(0, &db, &proto, &mut ctx).unwrap();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        let mut txn = session.begin();
+        os.run_piece(0, &mut txn).unwrap();
+        txn.commit().unwrap();
         let sl = StockLevelTxn {
             tables,
             w: 0,
@@ -223,17 +197,19 @@ mod tests {
             items_per_wh: cfg.items,
             snapshot: false,
         };
-        let mut ctx = proto.begin(&db);
-        sl.run_piece(0, &db, &proto, &mut ctx).unwrap();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        let mut txn = session.begin();
+        sl.run_piece(0, &mut txn).unwrap();
+        txn.commit().unwrap();
     }
 
     #[test]
     fn snapshot_readonly_txns_run_lock_free() {
         let cfg = tiny();
         let (db, tables, _) = load(&cfg);
-        let proto = LockingProtocol::bamboo();
-        let mut wal = WalBuffer::for_tests();
+        let session = Session::new(
+            Arc::clone(&db),
+            Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+        );
         let os = OrderStatusTxn {
             tables,
             w: 0,
@@ -243,10 +219,14 @@ mod tests {
         };
         use bamboo_core::executor::TxnSpec as _;
         assert!(os.read_only_snapshot());
-        let mut ctx = proto.begin_snapshot(&db);
-        os.run_piece(0, &db, &proto, &mut ctx).unwrap();
-        assert_eq!(ctx.locks_acquired, 0, "snapshot reads must stay lock-free");
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        let mut txn = session.snapshot();
+        os.run_piece(0, &mut txn).unwrap();
+        assert_eq!(
+            txn.locks_acquired(),
+            0,
+            "snapshot reads must stay lock-free"
+        );
+        txn.commit().unwrap();
         assert_eq!(db.snapshots.active_count(), 0, "snapshot must deregister");
     }
 

@@ -1,16 +1,15 @@
 //! The NewOrder and Payment transaction bodies.
 //!
 //! Piece boundaries line up with the IC3 templates in
-//! [`super::templates`]; non-IC3 protocols simply run the pieces back to
+//! [`super::templates`](mod@super::templates); non-IC3 protocols simply run the pieces back to
 //! back. 1% of NewOrders carry an invalid item and roll back at the item
 //! check — the paper's "user-initiated aborts" (§5.5); per the TPC-C spec
 //! the invalid item is discovered *after* the district increment, which is
 //! exactly what makes those aborts interesting for cascading.
 
 use bamboo_core::executor::TxnSpec;
-use bamboo_core::protocol::Protocol;
 use bamboo_core::txn::{Abort, AbortReason};
-use bamboo_core::{Database, TxnCtx};
+use bamboo_core::Txn;
 use bamboo_storage::Value;
 
 use super::loader::TpccTables;
@@ -73,35 +72,23 @@ impl TxnSpec for NewOrderTxn {
         Some(6 + 3 * self.lines.len())
     }
 
-    fn run_piece(
-        &self,
-        piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         match piece {
             0 => {
-                let row = proto.read(db, ctx, self.tables.warehouse, self.w)?;
+                let row = txn.read(self.tables.warehouse, self.w)?;
                 std::hint::black_box(row.get_f64(wh::W_TAX));
                 if self.read_wytd {
                     std::hint::black_box(row.get_f64(wh::W_YTD));
                 }
                 Ok(())
             }
-            1 => proto.update(
-                db,
-                ctx,
-                self.tables.district,
-                dist_key(self.w, self.d),
-                &mut |row| {
-                    let next = row.get_u64(dist::D_NEXT_O_ID);
-                    std::hint::black_box(row.get_f64(dist::D_TAX));
-                    row.set(dist::D_NEXT_O_ID, Value::U64(next + 1));
-                },
-            ),
+            1 => txn.update(self.tables.district, dist_key(self.w, self.d), |row| {
+                let next = row.get_u64(dist::D_NEXT_O_ID);
+                std::hint::black_box(row.get_f64(dist::D_TAX));
+                row.set(dist::D_NEXT_O_ID, Value::U64(next + 1));
+            }),
             2 => {
-                let row = proto.read(db, ctx, self.tables.customer, self.c_key)?;
+                let row = txn.read(self.tables.customer, self.c_key)?;
                 std::hint::black_box(row.get_f64(cust::C_DISCOUNT));
                 Ok(())
             }
@@ -112,18 +99,16 @@ impl TxnSpec for NewOrderTxn {
                         return Err(Abort(AbortReason::User));
                     }
                     let price = {
-                        let row = proto.read(db, ctx, self.tables.item, line.item)?;
+                        let row = txn.read(self.tables.item, line.item)?;
                         row.get_f64(item::I_PRICE)
                     };
                     std::hint::black_box(price);
                     let remote = line.supply_w != self.w;
                     let qty = line.quantity as i64;
-                    proto.update(
-                        db,
-                        ctx,
+                    txn.update(
                         self.tables.stock,
                         stock_key(line.supply_w, line.item, self.items_per_wh),
-                        &mut |row| {
+                        |row| {
                             let s_qty = row.get_i64(stock::S_QUANTITY);
                             let new_qty = if s_qty >= qty + 10 {
                                 s_qty - qty
@@ -148,15 +133,12 @@ impl TxnSpec for NewOrderTxn {
                 // o_id was claimed in piece 1; the district access is
                 // cached, so this read touches only the local copy.
                 let o_id = {
-                    let row =
-                        proto.read(db, ctx, self.tables.district, dist_key(self.w, self.d))?;
+                    let row = txn.read(self.tables.district, dist_key(self.w, self.d))?;
                     row.get_u64(dist::D_NEXT_O_ID) - 1
                 };
                 let okey = order_key(self.w, self.d, o_id);
                 let all_local = self.lines.iter().all(|l| l.supply_w == self.w);
-                proto.insert(
-                    db,
-                    ctx,
+                txn.insert(
                     self.tables.orders,
                     okey,
                     bamboo_storage::Row::from(vec![
@@ -169,9 +151,7 @@ impl TxnSpec for NewOrderTxn {
                     ]),
                     None,
                 )?;
-                proto.insert(
-                    db,
-                    ctx,
+                txn.insert(
                     self.tables.new_order,
                     okey,
                     bamboo_storage::Row::from(vec![Value::U64(okey)]),
@@ -180,12 +160,10 @@ impl TxnSpec for NewOrderTxn {
                 for (n, line) in self.lines.iter().enumerate() {
                     // Amount from the cached item read of piece 3.
                     let price = {
-                        let row = proto.read(db, ctx, self.tables.item, line.item)?;
+                        let row = txn.read(self.tables.item, line.item)?;
                         row.get_f64(item::I_PRICE)
                     };
-                    proto.insert(
-                        db,
-                        ctx,
+                    txn.insert(
                         self.tables.order_line,
                         order_line_key(okey, n as u64),
                         bamboo_storage::Row::from(vec![
@@ -236,30 +214,18 @@ impl TxnSpec for PaymentTxn {
         Some(4)
     }
 
-    fn run_piece(
-        &self,
-        piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         let amount = self.amount;
         match piece {
-            0 => proto.update(db, ctx, self.tables.warehouse, self.w, &mut |row| {
+            0 => txn.update(self.tables.warehouse, self.w, |row| {
                 let ytd = row.get_f64(wh::W_YTD);
                 row.set(wh::W_YTD, Value::F64(ytd + amount));
             }),
-            1 => proto.update(
-                db,
-                ctx,
-                self.tables.district,
-                dist_key(self.w, self.d),
-                &mut |row| {
-                    let ytd = row.get_f64(dist::D_YTD);
-                    row.set(dist::D_YTD, Value::F64(ytd + amount));
-                },
-            ),
-            2 => proto.update(db, ctx, self.tables.customer, self.c_key, &mut |row| {
+            1 => txn.update(self.tables.district, dist_key(self.w, self.d), |row| {
+                let ytd = row.get_f64(dist::D_YTD);
+                row.set(dist::D_YTD, Value::F64(ytd + amount));
+            }),
+            2 => txn.update(self.tables.customer, self.c_key, |row| {
                 let bal = row.get_f64(cust::C_BALANCE);
                 row.set(cust::C_BALANCE, Value::F64(bal - amount));
                 let ytd = row.get_f64(cust::C_YTD_PAYMENT);
@@ -267,9 +233,7 @@ impl TxnSpec for PaymentTxn {
                 let cnt = row.get_u64(cust::C_PAYMENT_CNT);
                 row.set(cust::C_PAYMENT_CNT, Value::U64(cnt + 1));
             }),
-            3 => proto.insert(
-                db,
-                ctx,
+            3 => txn.insert(
                 self.tables.history,
                 self.h_key,
                 bamboo_storage::Row::from(vec![

@@ -11,8 +11,7 @@
 use std::sync::Arc;
 
 use bamboo_core::executor::{TxnSpec, Workload};
-use bamboo_core::protocol::Protocol;
-use bamboo_core::{Abort, Database, TxnCtx};
+use bamboo_core::{Abort, Database, Txn};
 use bamboo_storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -138,21 +137,15 @@ impl TxnSpec for YcsbTxn {
         self.snapshot
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         for op in &self.ops {
             if op.write {
                 let (field, value) = (op.field, op.value);
-                proto.update(db, ctx, self.table, op.key, &mut move |row| {
+                txn.update(self.table, op.key, move |row| {
                     row.set(field + 1, Value::U64(value));
                 })?;
             } else {
-                let row = proto.read(db, ctx, self.table, op.key)?;
+                let row = txn.read(self.table, op.key)?;
                 std::hint::black_box(row.get_u64(op.field + 1));
             }
         }
@@ -241,7 +234,7 @@ impl Workload for YcsbWorkload {
 mod tests {
     use super::*;
     use bamboo_core::executor::{run_bench, BenchConfig};
-    use bamboo_core::protocol::{LockingProtocol, SiloProtocol};
+    use bamboo_core::protocol::{LockingProtocol, Protocol, SiloProtocol};
     use rand::SeedableRng;
 
     fn small_cfg() -> YcsbConfig {

@@ -14,8 +14,7 @@ use std::sync::Arc;
 
 use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol, SiloProtocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::{Abort, Database, TxnCtx};
+use bamboo_repro::core::{Abort, Database, Session, Txn};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -52,25 +51,19 @@ impl TxnSpec for Transfer {
         Some(3)
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         let amount = self.amount;
         // Fee into the settlement hotspot first — the paper's "hotspot at
         // the beginning", where Bamboo's early retire shines.
-        proto.update(db, ctx, self.table, SETTLEMENT, &mut |row| {
+        txn.update(self.table, SETTLEMENT, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + 1)); // 1 unit fee
         })?;
-        proto.update(db, ctx, self.table, self.from, &mut |row| {
+        txn.update(self.table, self.from, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v - amount - 1));
         })?;
-        proto.update(db, ctx, self.table, self.to, &mut |row| {
+        txn.update(self.table, self.to, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + amount));
         })?;
@@ -111,36 +104,38 @@ fn total(db: &Database, t: TableId) -> i64 {
 fn demo_cascade() {
     println!("--- cascading abort demo ---");
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base(); // retire every write
-    let mut wal = WalBuffer::new();
+    // bamboo_base: retire every write.
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo_base()) as Arc<dyn Protocol>,
+    );
 
     // T1 writes the settlement account and retires.
-    let mut t1 = proto.begin(&db);
-    proto
-        .update(&db, &mut t1, t, SETTLEMENT, &mut |row| {
-            row.set(1, Value::I64(999));
-        })
-        .unwrap();
+    let mut t1 = session.begin();
+    t1.update(t, SETTLEMENT, |row| {
+        row.set(1, Value::I64(999));
+    })
+    .unwrap();
     // T2 and T3 read T1's dirty write (T3 via T2's position in the chain).
-    let mut t2 = proto.begin(&db);
-    proto
-        .update(&db, &mut t2, t, SETTLEMENT, &mut |row| {
-            let v = row.get_i64(1);
-            row.set(1, Value::I64(v + 1));
-        })
-        .unwrap();
-    let mut t3 = proto.begin(&db);
-    let seen = proto.read(&db, &mut t3, t, SETTLEMENT).unwrap().get_i64(1);
+    let mut t2 = session.begin();
+    t2.update(t, SETTLEMENT, |row| {
+        let v = row.get_i64(1);
+        row.set(1, Value::I64(v + 1));
+    })
+    .unwrap();
+    let mut t3 = session.begin();
+    let seen = t3.read(t, SETTLEMENT).unwrap().get_i64(1);
     println!("T3 read the chained dirty value: {seen} (999 + 1)");
 
-    // T1 aborts → T2 and T3 must abort cascadingly.
-    let chain = proto.abort(&db, &mut t1);
+    // T1 aborts → T2 and T3 must abort cascadingly. `abort` consumes the
+    // guard and reports the chain length (§4.2's accounting).
+    let chain = t1.abort();
     println!("T1 aborted; cascade chain length = {chain}");
-    assert!(t2.shared.is_aborted() && t3.shared.is_aborted());
-    assert!(proto.commit(&db, &mut t2, &mut wal).is_err());
-    proto.abort(&db, &mut t2);
-    assert!(proto.commit(&db, &mut t3, &mut wal).is_err());
-    proto.abort(&db, &mut t3);
+    assert!(t2.shared().is_aborted() && t3.shared().is_aborted());
+    // A wounded transaction's commit fails — and cleans up after itself:
+    // the failed commit aborts the attempt internally, nothing is owed.
+    assert!(t2.commit().is_err());
+    assert!(t3.commit().is_err());
     println!(
         "settlement balance untouched: {}\n",
         db.table(t).get(SETTLEMENT).unwrap().read_row().get_i64(1)
@@ -164,12 +159,10 @@ fn main() {
             &db,
             &proto,
             &wl,
-            &BenchConfig {
-                threads: 4,
-                duration: std::time::Duration::from_millis(400),
-                warmup: std::time::Duration::from_millis(50),
-                seed: 1,
-            },
+            &BenchConfig::quick(4)
+                .with_duration(std::time::Duration::from_millis(400))
+                .with_warmup(std::time::Duration::from_millis(50))
+                .with_seed(1),
         );
         let t_after = total(&db, t);
         println!(

@@ -24,12 +24,10 @@ fn main() {
     let (db, table) = synthetic::load(&cfg);
     let wl: Arc<dyn Workload> = Arc::new(SyntheticWorkload::new(cfg.clone(), table));
 
-    let bench = BenchConfig {
-        threads: 8,
-        duration: Duration::from_millis(500),
-        warmup: Duration::from_millis(100),
-        seed: 3,
-    };
+    let bench = BenchConfig::quick(8)
+        .with_duration(Duration::from_millis(500))
+        .with_warmup(Duration::from_millis(100))
+        .with_seed(3);
 
     println!("single hotspot at txn start, 16 ops, 8 workers\n");
     println!(

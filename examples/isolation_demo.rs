@@ -5,9 +5,10 @@
 //! cargo run --example isolation_demo
 //! ```
 
+use std::sync::Arc;
+
 use bamboo_repro::core::protocol::{IsolationLevel, LockingProtocol, Protocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session, TxnOptions};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 
 fn load() -> (std::sync::Arc<Database>, TableId) {
@@ -24,27 +25,29 @@ fn load() -> (std::sync::Arc<Database>, TableId) {
     (db, t)
 }
 
+fn session_with(db: &Arc<Database>, proto: LockingProtocol) -> Session {
+    Session::new(Arc::clone(db), Arc::new(proto) as Arc<dyn Protocol>)
+}
+
 /// One writer retires a dirty 999; what does a reader at each level see?
 fn dirty_read_probe(level: IsolationLevel) -> i64 {
     let (db, t) = load();
-    let writer_proto = LockingProtocol::bamboo_base();
-    let mut w = writer_proto.begin(&db);
-    writer_proto
-        .update(&db, &mut w, t, 0, &mut |row| row.set(1, Value::I64(999)))
-        .unwrap();
+    let writer_session = session_with(&db, LockingProtocol::bamboo_base());
+    let mut w = writer_session.begin();
+    w.update(t, 0, |row| row.set(1, Value::I64(999))).unwrap();
     // Reader at the probed level.
-    let reader = LockingProtocol::bamboo_base().with_isolation(level);
-    let mut r = reader.begin(&db);
-    let seen = reader.read(&db, &mut r, t, 0).unwrap().get_i64(1);
-    // Clean up: abort both (serializable readers of dirty data must abort).
-    reader.abort(&db, &mut r);
-    writer_proto.abort(&db, &mut w);
+    let reader_session = session_with(&db, LockingProtocol::bamboo_base().with_isolation(level));
+    let mut r = reader_session.begin();
+    let seen = r.read(t, 0).unwrap().get_i64(1);
+    // Clean up: abort both (serializable readers of dirty data must
+    // abort). Dropping the guards does it — RAII, no abort calls to
+    // forget.
+    drop(r);
+    drop(w);
     seen
 }
 
 fn main() {
-    let mut wal = WalBuffer::new();
-
     println!("--- dirty-read visibility by isolation level ---");
     for (level, label) in [
         (IsolationLevel::Serializable, "Serializable"),
@@ -65,41 +68,40 @@ fn main() {
 
     println!("\n--- non-repeatable read under ReadCommitted ---");
     let (db, t) = load();
-    let rc = LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadCommitted);
-    let ser = LockingProtocol::bamboo();
-    let mut reader = rc.begin(&db);
-    let first = rc.read(&db, &mut reader, t, 0).unwrap().get_i64(1);
+    let rc = session_with(
+        &db,
+        LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadCommitted),
+    );
+    let ser = session_with(&db, LockingProtocol::bamboo());
+    let mut reader = rc.begin();
+    let first = reader.read(t, 0).unwrap().get_i64(1);
     // A concurrent serializable writer commits between the two reads.
-    let mut w = ser.begin(&db);
-    ser.update(&db, &mut w, t, 0, &mut |row| row.set(1, Value::I64(777)))
-        .unwrap();
-    ser.commit(&db, &mut w, &mut wal).unwrap();
-    let second = rc.read(&db, &mut reader, t, 0).unwrap().get_i64(1);
+    let mut w = ser.begin();
+    w.update(t, 0, |row| row.set(1, Value::I64(777))).unwrap();
+    w.commit().unwrap();
+    let second = reader.read(t, 0).unwrap().get_i64(1);
     println!(
         "first read: {first}, second read: {second} (changed mid-transaction — allowed under RC)"
     );
-    rc.commit(&db, &mut reader, &mut wal).unwrap();
+    reader.commit().unwrap();
     assert_ne!(first, second);
 
     println!("\n--- opacity: consistent reads before commit ---");
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base();
-    let mut w = proto.begin(&db);
-    proto
-        .update(&db, &mut w, t, 0, &mut |row| row.set(1, Value::I64(42)))
-        .unwrap();
+    let session = session_with(&db, LockingProtocol::bamboo_base());
+    let mut w = session.begin();
+    w.update(t, 0, |row| row.set(1, Value::I64(42))).unwrap();
     let db2 = std::sync::Arc::clone(&db);
-    let proto2 = proto.clone();
     let h = std::thread::spawn(move || {
-        let mut opaque = proto2.begin_opaque(&db2);
-        let v = proto2.read(&db2, &mut opaque, t, 0).unwrap().get_i64(1);
-        let mut wal = WalBuffer::for_tests();
-        proto2.commit(&db2, &mut opaque, &mut wal).unwrap();
+        let session = session_with(&db2, LockingProtocol::bamboo_base());
+        let mut opaque = session.begin_with(TxnOptions::new().opaque());
+        let v = opaque.read(t, 0).unwrap().get_i64(1);
+        opaque.commit().unwrap();
         v
     });
     std::thread::sleep(std::time::Duration::from_millis(20));
     println!("opaque reader is blocked while the dirty 42 is pending…");
-    proto.commit(&db, &mut w, &mut wal).unwrap();
+    w.commit().unwrap();
     let v = h.join().unwrap();
     println!("writer committed; opaque reader saw {v} (committed, never dirty)");
     assert_eq!(v, 42);

@@ -7,11 +7,12 @@
 //! cargo run --example retire_analysis
 //! ```
 
+use std::sync::Arc;
+
 use bamboo_repro::analysis::ir::{AccessMode, Expr, Program, Stmt};
 use bamboo_repro::analysis::{insert_retire_points, run_program, Decision};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 
 fn load() -> std::sync::Arc<Database> {
@@ -93,8 +94,13 @@ fn listing3() -> Program {
 
 fn main() {
     let db = load();
+    // The interpreter drives LockingProtocol's manual-retire knobs, so it
+    // takes the concrete protocol config alongside the session's Txn.
     let proto = LockingProtocol::bamboo();
-    let mut wal = WalBuffer::new();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(proto.clone()) as Arc<dyn Protocol>,
+    );
 
     println!("--- Listing 1 → Listing 2 (synthesized retire condition) ---");
     let a1 = insert_retire_points(&listing1());
@@ -103,18 +109,18 @@ fn main() {
     }
     assert_eq!(a1.report[0].decision, Decision::Conditional);
     // cond = true but keys differ (param1 % 64 = 9 ≠ 5): retire fires.
-    let mut ctx = proto.begin(&db);
-    let stats = run_program(&db, &proto, &mut ctx, &a1.program, &[1, 9]).unwrap();
-    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    let mut txn = session.begin();
+    let stats = run_program(&proto, &mut txn, &a1.program, &[1, 9]).unwrap();
+    txn.commit().unwrap();
     println!(
         "run(cond=1, key=9): retires={} skipped={}",
         stats.retires, stats.retires_skipped
     );
     assert_eq!(stats.retires, 2); // op1's conditional + op2's immediate
                                   // cond = true and keys EQUAL: retire of op1 must be skipped.
-    let mut ctx = proto.begin(&db);
-    let stats = run_program(&db, &proto, &mut ctx, &a1.program, &[1, 5]).unwrap();
-    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    let mut txn = session.begin();
+    let stats = run_program(&proto, &mut txn, &a1.program, &[1, 5]).unwrap();
+    txn.commit().unwrap();
     println!(
         "run(cond=1, key=5): retires={} skipped={}",
         stats.retires, stats.retires_skipped
@@ -128,9 +134,9 @@ fn main() {
         println!("site {} → {:?}", r.site, r.decision);
     }
     assert_eq!(a3.report[0].decision, Decision::LoopFission);
-    let mut ctx = proto.begin(&db);
-    let stats = run_program(&db, &proto, &mut ctx, &a3.program, &[]).unwrap();
-    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    let mut txn = session.begin();
+    let stats = run_program(&proto, &mut txn, &a3.program, &[]).unwrap();
+    txn.commit().unwrap();
     println!(
         "run: accesses={} retires={} skipped={} reacquires={}",
         stats.accesses, stats.retires, stats.retires_skipped, stats.reacquires

@@ -32,12 +32,10 @@ fn main() {
         .read_row()
         .get_f64(schema::wh::W_YTD);
 
-    let bench = BenchConfig {
-        threads: 4,
-        duration: Duration::from_millis(500),
-        warmup: Duration::from_millis(100),
-        seed: 99,
-    };
+    let bench = BenchConfig::quick(4)
+        .with_duration(Duration::from_millis(500))
+        .with_warmup(Duration::from_millis(100))
+        .with_seed(99);
 
     for proto in [
         Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,

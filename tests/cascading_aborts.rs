@@ -6,8 +6,7 @@ use std::sync::Arc;
 
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
 use bamboo_repro::core::txn::AbortReason;
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session, TxnOptions};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 
 fn load(rows: u64) -> (Arc<Database>, TableId) {
@@ -26,6 +25,10 @@ fn load(rows: u64) -> (Arc<Database>, TableId) {
     (db, t)
 }
 
+fn session_with(db: &Arc<Database>, proto: LockingProtocol) -> Session {
+    Session::new(Arc::clone(db), Arc::new(proto) as Arc<dyn Protocol>)
+}
+
 fn bump(row: &mut Row) {
     let v = row.get_i64(1);
     row.set(1, Value::I64(v + 1));
@@ -36,22 +39,22 @@ fn chain_length_equals_number_of_dependents() {
     // The paper: "the number can be as large as the number of concurrent
     // transactions" — build a chain of N writers, abort the head.
     let (db, t) = load(4);
-    let proto = LockingProtocol::bamboo_base();
+    let session = session_with(&db, LockingProtocol::bamboo_base());
     for n in [1usize, 3, 7] {
-        let mut head = proto.begin(&db);
-        proto.update(&db, &mut head, t, 0, &mut bump).unwrap();
+        let mut head = session.begin();
+        head.update(t, 0, bump).unwrap();
         let mut deps = Vec::new();
         for _ in 0..n {
-            let mut c = proto.begin(&db);
-            proto.update(&db, &mut c, t, 0, &mut bump).unwrap();
+            let mut c = session.begin();
+            c.update(t, 0, bump).unwrap();
             deps.push(c);
         }
-        let cascaded = proto.abort(&db, &mut head);
+        let cascaded = head.abort();
         assert_eq!(cascaded, n, "abort chain must cover all {n} dependents");
-        for mut c in deps {
-            assert!(c.shared.is_aborted());
-            assert_eq!(c.shared.abort_reason(), AbortReason::Cascade);
-            proto.abort(&db, &mut c);
+        for c in deps {
+            assert!(c.shared().is_aborted());
+            assert_eq!(c.shared().abort_reason(), AbortReason::Cascade);
+            c.abort();
         }
         assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 0);
         assert!(db.table(t).get(0).unwrap().meta.lock.lock().is_quiescent());
@@ -61,20 +64,19 @@ fn chain_length_equals_number_of_dependents() {
 #[test]
 fn cascade_aborts_only_downstream_of_the_aborter() {
     let (db, t) = load(4);
-    let proto = LockingProtocol::bamboo_base();
-    let mut wal = WalBuffer::for_tests();
-    let mut w1 = proto.begin(&db);
-    proto.update(&db, &mut w1, t, 0, &mut bump).unwrap();
-    let mut w2 = proto.begin(&db);
-    proto.update(&db, &mut w2, t, 0, &mut bump).unwrap();
-    let mut w3 = proto.begin(&db);
-    proto.update(&db, &mut w3, t, 0, &mut bump).unwrap();
+    let session = session_with(&db, LockingProtocol::bamboo_base());
+    let mut w1 = session.begin();
+    w1.update(t, 0, bump).unwrap();
+    let mut w2 = session.begin();
+    w2.update(t, 0, bump).unwrap();
+    let mut w3 = session.begin();
+    w3.update(t, 0, bump).unwrap();
     // Abort the middle one: w3 dies, w1 survives.
-    proto.abort(&db, &mut w2);
-    assert!(!w1.shared.is_aborted());
-    assert!(w3.shared.is_aborted());
-    proto.abort(&db, &mut w3);
-    proto.commit(&db, &mut w1, &mut wal).unwrap();
+    w2.abort();
+    assert!(!w1.shared().is_aborted());
+    assert!(w3.shared().is_aborted());
+    drop(w3); // RAII: the drop aborts the wounded attempt
+    w1.commit().unwrap();
     assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 1);
 }
 
@@ -83,20 +85,19 @@ fn shared_access_aborts_do_not_cascade() {
     // "if the aborting transaction locks the tuple with type SH, then
     // cascading aborts are not triggered" (§3.2.2).
     let (db, t) = load(4);
-    let proto = LockingProtocol::bamboo();
-    let mut wal = WalBuffer::for_tests();
-    let mut reader = proto.begin(&db);
-    proto.read(&db, &mut reader, t, 0).unwrap();
-    let mut writer = proto.begin(&db);
-    proto.update(&db, &mut writer, t, 0, &mut bump).unwrap();
-    let mut reader2 = proto.begin(&db);
-    proto.read(&db, &mut reader2, t, 0).unwrap();
-    let cascaded = proto.abort(&db, &mut reader);
+    let session = session_with(&db, LockingProtocol::bamboo());
+    let mut reader = session.begin();
+    reader.read(t, 0).unwrap();
+    let mut writer = session.begin();
+    writer.update(t, 0, bump).unwrap();
+    let mut reader2 = session.begin();
+    reader2.read(t, 0).unwrap();
+    let cascaded = reader.abort();
     assert_eq!(cascaded, 0);
-    assert!(!writer.shared.is_aborted());
-    assert!(!reader2.shared.is_aborted());
-    proto.commit(&db, &mut writer, &mut wal).unwrap();
-    proto.commit(&db, &mut reader2, &mut wal).unwrap();
+    assert!(!writer.shared().is_aborted());
+    assert!(!reader2.shared().is_aborted());
+    writer.commit().unwrap();
+    reader2.commit().unwrap();
 }
 
 #[test]
@@ -104,20 +105,20 @@ fn transitive_cascade_across_tuples() {
     // T1 dirty-writes A; T2 reads A and dirty-writes B; T3 reads B.
     // Aborting T1 must ripple to T3 through T2.
     let (db, t) = load(4);
-    let proto = LockingProtocol::bamboo_base();
-    let mut t1 = proto.begin(&db);
-    proto.update(&db, &mut t1, t, 0, &mut bump).unwrap();
-    let mut t2 = proto.begin(&db);
-    proto.read(&db, &mut t2, t, 0).unwrap();
-    proto.update(&db, &mut t2, t, 1, &mut bump).unwrap();
-    let mut t3 = proto.begin(&db);
-    proto.read(&db, &mut t3, t, 1).unwrap();
-    proto.abort(&db, &mut t1);
-    assert!(t2.shared.is_aborted(), "direct dependent aborted");
+    let session = session_with(&db, LockingProtocol::bamboo_base());
+    let mut t1 = session.begin();
+    t1.update(t, 0, bump).unwrap();
+    let mut t2 = session.begin();
+    t2.read(t, 0).unwrap();
+    t2.update(t, 1, bump).unwrap();
+    let mut t3 = session.begin();
+    t3.read(t, 1).unwrap();
+    t1.abort();
+    assert!(t2.shared().is_aborted(), "direct dependent aborted");
     // T3 is aborted when T2 releases (the worker-driven ripple).
-    proto.abort(&db, &mut t2);
-    assert!(t3.shared.is_aborted(), "transitive dependent aborted");
-    proto.abort(&db, &mut t3);
+    t2.abort();
+    assert!(t3.shared().is_aborted(), "transitive dependent aborted");
+    t3.abort();
     for k in 0..2 {
         assert_eq!(db.table(t).get(k).unwrap().read_row().get_i64(1), 0);
         assert!(db.table(t).get(k).unwrap().meta.lock.lock().is_quiescent());
@@ -129,11 +130,10 @@ fn delta_zero_vs_delta_keeps_last_hotspot_locked() {
     // With δ > 0 and planned ops, the trailing write is not retired, so a
     // dependent cannot read it dirty — it must wait instead.
     let (db, t) = load(8);
-    let bamboo = LockingProtocol::bamboo(); // δ = 0.15
-    let mut ctx = bamboo.begin(&db);
-    ctx.planned_ops = Some(4);
+    let session = session_with(&db, LockingProtocol::bamboo()); // δ = 0.15
+    let mut txn = session.begin_with(TxnOptions::new().planned_ops(4));
     for k in 0..4u64 {
-        bamboo.update(&db, &mut ctx, t, k, &mut bump).unwrap();
+        txn.update(t, k, bump).unwrap();
     }
     // Last write (op 4 of 4 > 85% boundary) stays owned.
     let st = db.table(t).get(3).unwrap();
@@ -144,36 +144,34 @@ fn delta_zero_vs_delta_keeps_last_hotspot_locked() {
         db.table(t).get(0).unwrap().meta.lock.lock().retired_len(),
         1
     );
-    let mut wal = WalBuffer::for_tests();
-    bamboo.commit(&db, &mut ctx, &mut wal).unwrap();
+    txn.commit().unwrap();
 }
 
 #[test]
 fn wound_of_waiting_transaction_cleans_up_queue() {
     let (db, t) = load(4);
-    let proto = LockingProtocol::wound_wait();
+    let session = session_with(&db, LockingProtocol::wound_wait());
     // Old holder keeps the lock; young waiter queues; an older transaction
     // then wounds the young waiter via a different tuple — the waiter must
     // unblock, clean its queue entry and abort.
-    let mut holder = proto.begin(&db);
-    proto.update(&db, &mut holder, t, 0, &mut bump).unwrap();
-    let db2 = Arc::clone(&db);
-    let proto2 = proto.clone();
-    let young = proto.begin(&db);
-    let young_shared = Arc::clone(&young.shared);
-    let h = std::thread::spawn(move || {
-        let mut young = young;
-        let res = proto2.update(&db2, &mut young, t, 0, &mut bump);
-        let failed = res.is_err();
-        proto2.abort(&db2, &mut young);
-        failed
+    let mut holder = session.begin();
+    holder.update(t, 0, bump).unwrap();
+    let young = session.begin();
+    let young_shared = Arc::clone(young.shared());
+    std::thread::scope(|s| {
+        let h = s.spawn(move || {
+            let mut young = young;
+            let res = young.update(t, 0, bump);
+            let failed = res.is_err();
+            young.abort();
+            failed
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wound the waiter directly (as a higher-priority conflict would).
+        young_shared.set_abort(AbortReason::Wounded);
+        assert!(h.join().unwrap(), "wounded waiter must give up");
     });
-    std::thread::sleep(std::time::Duration::from_millis(20));
-    // Wound the waiter directly (as a higher-priority conflict would).
-    young_shared.set_abort(AbortReason::Wounded);
-    assert!(h.join().unwrap(), "wounded waiter must give up");
     let st = db.table(t).get(0).unwrap();
     assert_eq!(st.meta.lock.lock().waiters_len(), 0, "queue entry removed");
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut holder, &mut wal).unwrap();
+    holder.commit().unwrap();
 }

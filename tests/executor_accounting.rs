@@ -7,7 +7,7 @@ use std::time::Duration;
 use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
 use bamboo_repro::core::stats::reason_name;
-use bamboo_repro::core::{Abort, AbortReason, Database, TxnCtx};
+use bamboo_repro::core::{Abort, AbortReason, Database, Txn};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -40,14 +40,8 @@ impl TxnSpec for MaybeAbort {
         Some(1)
     }
 
-    fn run_piece(
-        &self,
-        _p: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
-        proto.update(db, ctx, self.t, self.key, &mut |row| {
+    fn run_piece(&self, _p: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
+        txn.update(self.t, self.key, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + 1));
         })?;
@@ -85,12 +79,10 @@ fn user_aborts_counted_and_not_retried() {
         &db,
         &proto,
         &wl,
-        &BenchConfig {
-            threads: 2,
-            duration: Duration::from_millis(250),
-            warmup: Duration::from_millis(25),
-            seed: 8,
-        },
+        &BenchConfig::quick(2)
+            .with_duration(Duration::from_millis(250))
+            .with_warmup(Duration::from_millis(25))
+            .with_seed(8),
     );
     let user_aborts = res.totals.aborts_by_reason[6];
     assert_eq!(reason_name(6), "user");
@@ -124,15 +116,9 @@ impl TxnSpec for SnapScan {
         true
     }
 
-    fn run_piece(
-        &self,
-        _p: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _p: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         for k in 0..32u64 {
-            std::hint::black_box(proto.read(db, ctx, self.t, k)?.get_i64(1));
+            std::hint::black_box(txn.read(self.t, k)?.get_i64(1));
         }
         Ok(())
     }
@@ -171,12 +157,10 @@ fn snapshot_transactions_counted_in_their_own_bucket() {
         &db,
         &proto,
         &wl,
-        &BenchConfig {
-            threads: 2,
-            duration: Duration::from_millis(250),
-            warmup: Duration::from_millis(25),
-            seed: 9,
-        },
+        &BenchConfig::quick(2)
+            .with_duration(Duration::from_millis(250))
+            .with_warmup(Duration::from_millis(25))
+            .with_seed(9),
     );
     // Both buckets populated, independently.
     assert!(res.totals.commits > 0, "locking commits missing");

@@ -47,12 +47,10 @@ fn ic3_optimistic_and_pessimistic_both_conserve_money() {
             &db,
             &proto,
             &wl,
-            &BenchConfig {
-                threads: 3,
-                duration: Duration::from_millis(250),
-                warmup: Duration::from_millis(30),
-                seed: 5,
-            },
+            &BenchConfig::quick(3)
+                .with_duration(Duration::from_millis(250))
+                .with_warmup(Duration::from_millis(30))
+                .with_seed(5),
         );
         assert!(res.totals.commits > 0, "{} stalled", res.protocol);
         // W_YTD delta equals the district YTD deltas.
@@ -105,12 +103,10 @@ fn modified_neworder_creates_warehouse_conflicts_for_ic3_only() {
             &db,
             &proto,
             &wl,
-            &BenchConfig {
-                threads: 4,
-                duration: Duration::from_millis(300),
-                warmup: Duration::from_millis(30),
-                seed: 21,
-            },
+            &BenchConfig::quick(4)
+                .with_duration(Duration::from_millis(300))
+                .with_warmup(Duration::from_millis(30))
+                .with_seed(21),
         )
     };
     let original = run(false);
@@ -142,12 +138,10 @@ fn bamboo_is_unaffected_by_the_modified_neworder() {
             &db,
             &proto,
             &wl,
-            &BenchConfig {
-                threads: 2,
-                duration: Duration::from_millis(250),
-                warmup: Duration::from_millis(30),
-                seed: 9,
-            },
+            &BenchConfig::quick(2)
+                .with_duration(Duration::from_millis(250))
+                .with_warmup(Duration::from_millis(30))
+                .with_seed(9),
         )
     };
     let orig = run(false).throughput();

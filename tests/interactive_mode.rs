@@ -18,12 +18,10 @@ fn interactive_bamboo_beats_interactive_wound_wait_on_hotspot() {
     let cfg = SyntheticConfig::one_hotspot(0.0).with_rows(4096);
     let (db, t) = synthetic::load(&cfg);
     let wl: Arc<dyn Workload> = Arc::new(SyntheticWorkload::new(cfg, t));
-    let bench = BenchConfig {
-        threads: 4,
-        duration: Duration::from_millis(600),
-        warmup: Duration::from_millis(100),
-        seed: 77,
-    };
+    let bench = BenchConfig::quick(4)
+        .with_duration(Duration::from_millis(600))
+        .with_warmup(Duration::from_millis(100))
+        .with_seed(77);
     let rpc = Duration::from_micros(200);
     let bamboo: Arc<dyn Protocol> =
         Arc::new(InteractiveProtocol::new(LockingProtocol::bamboo(), rpc));
@@ -62,12 +60,10 @@ fn interactive_mode_counts_are_consistent() {
         &db,
         &proto,
         &wl,
-        &BenchConfig {
-            threads: 2,
-            duration: Duration::from_millis(300),
-            warmup: Duration::from_millis(30),
-            seed: 3,
-        },
+        &BenchConfig::quick(2)
+            .with_duration(Duration::from_millis(300))
+            .with_warmup(Duration::from_millis(30))
+            .with_seed(3),
     );
     let hot = db.table(t).get(0).unwrap().read_row().get_i64(1);
     assert!(hot >= res.totals.commits as i64);

@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use bamboo_repro::core::protocol::{IsolationLevel, LockingProtocol, Protocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session, TxnOptions};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 
 fn load() -> (Arc<Database>, TableId) {
@@ -24,6 +23,10 @@ fn load() -> (Arc<Database>, TableId) {
     (db, t)
 }
 
+fn session_with(db: &Arc<Database>, proto: LockingProtocol) -> Session {
+    Session::new(Arc::clone(db), Arc::new(proto) as Arc<dyn Protocol>)
+}
+
 fn set_to(v: i64) -> impl FnMut(&mut Row) {
     move |row: &mut Row| row.set(1, Value::I64(v))
 }
@@ -33,71 +36,80 @@ fn serializable_reads_see_dirty_retired_data_with_protection() {
     // Serializable Bamboo *does* read dirty data — protected by the commit
     // semaphore and cascades (that is the whole point of the paper).
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base();
-    let mut w = proto.begin(&db);
-    proto.update(&db, &mut w, t, 0, &mut set_to(42)).unwrap();
-    let mut r = proto.begin(&db);
-    assert_eq!(proto.read(&db, &mut r, t, 0).unwrap().get_i64(1), 42);
-    assert_eq!(r.shared.semaphore(), 1, "dirty read is dependency-tracked");
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut w, &mut wal).unwrap();
-    proto.commit(&db, &mut r, &mut wal).unwrap();
+    let session = session_with(&db, LockingProtocol::bamboo_base());
+    let mut w = session.begin();
+    w.update(t, 0, set_to(42)).unwrap();
+    let mut r = session.begin();
+    assert_eq!(r.read(t, 0).unwrap().get_i64(1), 42);
+    assert_eq!(
+        r.shared().semaphore(),
+        1,
+        "dirty read is dependency-tracked"
+    );
+    w.commit().unwrap();
+    r.commit().unwrap();
 }
 
 #[test]
 fn read_committed_never_sees_uncommitted_data() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadCommitted);
-    let mut w = proto.begin(&db);
-    proto.update(&db, &mut w, t, 0, &mut set_to(42)).unwrap();
+    let session = session_with(
+        &db,
+        LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadCommitted),
+    );
+    let mut w = session.begin();
+    w.update(t, 0, set_to(42)).unwrap();
     // Writer retired its dirty version; an RC reader must still see 0.
-    let mut r = proto.begin(&db);
+    let mut r = session.begin();
     assert_eq!(
-        proto.read(&db, &mut r, t, 0).unwrap().get_i64(1),
+        r.read(t, 0).unwrap().get_i64(1),
         0,
         "read committed must not observe the dirty 42"
     );
-    assert_eq!(r.shared.semaphore(), 0, "no dependency was created");
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut w, &mut wal).unwrap();
+    assert_eq!(r.shared().semaphore(), 0, "no dependency was created");
+    w.commit().unwrap();
     // After the writer commits, the same reader sees the new value — the
     // non-repeatable read RC permits.
     assert_eq!(
-        proto.read(&db, &mut r, t, 0).unwrap().get_i64(1),
+        r.read(t, 0).unwrap().get_i64(1),
         42,
         "non-repeatable read is allowed under RC"
     );
-    proto.commit(&db, &mut r, &mut wal).unwrap();
+    r.commit().unwrap();
 }
 
 #[test]
 fn read_committed_still_reads_own_writes() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadCommitted);
-    let mut c = proto.begin(&db);
-    proto.update(&db, &mut c, t, 1, &mut set_to(7)).unwrap();
-    assert_eq!(proto.read(&db, &mut c, t, 1).unwrap().get_i64(1), 7);
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut c, &mut wal).unwrap();
+    let session = session_with(
+        &db,
+        LockingProtocol::bamboo().with_isolation(IsolationLevel::ReadCommitted),
+    );
+    let mut c = session.begin();
+    c.update(t, 1, set_to(7)).unwrap();
+    assert_eq!(c.read(t, 1).unwrap().get_i64(1), 7);
+    c.commit().unwrap();
 }
 
 #[test]
 fn read_uncommitted_sees_dirty_data_without_dependencies() {
     let (db, t) = load();
-    let ser = LockingProtocol::bamboo_base();
-    let ru = LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadUncommitted);
+    let ser = session_with(&db, LockingProtocol::bamboo_base());
+    let ru = session_with(
+        &db,
+        LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadUncommitted),
+    );
     // A serializable writer retires a dirty version…
-    let mut w = ser.begin(&db);
-    ser.update(&db, &mut w, t, 0, &mut set_to(99)).unwrap();
+    let mut w = ser.begin();
+    w.update(t, 0, set_to(99)).unwrap();
     // …an RU reader sees it with no semaphore and no lock entry.
-    let mut r = ru.begin(&db);
-    assert_eq!(ru.read(&db, &mut r, t, 0).unwrap().get_i64(1), 99);
-    assert_eq!(r.shared.semaphore(), 0);
-    let mut wal = WalBuffer::for_tests();
-    ru.commit(&db, &mut r, &mut wal).unwrap();
+    let mut r = ru.begin();
+    assert_eq!(r.read(t, 0).unwrap().get_i64(1), 99);
+    assert_eq!(r.shared().semaphore(), 0);
+    r.commit().unwrap();
     // The RU reader could commit before the writer: the dirty-read anomaly
     // RU explicitly allows.
-    ser.abort(&db, &mut w);
+    w.abort();
 }
 
 #[test]
@@ -105,9 +117,12 @@ fn read_uncommitted_retire_becomes_release() {
     // "read uncommitted means each retire becomes a release": the write is
     // installed and the entry gone before commit.
     let (db, t) = load();
-    let ru = LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadUncommitted);
-    let mut w = ru.begin(&db);
-    ru.update(&db, &mut w, t, 2, &mut set_to(5)).unwrap();
+    let ru = session_with(
+        &db,
+        LockingProtocol::bamboo_base().with_isolation(IsolationLevel::ReadUncommitted),
+    );
+    let mut w = ru.begin();
+    w.update(t, 2, set_to(5)).unwrap();
     assert_eq!(
         db.table(t).get(2).unwrap().read_row().get_i64(1),
         5,
@@ -115,31 +130,29 @@ fn read_uncommitted_retire_becomes_release() {
     );
     assert!(db.table(t).get(2).unwrap().meta.lock.lock().is_quiescent());
     // Abort cannot undo it — the documented RU hazard.
-    ru.abort(&db, &mut w);
+    w.abort();
     assert_eq!(db.table(t).get(2).unwrap().read_row().get_i64(1), 5);
 }
 
 #[test]
 fn opaque_transactions_wait_out_dirty_state() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base();
+    let session = session_with(&db, LockingProtocol::bamboo_base());
     // Writer retires a dirty version.
-    let mut w = proto.begin(&db);
-    proto.update(&db, &mut w, t, 0, &mut set_to(77)).unwrap();
+    let mut w = session.begin();
+    w.update(t, 0, set_to(77)).unwrap();
     // An opaque reader must block until the writer resolves.
     let db2 = Arc::clone(&db);
-    let proto2 = proto.clone();
     let h = std::thread::spawn(move || {
-        let mut r = proto2.begin_opaque(&db2);
-        let v = proto2.read(&db2, &mut r, t, 0).unwrap().get_i64(1);
-        let mut wal = WalBuffer::for_tests();
-        proto2.commit(&db2, &mut r, &mut wal).unwrap();
+        let session = session_with(&db2, LockingProtocol::bamboo_base());
+        let mut r = session.begin_with(TxnOptions::new().opaque());
+        let v = r.read(t, 0).unwrap().get_i64(1);
+        r.commit().unwrap();
         v
     });
     std::thread::sleep(std::time::Duration::from_millis(30));
     assert!(!h.is_finished(), "opaque reader must wait, not read dirty");
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut w, &mut wal).unwrap();
+    w.commit().unwrap();
     assert_eq!(
         h.join().unwrap(),
         77,
@@ -150,24 +163,25 @@ fn opaque_transactions_wait_out_dirty_state() {
 #[test]
 fn opaque_transactions_never_retire_their_writes() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base(); // would retire eagerly
-    let mut c = proto.begin_opaque(&db);
-    proto.update(&db, &mut c, t, 3, &mut set_to(1)).unwrap();
+    let session = session_with(&db, LockingProtocol::bamboo_base()); // would retire eagerly
+    let mut c = session.begin_with(TxnOptions::new().opaque());
+    c.update(t, 3, set_to(1)).unwrap();
     let st = db.table(t).get(3).unwrap();
     assert_eq!(st.meta.lock.lock().retired_len(), 0);
     assert_eq!(st.meta.lock.lock().owners_len(), 1, "held like Wound-Wait");
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut c, &mut wal).unwrap();
+    c.commit().unwrap();
 }
 
 #[test]
 fn repeatable_read_matches_serializable_on_point_accesses() {
     let (db, t) = load();
-    let rr = LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead);
-    let mut c = rr.begin(&db);
-    let a = rr.read(&db, &mut c, t, 4).unwrap().get_i64(1);
-    let b = rr.read(&db, &mut c, t, 4).unwrap().get_i64(1);
+    let session = session_with(
+        &db,
+        LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead),
+    );
+    let mut c = session.begin();
+    let a = c.read(t, 4).unwrap().get_i64(1);
+    let b = c.read(t, 4).unwrap().get_i64(1);
     assert_eq!(a, b, "repeatable within the transaction");
-    let mut wal = WalBuffer::for_tests();
-    rr.commit(&db, &mut c, &mut wal).unwrap();
+    c.commit().unwrap();
 }

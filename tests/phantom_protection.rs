@@ -6,8 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bamboo_repro::core::protocol::{IsolationLevel, LockingProtocol, Protocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 
 /// Keys 10,20,30,40 plus a sentinel max key (guards open-ended gaps).
@@ -28,18 +27,21 @@ fn load() -> (Arc<Database>, TableId) {
     (db, t)
 }
 
+fn session_with(db: &Arc<Database>, proto: LockingProtocol) -> Session {
+    Session::new(Arc::clone(db), Arc::new(proto) as Arc<dyn Protocol>)
+}
+
 #[test]
 fn scan_returns_range_in_order() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo();
-    let mut ctx = proto.begin(&db);
-    let rows = proto.scan(&db, &mut ctx, t, 15..=35).unwrap();
+    let session = session_with(&db, LockingProtocol::bamboo());
+    let mut txn = session.begin();
+    let rows = txn.scan(t, 15..=35).unwrap();
     assert_eq!(
         rows.iter().map(|r| r.get_u64(0)).collect::<Vec<_>>(),
         vec![20, 30]
     );
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    txn.commit().unwrap();
 }
 
 #[test]
@@ -48,37 +50,27 @@ fn serializable_scan_blocks_phantom_insert_until_commit_order() {
     // Under next-key locking, the inserter orders after the scanner: a
     // re-scan inside the scanner's transaction must not see the phantom.
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo();
-    let mut scanner = proto.begin(&db);
-    let first = proto.scan(&db, &mut scanner, t, 15..=35).unwrap().len();
+    let session = session_with(&db, LockingProtocol::bamboo());
+    let mut scanner = session.begin();
+    let first = scanner.scan(t, 15..=35).unwrap().len();
     assert_eq!(first, 2);
 
-    let db2 = Arc::clone(&db);
-    let proto2 = proto.clone();
-    let inserter = std::thread::spawn(move || {
-        let mut ctx = proto2.begin(&db2);
-        let mut wal = WalBuffer::for_tests();
-        proto2
-            .insert(
-                &db2,
-                &mut ctx,
-                t,
-                25,
-                Row::from(vec![Value::U64(25), Value::I64(1)]),
-                None,
-            )
-            .unwrap();
-        proto2.commit(&db2, &mut ctx, &mut wal).unwrap();
+    std::thread::scope(|s| {
+        let inserter = s.spawn(|| {
+            let mut txn = session.begin();
+            txn.insert(t, 25, Row::from(vec![Value::U64(25), Value::I64(1)]), None)
+                .unwrap();
+            txn.commit().unwrap();
+        });
+        // Give the inserter time to reach its gap lock (it will queue
+        // behind / depend on the scanner's next-key SH lock on key 30...
+        // the scan locked 20, 30 and next-key 40).
+        std::thread::sleep(Duration::from_millis(30));
+        let again = scanner.scan(t, 15..=35).unwrap().len();
+        assert_eq!(again, first, "phantom appeared inside a serializable txn");
+        scanner.commit().unwrap();
+        inserter.join().unwrap();
     });
-    // Give the inserter time to reach its gap lock (it will queue behind /
-    // depend on the scanner's next-key SH lock on key 30... the scan locked
-    // 20, 30 and next-key 40).
-    std::thread::sleep(Duration::from_millis(30));
-    let again = proto.scan(&db, &mut scanner, t, 15..=35).unwrap().len();
-    assert_eq!(again, first, "phantom appeared inside a serializable txn");
-    let mut wal = WalBuffer::for_tests();
-    proto.commit(&db, &mut scanner, &mut wal).unwrap();
-    inserter.join().unwrap();
     // After both commit, the phantom is durable.
     assert!(db.table(t).get(25).is_some());
 }
@@ -89,84 +81,64 @@ fn repeatable_read_gives_up_phantom_protection() {
     // RR scanner takes no next-key lock, so the inserter proceeds without
     // any ordering against it.
     let (db, t) = load();
-    let rr = LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead);
-    let mut scanner = rr.begin(&db);
-    assert_eq!(rr.scan(&db, &mut scanner, t, 15..=35).unwrap().len(), 2);
+    let rr = session_with(
+        &db,
+        LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead),
+    );
+    let mut scanner = rr.begin();
+    assert_eq!(scanner.scan(t, 15..=35).unwrap().len(), 2);
 
     // The inserter also runs at RR (no gap lock) — it must complete while
     // the scanner is still open.
-    let ins = LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead);
-    let mut ctx = ins.begin(&db);
-    let mut wal = WalBuffer::for_tests();
-    ins.insert(
+    let ins = session_with(
         &db,
-        &mut ctx,
-        t,
-        25,
-        Row::from(vec![Value::U64(25), Value::I64(1)]),
-        None,
-    )
-    .unwrap();
-    ins.commit(&db, &mut ctx, &mut wal).unwrap();
+        LockingProtocol::bamboo().with_isolation(IsolationLevel::RepeatableRead),
+    );
+    let mut txn = ins.begin();
+    txn.insert(t, 25, Row::from(vec![Value::U64(25), Value::I64(1)]), None)
+        .unwrap();
+    txn.commit().unwrap();
 
     // Fresh keys are now visible mid-transaction: the phantom anomaly.
-    let again = rr.scan(&db, &mut scanner, t, 15..=35).unwrap();
+    let again = scanner.scan(t, 15..=35).unwrap();
     assert_eq!(again.len(), 3, "RR permits the phantom");
-    rr.commit(&db, &mut scanner, &mut wal).unwrap();
+    scanner.commit().unwrap();
 }
 
 #[test]
 fn insert_beyond_max_key_is_guarded_by_sentinel() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo();
+    let session = session_with(&db, LockingProtocol::bamboo());
     // Scan to the sentinel: locks it as the next key.
-    let mut scanner = proto.begin(&db);
-    proto.scan(&db, &mut scanner, t, 35..=100).unwrap();
+    let mut scanner = session.begin();
+    scanner.scan(t, 35..=100).unwrap();
     // Inserting 50 gap-locks the sentinel — the access sets must overlap.
-    let mut ins = proto.begin(&db);
-    let mut wal = WalBuffer::for_tests();
-    proto
-        .insert(
-            &db,
-            &mut ins,
-            t,
-            50,
-            Row::from(vec![Value::U64(50), Value::I64(1)]),
-            None,
-        )
+    let mut ins = session.begin();
+    ins.insert(t, 50, Row::from(vec![Value::U64(50), Value::I64(1)]), None)
         .unwrap();
     // The inserter's EX on the sentinel coexists with the retired SH of the
     // scanner, ordered by the commit semaphore.
     assert!(
-        ins.shared.semaphore() >= 1,
+        ins.shared().semaphore() >= 1,
         "inserter must order after the scanner via the sentinel gap lock"
     );
-    proto.commit(&db, &mut scanner, &mut wal).unwrap();
-    proto.commit(&db, &mut ins, &mut wal).unwrap();
+    scanner.commit().unwrap();
+    ins.commit().unwrap();
     assert!(db.table(t).get(50).is_some());
 }
 
 #[test]
 fn ordered_index_tracks_commit_time_inserts() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo();
-    let mut ctx = proto.begin(&db);
-    let mut wal = WalBuffer::for_tests();
-    proto
-        .insert(
-            &db,
-            &mut ctx,
-            t,
-            33,
-            Row::from(vec![Value::U64(33), Value::I64(9)]),
-            None,
-        )
+    let session = session_with(&db, LockingProtocol::bamboo());
+    let mut txn = session.begin();
+    txn.insert(t, 33, Row::from(vec![Value::U64(33), Value::I64(9)]), None)
         .unwrap();
-    proto.commit(&db, &mut ctx, &mut wal).unwrap();
+    txn.commit().unwrap();
     let idx = db.table(t).ordered_index().unwrap();
     assert!(idx.get(33).is_some(), "insert reached the ordered index");
-    let mut c2 = proto.begin(&db);
-    let rows = proto.scan(&db, &mut c2, t, 30..=35).unwrap();
+    let mut c2 = session.begin();
+    let rows = c2.scan(t, 30..=35).unwrap();
     assert_eq!(rows.len(), 2); // 30 and 33
-    proto.commit(&db, &mut c2, &mut wal).unwrap();
+    c2.commit().unwrap();
 }

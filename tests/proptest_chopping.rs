@@ -11,10 +11,10 @@ use bamboo_repro::analysis::ir::{AccessMode, Expr, Program, Stmt};
 use bamboo_repro::analysis::{insert_retire_points, run_program};
 use bamboo_repro::core::protocol::ic3::{chop, PieceAccess, PieceDecl, TemplateDecl};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // chop() fixpoint property
@@ -137,12 +137,12 @@ fn snapshot(db: &Database) -> Vec<i64> {
         .collect()
 }
 
-fn exec(db: &Database, program: &Program, params: &[u64]) {
+fn exec(db: &Arc<Database>, program: &Program, params: &[u64]) {
     let proto = LockingProtocol::bamboo();
-    let mut ctx = proto.begin(db);
-    let mut wal = WalBuffer::for_tests();
-    run_program(db, &proto, &mut ctx, program, params).unwrap();
-    proto.commit(db, &mut ctx, &mut wal).unwrap();
+    let session = Session::new(Arc::clone(db), Arc::new(proto.clone()) as Arc<dyn Protocol>);
+    let mut txn = session.begin();
+    run_program(&proto, &mut txn, program, params).unwrap();
+    txn.commit().unwrap();
 }
 
 proptest! {

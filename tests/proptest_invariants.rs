@@ -14,7 +14,6 @@ use bamboo_repro::core::lock::{Acquired, LockPolicy};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol, SiloProtocol};
 use bamboo_repro::core::ts::TsSource;
 use bamboo_repro::core::txn::{LockMode, TxnShared};
-use bamboo_repro::core::wal::WalBuffer;
 use bamboo_repro::core::{Database, TupleCc};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Tuple, Value};
 use bamboo_repro::workload::Zipfian;
@@ -158,7 +157,7 @@ proptest! {
     #[test]
     fn random_transfers_conserve_balance(seed in any::<u64>()) {
         use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
-        use bamboo_repro::core::{Abort, TxnCtx};
+        use bamboo_repro::core::{Abort, Txn};
         use rand::rngs::SmallRng;
         use rand::Rng;
 
@@ -166,12 +165,12 @@ proptest! {
         struct Spec { t: TableId, a: u64, b: u64 }
         impl TxnSpec for Spec {
             fn planned_ops(&self) -> Option<usize> { Some(2) }
-            fn run_piece(&self, _p: usize, db: &Database, proto: &dyn Protocol, ctx: &mut TxnCtx) -> Result<(), Abort> {
-                proto.update(db, ctx, self.t, self.a, &mut |r| {
+            fn run_piece(&self, _p: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
+                txn.update(self.t, self.a, |r| {
                     let v = r.get_i64(1);
                     r.set(1, Value::I64(v - 1));
                 })?;
-                proto.update(db, ctx, self.t, self.b, &mut |r| {
+                txn.update(self.t, self.b, |r| {
                     let v = r.get_i64(1);
                     r.set(1, Value::I64(v + 1));
                 })
@@ -206,12 +205,10 @@ proptest! {
                 &db,
                 &proto,
                 &wl,
-                &BenchConfig {
-                    threads: 2,
-                    duration: std::time::Duration::from_millis(50),
-                    warmup: std::time::Duration::from_millis(5),
-                    seed,
-                },
+                &BenchConfig::quick(2)
+                    .with_duration(std::time::Duration::from_millis(50))
+                    .with_warmup(std::time::Duration::from_millis(5))
+                    .with_seed(seed),
             );
             let total: i64 = (0..N)
                 .map(|k| db.table(t).get(k).unwrap().read_row().get_i64(1))
@@ -271,10 +268,13 @@ proptest! {
             db.table(t).insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
         }
         let proto = LockingProtocol::bamboo();
-        let mut ctx = proto.begin(&db);
-        let stats = run_program(&db, &proto, &mut ctx, &analysed.program, &[cond, key2]).unwrap();
-        let mut wal = WalBuffer::for_tests();
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        let session = bamboo_repro::core::Session::new(
+            Arc::clone(&db),
+            Arc::new(proto.clone()) as Arc<dyn Protocol>,
+        );
+        let mut txn = session.begin();
+        let stats = run_program(&proto, &mut txn, &analysed.program, &[cond, key2]).unwrap();
+        txn.commit().unwrap();
         prop_assert_eq!(stats.reacquires, 0, "retire must never precede a same-tuple write");
         // And the retire must actually fire whenever it is safe.
         if cond == 0 || key2 != 5 {

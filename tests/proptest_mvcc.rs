@@ -12,8 +12,7 @@
 use std::sync::Arc;
 
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value, VersionChain};
 use proptest::prelude::*;
 
@@ -129,37 +128,37 @@ proptest! {
         for k in 0..KEYS {
             db.table(t).insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
         }
-        let proto = LockingProtocol::bamboo();
-        let mut wal = WalBuffer::for_tests();
+        let session = Session::new(
+            Arc::clone(&db),
+            Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+        );
 
         // Model: the table state after each commit prefix.
         let mut state = [0i64; KEYS as usize];
         let mut prefixes: Vec<[i64; KEYS as usize]> = vec![state];
-        // Live snapshots: (ctx, commit-prefix length at registration).
+        // Live snapshots: (txn, commit-prefix length at registration).
         let mut snaps = Vec::new();
 
         for (key, val, take_snap) in writes {
             if take_snap {
-                let ctx = proto.begin_snapshot(&db);
+                let txn = session.snapshot();
                 // Single-threaded: the stable point is exactly the number
                 // of commits so far.
-                prop_assert_eq!(ctx.snapshot.unwrap() as usize, prefixes.len() - 1);
-                snaps.push((ctx, prefixes.len() - 1));
+                prop_assert_eq!(txn.snapshot_ts().unwrap() as usize, prefixes.len() - 1);
+                snaps.push((txn, prefixes.len() - 1));
             }
-            let mut ctx = proto.begin(&db);
-            proto
-                .update(&db, &mut ctx, t, key, &mut |row| row.set(1, Value::I64(val)))
-                .unwrap();
-            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+            let mut txn = session.begin();
+            txn.update(t, key, |row| row.set(1, Value::I64(val))).unwrap();
+            txn.commit().unwrap();
             state[key as usize] = val;
             prefixes.push(state);
         }
 
         // Every snapshot — including ones pinned across many later commits
         // — reads exactly its registration-time prefix.
-        for (mut ctx, prefix) in snaps {
+        for (mut txn, prefix) in snaps {
             for k in 0..KEYS {
-                let got = proto.read(&db, &mut ctx, t, k).unwrap().get_i64(1);
+                let got = txn.read(t, k).unwrap().get_i64(1);
                 prop_assert_eq!(
                     got,
                     prefixes[prefix][k as usize],
@@ -168,8 +167,8 @@ proptest! {
                     k
                 );
             }
-            prop_assert_eq!(ctx.locks_acquired, 0);
-            proto.commit(&db, &mut ctx, &mut wal).unwrap();
+            prop_assert_eq!(txn.locks_acquired(), 0);
+            txn.commit().unwrap();
         }
         prop_assert_eq!(db.snapshots.active_count(), 0);
 

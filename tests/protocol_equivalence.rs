@@ -8,8 +8,7 @@ use std::sync::Arc;
 use bamboo_repro::core::protocol::{
     Ic3Protocol, LockingProtocol, PieceAccess, PieceDecl, Protocol, SiloProtocol, TemplateDecl,
 };
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::Database;
+use bamboo_repro::core::{Database, Session, TxnOptions};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -58,27 +57,25 @@ fn script(seed: u64) -> Vec<Vec<(u64, Option<i64>)>> {
         .collect()
 }
 
-fn run_script(proto: &dyn Protocol, db: &Database, t: TableId, txns: &[Vec<(u64, Option<i64>)>]) {
-    let mut wal = WalBuffer::for_tests();
+fn run_script(session: &Session, t: TableId, txns: &[Vec<(u64, Option<i64>)>]) {
     for ops in txns {
-        let mut ctx = proto.begin(db);
-        ctx.ic3.template = 0;
-        proto.piece_begin(db, &mut ctx, 0).unwrap();
+        let mut txn = session.begin_with(TxnOptions::new().template(0));
+        txn.piece_begin(0).unwrap();
         for &(k, delta) in ops {
             match delta {
-                Some(d) => proto
-                    .update(db, &mut ctx, t, k, &mut |row| {
+                Some(d) => txn
+                    .update(t, k, |row| {
                         let v = row.get_i64(1);
                         row.set(1, Value::I64(v + d));
                     })
                     .unwrap(),
                 None => {
-                    proto.read(db, &mut ctx, t, k).unwrap();
+                    txn.read(t, k).unwrap();
                 }
             }
         }
-        proto.piece_end(db, &mut ctx).unwrap();
-        proto.commit(db, &mut ctx, &mut wal).unwrap();
+        txn.piece_end().unwrap();
+        txn.commit().unwrap();
     }
 }
 
@@ -100,25 +97,26 @@ fn all_protocols_agree_on_serial_execution() {
             u64::MAX,
         )])],
     };
-    let protocols: Vec<(&str, Box<dyn Protocol>)> = vec![
-        ("bamboo", Box::new(LockingProtocol::bamboo())),
-        ("bamboo_base", Box::new(LockingProtocol::bamboo_base())),
-        ("wound_wait", Box::new(LockingProtocol::wound_wait())),
-        ("wait_die", Box::new(LockingProtocol::wait_die())),
-        ("no_wait", Box::new(LockingProtocol::no_wait())),
-        ("silo", Box::new(SiloProtocol::new())),
+    let protocols: Vec<(&str, Arc<dyn Protocol>)> = vec![
+        ("bamboo", Arc::new(LockingProtocol::bamboo())),
+        ("bamboo_base", Arc::new(LockingProtocol::bamboo_base())),
+        ("wound_wait", Arc::new(LockingProtocol::wound_wait())),
+        ("wait_die", Arc::new(LockingProtocol::wait_die())),
+        ("no_wait", Arc::new(LockingProtocol::no_wait())),
+        ("silo", Arc::new(SiloProtocol::new())),
         (
             "ic3",
-            Box::new(Ic3Protocol::new(vec![ic3_template.clone()], false)),
+            Arc::new(Ic3Protocol::new(vec![ic3_template.clone()], false)),
         ),
         (
             "ic3_optimistic",
-            Box::new(Ic3Protocol::new(vec![ic3_template], true)),
+            Arc::new(Ic3Protocol::new(vec![ic3_template], true)),
         ),
     ];
     for (name, proto) in protocols {
         let (db, t) = load();
-        run_script(proto.as_ref(), &db, t, &txns);
+        let session = Session::new(Arc::clone(&db), proto);
+        run_script(&session, t, &txns);
         let snap = snapshot(&db, t);
         match &reference {
             None => reference = Some(snap),
@@ -144,12 +142,19 @@ fn interactive_wrapper_preserves_semantics() {
     use bamboo_repro::core::protocol::InteractiveProtocol;
     let txns = script(0xBEEF);
     let (db1, t1) = load();
-    run_script(&LockingProtocol::bamboo(), &db1, t1, &txns);
-    let (db2, t2) = load();
-    let wrapped = InteractiveProtocol::new(
-        LockingProtocol::bamboo(),
-        std::time::Duration::from_micros(1),
+    let plain = Session::new(
+        Arc::clone(&db1),
+        Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
     );
-    run_script(&wrapped, &db2, t2, &txns);
+    run_script(&plain, t1, &txns);
+    let (db2, t2) = load();
+    let wrapped = Session::new(
+        Arc::clone(&db2),
+        Arc::new(InteractiveProtocol::new(
+            LockingProtocol::bamboo(),
+            std::time::Duration::from_micros(1),
+        )) as Arc<dyn Protocol>,
+    );
+    run_script(&wrapped, t2, &txns);
     assert_eq!(snapshot(&db1, t1), snapshot(&db2, t2));
 }

@@ -6,8 +6,7 @@ use std::time::Duration;
 
 use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol, SiloProtocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::{Abort, Database, TxnCtx};
+use bamboo_repro::core::{Abort, Database, Session, Txn};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -44,23 +43,17 @@ impl TxnSpec for Transfer {
         Some(3)
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         let amount = self.amount;
-        proto.update(db, ctx, self.table, 0, &mut |row| {
+        txn.update(self.table, 0, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + 1));
         })?;
-        proto.update(db, ctx, self.table, self.from, &mut |row| {
+        txn.update(self.table, self.from, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v - amount - 1));
         })?;
-        proto.update(db, ctx, self.table, self.to, &mut |row| {
+        txn.update(self.table, self.to, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + amount));
         })?;
@@ -118,12 +111,10 @@ fn money_conservation_under_heavy_hotspot_contention() {
             &db,
             &proto,
             &wl,
-            &BenchConfig {
-                threads: 4,
-                duration: Duration::from_millis(300),
-                warmup: Duration::from_millis(30),
-                seed: 17,
-            },
+            &BenchConfig::quick(4)
+                .with_duration(Duration::from_millis(300))
+                .with_warmup(Duration::from_millis(30))
+                .with_seed(17),
         );
         assert!(res.totals.commits > 0, "{} made no progress", res.protocol);
         // Conservation: fees (+1 per commit into account 0) are balanced by
@@ -150,22 +141,21 @@ fn money_conservation_under_heavy_hotspot_contention() {
 fn read_your_own_writes_and_repeatable_reads() {
     for proto in protocols() {
         let (db, t) = load();
-        let mut wal = WalBuffer::for_tests();
-        let mut ctx = proto.begin(&db);
-        let first = proto.read(&db, &mut ctx, t, 5).unwrap().get_i64(1);
-        proto
-            .update(&db, &mut ctx, t, 5, &mut |row| {
-                let v = row.get_i64(1);
-                row.set(1, Value::I64(v * 2));
-            })
-            .unwrap();
-        let second = proto.read(&db, &mut ctx, t, 5).unwrap().get_i64(1);
+        let session = Session::new(Arc::clone(&db), Arc::clone(&proto));
+        let mut txn = session.begin();
+        let first = txn.read(t, 5).unwrap().get_i64(1);
+        txn.update(t, 5, |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v * 2));
+        })
+        .unwrap();
+        let second = txn.read(t, 5).unwrap().get_i64(1);
         assert_eq!(second, first * 2, "{} broke read-your-writes", proto.name());
         // Re-reading an untouched key yields the same value (local copy).
-        let a = proto.read(&db, &mut ctx, t, 7).unwrap().get_i64(1);
-        let b = proto.read(&db, &mut ctx, t, 7).unwrap().get_i64(1);
+        let a = txn.read(t, 7).unwrap().get_i64(1);
+        let b = txn.read(t, 7).unwrap().get_i64(1);
         assert_eq!(a, b);
-        proto.commit(&db, &mut ctx, &mut wal).unwrap();
+        txn.commit().unwrap();
     }
 }
 
@@ -173,22 +163,21 @@ fn read_your_own_writes_and_repeatable_reads() {
 fn bamboo_dirty_reads_never_surface_aborted_data_to_committers() {
     // W writes 999 and retires; R reads it; W aborts. R must not commit.
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base();
-    let mut wal = WalBuffer::for_tests();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo_base()) as Arc<dyn Protocol>,
+    );
     for _ in 0..50 {
-        let mut w = proto.begin(&db);
-        proto
-            .update(&db, &mut w, t, 3, &mut |row| row.set(1, Value::I64(999)))
-            .unwrap();
-        let mut r = proto.begin(&db);
-        let seen = proto.read(&db, &mut r, t, 3).unwrap().get_i64(1);
+        let mut w = session.begin();
+        w.update(t, 3, |row| row.set(1, Value::I64(999))).unwrap();
+        let mut r = session.begin();
+        let seen = r.read(t, 3).unwrap().get_i64(1);
         assert_eq!(seen, 999, "dirty read must be visible");
-        proto.abort(&db, &mut w);
+        w.abort();
         assert!(
-            proto.commit(&db, &mut r, &mut wal).is_err(),
+            r.commit().is_err(),
             "reader of aborted dirty data must not commit"
         );
-        proto.abort(&db, &mut r);
         assert_eq!(
             db.table(t).get(3).unwrap().read_row().get_i64(1),
             INITIAL,
@@ -202,30 +191,31 @@ fn commit_point_order_follows_dependency_order() {
     // Writers pipeline through retire; their installs must respect the
     // version order — final value equals the last committer's.
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo_base();
-    let mut wal = WalBuffer::for_tests();
-    let mut ctxs = Vec::new();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo_base()) as Arc<dyn Protocol>,
+    );
+    let mut txns = Vec::new();
     for _ in 0..8 {
-        let mut c = proto.begin(&db);
-        proto
-            .update(&db, &mut c, t, 9, &mut |row| {
-                let v = row.get_i64(1);
-                row.set(1, Value::I64(v + 1));
-            })
-            .unwrap();
-        ctxs.push(c);
+        let mut c = session.begin();
+        c.update(t, 9, |row| {
+            let v = row.get_i64(1);
+            row.set(1, Value::I64(v + 1));
+        })
+        .unwrap();
+        txns.push(c);
     }
     // All eight stacked dirty versions: every writer except the head holds
     // exactly one pending dependency on this tuple.
-    for (i, c) in ctxs.iter().enumerate() {
+    for (i, c) in txns.iter().enumerate() {
         assert_eq!(
-            c.shared.semaphore(),
+            c.shared().semaphore(),
             i64::from(i > 0),
             "writer {i} must depend exactly on its predecessor chain"
         );
     }
-    for mut c in ctxs {
-        proto.commit(&db, &mut c, &mut wal).unwrap();
+    for c in txns {
+        c.commit().unwrap();
     }
     assert_eq!(
         db.table(t).get(9).unwrap().read_row().get_i64(1),
@@ -236,28 +226,29 @@ fn commit_point_order_follows_dependency_order() {
 #[test]
 fn wound_wait_prioritizes_older_transactions() {
     let (db, t) = load();
-    let proto = LockingProtocol::wound_wait();
-    let old = proto.begin(&db);
-    let mut young = proto.begin(&db);
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::wound_wait()) as Arc<dyn Protocol>,
+    );
+    let old = session.begin();
+    let mut young = session.begin();
     // Young takes the lock first.
-    proto
-        .update(&db, &mut young, t, 2, &mut |row| row.set(1, Value::I64(1)))
-        .unwrap();
+    young.update(t, 2, |row| row.set(1, Value::I64(1))).unwrap();
     // Old requests it: young must be wounded.
-    let mut old = old;
-    let db2 = Arc::clone(&db);
-    let proto2 = proto.clone();
-    let h = std::thread::spawn(move || {
-        let mut wal = WalBuffer::for_tests();
-        proto2
-            .update(&db2, &mut old, t, 2, &mut |row| row.set(1, Value::I64(2)))
-            .unwrap();
-        proto2.commit(&db2, &mut old, &mut wal).unwrap();
+    std::thread::scope(|s| {
+        let h = s.spawn(move || {
+            let mut old = old;
+            old.update(t, 2, |row| row.set(1, Value::I64(2))).unwrap();
+            old.commit().unwrap();
+        });
+        // Give the old transaction time to wound.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            young.shared().is_aborted(),
+            "younger holder must be wounded"
+        );
+        young.abort();
+        h.join().unwrap();
     });
-    // Give the old transaction time to wound.
-    std::thread::sleep(Duration::from_millis(50));
-    assert!(young.shared.is_aborted(), "younger holder must be wounded");
-    proto.abort(&db, &mut young);
-    h.join().unwrap();
     assert_eq!(db.table(t).get(2).unwrap().read_row().get_i64(1), 2);
 }

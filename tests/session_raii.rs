@@ -1,0 +1,218 @@
+//! The RAII contract of `Session`/`Txn`: an attempt that is dropped
+//! mid-flight — early return, forgotten commit, or a panic in the middle
+//! of a piece — aborts and releases its locks *exactly once*, under every
+//! protocol. Plus the double-abort regression: explicit abort followed by
+//! drop (and failed commit followed by drop) must not release twice.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use bamboo_repro::core::protocol::{
+    Ic3Protocol, LockingProtocol, PieceAccess, PieceDecl, Protocol, SiloProtocol, TemplateDecl,
+};
+use bamboo_repro::core::{Database, Session, TxnOptions};
+use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
+
+const ROWS: u64 = 8;
+
+fn load() -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "t",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let db = b.build();
+    for k in 0..ROWS {
+        db.table(t)
+            .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+    }
+    (db, t)
+}
+
+/// One generic single-piece IC3 template covering the whole table, so the
+/// chopping protocol can run ad-hoc single-piece transactions.
+fn ic3_generic() -> Vec<TemplateDecl> {
+    vec![TemplateDecl {
+        name: "generic".into(),
+        pieces: vec![PieceDecl::new(vec![PieceAccess::write(
+            TableId(0),
+            u64::MAX,
+            u64::MAX,
+        )])],
+    }]
+}
+
+/// The four protocol families the RAII contract must hold under.
+fn protocols() -> Vec<(&'static str, Arc<dyn Protocol>)> {
+    vec![
+        ("bamboo", Arc::new(LockingProtocol::bamboo())),
+        ("wound_wait", Arc::new(LockingProtocol::wound_wait())),
+        ("silo", Arc::new(SiloProtocol::new())),
+        ("ic3", Arc::new(Ic3Protocol::new(ic3_generic(), false))),
+    ]
+}
+
+/// Runs `mutate` (which updates keys 0 and 1 inside a transaction that is
+/// never committed), then proves the locks were released exactly once: the
+/// tuples are quiescent, the writes rolled back, and a follow-up
+/// transaction on the same keys commits immediately.
+fn assert_released_and_reusable(name: &str, db: &Arc<Database>, t: TableId, session: &Session) {
+    for k in 0..2u64 {
+        let tup = db.table(t).get(k).unwrap();
+        assert!(
+            tup.meta.lock.lock().is_quiescent(),
+            "{name}: key {k} left residual lock state"
+        );
+        assert!(
+            tup.meta.ic3.lock().is_quiescent(),
+            "{name}: key {k} left residual ic3 state"
+        );
+        assert_eq!(
+            tup.read_row().get_i64(1),
+            0,
+            "{name}: aborted write leaked into key {k}"
+        );
+    }
+    // The decisive proof of release: a follow-up transaction on the same
+    // keys commits without blocking or aborting.
+    let mut txn = session.begin_with(TxnOptions::new().template(0));
+    txn.piece_begin(0).unwrap();
+    for k in 0..2u64 {
+        txn.update(t, k, |row| row.set(1, Value::I64(7))).unwrap();
+    }
+    txn.piece_end().unwrap();
+    txn.commit()
+        .unwrap_or_else(|e| panic!("{name}: follow-up txn blocked by a leaked lock: {e}"));
+    for k in 0..2u64 {
+        assert_eq!(db.table(t).get(k).unwrap().read_row().get_i64(1), 7);
+    }
+}
+
+#[test]
+fn dropped_txn_releases_locks_under_every_protocol() {
+    for (name, proto) in protocols() {
+        let (db, t) = load();
+        let session = Session::new(Arc::clone(&db), proto);
+        {
+            let mut txn = session.begin_with(TxnOptions::new().template(0));
+            txn.piece_begin(0).unwrap();
+            for k in 0..2u64 {
+                txn.update(t, k, |row| row.set(1, Value::I64(99))).unwrap();
+            }
+            // Neither piece_end nor commit: the drop below must abort the
+            // attempt and release both exclusive entries.
+        }
+        assert_released_and_reusable(name, &db, t, &session);
+    }
+}
+
+#[test]
+fn mid_piece_panic_releases_locks_under_every_protocol() {
+    for (name, proto) in protocols() {
+        let (db, t) = load();
+        let session = Session::new(Arc::clone(&db), proto);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut txn = session.begin_with(TxnOptions::new().template(0));
+            txn.piece_begin(0).unwrap();
+            for k in 0..2u64 {
+                txn.update(t, k, |row| row.set(1, Value::I64(99))).unwrap();
+            }
+            panic!("simulated application bug mid-piece");
+        }));
+        assert!(result.is_err(), "{name}: the panic must propagate");
+        // Unwinding dropped the Txn; its Drop ran the abort path.
+        assert_released_and_reusable(name, &db, t, &session);
+    }
+}
+
+#[test]
+fn explicit_abort_then_drop_aborts_exactly_once() {
+    // Double-abort regression: Txn::abort consumes the guard, and the
+    // internal finished flag makes the Drop path a no-op — the release
+    // must not run twice (a second release of the same entry would corrupt
+    // the lock lists or double-decrement dependents' semaphores).
+    for (name, proto) in protocols() {
+        let (db, t) = load();
+        let session = Session::new(Arc::clone(&db), proto);
+        let mut txn = session.begin_with(TxnOptions::new().template(0));
+        txn.piece_begin(0).unwrap();
+        txn.update(t, 0, |row| row.set(1, Value::I64(5))).unwrap();
+        let _cascaded = txn.abort(); // consumes; Drop runs right here
+        let tup = db.table(t).get(0).unwrap();
+        tup.meta.lock.lock().assert_invariants();
+        assert!(
+            tup.meta.lock.lock().is_quiescent(),
+            "{name}: abort did not release"
+        );
+        assert_released_and_reusable(name, &db, t, &session);
+    }
+}
+
+#[test]
+fn failed_commit_then_drop_aborts_exactly_once() {
+    // A commit that fails aborts internally; the subsequent drop of the
+    // (consumed) guard must not release again. Bamboo's cascade machinery
+    // provides a deterministic commit failure: the reader of an aborted
+    // writer's dirty data cannot commit.
+    let (db, t) = load();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo_base()) as Arc<dyn Protocol>,
+    );
+    for round in 0..20 {
+        let mut w = session.begin();
+        w.update(t, 0, |row| row.set(1, Value::I64(999))).unwrap();
+        let mut r = session.begin();
+        assert_eq!(r.read(t, 0).unwrap().get_i64(1), 999, "round {round}");
+        w.abort();
+        assert!(
+            r.commit().is_err(),
+            "round {round}: reader of aborted data must fail to commit"
+        );
+        let tup = db.table(t).get(0).unwrap();
+        tup.meta.lock.lock().assert_invariants();
+        assert!(tup.meta.lock.lock().is_quiescent(), "round {round}");
+        assert_eq!(tup.read_row().get_i64(1), 0, "round {round}");
+    }
+    // Dependents' semaphores survived the churn: a fresh pair pipelines
+    // normally (a double release would have driven a semaphore negative).
+    let mut a = session.begin();
+    a.update(t, 0, |row| row.set(1, Value::I64(1))).unwrap();
+    let mut b = session.begin();
+    b.update(t, 0, |row| {
+        let v = row.get_i64(1);
+        row.set(1, Value::I64(v + 1));
+    })
+    .unwrap();
+    assert_eq!(b.shared().semaphore(), 1);
+    a.commit().unwrap();
+    b.commit().unwrap();
+    assert_eq!(db.table(t).get(0).unwrap().read_row().get_i64(1), 2);
+}
+
+#[test]
+fn early_error_return_in_run_piece_aborts_via_drop() {
+    // The `?`-operator shape every TxnSpec uses: an Err mid-piece
+    // propagates out of a helper that owns the Txn; the guard's drop — not
+    // any explicit call — performs the abort.
+    fn helper(session: &Session, t: TableId) -> Result<(), bamboo_repro::core::Abort> {
+        let mut txn = session.begin();
+        txn.update(t, 0, |row| row.set(1, Value::I64(123)))?;
+        Err(bamboo_repro::core::Abort(
+            bamboo_repro::core::AbortReason::User,
+        ))
+        // txn dropped here with the attempt unfinished → aborted once.
+    }
+    let (db, t) = load();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+    );
+    assert!(helper(&session, t).is_err());
+    let tup = db.table(t).get(0).unwrap();
+    assert!(tup.meta.lock.lock().is_quiescent());
+    assert_eq!(tup.read_row().get_i64(1), 0);
+    assert_released_and_reusable("bamboo-early-return", &db, t, &session);
+}

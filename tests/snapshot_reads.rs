@@ -13,8 +13,7 @@ use std::time::Duration;
 
 use bamboo_repro::core::executor::{run_bench, BenchConfig, TxnSpec, Workload};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol, SiloProtocol};
-use bamboo_repro::core::wal::WalBuffer;
-use bamboo_repro::core::{Abort, Database, TxnCtx};
+use bamboo_repro::core::{Abort, AbortReason, Database, Session, Txn};
 use bamboo_repro::storage::{DataType, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -52,23 +51,17 @@ impl TxnSpec for Transfer {
         Some(3)
     }
 
-    fn run_piece(
-        &self,
-        _piece: usize,
-        db: &Database,
-        proto: &dyn Protocol,
-        ctx: &mut TxnCtx,
-    ) -> Result<(), Abort> {
+    fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
         let amount = self.amount;
-        proto.update(db, ctx, self.table, 0, &mut |row| {
+        txn.update(self.table, 0, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + 1));
         })?;
-        proto.update(db, ctx, self.table, self.from, &mut |row| {
+        txn.update(self.table, self.from, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v - amount - 1));
         })?;
-        proto.update(db, ctx, self.table, self.to, &mut |row| {
+        txn.update(self.table, self.to, |row| {
             let v = row.get_i64(1);
             row.set(1, Value::I64(v + amount));
         })?;
@@ -101,18 +94,14 @@ impl Workload for TransferWl {
 }
 
 /// Drives `scans` snapshot transactions against a database under active
-/// writer fire; returns the number of scans performed. Panics on any
-/// inconsistency, lock acquisition, or abort.
-fn snapshot_scan_loop(db: &Arc<Database>, proto: &dyn Protocol, t: TableId, scans: usize) {
-    let mut wal = WalBuffer::for_tests();
+/// writer fire. Panics on any inconsistency, lock acquisition, or abort.
+fn snapshot_scan_loop(session: &Session, t: TableId, scans: usize) {
     for _ in 0..scans {
-        let mut ctx = proto.begin_snapshot(db);
+        let mut txn = session.snapshot();
         let mut sum = 0i64;
         for id in 0..N_ACCOUNTS {
             // Reads can never fail in snapshot mode: no waits, no wounds.
-            let row = proto
-                .read(db, &mut ctx, t, id)
-                .expect("snapshot read must never abort");
+            let row = txn.read(t, id).expect("snapshot read must never abort");
             sum += row.get_i64(1);
         }
         assert_eq!(
@@ -121,13 +110,12 @@ fn snapshot_scan_loop(db: &Arc<Database>, proto: &dyn Protocol, t: TableId, scan
             "snapshot observed a torn state (non-transactional view)"
         );
         assert_eq!(
-            ctx.locks_acquired, 0,
+            txn.locks_acquired(),
+            0,
             "snapshot scan touched the lock manager"
         );
-        assert!(!ctx.shared.is_aborted(), "snapshot reader was aborted");
-        proto
-            .commit(db, &mut ctx, &mut wal)
-            .expect("snapshot commit cannot fail");
+        assert!(!txn.shared().is_aborted(), "snapshot reader was aborted");
+        txn.commit().expect("snapshot commit cannot fail");
     }
 }
 
@@ -144,36 +132,34 @@ fn snapshot_reader_is_lock_free_and_consistent_under_write_fire() {
     ] {
         let (db, t) = load();
         let stop = Arc::new(AtomicBool::new(false));
-        let writers: Vec<_> = (0..3)
-            .map(|w| {
-                let db = Arc::clone(&db);
-                let proto = Arc::clone(&proto);
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    use rand::SeedableRng;
-                    let mut rng = SmallRng::seed_from_u64(1000 + w);
-                    let wl = TransferWl { table: t };
-                    let mut wal = WalBuffer::new();
-                    let mut commits = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
-                        let spec = wl.generate(w as usize, &mut rng);
-                        bamboo_repro::core::executor::execute_to_commit(
-                            spec.as_ref(),
-                            &db,
-                            proto.as_ref(),
-                            &mut wal,
-                        );
-                        commits += 1;
-                    }
-                    commits
+        let commits: u64 = std::thread::scope(|s| {
+            let writers: Vec<_> = (0..3)
+                .map(|w| {
+                    let db = Arc::clone(&db);
+                    let proto = Arc::clone(&proto);
+                    let stop = Arc::clone(&stop);
+                    s.spawn(move || {
+                        use rand::SeedableRng;
+                        let mut rng = SmallRng::seed_from_u64(1000 + w);
+                        let wl = TransferWl { table: t };
+                        let session = Session::new(db, proto);
+                        let mut commits = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let spec = wl.generate(w as usize, &mut rng);
+                            session.run(spec.as_ref()).unwrap();
+                            commits += 1;
+                        }
+                        commits
+                    })
                 })
-            })
-            .collect();
-        // Let the writers stack up retired versions before scanning.
-        std::thread::sleep(Duration::from_millis(10));
-        snapshot_scan_loop(&db, proto.as_ref(), t, 300);
-        stop.store(true, Ordering::Relaxed);
-        let commits: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+                .collect();
+            // Let the writers stack up retired versions before scanning.
+            std::thread::sleep(Duration::from_millis(10));
+            let reader_session = Session::new(Arc::clone(&db), Arc::clone(&proto));
+            snapshot_scan_loop(&reader_session, t, 300);
+            stop.store(true, Ordering::Relaxed);
+            writers.into_iter().map(|h| h.join().unwrap()).sum()
+        });
         assert!(commits > 0, "{}: writers must make progress", proto.name());
         assert_eq!(
             db.snapshots.active_count(),
@@ -191,51 +177,53 @@ fn snapshot_reader_is_lock_free_and_consistent_under_write_fire() {
 
 /// Snapshot isolation against inserts: a row committed after the snapshot
 /// was taken is invisible to it (no snapshot phantoms), while later
-/// snapshots see it.
+/// snapshots see it. The invisibility now surfaces through the `Txn` read
+/// result — `SnapshotNotVisible` from `read`, `Ok(None)` from `read_opt` —
+/// instead of a storage-level panic.
 #[test]
 fn snapshot_does_not_see_later_inserts() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo();
-    let mut wal = WalBuffer::for_tests();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+    );
 
-    let mut old_snap = proto.begin_snapshot(&db);
+    let mut old_snap = session.snapshot();
     // Writer inserts a new account and commits.
-    let mut w = proto.begin(&db);
-    proto
-        .insert(
-            &db,
-            &mut w,
-            t,
-            N_ACCOUNTS + 7,
-            Row::from(vec![Value::U64(N_ACCOUNTS + 7), Value::I64(5)]),
-            None,
-        )
-        .unwrap();
-    proto.commit(&db, &mut w, &mut wal).unwrap();
+    let mut w = session.begin();
+    w.insert(
+        t,
+        N_ACCOUNTS + 7,
+        Row::from(vec![Value::U64(N_ACCOUNTS + 7), Value::I64(5)]),
+        None,
+    )
+    .unwrap();
+    w.commit().unwrap();
 
     let tuple = db.table(t).get(N_ACCOUNTS + 7).expect("insert applied");
-    let snap_ts = old_snap.snapshot.unwrap();
+    let snap_ts = old_snap.snapshot_ts().unwrap();
     assert!(
         !tuple.visible_at(snap_ts),
         "row inserted after the snapshot must be invisible at ts {snap_ts}"
     );
-    // The pre-existing rows are unaffected.
+    // The session surface agrees with the storage-level check.
     assert_eq!(
-        proto.read(&db, &mut old_snap, t, 0).unwrap().get_i64(1),
-        INITIAL
+        old_snap.read(t, N_ACCOUNTS + 7).unwrap_err(),
+        Abort(AbortReason::SnapshotNotVisible),
+        "read of a post-snapshot insert surfaces SnapshotNotVisible"
     );
-    proto.commit(&db, &mut old_snap, &mut wal).unwrap();
+    assert!(
+        old_snap.read_opt(t, N_ACCOUNTS + 7).unwrap().is_none(),
+        "read_opt treats the phantom as absent"
+    );
+    // The pre-existing rows are unaffected.
+    assert_eq!(old_snap.read(t, 0).unwrap().get_i64(1), INITIAL);
+    old_snap.commit().unwrap();
 
     // A fresh snapshot sees the committed insert.
-    let mut new_snap = proto.begin_snapshot(&db);
-    assert_eq!(
-        proto
-            .read(&db, &mut new_snap, t, N_ACCOUNTS + 7)
-            .unwrap()
-            .get_i64(1),
-        5
-    );
-    proto.commit(&db, &mut new_snap, &mut wal).unwrap();
+    let mut new_snap = session.snapshot();
+    assert_eq!(new_snap.read(t, N_ACCOUNTS + 7).unwrap().get_i64(1), 5);
+    new_snap.commit().unwrap();
 }
 
 /// Snapshot repeatability: a snapshot re-reading a key sees the same value
@@ -244,37 +232,35 @@ fn snapshot_does_not_see_later_inserts() {
 #[test]
 fn snapshot_reads_are_repeatable_across_concurrent_commits() {
     let (db, t) = load();
-    let proto = LockingProtocol::bamboo();
-    let mut wal = WalBuffer::for_tests();
+    let session = Session::new(
+        Arc::clone(&db),
+        Arc::new(LockingProtocol::bamboo()) as Arc<dyn Protocol>,
+    );
 
-    let mut snap = proto.begin_snapshot(&db);
-    let before = proto.read(&db, &mut snap, t, 3).unwrap().get_i64(1);
+    let mut snap = session.snapshot();
+    let before = snap.read(t, 3).unwrap().get_i64(1);
     assert_eq!(before, INITIAL);
 
-    let mut w = proto.begin(&db);
-    proto
-        .update(&db, &mut w, t, 3, &mut |row| row.set(1, Value::I64(999)))
-        .unwrap();
-    proto.commit(&db, &mut w, &mut wal).unwrap();
+    let mut w = session.begin();
+    w.update(t, 3, |row| row.set(1, Value::I64(999))).unwrap();
+    w.commit().unwrap();
     assert_eq!(db.table(t).get(3).unwrap().read_row().get_i64(1), 999);
 
     // The live snapshot still resolves to its version: both through the
-    // cached access and through a fresh context at the same timestamp.
-    assert_eq!(
-        proto.read(&db, &mut snap, t, 3).unwrap().get_i64(1),
-        INITIAL
-    );
-    let ts = snap.snapshot.unwrap();
+    // cached access and through the raw version chain at the same
+    // timestamp.
+    assert_eq!(snap.read(t, 3).unwrap().get_i64(1), INITIAL);
+    let ts = snap.snapshot_ts().unwrap();
     assert_eq!(
         db.table(t).get(3).unwrap().read_at(ts).unwrap().get_i64(1),
         INITIAL,
         "version chain must retain the snapshot's image"
     );
-    proto.commit(&db, &mut snap, &mut wal).unwrap();
+    snap.commit().unwrap();
 
-    let mut snap2 = proto.begin_snapshot(&db);
-    assert_eq!(proto.read(&db, &mut snap2, t, 3).unwrap().get_i64(1), 999);
-    proto.commit(&db, &mut snap2, &mut wal).unwrap();
+    let mut snap2 = session.snapshot();
+    assert_eq!(snap2.read(t, 3).unwrap().get_i64(1), 999);
+    snap2.commit().unwrap();
 }
 
 /// The executor-level view: a transfer workload with a snapshot-scanning
@@ -299,16 +285,10 @@ fn snapshot_mix_accounted_and_conserves_balance() {
             true
         }
 
-        fn run_piece(
-            &self,
-            _piece: usize,
-            db: &Database,
-            proto: &dyn Protocol,
-            ctx: &mut TxnCtx,
-        ) -> Result<(), Abort> {
+        fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
             let mut sum = 0i64;
             for id in 0..N_ACCOUNTS {
-                sum += proto.read(db, ctx, self.table, id)?.get_i64(1);
+                sum += txn.read(self.table, id)?.get_i64(1);
             }
             assert_eq!(sum, N_ACCOUNTS as i64 * INITIAL, "torn snapshot scan");
             Ok(())
@@ -349,12 +329,10 @@ fn snapshot_mix_accounted_and_conserves_balance() {
             &db,
             &proto,
             &wl,
-            &BenchConfig {
-                threads: 4,
-                duration: Duration::from_millis(250),
-                warmup: Duration::from_millis(25),
-                seed: 23,
-            },
+            &BenchConfig::quick(4)
+                .with_duration(Duration::from_millis(250))
+                .with_warmup(Duration::from_millis(25))
+                .with_seed(23),
         );
         assert!(res.totals.commits > 0, "{}: writers starved", res.protocol);
         assert!(

@@ -21,12 +21,10 @@ fn protocols() -> Vec<Arc<dyn Protocol>> {
 }
 
 fn quick(threads: usize) -> BenchConfig {
-    BenchConfig {
-        threads,
-        duration: Duration::from_millis(200),
-        warmup: Duration::from_millis(20),
-        seed: 31,
-    }
+    BenchConfig::quick(threads)
+        .with_duration(Duration::from_millis(200))
+        .with_warmup(Duration::from_millis(20))
+        .with_seed(31)
 }
 
 #[test]

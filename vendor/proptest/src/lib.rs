@@ -257,7 +257,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Size specification for [`vec`]: a fixed size or a half-open /
+    /// Size specification for [`vec()`](fn@vec): a fixed size or a half-open /
     /// inclusive range of sizes.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
