@@ -13,7 +13,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bamboo_bench::harness::{run_contended, time_contended_txns};
+use bamboo_bench::harness::{
+    assert_snapshot_fast_path_lock_free, run_contended, time_contended_txns,
+};
 use bamboo_core::executor::Workload;
 use bamboo_core::protocol::{LockingProtocol, Protocol, SiloProtocol};
 use bamboo_workload::ycsb::{self, YcsbConfig, YcsbWorkload};
@@ -38,6 +40,12 @@ fn bench(c: &mut Criterion) {
     let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg.clone(), t));
     let wl_snap: Arc<dyn Workload> =
         Arc::new(YcsbWorkload::new(cfg.with_snapshot_readonly(true), t));
+    // Snapshot fast path: `Session::snapshot()` begin/commit must reach
+    // steady state with zero mutex acquisitions of any kind — the
+    // end-to-end form of the per-bucket lock-manager assertion below.
+    for p in &protos() {
+        assert_snapshot_fast_path_lock_free(&db, p);
+    }
     let mut g = c.benchmark_group("fig7_ycsb_longro");
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))

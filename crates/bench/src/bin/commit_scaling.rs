@@ -1,0 +1,235 @@
+//! Commit-pipeline scaling bench: the three hot-path primitives this
+//! repo's MVCC machinery puts on every commit and every snapshot, measured
+//! standalone and end-to-end at 1/4/8 worker threads.
+//!
+//! Emitted metrics (ops/second, per thread count):
+//!
+//! * `clock_ops` — raw [`bamboo_core::db::CommitClock`] `allocate`+`finish`
+//!   pairs, the per-commit timestamp cost every protocol pays around its
+//!   commit point.
+//! * `snapshot_ops` — `register_snapshot`+`release_snapshot` pairs, the
+//!   per-snapshot begin/end cost of the MVCC read path.
+//! * `commit_tput` — end-to-end committed single-update transactions
+//!   through [`bamboo_core::Session`] under Bamboo, with each worker
+//!   updating a private key partition so the lock table is uncontended and
+//!   the commit pipeline (clock + WAL + install + watermark) dominates.
+//!
+//! Output is a JSON document with two sections: `baseline` (the numbers
+//! recorded on this machine *before* the lock-free commit-pipeline rework,
+//! frozen below) and `current` (measured by this run). CI uploads the file
+//! as `BENCH_commit_scaling.json`; the committed copy at the repo root is
+//! the first point of the perf trajectory.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bamboo_core::protocol::LockingProtocol;
+use bamboo_core::{Database, Session};
+use bamboo_storage::{DataType, Row, Schema, TableId, Value};
+
+/// Thread counts swept (the ISSUE's 1/4/8 roster).
+const THREADS: &[usize] = &[1, 4, 8];
+
+/// Pre-change baseline, measured on the dev container (1 CPU) at commit
+/// `adbb9b8` with the PR-2 mutex-based `CommitClock` (`Mutex<BTreeSet>`)
+/// and mutex `SnapshotRegistry` (mean of two 300 ms/point runs).
+/// Regenerate by checking out that commit and running this binary with
+/// `--print-current-as-baseline`.
+const BASELINE: Measurement = Measurement {
+    label: "mutex commit clock + mutex snapshot registry (pre lock-free rework, commit adbb9b8)",
+    clock_ops: [18_245_501.0, 19_957_228.0, 19_431_122.0],
+    snapshot_ops: [12_858_771.0, 18_041_557.0, 18_899_665.0],
+    commit_tput: [1_230_015.0, 1_147_736.0, 1_053_421.0],
+};
+
+/// One full sweep: ops/second per metric, indexed like [`THREADS`].
+struct Measurement {
+    label: &'static str,
+    clock_ops: [f64; 3],
+    snapshot_ops: [f64; 3],
+    commit_tput: [f64; 3],
+}
+
+/// Runs `work` on `threads` workers for `dur` and returns total ops/sec.
+/// Each worker counts completed operations in its own padded counter.
+fn run_workers(
+    threads: usize,
+    dur: Duration,
+    work: impl Fn(usize, &AtomicBool) -> u64 + Sync,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let stop = &stop;
+            let total = &total;
+            let work = &work;
+            s.spawn(move || {
+                let ops = work(w, stop);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    total.load(Ordering::Relaxed) as f64 / elapsed
+}
+
+fn bench_clock(db: &Arc<Database>, threads: usize, dur: Duration) -> f64 {
+    run_workers(threads, dur, |_, stop| {
+        let mut ops = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            for _ in 0..64 {
+                let ts = db.commit_clock.allocate();
+                db.commit_clock.finish(ts);
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+fn bench_snapshots(db: &Arc<Database>, threads: usize, dur: Duration) -> f64 {
+    run_workers(threads, dur, |_, stop| {
+        let mut ops = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            for _ in 0..64 {
+                let snap = db.register_snapshot();
+                db.release_snapshot(snap);
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+/// Keys per worker in the private-partition commit workload.
+const KEYS_PER_WORKER: u64 = 16;
+
+fn load_commit_db(threads: usize) -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table(
+        "kv",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+    );
+    let db = b.build();
+    for k in 0..(threads as u64 * KEYS_PER_WORKER) {
+        db.table(t)
+            .insert(k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+    }
+    (db, t)
+}
+
+fn bench_commits(threads: usize, dur: Duration) -> f64 {
+    let (db, t) = load_commit_db(threads);
+    run_workers(threads, dur, |w, stop| {
+        let session = Session::new(Arc::clone(&db), Arc::new(LockingProtocol::bamboo()));
+        let base = w as u64 * KEYS_PER_WORKER;
+        let mut ops = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let key = base + (ops % KEYS_PER_WORKER);
+            let mut txn = session.begin();
+            let committed = txn
+                .update(t, key, |row| {
+                    let v = row.get_i64(1);
+                    row.set(1, Value::I64(v + 1));
+                })
+                .and_then(|_| txn.commit())
+                .is_ok();
+            if committed {
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+fn sweep(dur: Duration, label: &'static str) -> Measurement {
+    let mut m = Measurement {
+        label,
+        clock_ops: [0.0; 3],
+        snapshot_ops: [0.0; 3],
+        commit_tput: [0.0; 3],
+    };
+    for (i, &threads) in THREADS.iter().enumerate() {
+        let db = Database::builder().build();
+        m.clock_ops[i] = bench_clock(&db, threads, dur);
+        m.snapshot_ops[i] = bench_snapshots(&db, threads, dur);
+        m.commit_tput[i] = bench_commits(threads, dur);
+        eprintln!(
+            "threads={threads:<2} clock={:>12.0} ops/s  snapshot={:>12.0} ops/s  commits={:>10.0} txn/s",
+            m.clock_ops[i], m.snapshot_ops[i], m.commit_tput[i]
+        );
+    }
+    m
+}
+
+fn json_section(m: &Measurement) -> String {
+    let series = |v: &[f64; 3]| {
+        THREADS
+            .iter()
+            .zip(v.iter())
+            .map(|(t, ops)| format!("{{\"threads\": {t}, \"ops_per_sec\": {ops:.0}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\n    \"label\": \"{}\",\n    \"clock_ops\": [{}],\n    \"snapshot_ops\": [{}],\n    \"commit_tput\": [{}]\n  }}",
+        m.label,
+        series(&m.clock_ops),
+        series(&m.snapshot_ops),
+        series(&m.commit_tput)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out: Option<String> = None;
+    let mut dur = Duration::from_millis(200);
+    let mut print_baseline_block = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--duration-ms" => {
+                dur = Duration::from_millis(args[i + 1].parse().expect("duration in ms"));
+                i += 2;
+            }
+            "--print-current-as-baseline" => {
+                print_baseline_block = true;
+                i += 1;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let current = sweep(dur, "lock-free commit pipeline");
+    if print_baseline_block {
+        println!(
+            "clock_ops: {:?}\nsnapshot_ops: {:?}\ncommit_tput: {:?}",
+            current.clock_ops, current.snapshot_ops, current.commit_tput
+        );
+        return;
+    }
+
+    let doc = format!(
+        "{{\n  \"bench\": \"commit_scaling\",\n  \"threads\": {THREADS:?},\n  \"baseline\": {},\n  \"current\": {}\n}}\n",
+        json_section(&BASELINE),
+        json_section(&current)
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc).expect("write JSON output");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}

@@ -182,6 +182,16 @@ pub fn fig7(opts: &RunOpts) {
         }
     }
     ss.print();
+    // Snapshot fast path: beyond the lock-*manager* counter below, the
+    // snapshot begin/commit pair must reach steady state with zero mutex
+    // acquisitions of any kind (commit-clock stable load + one registry
+    // shard refcount CAS only), measured against the vendored shim's
+    // per-thread lock counter.
+    println!("-- snapshot fast path: Session::snapshot begin/commit mutexes (must be 0) --");
+    for proto in all_protocols() {
+        let delta = crate::harness::assert_snapshot_fast_path_lock_free(&db, &proto);
+        println!("{:<14} snapshot begin/commit locks={delta}", proto.name());
+    }
     println!("-- snapshot series: long-RO bucket (locks must be 0) --");
     for p in &ss.points {
         let r = &p.result;

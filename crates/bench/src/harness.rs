@@ -77,6 +77,33 @@ pub fn all_protocols_interactive(rpc: Duration) -> Vec<Arc<dyn Protocol>> {
     ]
 }
 
+/// Asserts the snapshot fast path is lock-free end to end: in steady
+/// state, `Session::snapshot()` begin + commit must perform **zero**
+/// mutex/rwlock acquisitions (commit-clock stable load + one registry
+/// shard refcount CAS only), measured against the vendored shim's
+/// per-thread lock counter. Returns the measured delta (always 0 on
+/// success) so callers can print it. Shared by the fig7 figure driver and
+/// the fig7 criterion bench.
+pub fn assert_snapshot_fast_path_lock_free(db: &Arc<Database>, proto: &Arc<dyn Protocol>) -> u64 {
+    let session = Session::new(Arc::clone(db), Arc::clone(proto));
+    // Steady state: warm the session and this thread's registry shard.
+    for _ in 0..8 {
+        session.snapshot().commit().expect("snapshot commit");
+    }
+    let before = bamboo_core::sync::thread_lock_acquisitions();
+    for _ in 0..100 {
+        session.snapshot().commit().expect("snapshot commit");
+    }
+    let delta = bamboo_core::sync::thread_lock_acquisitions() - before;
+    assert_eq!(
+        delta,
+        0,
+        "{}: snapshot begin/commit acquired a mutex",
+        proto.name()
+    );
+    delta
+}
+
 /// Criterion helper: executes `iters` transactions serially (one worker)
 /// and returns the elapsed wall time — the per-transaction protocol cost
 /// without contention.

@@ -2,15 +2,63 @@
 //! metadata plus the global counters the protocols share (timestamp source,
 //! transaction-id allocator, Silo epoch) and the MVCC snapshot machinery
 //! (commit clock, active-snapshot registry, published GC watermark).
+//!
+//! # The lock-free commit pipeline
+//!
+//! Every commit brackets its install phase with
+//! [`CommitClock::allocate`]/[`CommitClock::finish`], and every snapshot
+//! begins with [`CommitClock::stable`] plus a registry registration — so
+//! these five operations are the hottest shared seam in the system. None
+//! of them acquires a `Mutex`/`RwLock` on the steady-state path (the
+//! commit-pipeline stress test asserts this against the lock counter in
+//! the vendored `parking_lot` shim):
+//!
+//! * [`CommitClock`] is an atomic `next` counter plus a fixed ring of
+//!   cache-padded per-slot atomics recording finished timestamps; the
+//!   stable point is maintained in a cached atomic advanced by finishers.
+//! * [`SnapshotRegistry`] is a set of sharded epoch bins — each bin one
+//!   packed `AtomicU64` holding `(epoch, refcount)` — so concurrent
+//!   snapshot register/release operations touch disjoint cache lines and
+//!   never serialize against each other or against commits.
+//!
+//! # Memory-ordering contract
+//!
+//! The invariant the orderings protect: **a snapshot taken at timestamp
+//! `s` observes every install of every commit with timestamp `<= s`**, and
+//! **the published GC watermark never exceeds the timestamp of any live
+//! snapshot**.
+//!
+//! * `finish(ts)` stores the slot with `Release` *after* the commit's
+//!   installs, then issues a `SeqCst` fence and advances the cached
+//!   stable point with an `AcqRel` compare-exchange. The fence totally
+//!   orders concurrent finishers' store-then-scan sequences, so at least
+//!   one of any pair observes the other's slot and walks `stable` over
+//!   both (without it, store-buffering could strand a finished commit
+//!   outside `stable` forever). Advancing to `t` requires an `Acquire`
+//!   load of slot `t` (synchronizing with `t`'s finisher) and an
+//!   `Acquire` view of the previous stable value (synchronizing with the
+//!   previous advancer), so a reader that `Acquire`-loads `stable() == s`
+//!   transitively happens-after the installs of *every* commit `<= s`.
+//! * Snapshot registration orders a `SeqCst` bin update **before** a
+//!   `SeqCst` re-read of the stable point (which becomes the snapshot
+//!   timestamp), while the watermark publisher `SeqCst`-reads the stable
+//!   point **before** `SeqCst`-scanning the bins. In the single total
+//!   order of those operations, a publisher that misses a registration
+//!   must have read a stable value no newer than the one the registrant
+//!   adopted — so the published floor (which is capped by that stable
+//!   read) can never exceed the registrant's snapshot timestamp. A
+//!   publisher that *sees* the registration is capped by the bin's epoch
+//!   floor instead, which is `<=` the snapshot timestamp by construction.
+//! * The watermark itself is published with `fetch_max` (`AcqRel`), so a
+//!   stale racer can never move it backwards.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bamboo_storage::{Catalog, Schema, Table, TableId};
-use parking_lot::Mutex;
 
 use crate::meta::TupleCc;
+use crate::sync::CachePadded;
 use crate::ts::TsSource;
 
 /// Every `EPOCH_COMMITS`-th commit advances the Silo epoch and republishes
@@ -18,40 +66,79 @@ use crate::ts::TsSource;
 /// publisher, so GC keeps up even when no snapshot churn refreshes it).
 const EPOCH_COMMITS: u64 = 64;
 
+/// Ring width of the commit clock: the maximum number of commits that can
+/// be between `allocate` and `finish` at once before an allocator has to
+/// wait for the oldest one. Must be a power of two; 4096 is ~2 orders of
+/// magnitude above any realistic in-flight commit count (one per worker
+/// thread), so the wrap guard never fires in practice.
+const CLOCK_WINDOW: usize = 4096;
+
 /// Allocates commit timestamps and tracks which are still *in flight*
 /// (allocated but not fully installed). [`CommitClock::stable`] is the
 /// largest timestamp `s` such that every commit with timestamp `<= s` has
 /// finished installing — the only timestamps snapshots may be taken at:
 /// reading at a higher timestamp could miss a write that is still being
 /// installed.
+///
+/// Lock-free: an atomic `next` counter, a fixed ring of per-slot atomics
+/// (slot `ts % CLOCK_WINDOW` holds the newest *finished* timestamp mapping
+/// to it), and a cached `stable` atomic that finishers advance with a
+/// bounded forward scan. `allocate` is one `fetch_add`, `finish` one store
+/// plus the scan, `stable` a single load. See the module docs for the
+/// memory-ordering contract.
 pub struct CommitClock {
-    inner: Mutex<ClockInner>,
-}
-
-struct ClockInner {
     /// Next timestamp to hand out (1-based; 0 is the loader timestamp).
-    next: u64,
-    /// Allocated-but-unfinished commit timestamps.
-    inflight: BTreeSet<u64>,
+    next: CachePadded<AtomicU64>,
+    /// Cached stable point: all commits `<= stable` have finished.
+    stable: CachePadded<AtomicU64>,
+    /// `slots[ts % CLOCK_WINDOW]` = newest finished timestamp congruent to
+    /// `ts` (0 = none yet). Monotone per slot: an allocator reuses a slot
+    /// only after its previous occupant finished.
+    slots: Box<[CachePadded<AtomicU64>]>,
 }
 
 impl CommitClock {
     fn new() -> Self {
         CommitClock {
-            inner: Mutex::new(ClockInner {
-                next: 1,
-                inflight: BTreeSet::new(),
-            }),
+            next: CachePadded::new(AtomicU64::new(1)),
+            stable: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..CLOCK_WINDOW)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
+    }
+
+    #[inline]
+    fn slot(&self, ts: u64) -> &AtomicU64 {
+        &self.slots[(ts as usize) & (CLOCK_WINDOW - 1)]
     }
 
     /// Allocates a fresh commit timestamp, marked in flight until
     /// [`CommitClock::finish`].
+    ///
+    /// Wait-free except when `CLOCK_WINDOW` commits are simultaneously in
+    /// flight (the slot being reused still belongs to timestamp
+    /// `ts - CLOCK_WINDOW`); then it spins until that commit finishes.
     pub fn allocate(&self) -> u64 {
-        let mut g = self.inner.lock();
-        let ts = g.next;
-        g.next += 1;
-        g.inflight.insert(ts);
+        let ts = self.next.fetch_add(1, Ordering::Relaxed);
+        if ts > CLOCK_WINDOW as u64 {
+            let prev = ts - CLOCK_WINDOW as u64;
+            let slot = self.slot(ts);
+            let mut spins = 0u32;
+            while slot.load(Ordering::Acquire) < prev {
+                // The previous occupant is typically a thread that was
+                // preempted between allocate and finish: on an
+                // oversubscribed machine it cannot finish until it runs
+                // again, so burn a few pause-hinted spins and then yield
+                // the CPU to it instead of spinning a full quantum.
+                spins += 1;
+                if spins < 32 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
         ts
     }
 
@@ -62,79 +149,255 @@ impl CommitClock {
     ///
     /// [`stable`]: CommitClock::stable
     pub fn finish(&self, ts: u64) {
-        let removed = self.inner.lock().inflight.remove(&ts);
-        debug_assert!(removed, "finish of unallocated commit ts {ts}");
+        let slot = self.slot(ts);
+        debug_assert!(
+            slot.load(Ordering::Relaxed) < ts && ts < self.next.load(Ordering::Relaxed),
+            "finish of unallocated or already-finished commit ts {ts}"
+        );
+        // Release: everything this commit installed happens-before any
+        // thread that observes the slot (and hence any stable point
+        // covering `ts`).
+        slot.store(ts, Ordering::Release);
+        // SeqCst fence: without it, two finishers of adjacent timestamps
+        // can each have their slot store sitting in the store buffer while
+        // scanning past the other's slot (store-buffering reordering —
+        // legal even on x86), leaving `stable` permanently short of a
+        // finished commit with no later finisher to re-scan. The fence
+        // totally orders the finishers: the later one is guaranteed to see
+        // the earlier one's slot store and advances over both.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.advance_stable();
+    }
+
+    /// Advances the cached stable point past every contiguously-finished
+    /// timestamp. Bounded: scans at most the in-flight window. Concurrent
+    /// finishers race benignly — the CAS keeps `stable` monotone, and the
+    /// finisher of a gap-filling timestamp walks past all already-finished
+    /// successors.
+    fn advance_stable(&self) {
+        let mut s = self.stable.load(Ordering::Acquire);
+        loop {
+            let t = s + 1;
+            // `>= t`: the slot holds the newest finished ts congruent to
+            // `t`; a larger value implies `t` finished long ago (its slot
+            // was reused, which required `t` finished first).
+            if self.slot(t).load(Ordering::Acquire) < t {
+                return;
+            }
+            match self
+                .stable
+                .compare_exchange_weak(s, t, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => s = t,
+                // Another finisher advanced past us; continue from its
+                // value (monotone, so `cur > s` — never re-check `t`).
+                Err(cur) => s = cur,
+            }
+        }
     }
 
     /// The newest timestamp at which a consistent snapshot can be taken
-    /// (monotonically non-decreasing).
+    /// (monotonically non-decreasing). A single atomic load.
+    ///
+    /// `SeqCst` so snapshot registration (bin update, then this load) and
+    /// watermark publication (this load, then bin scan) order into one
+    /// total order — see the module docs.
+    #[inline]
     pub fn stable(&self) -> u64 {
-        let g = self.inner.lock();
-        match g.inflight.first() {
-            Some(&min) => min - 1,
-            None => g.next - 1,
-        }
+        self.stable.load(Ordering::SeqCst)
     }
+}
+
+/// Shards in the snapshot registry. Registrants pick a shard round-robin
+/// per thread, so concurrent register/release traffic from different
+/// threads lands on different cache lines.
+const SNAP_SHARDS: usize = 8;
+
+/// Epoch bins per shard. Live snapshot timestamps cluster near the clock
+/// head, so a handful of bins per shard keeps collisions (two live epochs
+/// `BINS * BIN_WIDTH` apart sharing a bin) vanishingly rare — and a
+/// collision only makes the floor conservative, never wrong.
+const SNAP_BINS: usize = 32;
+
+/// Commit timestamps per epoch bin. The bin floor (`epoch * BIN_WIDTH`)
+/// understates its members' timestamps by at most `BIN_WIDTH - 1`, which
+/// only delays GC by that many commits — it never reclaims a live version.
+const BIN_WIDTH: u64 = 64;
+
+/// Bits of the packed bin word holding the refcount.
+const BIN_COUNT_BITS: u32 = 16;
+const BIN_COUNT_MASK: u64 = (1 << BIN_COUNT_BITS) - 1;
+
+#[inline]
+fn bin_pack(epoch: u64, count: u64) -> u64 {
+    debug_assert!(count <= BIN_COUNT_MASK, "snapshot bin refcount overflow");
+    (epoch << BIN_COUNT_BITS) | count
+}
+
+#[inline]
+fn bin_unpack(word: u64) -> (u64, u64) {
+    (word >> BIN_COUNT_BITS, word & BIN_COUNT_MASK)
+}
+
+/// One registry shard: epoch bins plus the shard's published floor
+/// (maintained by [`SnapshotRegistry::floor`] scans; `u64::MAX` = empty).
+struct SnapShard {
+    bins: [AtomicU64; SNAP_BINS],
+    floor: AtomicU64,
+}
+
+/// A live snapshot registration: the snapshot timestamp plus the registry
+/// coordinates needed to release it. Returned by
+/// [`Database::register_snapshot`]; must be passed back to
+/// [`Database::release_snapshot`] exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotGrant {
+    /// The snapshot timestamp: reads resolve against the version chains
+    /// at this point.
+    pub ts: u64,
+    shard: usize,
+    bin: usize,
 }
 
 /// Registry of live read-only snapshots. The *watermark* — the oldest
 /// timestamp any live snapshot can still read — gates version-chain GC:
 /// [`bamboo_storage::VersionChain::gc`] only reclaims versions superseded
 /// at or below it.
+///
+/// Lock-free: registration is one packed compare-exchange on a sharded
+/// epoch bin plus two stable-point loads; release is one compare-exchange.
+/// The floor is computed by scanning the bins, bounded above by a stable
+/// value read *before* the scan — the ordering that makes a concurrent
+/// registration either visible to the scan or newer than its bound (see
+/// the module docs).
 pub struct SnapshotRegistry {
-    /// Live snapshot timestamps with reference counts.
-    active: Mutex<BTreeMap<u64, usize>>,
+    shards: Box<[CachePadded<SnapShard>]>,
+    /// Round-robin shard assignment for registrant threads.
+    next_shard: AtomicUsize,
+}
+
+thread_local! {
+    /// The registry shard this thread registers snapshots in (assigned
+    /// round-robin on first use; `usize::MAX` = unassigned).
+    static SNAP_SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
 impl SnapshotRegistry {
     fn new() -> Self {
         SnapshotRegistry {
-            active: Mutex::new(BTreeMap::new()),
+            shards: (0..SNAP_SHARDS)
+                .map(|_| {
+                    CachePadded::new(SnapShard {
+                        bins: std::array::from_fn(|_| AtomicU64::new(0)),
+                        floor: AtomicU64::new(u64::MAX),
+                    })
+                })
+                .collect(),
+            next_shard: AtomicUsize::new(0),
         }
     }
 
-    /// Registers a snapshot and returns `(snapshot ts, current floor)` —
-    /// the floor is computed while the lock is already held so callers can
-    /// publish it without re-locking.
-    fn register(&self, clock: &CommitClock) -> (u64, u64) {
-        let mut g = self.active.lock();
-        // `stable` is read under the registry lock so a concurrent
-        // watermark computation can never observe a floor above a snapshot
-        // that is about to register (stable is monotonic, so the snapshot's
-        // timestamp is >= any previously published watermark).
-        let snap = clock.stable();
-        *g.entry(snap).or_insert(0) += 1;
-        let floor = *g.keys().next().expect("just inserted");
-        (snap, floor)
-    }
-
-    /// Unregisters a snapshot and returns the new floor.
-    fn unregister(&self, snap: u64, clock: &CommitClock) -> u64 {
-        let mut g = self.active.lock();
-        match g.get_mut(&snap) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                g.remove(&snap);
+    #[inline]
+    fn my_shard(&self) -> usize {
+        SNAP_SHARD.with(|c| {
+            let mut s = c.get();
+            if s == usize::MAX {
+                s = self.next_shard.fetch_add(1, Ordering::Relaxed) % SNAP_SHARDS;
+                c.set(s);
             }
-            None => debug_assert!(false, "unregister of unknown snapshot {snap}"),
+            s
+        })
+    }
+
+    /// Registers a snapshot: publishes presence in an epoch bin *first*,
+    /// then adopts the stable point re-read *after* publication as the
+    /// snapshot timestamp. That order is what makes the registration
+    /// race-free against watermark publication without a lock.
+    fn register(&self, clock: &CommitClock) -> SnapshotGrant {
+        let shard_i = self.my_shard();
+        let provisional = clock.stable();
+        let epoch = provisional / BIN_WIDTH;
+        let bin_i = (epoch as usize) % SNAP_BINS;
+        let bin = &self.shards[shard_i].bins[bin_i];
+        let mut cur = bin.load(Ordering::SeqCst);
+        loop {
+            let (e, c) = bin_unpack(cur);
+            // An empty bin adopts our epoch. An occupied bin keeps the
+            // *smaller* epoch label: the label must lower-bound every
+            // member's timestamp, and a delayed registrant may arrive with
+            // an older epoch than the current occupants'.
+            let new = if c == 0 {
+                bin_pack(epoch, 1)
+            } else {
+                bin_pack(e.min(epoch), c + 1)
+            };
+            match bin.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
         }
-        match g.keys().next() {
-            Some(&min) => min,
-            None => clock.stable(),
+        // Adopt the freshest stable point now that the bin pins us: any
+        // publisher that missed the bin update read its stable bound
+        // before this load, so its floor cannot exceed our timestamp.
+        let ts = clock.stable();
+        debug_assert!(ts >= epoch * BIN_WIDTH);
+        SnapshotGrant {
+            ts,
+            shard: shard_i,
+            bin: bin_i,
         }
     }
 
-    fn floor(&self, clock: &CommitClock) -> u64 {
-        let g = self.active.lock();
-        match g.keys().next() {
-            Some(&min) => min,
-            None => clock.stable(),
+    /// Unregisters a snapshot: one compare-exchange decrementing the bin's
+    /// refcount. The epoch label of an emptied bin goes stale harmlessly —
+    /// floor scans skip bins with a zero count.
+    fn unregister(&self, grant: SnapshotGrant) {
+        let bin = &self.shards[grant.shard].bins[grant.bin];
+        let mut cur = bin.load(Ordering::SeqCst);
+        loop {
+            let (e, c) = bin_unpack(cur);
+            debug_assert!(c > 0, "unregister of unknown snapshot {}", grant.ts);
+            let new = bin_pack(e, c.saturating_sub(1));
+            match bin.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
         }
+    }
+
+    /// Computes the GC floor: the minimum over every shard's occupied-bin
+    /// epoch floors and a stable point read **before** the scan (the bound
+    /// that covers registrations the scan raced past). Also publishes each
+    /// shard's floor into its `floor` slot for observability; the global
+    /// watermark is the min over those published per-shard floors, capped
+    /// by the pre-scan stable bound.
+    fn floor(&self, clock: &CommitClock) -> u64 {
+        // Read stable BEFORE scanning: a registrant that the scan misses
+        // adopted a stable value read after its bin publication, which in
+        // the SeqCst total order is >= this one.
+        let bound = clock.stable();
+        let mut floor = bound;
+        for shard in self.shards.iter() {
+            let mut shard_floor = u64::MAX;
+            for bin in &shard.bins {
+                let (e, c) = bin_unpack(bin.load(Ordering::SeqCst));
+                if c > 0 {
+                    shard_floor = shard_floor.min(e * BIN_WIDTH);
+                }
+            }
+            shard.floor.store(shard_floor, Ordering::Release);
+            floor = floor.min(shard_floor);
+        }
+        floor
     }
 
     /// Number of live snapshots (tests/stats).
     pub fn active_count(&self) -> usize {
-        self.active.lock().values().sum()
+        self.shards
+            .iter()
+            .flat_map(|s| s.bins.iter())
+            .map(|b| bin_unpack(b.load(Ordering::SeqCst)).1 as usize)
+            .sum()
     }
 }
 
@@ -145,7 +408,7 @@ pub struct Database {
     pub ts_source: TsSource,
     /// Silo epoch counter (advanced every `EPOCH_COMMITS` commits; the
     /// advance also republishes the snapshot watermark).
-    pub epoch: AtomicU64,
+    pub epoch: CachePadded<AtomicU64>,
     /// MVCC commit clock: versioned installs are tagged with its
     /// timestamps; snapshots are taken at its stable point.
     pub commit_clock: CommitClock,
@@ -154,8 +417,9 @@ pub struct Database {
     /// Published GC watermark: a cached, possibly slightly stale lower
     /// bound on the oldest timestamp a live snapshot can read. Staleness
     /// only delays GC; it never reclaims a visible version.
-    watermark: AtomicU64,
-    txn_ids: AtomicU64,
+    watermark: CachePadded<AtomicU64>,
+    /// Transaction incarnation ids (the TID source).
+    txn_ids: CachePadded<AtomicU64>,
 }
 
 impl Database {
@@ -188,25 +452,34 @@ impl Database {
         self.txn_ids.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Registers a live read-only snapshot and returns its timestamp: the
-    /// commit clock's stable point, at which every smaller commit is fully
-    /// installed. Must be paired with [`Database::release_snapshot`].
-    pub fn register_snapshot(&self) -> u64 {
-        let (snap, floor) = self.snapshots.register(&self.commit_clock);
-        self.watermark.fetch_max(floor, Ordering::AcqRel);
-        snap
+    /// Registers a live read-only snapshot and returns its grant. The
+    /// grant's timestamp is a stable point of the commit clock, at which
+    /// every smaller commit is fully installed. Must be paired with
+    /// [`Database::release_snapshot`].
+    ///
+    /// Steady-state cost: two atomic loads plus one shard-bin
+    /// compare-exchange — no lock of any kind. Registration cannot raise
+    /// the watermark, so nothing is published here.
+    pub fn register_snapshot(&self) -> SnapshotGrant {
+        self.snapshots.register(&self.commit_clock)
     }
 
     /// Releases a snapshot previously returned by
     /// [`Database::register_snapshot`], letting the watermark advance.
-    pub fn release_snapshot(&self, snap: u64) {
-        let floor = self.snapshots.unregister(snap, &self.commit_clock);
-        self.watermark.fetch_max(floor, Ordering::AcqRel);
+    ///
+    /// One compare-exchange; the watermark itself is republished lazily by
+    /// the next epoch tick ([`Database::advance_epoch`], every
+    /// `EPOCH_COMMITS`-th commit) or an explicit
+    /// [`Database::publish_watermark`] — keeping the registry scan off the
+    /// snapshot-end hot path. The staleness only delays GC by at most one
+    /// epoch of commits; it never reclaims a live version.
+    pub fn release_snapshot(&self, grant: SnapshotGrant) {
+        self.snapshots.unregister(grant);
     }
 
     /// The published GC watermark: version-chain GC may reclaim versions
     /// superseded at or below it. Reads a cached atomic — the hot commit
-    /// path never takes the registry lock.
+    /// path never scans the registry.
     #[inline]
     pub fn gc_watermark(&self) -> u64 {
         self.watermark.load(Ordering::Acquire)
@@ -217,8 +490,8 @@ impl Database {
         let floor = self.snapshots.floor(&self.commit_clock);
         // Monotonic publish: a stale racer must not move the watermark
         // backwards past a newer floor (fetch_max keeps it safe — the
-        // watermark is a lower bound on every *live* snapshot by
-        // construction, see `SnapshotRegistry::register`).
+        // floor is a lower bound on every *live* snapshot by construction,
+        // see `SnapshotRegistry::register`/`floor`).
         self.watermark.fetch_max(floor, Ordering::AcqRel);
     }
 
@@ -266,11 +539,11 @@ impl DatabaseBuilder {
         Arc::new(Database {
             catalog: self.catalog,
             ts_source: TsSource::new(),
-            epoch: AtomicU64::new(1),
+            epoch: CachePadded::new(AtomicU64::new(1)),
             commit_clock: CommitClock::new(),
             snapshots: SnapshotRegistry::new(),
-            watermark: AtomicU64::new(0),
-            txn_ids: AtomicU64::new(1),
+            watermark: CachePadded::new(AtomicU64::new(0)),
+            txn_ids: CachePadded::new(AtomicU64::new(1)),
         })
     }
 }
@@ -316,6 +589,16 @@ mod tests {
     }
 
     #[test]
+    fn commit_clock_survives_ring_wrap() {
+        let db = Database::builder().build();
+        for _ in 0..(CLOCK_WINDOW as u64 * 2 + 17) {
+            let ts = db.commit_clock.allocate();
+            db.commit_clock.finish(ts);
+        }
+        assert_eq!(db.commit_clock.stable(), CLOCK_WINDOW as u64 * 2 + 17);
+    }
+
+    #[test]
     fn snapshot_registry_pins_watermark() {
         let db = Database::builder().build();
         for _ in 0..3 {
@@ -323,18 +606,23 @@ mod tests {
             db.note_commit(ts);
         }
         let snap = db.register_snapshot();
-        assert_eq!(snap, 3);
+        assert_eq!(snap.ts, 3);
         assert_eq!(db.snapshots.active_count(), 1);
-        // Later commits do not move the watermark past the live snapshot.
-        for _ in 0..5 {
+        // Later commits do not move the watermark past the live snapshot's
+        // bin floor (bin-granular: the floor is ts rounded down to the
+        // epoch-bin width, never above the snapshot itself).
+        for _ in 0..(BIN_WIDTH * 2) {
             let ts = db.commit_clock.allocate();
             db.note_commit(ts);
         }
         db.publish_watermark();
-        assert_eq!(db.gc_watermark(), 3);
+        assert!(db.gc_watermark() <= snap.ts);
         db.release_snapshot(snap);
         assert_eq!(db.snapshots.active_count(), 0);
-        assert_eq!(db.gc_watermark(), 8);
+        // Release itself is one CAS; the next publish (epoch tick or
+        // explicit) moves the watermark past the released snapshot.
+        db.publish_watermark();
+        assert_eq!(db.gc_watermark(), 3 + BIN_WIDTH * 2);
     }
 
     #[test]
@@ -342,7 +630,7 @@ mod tests {
         let db = Database::builder().build();
         let a = db.register_snapshot();
         let b = db.register_snapshot();
-        assert_eq!(a, b);
+        assert_eq!(a.ts, b.ts);
         db.release_snapshot(a);
         assert_eq!(db.snapshots.active_count(), 1);
         db.release_snapshot(b);
@@ -359,5 +647,33 @@ mod tests {
         }
         assert_eq!(db.epoch.load(Ordering::Acquire), e0 + 1);
         assert_eq!(db.gc_watermark(), EPOCH_COMMITS);
+    }
+
+    #[test]
+    fn bin_packing_round_trips() {
+        let w = bin_pack(123456, 7);
+        assert_eq!(bin_unpack(w), (123456, 7));
+        assert_eq!(bin_unpack(0), (0, 0));
+    }
+
+    #[test]
+    fn shard_floors_published_on_scan() {
+        let db = Database::builder().build();
+        for _ in 0..BIN_WIDTH {
+            let ts = db.commit_clock.allocate();
+            db.commit_clock.finish(ts);
+        }
+        let snap = db.register_snapshot();
+        db.publish_watermark();
+        // Exactly one shard publishes a finite floor (the grant's bin).
+        let finite: Vec<u64> = db
+            .snapshots
+            .shards
+            .iter()
+            .map(|s| s.floor.load(Ordering::Acquire))
+            .filter(|&f| f != u64::MAX)
+            .collect();
+        assert_eq!(finite, vec![(snap.ts / BIN_WIDTH) * BIN_WIDTH]);
+        db.release_snapshot(snap);
     }
 }

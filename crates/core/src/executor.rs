@@ -21,6 +21,7 @@ use crate::db::Database;
 use crate::protocol::Protocol;
 use crate::session::{RetryPolicy, Session, Txn};
 use crate::stats::{BenchResult, WorkerStats};
+use crate::sync::CachePadded;
 use crate::txn::Abort;
 
 /// One generated transaction instance: executed piece by piece (non-IC3
@@ -132,55 +133,61 @@ impl BenchConfig {
 }
 
 /// Runs `workload` under `proto` with `cfg`; returns the merged result.
+///
+/// Each worker owns one cache-padded stats slot in a pre-allocated slab:
+/// the slots are written at commit rate from different threads, and the
+/// padding keeps neighbouring workers' counters off each other's cache
+/// lines (the slab is also what lets the scoped workers borrow instead of
+/// funnelling stats through join handles).
 pub fn run_bench(
     db: &Arc<Database>,
     proto: &Arc<dyn Protocol>,
     workload: &Arc<dyn Workload>,
     cfg: &BenchConfig,
 ) -> BenchResult {
-    let measuring = Arc::new(AtomicBool::new(false));
-    let stop = Arc::new(AtomicBool::new(false));
-    let mut handles = Vec::with_capacity(cfg.threads);
-    for w in 0..cfg.threads {
-        let db = Arc::clone(db);
-        let proto = Arc::clone(proto);
-        let workload = Arc::clone(workload);
-        let measuring = Arc::clone(&measuring);
-        let stop = Arc::clone(&stop);
-        let seed = cfg.seed + w as u64;
-        let retry = cfg.retry.clone();
-        let total_time = cfg.warmup + cfg.duration + Duration::from_secs(30);
-        handles.push(std::thread::spawn(move || {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let session = Session::new(db, proto).with_retry(retry);
-            let mut warm = WorkerStats::default();
-            let mut measured = WorkerStats::default();
-            let hard_deadline = Instant::now() + total_time;
-            while !stop.load(Ordering::Relaxed) {
-                let spec = workload.generate(w, &mut rng);
-                let stats = if measuring.load(Ordering::Relaxed) {
-                    &mut measured
-                } else {
-                    &mut warm
-                };
-                session.run_reporting(spec.as_ref(), stats, &stop, hard_deadline);
-            }
-            measured.log_bytes = session.log_bytes();
-            measured
-        }));
-    }
-
-    std::thread::sleep(cfg.warmup);
-    measuring.store(true, Ordering::SeqCst);
-    let t0 = Instant::now();
-    std::thread::sleep(cfg.duration);
-    let elapsed = t0.elapsed();
-    stop.store(true, Ordering::SeqCst);
+    let measuring = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let mut slots: Vec<CachePadded<WorkerStats>> = (0..cfg.threads)
+        .map(|_| CachePadded::new(WorkerStats::default()))
+        .collect();
+    let total_time = cfg.warmup + cfg.duration + Duration::from_secs(30);
+    let elapsed = std::thread::scope(|s| {
+        for (w, slot) in slots.iter_mut().enumerate() {
+            let db = Arc::clone(db);
+            let proto = Arc::clone(proto);
+            let seed = cfg.seed + w as u64;
+            let retry = cfg.retry.clone();
+            let (measuring, stop) = (&measuring, &stop);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let session = Session::new(db, proto).with_retry(retry);
+                let mut warm = WorkerStats::default();
+                let measured: &mut WorkerStats = slot;
+                let hard_deadline = Instant::now() + total_time;
+                while !stop.load(Ordering::Relaxed) {
+                    let spec = workload.generate(w, &mut rng);
+                    let stats = if measuring.load(Ordering::Relaxed) {
+                        &mut *measured
+                    } else {
+                        &mut warm
+                    };
+                    session.run_reporting(spec.as_ref(), stats, stop, hard_deadline);
+                }
+                measured.log_bytes = session.log_bytes();
+            });
+        }
+        std::thread::sleep(cfg.warmup);
+        measuring.store(true, Ordering::SeqCst);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::SeqCst);
+        elapsed
+    });
 
     let mut totals = WorkerStats::default();
-    for h in handles {
-        let s = h.join().expect("worker panicked");
-        totals.merge(&s);
+    for slot in &slots {
+        totals.merge(slot);
     }
     BenchResult {
         protocol: proto.name().to_string(),

@@ -87,11 +87,19 @@
 //!   [`AbortReason::SnapshotNotVisible`] (or `Ok(None)` through
 //!   [`Txn::read_opt`]), never as a panic.
 //! * The registry's floor is published as the GC watermark
-//!   ([`db::Database::gc_watermark`]); every install eagerly reclaims
-//!   versions no live snapshot can still see, and the Silo-style epoch
-//!   tick ([`db::Database::advance_epoch`], fired every N commits) doubles
-//!   as the watermark publisher so chains drain even without snapshot
-//!   churn.
+//!   ([`db::Database::gc_watermark`]); installs trim versions no live
+//!   snapshot can still see — amortized (on chain growth or watermark
+//!   advance), with the Silo-style epoch tick
+//!   ([`db::Database::advance_epoch`], fired every N commits) doubling as
+//!   the watermark publisher so chains drain even without snapshot churn.
+//!
+//! The commit clock, snapshot registry and watermark are all lock-free:
+//! no `Mutex`/`RwLock` sits on the commit or snapshot-begin path (see
+//! [`db`]'s module docs for the design and its memory-ordering contract).
+//! Hostile long readers can be bounded with
+//! [`session::TxnOptions::snapshot_max_lag`], which aborts a lagging
+//! snapshot with [`AbortReason::SnapshotTooOld`] instead of letting it
+//! pin version chains forever.
 
 pub mod db;
 pub mod executor;
@@ -101,6 +109,7 @@ pub mod model;
 pub mod protocol;
 pub mod session;
 pub mod stats;
+pub mod sync;
 pub mod ts;
 pub mod txn;
 pub mod wal;

@@ -60,7 +60,10 @@ pub trait Protocol: Send + Sync {
     /// not snapshot-consistent (RU permits dirty reads by definition).
     fn begin_snapshot(&self, db: &Database) -> TxnCtx {
         let mut ctx = self.begin(db);
-        ctx.snapshot = Some(db.register_snapshot());
+        ctx.snapshot = Some(crate::txn::SnapshotCtx {
+            grant: db.register_snapshot(),
+            max_lag: None,
+        });
         ctx
     }
 
@@ -179,7 +182,21 @@ pub(crate) fn snapshot_read<'c>(
     key: u64,
 ) -> Result<&'c Row, crate::txn::Abort> {
     use crate::txn::AbortReason;
-    let snap = ctx.snapshot.expect("snapshot_read outside snapshot mode");
+    let snap = ctx
+        .snapshot
+        .expect("snapshot_read outside snapshot mode")
+        .ts();
+    // "Snapshot too old" lag cap (TxnOptions::snapshot_max_lag): a capped
+    // long reader whose snapshot fell more than `lag` commit timestamps
+    // behind the stable point is aborted so its registration stops
+    // pinning the GC watermark. One atomic load — the check keeps the
+    // read path lock-free.
+    if let Some(lag) = ctx.snapshot.and_then(|s| s.max_lag) {
+        if db.commit_clock.stable().saturating_sub(snap) > lag {
+            ctx.shared.set_abort(AbortReason::SnapshotTooOld);
+            return Err(Abort(AbortReason::SnapshotTooOld));
+        }
+    }
     let Some(tuple) = db.table(table).get(key) else {
         return Err(Abort(AbortReason::SnapshotNotVisible));
     };

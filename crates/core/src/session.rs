@@ -130,6 +130,7 @@ impl RetryPolicy {
 #[derive(Clone, Debug, Default)]
 pub struct TxnOptions {
     snapshot: bool,
+    snapshot_max_lag: Option<u64>,
     opaque: bool,
     planned_ops: Option<usize>,
     template: usize,
@@ -147,6 +148,20 @@ impl TxnOptions {
     /// lock-manager interaction; writes are forbidden.
     pub fn snapshot(mut self) -> Self {
         self.snapshot = true;
+        self
+    }
+
+    /// Caps how far a snapshot transaction may fall behind the commit
+    /// clock: once the stable point runs more than `lag` commit
+    /// timestamps ahead of the snapshot, the next read aborts with
+    /// [`AbortReason::SnapshotTooOld`] so the reader stops pinning
+    /// version chains (writers are never blocked either way — the cap
+    /// just bounds how much superseded history they must retain). Off by
+    /// default; implies [`TxnOptions::snapshot`]. Retrying the
+    /// transaction takes a fresh snapshot.
+    pub fn snapshot_max_lag(mut self, lag: u64) -> Self {
+        self.snapshot = true;
+        self.snapshot_max_lag = Some(lag);
         self
     }
 
@@ -179,6 +194,7 @@ impl TxnOptions {
     pub fn for_spec(spec: &dyn TxnSpec) -> Self {
         TxnOptions {
             snapshot: spec.read_only_snapshot(),
+            snapshot_max_lag: None,
             opaque: false,
             planned_ops: spec.planned_ops(),
             template: spec.template(),
@@ -268,6 +284,9 @@ impl Session {
         } else {
             self.proto.begin(&self.db)
         };
+        if let Some(snap) = ctx.snapshot.as_mut() {
+            snap.max_lag = opts.snapshot_max_lag;
+        }
         ctx.opaque = opts.opaque;
         ctx.planned_ops = opts.planned_ops;
         ctx.ic3.template = opts.template;
@@ -545,7 +564,7 @@ impl<'s> Txn<'s> {
 
     /// The snapshot timestamp, when running in snapshot mode.
     pub fn snapshot_ts(&self) -> Option<u64> {
-        self.ctx.snapshot
+        self.ctx.snapshot.map(|s| s.ts())
     }
 
     /// Lock-manager acquisitions by this attempt (0 in snapshot mode —

@@ -12,7 +12,7 @@ use std::time::Duration;
 use crate::txn::AbortReason;
 
 /// Number of distinct abort reasons (array-indexed counters).
-pub const REASONS: usize = 9;
+pub const REASONS: usize = 10;
 
 fn reason_idx(r: AbortReason) -> usize {
     match r {
@@ -25,6 +25,7 @@ fn reason_idx(r: AbortReason) -> usize {
         AbortReason::User => 6,
         AbortReason::Ic3Validation => 7,
         AbortReason::SnapshotNotVisible => 8,
+        AbortReason::SnapshotTooOld => 9,
     }
 }
 
@@ -39,7 +40,8 @@ pub fn reason_name(i: usize) -> &'static str {
         5 => "silo_lock_fail",
         6 => "user",
         7 => "ic3_validation",
-        _ => "snapshot_not_visible",
+        8 => "snapshot_not_visible",
+        _ => "snapshot_too_old",
     }
 }
 

@@ -10,15 +10,19 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::sync::CachePadded;
+
 /// Sentinel for "no timestamp assigned yet" (Optimization 4). Sorts after
 /// every assigned timestamp, i.e. unassigned transactions have the lowest
 /// priority and are wounded first — they have done no conflicting work yet.
 pub const UNASSIGNED: u64 = u64::MAX;
 
-/// Global monotonic timestamp source.
+/// Global monotonic timestamp source. The counter is cache-padded: it is
+/// hammered by every conflicting transaction's first-conflict assignment
+/// and must not false-share with the database's other hot counters.
 #[derive(Debug)]
 pub struct TsSource {
-    next: AtomicU64,
+    next: CachePadded<AtomicU64>,
 }
 
 impl TsSource {
@@ -26,7 +30,7 @@ impl TsSource {
     /// possible timestamp" comparisons never collide with a real value).
     pub fn new() -> Self {
         TsSource {
-            next: AtomicU64::new(1),
+            next: CachePadded::new(AtomicU64::new(1)),
         }
     }
 

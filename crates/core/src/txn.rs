@@ -67,6 +67,13 @@ pub enum AbortReason {
     /// as "row absent" ([`crate::session::Txn::read_opt`] does exactly
     /// that); surfacing it as an abort keeps the read signature uniform.
     SnapshotNotVisible,
+    /// A snapshot-mode read found the commit clock more than the
+    /// transaction's configured lag cap ahead of its snapshot timestamp
+    /// ([`crate::session::TxnOptions::snapshot_max_lag`]): the reader is
+    /// pinning version chains "too old" and is aborted so the GC
+    /// watermark can advance. Off unless the cap was set; retrying takes
+    /// a fresh snapshot.
+    SnapshotTooOld,
 }
 
 /// The terminal error of a transaction attempt.
@@ -100,6 +107,11 @@ pub enum TxnStatus {
 /// windows.
 const PARK_TIMEOUT: Duration = Duration::from_micros(100);
 
+/// Pause-hinted spin iterations [`TxnShared::wait_until`] burns before
+/// falling back to the condvar park (sub-microsecond waits then cost no
+/// park/unpark round trip).
+const SPIN_BEFORE_PARK: u32 = 64;
+
 /// The concurrently-shared half of a transaction.
 pub struct TxnShared {
     /// Unique incarnation id (also the tie-break for unassigned timestamps).
@@ -119,6 +131,12 @@ pub struct TxnShared {
     released: std::sync::atomic::AtomicBool,
     /// Why this transaction was told to abort (valid once status=Aborted).
     abort_reason: AtomicU8,
+    /// Threads currently parked on `cond`. [`TxnShared::notify`] skips the
+    /// park lock entirely while this is zero — the common case, since
+    /// waiters spin before parking. The unsynchronized check can lose a
+    /// wakeup racing a parking thread, but every park is bounded by
+    /// [`PARK_TIMEOUT`], so the miss costs at most one timeout tick.
+    waiters: AtomicU32,
     park: Mutex<()>,
     cond: Condvar,
 }
@@ -134,6 +152,7 @@ fn encode_reason(r: AbortReason) -> u8 {
         AbortReason::User => 6,
         AbortReason::Ic3Validation => 7,
         AbortReason::SnapshotNotVisible => 8,
+        AbortReason::SnapshotTooOld => 9,
     }
 }
 
@@ -147,7 +166,8 @@ fn decode_reason(v: u8) -> AbortReason {
         5 => AbortReason::SiloLockFail,
         6 => AbortReason::User,
         7 => AbortReason::Ic3Validation,
-        _ => AbortReason::SnapshotNotVisible,
+        8 => AbortReason::SnapshotNotVisible,
+        _ => AbortReason::SnapshotTooOld,
     }
 }
 
@@ -163,6 +183,7 @@ impl TxnShared {
             pieces_done: AtomicU32::new(0),
             released: std::sync::atomic::AtomicBool::new(false),
             abort_reason: AtomicU8::new(0),
+            waiters: AtomicU32::new(0),
             park: Mutex::new(()),
             cond: Condvar::new(),
         })
@@ -275,8 +296,12 @@ impl TxnShared {
         self.released.load(Ordering::Acquire)
     }
 
-    /// Wakes the owning worker if it is parked.
+    /// Wakes the owning worker if it is parked. Lock-free when nobody is
+    /// parked (the common case with the pre-park spin): one atomic load.
     pub fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
         let _guard = self.park.lock();
         self.cond.notify_all();
     }
@@ -284,6 +309,13 @@ impl TxnShared {
     /// Parks until `pred()` is true or the transaction is marked aborted.
     /// Returns `Err(Abort)` on abort. Used for lock waits and the
     /// commit-semaphore wait of Algorithm 1.
+    ///
+    /// A short bounded spin precedes the condvar park: lock grants and
+    /// commit-semaphore zeroings routinely land within a microsecond, and
+    /// a park/unpark round trip (syscall both sides) costs more than the
+    /// whole wait in that regime. The spin only burns `SPIN_BEFORE_PARK`
+    /// pause-hinted iterations before falling back to parking, so long
+    /// waits still sleep.
     pub fn wait_until(&self, mut pred: impl FnMut() -> bool) -> Result<(), Abort> {
         loop {
             if self.is_aborted() {
@@ -292,14 +324,27 @@ impl TxnShared {
             if pred() {
                 return Ok(());
             }
+            for _ in 0..SPIN_BEFORE_PARK {
+                std::hint::spin_loop();
+                if self.is_aborted() {
+                    return Err(Abort(self.abort_reason()));
+                }
+                if pred() {
+                    return Ok(());
+                }
+            }
             let mut guard = self.park.lock();
             // Re-check under the park lock: notifiers flip state first, then
             // take this lock to notify, so a state change cannot slip
-            // between this check and the wait.
+            // between this check and the wait. (A notifier that raced the
+            // `waiters` publication below may still skip the wakeup; the
+            // bounded `wait_for` re-checks within PARK_TIMEOUT.)
             if self.is_aborted() || pred() {
                 continue;
             }
+            self.waiters.fetch_add(1, Ordering::SeqCst);
             self.cond.wait_for(&mut guard, PARK_TIMEOUT);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -308,7 +353,9 @@ impl TxnShared {
     /// notification window.
     pub fn park_brief(&self) {
         let mut guard = self.park.lock();
+        self.waiters.fetch_add(1, Ordering::SeqCst);
         self.cond.wait_for(&mut guard, PARK_TIMEOUT);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Non-blocking semaphore read.
@@ -341,6 +388,28 @@ impl std::fmt::Debug for TxnShared {
             .field("status", &self.status())
             .field("semaphore", &self.semaphore())
             .finish()
+    }
+}
+
+/// Snapshot-mode state of a [`TxnCtx`]: the registry grant (which carries
+/// the snapshot timestamp) plus the optional "snapshot too old" lag cap
+/// from [`crate::session::TxnOptions::snapshot_max_lag`].
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotCtx {
+    /// The registry registration; released exactly once by
+    /// [`TxnCtx::end_snapshot`].
+    pub grant: crate::db::SnapshotGrant,
+    /// Abort reads with [`AbortReason::SnapshotTooOld`] once the commit
+    /// clock's stable point runs more than this many timestamps ahead of
+    /// the snapshot. `None` (the default) = never.
+    pub max_lag: Option<u64>,
+}
+
+impl SnapshotCtx {
+    /// The snapshot timestamp reads resolve at.
+    #[inline]
+    pub fn ts(&self) -> u64 {
+        self.grant.ts
     }
 }
 
@@ -441,12 +510,12 @@ pub struct TxnCtx {
     index: HashMap<(u32, RowId), usize>,
     /// Buffered inserts.
     pub inserts: Vec<PendingInsert>,
-    /// Read-only snapshot mode: `Some(ts)` when every read resolves
-    /// against the committed version chains at timestamp `ts` with zero
+    /// Read-only snapshot mode: `Some` when every read resolves against
+    /// the committed version chains at the grant's timestamp with zero
     /// lock-manager interaction. Writes are forbidden. Set by
     /// [`crate::protocol::Protocol::begin_snapshot`], cleared (and the
     /// registry entry released) by [`TxnCtx::end_snapshot`].
-    pub snapshot: Option<u64>,
+    pub snapshot: Option<SnapshotCtx>,
     /// Commit timestamp allocated at the commit point (0 until then);
     /// versioned installs and commit-time inserts are tagged with it.
     pub commit_ts: u64,
@@ -543,8 +612,8 @@ impl TxnCtx {
     /// watermark can advance past this snapshot. Idempotent; called by
     /// every protocol's commit and abort paths.
     pub fn end_snapshot(&mut self, db: &crate::db::Database) {
-        if let Some(ts) = self.snapshot.take() {
-            db.release_snapshot(ts);
+        if let Some(snap) = self.snapshot.take() {
+            db.release_snapshot(snap.grant);
         }
     }
 }

@@ -15,12 +15,16 @@
 //! 2. Snapshot readers call [`VersionChain::read_at`]; rows whose first
 //!    version postdates the snapshot are *invisible* (`None`), which is how
 //!    snapshot scans avoid phantoms from later inserts.
-//! 3. Every install eagerly garbage-collects ([`VersionChain::gc`])
-//!    versions that no live snapshot can still see — i.e. versions
-//!    superseded at or below the global snapshot watermark maintained by
-//!    `bamboo-core`'s active-transaction registry. Chain length is thus
-//!    bounded by the number of commits since the oldest live snapshot, and
-//!    is zero when no snapshot is active.
+//! 3. Installs garbage-collect ([`VersionChain::gc`]) versions that no
+//!    live snapshot can still see — i.e. versions superseded at or below
+//!    the global snapshot watermark maintained by `bamboo-core`'s
+//!    active-transaction registry. The trim is *amortized*, not eager:
+//!    [`VersionChain::install_at`] only walks the chain when it grew past
+//!    a small threshold or the published watermark advanced since the
+//!    last trim, so a hot tuple's steady-state install is a push with no
+//!    GC scan. Chain length stays bounded by the number of commits since
+//!    the oldest live snapshot (plus the threshold), and returns to ~zero
+//!    when no snapshot is active.
 //!
 //! The chain stores `(commit_ts, row)` pairs sorted by ascending timestamp;
 //! commit timestamps are forced per-tuple monotonic so a chain can never
@@ -31,6 +35,11 @@ use crate::row::Row;
 /// Commit timestamp of loader-inserted rows: visible to every snapshot.
 pub const TS_LOADER: u64 = 0;
 
+/// Retained-version count above which [`VersionChain::install_at`] trims
+/// even if the watermark looks unchanged — bounds per-install trim work
+/// while keeping idle chains short.
+const TRIM_THRESHOLD: usize = 8;
+
 /// A tuple's committed image plus its retained older versions.
 pub struct VersionChain {
     /// Commit timestamp at which `latest` became the current image.
@@ -40,6 +49,9 @@ pub struct VersionChain {
     /// Older committed images as `(commit_ts, row)`, ascending by
     /// timestamp. Empty unless a live snapshot pins history.
     older: Vec<(u64, Row)>,
+    /// Watermark passed to the most recent trim; installs skip the GC
+    /// scan entirely while it has not advanced and the chain is short.
+    last_trim_wm: u64,
 }
 
 impl VersionChain {
@@ -56,6 +68,7 @@ impl VersionChain {
             latest_ts: commit_ts,
             latest: row,
             older: Vec::new(),
+            last_trim_wm: 0,
         }
     }
 
@@ -78,16 +91,22 @@ impl VersionChain {
     }
 
     /// Installs `row` as the new current image committed at `commit_ts`,
-    /// pushing the previous image onto the chain, then eagerly collects
-    /// everything below `watermark`. Timestamps are forced monotonic per
-    /// tuple, so an out-of-order or zero `commit_ts` still yields a valid
-    /// chain.
+    /// pushing the previous image onto the chain. Timestamps are forced
+    /// monotonic per tuple, so an out-of-order or zero `commit_ts` still
+    /// yields a valid chain.
+    ///
+    /// GC is **amortized**: the trim scan only runs when the chain grew
+    /// past `TRIM_THRESHOLD` or `watermark` advanced since the last
+    /// trim. On the hot path (watermark republished every epoch tick,
+    /// chain short) the install is a plain push.
     pub fn install_at(&mut self, row: Row, commit_ts: u64, watermark: u64) {
         let ts = commit_ts.max(self.latest_ts + 1);
         let prev = std::mem::replace(&mut self.latest, row);
         self.older.push((self.latest_ts, prev));
         self.latest_ts = ts;
-        self.gc(watermark);
+        if self.older.len() > TRIM_THRESHOLD || watermark > self.last_trim_wm {
+            self.gc(watermark);
+        }
     }
 
     /// The newest version visible at snapshot timestamp `snap`, or `None`
@@ -116,6 +135,7 @@ impl VersionChain {
     /// see: a version is dead once its *successor* was already committed at
     /// or below the watermark. Returns the number of versions reclaimed.
     pub fn gc(&mut self, watermark: u64) -> usize {
+        self.last_trim_wm = watermark;
         let mut cut = 0;
         while cut < self.older.len() {
             let successor_ts = self
@@ -209,6 +229,44 @@ mod tests {
             assert_eq!(c.retained(), 0, "chain must stay empty at install {i}");
         }
         assert_eq!(c.read_at(99).map(val), Some(99));
+    }
+
+    #[test]
+    fn install_defers_trim_until_threshold_or_watermark_advance() {
+        let mut c = VersionChain::new(row(0));
+        // A live snapshot pins the watermark at 5: every retained version
+        // is still needed, and installs below the threshold skip the trim
+        // scan entirely (amortization) — nothing may be reclaimed either
+        // way, and the ts<=5 image stays readable throughout.
+        let n = TRIM_THRESHOLD as u64 + 3;
+        for i in 1..=n {
+            c.install_at(row(i as i64), 10 + i, 5);
+            assert_eq!(c.read_at(5).map(val), Some(0), "pinned version lost");
+        }
+        assert_eq!(c.retained(), n as usize, "all versions still pinned");
+        // The snapshot moved on: the next install sees the advanced
+        // watermark and runs the deferred trim in one sweep, keeping only
+        // the newest version at or below the watermark.
+        c.install_at(row(99), 100, 50);
+        assert_eq!(c.retained(), 1);
+        assert_eq!(c.read_at(50).map(val), Some(n as i64));
+        assert_eq!(c.read_at(100).map(val), Some(99));
+    }
+
+    #[test]
+    fn install_with_static_watermark_skips_gc_scan() {
+        // With the watermark unchanged since the last trim and the chain
+        // short, install is a plain push: the superseded-below-watermark
+        // version from before the last trim wave is reclaimed only once
+        // the watermark moves or the threshold trips.
+        let mut c = VersionChain::new(row(0));
+        c.install_at(row(1), 10, 8); // trims (watermark 8 > 0), sets wm=8
+        c.install_at(row(2), 20, 8); // amortized: no scan, chain grows
+        c.install_at(row(3), 30, 8); // amortized: no scan
+        assert_eq!(c.retained(), 3);
+        // Watermark advance reclaims the backlog in one sweep.
+        c.install_at(row(4), 40, 30);
+        assert_eq!(c.retained(), 1);
     }
 
     #[test]

@@ -17,6 +17,36 @@ use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Duration;
 
+/// Shim-only diagnostics: a per-thread count of blocking lock
+/// acquisitions (`Mutex::lock`, `RwLock::read`/`write`, and successful
+/// `try_lock`s). `bamboo_core::sync::thread_lock_acquisitions` exposes it
+/// so tests can assert that a code path acquired **zero** locks — the
+/// executable form of the commit pipeline's lock-free claim.
+///
+/// The real `parking_lot` has no such module; the workspace only reaches
+/// it through the `bamboo_core::sync` seam, which is the single place to
+/// stub if the shim is ever swapped for the registry crate.
+pub mod diag {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ACQUISITIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    pub(crate) fn bump() {
+        ACQUISITIONS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Blocking lock acquisitions performed by the calling thread since it
+    /// started. Condvar re-acquisitions after a wait are not counted (they
+    /// happen inside std); every path asserted lock-free never parks.
+    #[inline]
+    pub fn thread_acquisitions() -> u64 {
+        ACQUISITIONS.with(|c| c.get())
+    }
+}
+
 /// A mutual exclusion primitive (no poisoning, guard returned directly).
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
@@ -41,6 +71,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        diag::bump();
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
@@ -49,10 +80,16 @@ impl<T: ?Sized> Mutex<T> {
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
+            Ok(g) => {
+                diag::bump();
+                Some(MutexGuard { inner: Some(g) })
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                diag::bump();
+                Some(MutexGuard {
+                    inner: Some(e.into_inner()),
+                })
+            }
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -131,6 +168,7 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        diag::bump();
         RwLockReadGuard {
             inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
         }
@@ -138,6 +176,7 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        diag::bump();
         RwLockWriteGuard {
             inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
         }
