@@ -55,16 +55,92 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use bamboo_storage::{Catalog, Schema, Table, TableId};
+use bamboo_storage::{Catalog, PartitionId, Router, Schema, Table, TableId};
 
 use crate::meta::TupleCc;
+use crate::partition::PartitionStats;
 use crate::sync::CachePadded;
 use crate::ts::TsSource;
+use crate::wal::WalHandle;
 
-/// Every `EPOCH_COMMITS`-th commit advances the Silo epoch and republishes
-/// the snapshot watermark (the epoch advance doubles as the watermark
-/// publisher, so GC keeps up even when no snapshot churn refreshes it).
-const EPOCH_COMMITS: u64 = 64;
+/// Default epoch-tick period: every `EPOCH_COMMITS`-th commit advances the
+/// Silo epoch and republishes the snapshot watermark (the epoch advance
+/// doubles as the watermark publisher, so GC keeps up even when no
+/// snapshot churn refreshes it). Tunable per database through
+/// [`DbOptions::epoch_commits`].
+pub const EPOCH_COMMITS: u64 = 64;
+
+/// Database-level tuning knobs, applied at build time through
+/// [`DatabaseBuilder::with_options`] (or
+/// [`crate::partition::PartitionedDbBuilder::with_options`]). The defaults
+/// reproduce the historical hard-coded constants, so an un-tuned database
+/// behaves exactly as before the knobs existed.
+#[derive(Clone, Debug)]
+pub struct DbOptions {
+    /// Epoch-tick period: every `epoch_commits`-th commit advances the
+    /// Silo epoch and republishes the snapshot GC watermark. Smaller
+    /// values keep the watermark fresher (tighter version-chain GC) at the
+    /// cost of more registry scans; larger values amortize the scan
+    /// further but let chains run up to one extra epoch of commits long.
+    /// Must be at least 1.
+    pub epoch_commits: u64,
+    /// Version-chain trim threshold: a tuple's chain trims once it
+    /// retains more than this many older versions even when the watermark
+    /// looks unchanged (see
+    /// [`bamboo_storage::VersionChain::install_at_with`]).
+    pub trim_threshold: usize,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            epoch_commits: EPOCH_COMMITS,
+            trim_threshold: bamboo_storage::DEFAULT_TRIM_THRESHOLD,
+        }
+    }
+}
+
+impl DbOptions {
+    /// Default options (the historical constants).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the epoch-tick period (clamped to at least 1).
+    pub fn with_epoch_commits(mut self, n: u64) -> Self {
+        self.epoch_commits = n.max(1);
+        self
+    }
+
+    /// Sets the version-chain trim threshold.
+    pub fn with_trim_threshold(mut self, n: usize) -> Self {
+        self.trim_threshold = n;
+        self
+    }
+}
+
+/// A partition's view of the whole partitioned database: the router plus
+/// every sibling partition's catalog, WAL segment and stats slab. Held by
+/// each partition's [`Database`] so any partition can resolve any
+/// `(table, key)` — the seam that lets one `Session` execute
+/// cross-partition transactions without new protocol plumbing.
+///
+/// The vectors hold catalogs/WALs (not `Database`s), so there is no `Arc`
+/// cycle: partitions share these slices, and nothing in them points back
+/// at a `Database`.
+pub(crate) struct Topology {
+    /// The (table, key) → partition map.
+    pub(crate) router: Arc<Router>,
+    /// Every partition's catalog shard, indexed by partition id.
+    pub(crate) catalogs: Arc<[Arc<Catalog<TupleCc>>]>,
+    /// Every partition's WAL segment, indexed by partition id.
+    pub(crate) wals: Arc<[Arc<WalHandle>]>,
+    /// Every partition's stats slab (cache-padded), indexed by partition
+    /// id.
+    pub(crate) stats: Arc<[CachePadded<PartitionStats>]>,
+    /// The partition this view belongs to.
+    pub(crate) me: PartitionId,
+}
 
 /// Ring width of the commit clock: the maximum number of commits that can
 /// be between `allocate` and `finish` at once before an allocator has to
@@ -98,7 +174,7 @@ pub struct CommitClock {
 }
 
 impl CommitClock {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         CommitClock {
             next: CachePadded::new(AtomicU64::new(1)),
             stable: CachePadded::new(AtomicU64::new(0)),
@@ -283,7 +359,7 @@ thread_local! {
 }
 
 impl SnapshotRegistry {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         SnapshotRegistry {
             shards: (0..SNAP_SHARDS)
                 .map(|_| {
@@ -401,25 +477,39 @@ impl SnapshotRegistry {
     }
 }
 
-/// A loaded database shared by all worker threads.
+/// A loaded database shared by all worker threads — either a monolithic
+/// database (one catalog, built by [`Database::builder`]) or *one
+/// partition* of a [`crate::partition::PartitionedDb`] (its own catalog
+/// shard plus a `Topology` view of its siblings).
+///
+/// The commit clock, snapshot registry, timestamp source, epoch counter,
+/// published watermark and transaction-id source are behind `Arc`s so
+/// every partition of one partitioned database shares them: commit
+/// timestamps stay globally unique and snapshots stay globally consistent
+/// no matter which partition a transaction enters through.
 pub struct Database {
-    catalog: Catalog<TupleCc>,
+    pub(crate) catalog: Arc<Catalog<TupleCc>>,
     /// Global timestamp source (Wound-Wait priorities).
-    pub ts_source: TsSource,
-    /// Silo epoch counter (advanced every `EPOCH_COMMITS` commits; the
-    /// advance also republishes the snapshot watermark).
-    pub epoch: CachePadded<AtomicU64>,
+    pub ts_source: Arc<TsSource>,
+    /// Silo epoch counter (advanced every [`DbOptions::epoch_commits`]
+    /// commits; the advance also republishes the snapshot watermark).
+    pub epoch: Arc<CachePadded<AtomicU64>>,
     /// MVCC commit clock: versioned installs are tagged with its
     /// timestamps; snapshots are taken at its stable point.
-    pub commit_clock: CommitClock,
+    pub commit_clock: Arc<CommitClock>,
     /// Live read-only snapshots (watermark source).
-    pub snapshots: SnapshotRegistry,
+    pub snapshots: Arc<SnapshotRegistry>,
     /// Published GC watermark: a cached, possibly slightly stale lower
     /// bound on the oldest timestamp a live snapshot can read. Staleness
     /// only delays GC; it never reclaims a visible version.
-    watermark: CachePadded<AtomicU64>,
+    pub(crate) watermark: Arc<CachePadded<AtomicU64>>,
     /// Transaction incarnation ids (the TID source).
-    txn_ids: CachePadded<AtomicU64>,
+    pub(crate) txn_ids: Arc<CachePadded<AtomicU64>>,
+    /// Tuning knobs fixed at build time.
+    pub(crate) options: DbOptions,
+    /// `Some` when this database is one partition of a partitioned
+    /// database; `None` for a monolithic database.
+    pub(crate) topology: Option<Topology>,
 }
 
 impl Database {
@@ -427,13 +517,33 @@ impl Database {
     pub fn builder() -> DatabaseBuilder {
         DatabaseBuilder {
             catalog: Catalog::new(),
+            options: DbOptions::default(),
         }
     }
 
-    /// Table accessor.
+    /// Table accessor. On a partition of a partitioned database this is
+    /// the *local shard* of the table; use [`Database::table_for`] to
+    /// resolve a specific key to the shard that owns it.
     #[inline]
     pub fn table(&self, id: TableId) -> &Arc<Table<TupleCc>> {
         self.catalog.table(id)
+    }
+
+    /// Resolves `(table, key)` to the table shard owning that key: the
+    /// local catalog on a monolithic database, the routed partition's
+    /// shard on a partitioned one (replicated tables resolve locally).
+    /// This is the lookup every protocol operation goes through, so a
+    /// transaction begun on any partition can transparently read and
+    /// write tuples of every partition.
+    #[inline]
+    pub fn table_for(&self, table: TableId, key: u64) -> &Arc<Table<TupleCc>> {
+        match &self.topology {
+            None => self.catalog.table(table),
+            Some(t) => {
+                let p = t.router.route_from(t.me, table, key);
+                t.catalogs[p.idx()].table(table)
+            }
+        }
     }
 
     /// Table id by name (setup paths).
@@ -441,9 +551,115 @@ impl Database {
         self.catalog.table_id(name)
     }
 
-    /// The underlying catalog.
+    /// The underlying catalog (the local shard when partitioned).
     pub fn catalog(&self) -> &Catalog<TupleCc> {
         &self.catalog
+    }
+
+    /// The partition this database is, when it is one partition of a
+    /// [`crate::partition::PartitionedDb`]; `None` for a monolithic
+    /// database.
+    pub fn partition_id(&self) -> Option<PartitionId> {
+        self.topology.as_ref().map(|t| t.me)
+    }
+
+    /// The partition topology, when partitioned.
+    #[inline]
+    pub(crate) fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The build-time tuning knobs.
+    #[inline]
+    pub fn options(&self) -> &DbOptions {
+        &self.options
+    }
+
+    /// The version-chain trim threshold installs should use.
+    #[inline]
+    pub fn trim_threshold(&self) -> usize {
+        self.options.trim_threshold
+    }
+
+    /// True when `table` is replicated on every partition (always false on
+    /// a monolithic database). Replicated tables are read-only reference
+    /// data: a write would only touch the local replica and silently
+    /// diverge the copies, so the write paths debug-assert against this.
+    #[inline]
+    pub fn is_table_replicated(&self, table: TableId) -> bool {
+        self.topology
+            .as_ref()
+            .is_some_and(|t| t.router.is_replicated(table))
+    }
+
+    /// True when `table` has an ordered index (checked on the local shard;
+    /// partitioned databases enable ordered indexes uniformly across
+    /// shards via `PartitionedDb::enable_ordered_index`).
+    pub fn has_ordered_index(&self, table: TableId) -> bool {
+        self.catalog.table(table).ordered_index().is_some()
+    }
+
+    /// All keys of `table` within `range`, ascending — merged across every
+    /// partition's shard when partitioned (replicated tables scan the
+    /// local replica only). Panics when the ordered index is missing, like
+    /// the scan paths always have.
+    pub fn scan_keys(&self, table: TableId, range: std::ops::RangeInclusive<u64>) -> Vec<u64> {
+        let idx_of = |cat: &Catalog<TupleCc>| {
+            cat.table(table)
+                .ordered_index()
+                .expect("scan requires an ordered index (Table::enable_ordered_index)")
+        };
+        match &self.topology {
+            Some(t) if !t.router.is_replicated(table) => {
+                let mut keys: Vec<u64> = Vec::new();
+                for cat in t.catalogs.iter() {
+                    keys.extend(idx_of(cat).range(range.clone()).into_iter().map(|(k, _)| k));
+                }
+                keys.sort_unstable();
+                keys
+            }
+            _ => idx_of(&self.catalog)
+                .range(range)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect(),
+        }
+    }
+
+    /// The smallest existing key of `table` strictly greater than `key`,
+    /// across every partition's shard when partitioned (next-key phantom
+    /// protection spans the whole logical keyspace). `None` when no such
+    /// key exists or the ordered index is missing.
+    pub fn next_key_after(&self, table: TableId, key: u64) -> Option<u64> {
+        let next_in = |cat: &Catalog<TupleCc>| {
+            cat.table(table)
+                .ordered_index()
+                .and_then(|idx| idx.next_key_after(key).map(|(k, _)| k))
+        };
+        match &self.topology {
+            Some(t) if !t.router.is_replicated(table) => {
+                t.catalogs.iter().filter_map(|c| next_in(c)).min()
+            }
+            _ => next_in(&self.catalog),
+        }
+    }
+
+    /// Number of distinct partitions the given `(table, key)` accesses
+    /// touch (1 on a monolithic database). Drives the executor's
+    /// cross-partition commit accounting.
+    pub fn partitions_spanned(&self, keys: impl Iterator<Item = (TableId, u64)>) -> u32 {
+        let Some(t) = &self.topology else { return 1 };
+        let n = t.router.partitions() as usize;
+        let mut seen = vec![false; n];
+        let mut count = 0u32;
+        for (table, key) in keys {
+            let p = t.router.route_from(t.me, table, key).idx();
+            if !seen[p] {
+                seen[p] = true;
+                count += 1;
+            }
+        }
+        count.max(1)
     }
 
     /// Allocates a unique transaction incarnation id.
@@ -496,11 +712,17 @@ impl Database {
     }
 
     /// Commit-side bookkeeping after a versioned install completes: marks
-    /// `commit_ts` finished on the clock and, every `EPOCH_COMMITS`-th
-    /// commit, advances the Silo epoch and republishes the watermark.
+    /// `commit_ts` finished on the clock and, every
+    /// [`DbOptions::epoch_commits`]-th commit, advances the Silo epoch and
+    /// republishes the watermark. On a partition, additionally bumps the
+    /// partition's commit counter (one relaxed add on a cache-padded slab
+    /// owned by this partition).
     pub fn note_commit(&self, commit_ts: u64) {
         self.commit_clock.finish(commit_ts);
-        if commit_ts % EPOCH_COMMITS == 0 {
+        if let Some(t) = &self.topology {
+            t.stats[t.me.idx()].commits.fetch_add(1, Ordering::Relaxed);
+        }
+        if commit_ts % self.options.epoch_commits == 0 {
             self.advance_epoch();
         }
     }
@@ -521,6 +743,7 @@ impl Database {
 /// Builder for [`Database`].
 pub struct DatabaseBuilder {
     catalog: Catalog<TupleCc>,
+    options: DbOptions,
 }
 
 impl DatabaseBuilder {
@@ -534,16 +757,28 @@ impl DatabaseBuilder {
         self.catalog.add_table_with_capacity(name, schema, cap)
     }
 
+    /// Replaces the tuning knobs (defaults reproduce the historical
+    /// constants).
+    pub fn with_options(&mut self, options: DbOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
     /// Finalizes the database.
     pub fn build(self) -> Arc<Database> {
         Arc::new(Database {
-            catalog: self.catalog,
-            ts_source: TsSource::new(),
-            epoch: CachePadded::new(AtomicU64::new(1)),
-            commit_clock: CommitClock::new(),
-            snapshots: SnapshotRegistry::new(),
-            watermark: CachePadded::new(AtomicU64::new(0)),
-            txn_ids: CachePadded::new(AtomicU64::new(1)),
+            catalog: Arc::new(self.catalog),
+            ts_source: Arc::new(TsSource::new()),
+            epoch: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            commit_clock: Arc::new(CommitClock::new()),
+            snapshots: Arc::new(SnapshotRegistry::new()),
+            watermark: Arc::new(CachePadded::new(AtomicU64::new(0))),
+            txn_ids: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            options: DbOptions {
+                epoch_commits: self.options.epoch_commits.max(1),
+                ..self.options
+            },
+            topology: None,
         })
     }
 }
@@ -647,6 +882,35 @@ mod tests {
         }
         assert_eq!(db.epoch.load(Ordering::Acquire), e0 + 1);
         assert_eq!(db.gc_watermark(), EPOCH_COMMITS);
+    }
+
+    #[test]
+    fn db_options_tune_epoch_tick_period() {
+        // Defaults reproduce the historical constants.
+        let db = Database::builder().build();
+        assert_eq!(db.options().epoch_commits, EPOCH_COMMITS);
+        assert_eq!(db.trim_threshold(), bamboo_storage::DEFAULT_TRIM_THRESHOLD);
+        // A shorter period ticks the epoch (and republishes the
+        // watermark) proportionally earlier.
+        let mut b = Database::builder();
+        b.with_options(
+            DbOptions::new()
+                .with_epoch_commits(4)
+                .with_trim_threshold(2),
+        );
+        let db = b.build();
+        assert_eq!(db.trim_threshold(), 2);
+        let e0 = db.epoch.load(Ordering::Acquire);
+        for _ in 0..4 {
+            let ts = db.commit_clock.allocate();
+            db.note_commit(ts);
+        }
+        assert_eq!(db.epoch.load(Ordering::Acquire), e0 + 1);
+        assert_eq!(db.gc_watermark(), 4);
+        // A zero period is clamped rather than dividing by zero.
+        let mut b = Database::builder();
+        b.with_options(DbOptions::new().with_epoch_commits(0));
+        assert_eq!(b.build().options().epoch_commits, 1);
     }
 
     #[test]

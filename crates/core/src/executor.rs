@@ -44,6 +44,16 @@ pub trait TxnSpec: Send {
         0
     }
 
+    /// The partition this transaction is *homed* on: the partition whose
+    /// session executes it (and whose WAL segment logs its local writes).
+    /// Workloads partition-aware by construction (TPC-C by warehouse,
+    /// YCSB by key range) home each transaction where most of its keys
+    /// live; remote accesses route transparently. Ignored by
+    /// [`run_bench`] on monolithic databases.
+    fn home_partition(&self) -> u32 {
+        0
+    }
+
     /// True when this transaction is read-only and should run in snapshot
     /// mode: reads resolve against the committed version chains with zero
     /// lock-manager interaction
@@ -132,18 +142,36 @@ impl BenchConfig {
     }
 }
 
-/// Runs `workload` under `proto` with `cfg`; returns the merged result.
-///
-/// Each worker owns one cache-padded stats slot in a pre-allocated slab:
-/// the slots are written at commit rate from different threads, and the
-/// padding keeps neighbouring workers' counters off each other's cache
-/// lines (the slab is also what lets the scoped workers borrow instead of
-/// funnelling stats through join handles).
-pub fn run_bench(
-    db: &Arc<Database>,
-    proto: &Arc<dyn Protocol>,
+/// One worker's execution state inside [`drive_bench`]: how a generated
+/// spec is executed and what per-worker accounting runs when the loop
+/// stops. Constructed on the worker's own thread.
+trait BenchWorker {
+    /// Executes one spec, reporting into `stats`. Returns whether it
+    /// committed.
+    fn run_one(
+        &self,
+        spec: &dyn TxnSpec,
+        stats: &mut WorkerStats,
+        stop: &AtomicBool,
+        deadline: Instant,
+    ) -> bool;
+
+    /// Final per-worker accounting after the loop stops.
+    fn finish(&self, _stats: &mut WorkerStats) {}
+}
+
+/// The measurement scaffold shared by [`run_bench`] and
+/// [`run_part_bench`]: worker threads with warmup/measure switching over a
+/// pre-allocated slab of cache-padded stats slots (written at commit rate
+/// from different threads — the padding keeps neighbouring workers'
+/// counters off each other's cache lines, and the slab is what lets the
+/// scoped workers borrow instead of funnelling stats through join
+/// handles).
+fn drive_bench<W: BenchWorker>(
+    protocol: &str,
     workload: &Arc<dyn Workload>,
     cfg: &BenchConfig,
+    make_worker: impl Fn(usize) -> W + Sync,
 ) -> BenchResult {
     let measuring = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
@@ -153,14 +181,11 @@ pub fn run_bench(
     let total_time = cfg.warmup + cfg.duration + Duration::from_secs(30);
     let elapsed = std::thread::scope(|s| {
         for (w, slot) in slots.iter_mut().enumerate() {
-            let db = Arc::clone(db);
-            let proto = Arc::clone(proto);
             let seed = cfg.seed + w as u64;
-            let retry = cfg.retry.clone();
-            let (measuring, stop) = (&measuring, &stop);
+            let (measuring, stop, make_worker) = (&measuring, &stop, &make_worker);
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                let session = Session::new(db, proto).with_retry(retry);
+                let worker = make_worker(w);
                 let mut warm = WorkerStats::default();
                 let measured: &mut WorkerStats = slot;
                 let hard_deadline = Instant::now() + total_time;
@@ -171,9 +196,9 @@ pub fn run_bench(
                     } else {
                         &mut warm
                     };
-                    session.run_reporting(spec.as_ref(), stats, stop, hard_deadline);
+                    worker.run_one(spec.as_ref(), stats, stop, hard_deadline);
                 }
-                measured.log_bytes = session.log_bytes();
+                worker.finish(measured);
             });
         }
         std::thread::sleep(cfg.warmup);
@@ -190,11 +215,95 @@ pub fn run_bench(
         totals.merge(slot);
     }
     BenchResult {
-        protocol: proto.name().to_string(),
+        protocol: protocol.to_string(),
         threads: cfg.threads,
         elapsed,
         totals,
     }
+}
+
+/// Monolithic worker: one [`Session`] per thread (thread-local WAL ring).
+struct SessionWorker {
+    session: Session,
+}
+
+impl BenchWorker for SessionWorker {
+    fn run_one(
+        &self,
+        spec: &dyn TxnSpec,
+        stats: &mut WorkerStats,
+        stop: &AtomicBool,
+        deadline: Instant,
+    ) -> bool {
+        self.session.run_reporting(spec, stats, stop, deadline)
+    }
+
+    fn finish(&self, stats: &mut WorkerStats) {
+        stats.log_bytes = self.session.log_bytes();
+    }
+}
+
+/// Runs `workload` under `proto` with `cfg`; returns the merged result.
+pub fn run_bench(
+    db: &Arc<Database>,
+    proto: &Arc<dyn Protocol>,
+    workload: &Arc<dyn Workload>,
+    cfg: &BenchConfig,
+) -> BenchResult {
+    drive_bench(proto.name(), workload, cfg, |_w| SessionWorker {
+        session: Session::new(Arc::clone(db), Arc::clone(proto)).with_retry(cfg.retry.clone()),
+    })
+}
+
+/// Partitioned worker: one [`crate::partition::PartSession`] per thread,
+/// dispatching each spec to its home partition's session.
+struct PartWorker {
+    session: crate::partition::PartSession,
+    parts: u32,
+}
+
+impl BenchWorker for PartWorker {
+    fn run_one(
+        &self,
+        spec: &dyn TxnSpec,
+        stats: &mut WorkerStats,
+        stop: &AtomicBool,
+        deadline: Instant,
+    ) -> bool {
+        let home = bamboo_storage::PartitionId(spec.home_partition() % self.parts);
+        self.session
+            .session(home)
+            .run_reporting(spec, stats, stop, deadline)
+    }
+    // No per-worker log accounting: the partition WAL segments are shared
+    // by every worker and collected once by `run_part_bench`.
+}
+
+/// [`run_bench`] over a partitioned database: each worker owns one
+/// [`crate::partition::PartSession`] and dispatches every generated
+/// transaction to the session of its [`TxnSpec::home_partition`] — the
+/// partition-local fast path when the spec's keys are home keys,
+/// transparent cross-partition execution otherwise. Redo-log bytes are
+/// collected from the partitions' WAL segments (which all workers share)
+/// rather than per worker.
+pub fn run_part_bench(
+    pdb: &Arc<crate::partition::PartitionedDb>,
+    proto: &Arc<dyn Protocol>,
+    workload: &Arc<dyn Workload>,
+    cfg: &BenchConfig,
+) -> BenchResult {
+    let parts = pdb.partitions();
+    let log_before = pdb.log_bytes();
+    let mut res = drive_bench(proto.name(), workload, cfg, |_w| PartWorker {
+        session: crate::partition::PartSession::new(Arc::clone(pdb), Arc::clone(proto))
+            .with_retry(cfg.retry.clone()),
+        parts,
+    });
+    // Per-partition WAL segments are shared by all workers: attribute the
+    // run's total append volume once (includes warmup, like the
+    // monolithic path's lifetime counters).
+    res.totals.log_bytes = pdb.log_bytes() - log_before;
+    res
 }
 
 #[cfg(test)]

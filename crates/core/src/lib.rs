@@ -100,12 +100,29 @@
 //! [`session::TxnOptions::snapshot_max_lag`], which aborts a lagging
 //! snapshot with [`AbortReason::SnapshotTooOld`] instead of letting it
 //! pin version chains forever.
+//!
+//! ## Partitioned databases
+//!
+//! [`partition::PartitionedDb`] splits the storage into N partitions —
+//! each its own catalog shard (tuple slabs, indexes, version chains,
+//! per-tuple lock entries), WAL segment and stats slab — while the commit
+//! clock, snapshot registry and watermark stay shared, so commit
+//! timestamps remain globally ordered and snapshots globally consistent.
+//! [`partition::PartSession`] extends the `Session` seam with a
+//! partition-local fast path ([`partition::PartSession::begin_on`]);
+//! cross-partition transactions route per-key through
+//! [`Database::table_for`] and commit with per-partition WAL appends in
+//! partition-id order under **one** commit timestamp (the commit-ordering
+//! contract — see [`partition`]'s module docs). Build-time tuning knobs
+//! (epoch-tick period, version-chain trim threshold) live in
+//! [`db::DbOptions`].
 
 pub mod db;
 pub mod executor;
 pub mod lock;
 pub mod meta;
 pub mod model;
+pub mod partition;
 pub mod protocol;
 pub mod session;
 pub mod stats;
@@ -114,7 +131,8 @@ pub mod ts;
 pub mod txn;
 pub mod wal;
 
-pub use db::{Database, DatabaseBuilder};
+pub use db::{Database, DatabaseBuilder, DbOptions};
 pub use meta::TupleCc;
+pub use partition::{PartSession, Partition, PartitionedDb};
 pub use session::{RetryPolicy, Session, Txn, TxnOptions};
 pub use txn::{Abort, AbortReason, LockMode, TxnCtx, TxnShared};

@@ -1,0 +1,610 @@
+//! The partitioned database: N partitions, one commit clock.
+//!
+//! [`PartitionedDb`] splits the storage and execution state that *can* be
+//! split — catalog (tuple slabs, hash/ordered indexes, version chains,
+//! per-tuple lock entries), WAL segment, stats slab — into per-partition
+//! shards, while the state that defines transactional consistency — the
+//! commit clock, snapshot registry, GC watermark, timestamp and
+//! transaction-id sources — stays **shared** across partitions (one `Arc`
+//! each, see [`crate::db::Database`]). A snapshot taken on any partition
+//! is therefore consistent across all of them, and commit timestamps
+//! remain globally unique and totally ordered.
+//!
+//! Every partition is a full [`Database`] holding its own catalog shard
+//! plus a topology view of its siblings, so the *existing* `Session` /
+//! `Txn` / `Protocol` machinery executes partitioned transactions without
+//! new plumbing at call sites:
+//!
+//! * **Single-partition fast path.** [`PartSession::begin_on`] starts a
+//!   plain [`Txn`] against the home partition's `Database`. Every lookup
+//!   routes to the local shard (one arithmetic route per operation, no
+//!   locks), the commit appends to the home partition's WAL segment, and
+//!   the attempt performs *no more lock acquisitions* than the same
+//!   transaction on a monolithic database — asserted by the partitioning
+//!   test suite against the lock-counter shim.
+//! * **Cross-partition transactions.** Operations whose keys route to
+//!   another partition transparently resolve to that partition's shard
+//!   through [`Database::table_for`]; locks, dirty-version chains and
+//!   installs all live on the remote tuple itself, so the protocols'
+//!   conflict handling (wounds, cascades, Silo validation, IC3 piece
+//!   waits) works across partitions unchanged.
+//!
+//! # Commit-ordering contract (cross-partition commits)
+//!
+//! A cross-partition commit is **not** a two-phase commit — all partitions
+//! share one in-memory commit pipeline — but it must leave every
+//! partition's WAL segment in a consistent replayable order:
+//!
+//! 1. The protocol runs its normal commit protocol (semaphore wait /
+//!    validation) once, over the whole access set.
+//! 2. The redo record is split by partition and appended to each written
+//!    partition's WAL segment **in ascending partition-id order** (see
+//!    `log_commit` in `protocol`). Appends never nest — each WAL lock is
+//!    held for exactly one append — and the fixed acquisition order keeps
+//!    the discipline deadlock-free if segment locks are ever held across
+//!    appends (e.g. future group commit).
+//! 3. **One commit timestamp** is allocated from the shared clock after
+//!    logging, and every install on every partition is tagged with it.
+//!    The clock holds the timestamp in flight until all installs land, so
+//!    no snapshot — on any partition — can observe a cross-partition
+//!    commit half-applied.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bamboo_core::partition::{PartSession, PartitionedDb};
+//! use bamboo_core::protocol::LockingProtocol;
+//! use bamboo_storage::{DataType, PartitionId, Row, RouteStrategy, Schema, Value};
+//!
+//! // Two partitions; keys 0..50 live on partition 0, the rest on 1.
+//! let mut b = PartitionedDb::builder(2);
+//! let t = b.add_table(
+//!     "accounts",
+//!     Schema::build().column("id", DataType::U64).column("bal", DataType::I64),
+//!     RouteStrategy::Range(vec![50]),
+//! );
+//! let pdb = b.build();
+//! for k in [1u64, 99] {
+//!     pdb.insert(t, k, Row::from(vec![Value::U64(k), Value::I64(100)]));
+//! }
+//! let s = PartSession::new(Arc::clone(&pdb), Arc::new(LockingProtocol::bamboo()));
+//! // A cross-partition transfer through the partition-0 session.
+//! let mut txn = s.begin_on(PartitionId(0));
+//! txn.update(t, 1, |r| r.set(1, Value::I64(r.get_i64(1) - 10))).unwrap();
+//! txn.update(t, 99, |r| r.set(1, Value::I64(r.get_i64(1) + 10))).unwrap();
+//! txn.commit().unwrap();
+//! assert_eq!(pdb.db(PartitionId(1)).table_for(t, 99).get(99).unwrap().read_row().get_i64(1), 110);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bamboo_storage::{Catalog, PartitionId, RouteStrategy, Router, Row, Schema, Table, TableId};
+
+use crate::db::{CommitClock, Database, DbOptions, SnapshotRegistry, Topology};
+use crate::meta::TupleCc;
+use crate::protocol::Protocol;
+use crate::session::{RetryPolicy, Session, Txn, TxnOptions};
+use crate::sync::CachePadded;
+use crate::ts::TsSource;
+use crate::wal::WalHandle;
+
+/// Per-partition counters, each slab cache-padded so partitions never
+/// share a line. Commit counts are *home-attributed*: a cross-partition
+/// commit bumps the counter of the partition whose session ran it.
+#[derive(Debug, Default)]
+pub struct PartitionStats {
+    /// Committed transactions whose commit bookkeeping ran on this
+    /// partition.
+    pub commits: AtomicU64,
+}
+
+impl PartitionStats {
+    /// Committed-transaction count.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+}
+
+/// One partition: its `Database` view (catalog shard + shared globals +
+/// topology) and its WAL segment.
+pub struct Partition {
+    id: PartitionId,
+    db: Arc<Database>,
+    wal: Arc<WalHandle>,
+}
+
+impl Partition {
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// The partition's `Database` view. Transactions begun against it run
+    /// partition-locally until they touch a remote key.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The partition's WAL segment.
+    pub fn wal(&self) -> &Arc<WalHandle> {
+        &self.wal
+    }
+
+    /// The partition's stats slab.
+    pub fn stats(&self) -> &PartitionStats {
+        &self
+            .db
+            .topology()
+            .expect("a partition always has a topology")
+            .stats[self.id.idx()]
+    }
+}
+
+/// A database split into N partitions sharing one commit clock and
+/// snapshot registry. See the module docs for the architecture and the
+/// cross-partition commit-ordering contract.
+pub struct PartitionedDb {
+    router: Arc<Router>,
+    parts: Vec<Partition>,
+    stats: Arc<[CachePadded<PartitionStats>]>,
+}
+
+impl PartitionedDb {
+    /// Starts building a partitioned database with `partitions` partitions
+    /// (at least 1).
+    pub fn builder(partitions: u32) -> PartitionedDbBuilder {
+        assert!(partitions >= 1, "a database has at least one partition");
+        PartitionedDbBuilder {
+            catalogs: (0..partitions).map(|_| Catalog::new()).collect(),
+            strategies: Vec::new(),
+            options: DbOptions::default(),
+            partitions,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.router.partitions()
+    }
+
+    /// The router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// All partitions, in id order.
+    pub fn parts(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// One partition.
+    pub fn part(&self, p: PartitionId) -> &Partition {
+        &self.parts[p.idx()]
+    }
+
+    /// One partition's `Database` view.
+    pub fn db(&self, p: PartitionId) -> &Arc<Database> {
+        &self.parts[p.idx()].db
+    }
+
+    /// Routes `(table, key)` to its owning partition (replicated tables
+    /// resolve to partition 0; use [`Database::table_for`] from inside a
+    /// partition for local resolution).
+    pub fn route(&self, table: TableId, key: u64) -> PartitionId {
+        self.router.route(table, key)
+    }
+
+    /// The table shard of `table` on partition `p`.
+    pub fn table(&self, p: PartitionId, table: TableId) -> &Arc<Table<TupleCc>> {
+        self.parts[p.idx()].db.table(table)
+    }
+
+    /// Loader-path insert: routes `key` to its partition's shard. Panics
+    /// on replicated tables — use [`PartitionedDb::insert_replicated`].
+    pub fn insert(
+        &self,
+        table: TableId,
+        key: u64,
+        row: Row,
+    ) -> Arc<bamboo_storage::Tuple<TupleCc>> {
+        assert!(
+            !self.router.is_replicated(table),
+            "replicated tables load through insert_replicated"
+        );
+        let p = self.router.route(table, key);
+        self.parts[p.idx()].db.table(table).insert(key, row)
+    }
+
+    /// Loader-path insert into *every* partition's replica of a
+    /// replicated table.
+    pub fn insert_replicated(&self, table: TableId, key: u64, row: Row) {
+        assert!(
+            self.router.is_replicated(table),
+            "insert_replicated requires a Replicated table"
+        );
+        for part in &self.parts {
+            part.db.table(table).insert(key, row.clone());
+        }
+    }
+
+    /// Enables the ordered primary-key index on every shard of `table`
+    /// (range scans and next-key phantom protection need it on all
+    /// shards).
+    pub fn enable_ordered_index(&self, table: TableId) {
+        for part in &self.parts {
+            part.db.table(table).enable_ordered_index();
+        }
+    }
+
+    /// Total physical rows across all shards (replicated tables count
+    /// once per replica).
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.db.total_rows()).sum()
+    }
+
+    /// Sum of the per-partition commit counters.
+    pub fn total_commits(&self) -> u64 {
+        self.stats.iter().map(|s| s.commits()).sum()
+    }
+
+    /// Total redo-log bytes across every partition's WAL segment.
+    pub fn log_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.wal.bytes_logged()).sum()
+    }
+
+    /// Total redo records across every partition's WAL segment.
+    pub fn log_records(&self) -> u64 {
+        self.parts.iter().map(|p| p.wal.records()).sum()
+    }
+}
+
+/// Builder for [`PartitionedDb`]: registers every table in every
+/// partition's catalog shard (same dense [`TableId`] everywhere) together
+/// with its routing strategy.
+pub struct PartitionedDbBuilder {
+    catalogs: Vec<Catalog<TupleCc>>,
+    strategies: Vec<RouteStrategy>,
+    options: DbOptions,
+    partitions: u32,
+}
+
+impl PartitionedDbBuilder {
+    /// Registers a table on every partition with its routing strategy.
+    pub fn add_table(&mut self, name: &str, schema: Schema, strategy: RouteStrategy) -> TableId {
+        self.add_table_with_capacity(name, schema, 0, strategy)
+    }
+
+    /// Registers a table pre-sized for `cap` tuples *in total*: replicated
+    /// shards reserve the full capacity each, a pinned table's owning
+    /// shard takes it all (the others none), and every other strategy
+    /// splits it evenly.
+    pub fn add_table_with_capacity(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        cap: usize,
+        strategy: RouteStrategy,
+    ) -> TableId {
+        let n = self.partitions;
+        let mut id = None;
+        for (i, cat) in self.catalogs.iter_mut().enumerate() {
+            let shard_cap = match &strategy {
+                RouteStrategy::Replicated => cap,
+                RouteStrategy::Pin(p) => {
+                    if i as u32 == *p % n {
+                        cap
+                    } else {
+                        0
+                    }
+                }
+                _ if cap == 0 => 0,
+                _ => cap / n as usize + 1,
+            };
+            let t = cat.add_table_with_capacity(name, schema.clone(), shard_cap);
+            debug_assert!(id.is_none() || id == Some(t), "shards assign identical ids");
+            id = Some(t);
+        }
+        let id = id.expect("at least one partition");
+        debug_assert_eq!(id.0 as usize, self.strategies.len());
+        self.strategies.push(strategy);
+        id
+    }
+
+    /// Replaces the tuning knobs shared by every partition.
+    pub fn with_options(&mut self, options: DbOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Finalizes the partitioned database: builds the router, the shared
+    /// commit pipeline, and one `Database` view per partition.
+    pub fn build(self) -> Arc<PartitionedDb> {
+        let mut router = Router::new(self.partitions, RouteStrategy::Hash);
+        for (i, s) in self.strategies.into_iter().enumerate() {
+            router = router.with_table(TableId(i as u32), s);
+        }
+        let router = Arc::new(router);
+        let catalogs: Arc<[Arc<Catalog<TupleCc>>]> =
+            self.catalogs.into_iter().map(Arc::new).collect();
+        let wals: Arc<[Arc<WalHandle>]> = (0..self.partitions)
+            .map(|_| Arc::new(WalHandle::new()))
+            .collect();
+        let stats: Arc<[CachePadded<PartitionStats>]> = (0..self.partitions)
+            .map(|_| CachePadded::new(PartitionStats::default()))
+            .collect();
+        // The shared commit pipeline: one of each, cloned into every
+        // partition's Database so commit timestamps and snapshots stay
+        // globally consistent.
+        let ts_source = Arc::new(TsSource::new());
+        let epoch = Arc::new(CachePadded::new(AtomicU64::new(1)));
+        let commit_clock = Arc::new(CommitClock::new());
+        let snapshots = Arc::new(SnapshotRegistry::new());
+        let watermark = Arc::new(CachePadded::new(AtomicU64::new(0)));
+        let txn_ids = Arc::new(CachePadded::new(AtomicU64::new(1)));
+        let options = DbOptions {
+            epoch_commits: self.options.epoch_commits.max(1),
+            ..self.options
+        };
+        let parts = (0..self.partitions)
+            .map(|p| {
+                let me = PartitionId(p);
+                Partition {
+                    id: me,
+                    db: Arc::new(Database {
+                        catalog: Arc::clone(&catalogs[me.idx()]),
+                        ts_source: Arc::clone(&ts_source),
+                        epoch: Arc::clone(&epoch),
+                        commit_clock: Arc::clone(&commit_clock),
+                        snapshots: Arc::clone(&snapshots),
+                        watermark: Arc::clone(&watermark),
+                        txn_ids: Arc::clone(&txn_ids),
+                        options: options.clone(),
+                        topology: Some(Topology {
+                            router: Arc::clone(&router),
+                            catalogs: Arc::clone(&catalogs),
+                            wals: Arc::clone(&wals),
+                            stats: Arc::clone(&stats),
+                            me,
+                        }),
+                    }),
+                    wal: Arc::clone(&wals[p as usize]),
+                }
+            })
+            .collect();
+        Arc::new(PartitionedDb {
+            router,
+            parts,
+            stats,
+        })
+    }
+}
+
+/// A partition-aware session: one inner [`Session`] per partition, all
+/// bound to the same protocol and sharing each partition's WAL segment.
+///
+/// [`PartSession::begin_on`] is the routing entry point: a transaction
+/// begun on its home partition runs the partition-local fast path for
+/// local keys and transparently reaches across partitions for remote ones
+/// (see the module docs). This extends the `Session` seam from the
+/// ROADMAP — no call site drives `Protocol` directly.
+pub struct PartSession {
+    pdb: Arc<PartitionedDb>,
+    sessions: Vec<Session>,
+}
+
+impl PartSession {
+    /// Binds every partition of `pdb` to `proto` with the default
+    /// [`RetryPolicy`].
+    pub fn new(pdb: Arc<PartitionedDb>, proto: Arc<dyn Protocol>) -> Self {
+        let sessions = pdb
+            .parts()
+            .iter()
+            .map(|p| {
+                Session::new(Arc::clone(p.db()), Arc::clone(&proto))
+                    .with_wal_handle(Arc::clone(p.wal()))
+            })
+            .collect();
+        PartSession { pdb, sessions }
+    }
+
+    /// Replaces the retry policy on every partition's session.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.sessions = self
+            .sessions
+            .into_iter()
+            .map(|s| s.with_retry(retry.clone()))
+            .collect();
+        self
+    }
+
+    /// The partitioned database.
+    pub fn db(&self) -> &Arc<PartitionedDb> {
+        &self.pdb
+    }
+
+    /// The session bound to partition `p`.
+    pub fn session(&self, p: PartitionId) -> &Session {
+        &self.sessions[p.idx()]
+    }
+
+    /// The session of the partition owning `(table, key)` — the home
+    /// session a single-partition transaction on that key should use.
+    pub fn session_for(&self, table: TableId, key: u64) -> &Session {
+        self.session(self.pdb.route(table, key))
+    }
+
+    /// Starts a read-write transaction homed on partition `p` (the
+    /// single-partition fast path when the transaction only touches `p`'s
+    /// keys; cross-partition accesses route transparently).
+    pub fn begin_on(&self, p: PartitionId) -> Txn<'_> {
+        self.session(p).begin()
+    }
+
+    /// Starts a transaction homed on `p` with explicit options.
+    pub fn begin_on_with(&self, p: PartitionId, opts: TxnOptions) -> Txn<'_> {
+        self.session(p).begin_with(opts)
+    }
+
+    /// Starts a read-only snapshot transaction homed on partition `p`.
+    /// The snapshot is globally consistent: all partitions share one
+    /// commit clock, so reads on *any* partition resolve at the same
+    /// stable timestamp.
+    pub fn snapshot_on(&self, p: PartitionId) -> Txn<'_> {
+        self.session(p).snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LockingProtocol;
+    use bamboo_storage::{DataType, Value};
+
+    fn two_part_db() -> (Arc<PartitionedDb>, TableId) {
+        let mut b = PartitionedDb::builder(2);
+        let t = b.add_table(
+            "kv",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+            RouteStrategy::Range(vec![100]),
+        );
+        let pdb = b.build();
+        for k in [1u64, 2, 150, 151] {
+            pdb.insert(t, k, Row::from(vec![Value::U64(k), Value::I64(0)]));
+        }
+        (pdb, t)
+    }
+
+    #[test]
+    fn shards_hold_only_their_keys() {
+        let (pdb, t) = two_part_db();
+        assert_eq!(pdb.table(PartitionId(0), t).len(), 2);
+        assert_eq!(pdb.table(PartitionId(1), t).len(), 2);
+        assert!(pdb.table(PartitionId(0), t).get(1).is_some());
+        assert!(pdb.table(PartitionId(0), t).get(150).is_none());
+        assert!(pdb.table(PartitionId(1), t).get(150).is_some());
+        assert_eq!(pdb.total_rows(), 4);
+    }
+
+    #[test]
+    fn table_for_resolves_remote_keys_from_any_partition() {
+        let (pdb, t) = two_part_db();
+        for p in [PartitionId(0), PartitionId(1)] {
+            let db = pdb.db(p);
+            assert_eq!(db.partition_id(), Some(p));
+            assert!(db.table_for(t, 1).get(1).is_some());
+            assert!(db.table_for(t, 150).get(150).is_some());
+        }
+    }
+
+    #[test]
+    fn partitions_share_the_commit_clock_and_txn_ids() {
+        let (pdb, _t) = two_part_db();
+        let a = pdb.db(PartitionId(0));
+        let b = pdb.db(PartitionId(1));
+        let id_a = a.next_txn_id();
+        let id_b = b.next_txn_id();
+        assert_ne!(id_a, id_b, "txn ids come from one shared source");
+        let ts = a.commit_clock.allocate();
+        a.note_commit(ts);
+        assert_eq!(b.commit_clock.stable(), ts, "one clock across partitions");
+    }
+
+    #[test]
+    fn single_partition_txn_commits_on_home_wal() {
+        let (pdb, t) = two_part_db();
+        let s = PartSession::new(Arc::clone(&pdb), Arc::new(LockingProtocol::bamboo()));
+        let mut txn = s.begin_on(PartitionId(1));
+        txn.update(t, 150, |r| r.set(1, Value::I64(7))).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(pdb.part(PartitionId(1)).wal().records(), 1);
+        assert_eq!(pdb.part(PartitionId(0)).wal().records(), 0);
+        assert_eq!(pdb.part(PartitionId(1)).stats().commits(), 1);
+    }
+
+    #[test]
+    fn cross_partition_txn_logs_to_both_wals_with_one_commit_ts() {
+        let (pdb, t) = two_part_db();
+        let s = PartSession::new(Arc::clone(&pdb), Arc::new(LockingProtocol::bamboo()));
+        let mut txn = s.begin_on(PartitionId(0));
+        txn.update(t, 1, |r| r.set(1, Value::I64(-5))).unwrap();
+        txn.update(t, 151, |r| r.set(1, Value::I64(5))).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(pdb.part(PartitionId(0)).wal().records(), 1);
+        assert_eq!(pdb.part(PartitionId(1)).wal().records(), 1);
+        // One commit timestamp: both installs carry the same tag.
+        let ts0 = pdb.table(PartitionId(0), t).get(1).unwrap().commit_ts();
+        let ts1 = pdb.table(PartitionId(1), t).get(151).unwrap().commit_ts();
+        assert_eq!(ts0, ts1, "cross-partition commit uses one timestamp");
+    }
+
+    #[test]
+    fn snapshot_on_any_partition_is_globally_consistent() {
+        let (pdb, t) = two_part_db();
+        let s = PartSession::new(Arc::clone(&pdb), Arc::new(LockingProtocol::bamboo()));
+        // Transfer 10 from key 1 (p0) to key 151 (p1), twice.
+        for _ in 0..2 {
+            let mut txn = s.begin_on(PartitionId(0));
+            txn.update(t, 1, |r| r.set(1, Value::I64(r.get_i64(1) - 10)))
+                .unwrap();
+            txn.update(t, 151, |r| r.set(1, Value::I64(r.get_i64(1) + 10)))
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        // A snapshot homed on partition 1 must see a balanced total.
+        let mut snap = s.snapshot_on(PartitionId(1));
+        let a = snap.read(t, 1).unwrap().get_i64(1);
+        let b = snap.read(t, 151).unwrap().get_i64(1);
+        assert_eq!(a + b, 0, "snapshot must never observe a torn transfer");
+        snap.commit().unwrap();
+    }
+
+    #[test]
+    fn replicated_tables_resolve_locally() {
+        let mut b = PartitionedDb::builder(2);
+        let t = b.add_table(
+            "ref",
+            Schema::build()
+                .column("k", DataType::U64)
+                .column("v", DataType::I64),
+            RouteStrategy::Replicated,
+        );
+        let pdb = b.build();
+        pdb.insert_replicated(t, 5, Row::from(vec![Value::U64(5), Value::I64(9)]));
+        for p in [PartitionId(0), PartitionId(1)] {
+            let db = pdb.db(p);
+            let local = db.table_for(t, 5);
+            assert!(Arc::ptr_eq(local, db.table(t)), "replicated stays local");
+            assert_eq!(local.get(5).unwrap().read_row().get_i64(1), 9);
+        }
+    }
+
+    #[test]
+    fn options_flow_into_every_partition() {
+        let mut b = PartitionedDb::builder(2);
+        b.add_table(
+            "kv",
+            Schema::build().column("k", DataType::U64),
+            RouteStrategy::Hash,
+        );
+        b.with_options(
+            DbOptions::new()
+                .with_epoch_commits(8)
+                .with_trim_threshold(2),
+        );
+        let pdb = b.build();
+        for p in [PartitionId(0), PartitionId(1)] {
+            assert_eq!(pdb.db(p).options().epoch_commits, 8);
+            assert_eq!(pdb.db(p).trim_threshold(), 2);
+        }
+        // The epoch tick fires on the shared clock at the configured period.
+        let db = pdb.db(PartitionId(0));
+        let e0 = db.epoch.load(Ordering::Acquire);
+        for _ in 0..8 {
+            let ts = db.commit_clock.allocate();
+            db.note_commit(ts);
+        }
+        assert_eq!(db.epoch.load(Ordering::Acquire), e0 + 1);
+    }
+}

@@ -224,10 +224,10 @@ impl Ic3Protocol {
     ) -> Result<usize, Abort> {
         ctx.op_seq += 1;
         let tuple = db
-            .table(table)
+            .table_for(table, key)
             .get(key)
             .unwrap_or_else(|| panic!("ic3: missing key {key} in table {}", table.0));
-        if let Some(i) = ctx.find_access(table, tuple.row_id) {
+        if let Some(i) = ctx.find_access(table, tuple.key) {
             if write {
                 ctx.accesses[i].mode = LockMode::Ex;
             }
@@ -536,13 +536,7 @@ impl Protocol for Ic3Protocol {
             }
         }
         ctx.timers.commit_wait += t0.elapsed();
-        wal.append_commit(
-            ctx.shared.id,
-            ctx.accesses
-                .iter()
-                .filter(|a| a.dirty)
-                .map(|a| (a.table, a.tuple.row_id, &a.local)),
-        );
+        crate::protocol::log_commit(db, ctx, wal);
         // MVCC commit timestamp for the versioned installs below.
         ctx.commit_ts = db.commit_clock.allocate();
         if !ctx.shared.try_commit_point() {
@@ -552,6 +546,7 @@ impl Protocol for Ic3Protocol {
         // Install writes (column-masked) as new committed versions and
         // clear accessor entries and versions.
         let watermark = db.gc_watermark();
+        let trim = db.trim_threshold();
         for i in 0..ctx.accesses.len() {
             let a = &ctx.accesses[i];
             let mut st = a.tuple.meta.ic3.lock();
@@ -561,7 +556,8 @@ impl Protocol for Ic3Protocol {
                 st.versions.retain(|v| v.txn.id != ctx.shared.id);
                 let mut base = a.tuple.read_row();
                 apply_masked(&mut base, &a.local, wmask);
-                a.tuple.install_versioned(base, ctx.commit_ts, watermark);
+                a.tuple
+                    .install_versioned_with(base, ctx.commit_ts, watermark, trim);
                 st.install_seq += 1;
             }
             st.accessors.retain(|e| e.txn.id != ctx.shared.id);

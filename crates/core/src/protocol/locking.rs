@@ -23,7 +23,7 @@ use bamboo_storage::{Row, TableId, Tuple};
 use crate::db::Database;
 use crate::lock::{Acquired, CommitInstall, LockPolicy};
 use crate::meta::TupleCc;
-use crate::protocol::{apply_inserts, commit_snapshot, snapshot_read, Protocol};
+use crate::protocol::{apply_inserts, commit_snapshot, log_commit, snapshot_read, Protocol};
 use crate::ts::UNASSIGNED;
 use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
 use crate::wal::WalHandle;
@@ -289,7 +289,9 @@ impl LockingProtocol {
     /// Next-key (gap) lock for an insert of `key`: exclusive-locks the
     /// smallest existing key greater than `key`, forcing an ordering with
     /// any scanner holding that key shared. Only taken under Serializable
-    /// with an ordered index present.
+    /// with an ordered index present. On a partitioned database the next
+    /// key is resolved across every shard ([`Database::next_key_after`]),
+    /// so the gap guard spans partition boundaries.
     fn lock_insert_gap(
         &self,
         db: &Database,
@@ -300,17 +302,17 @@ impl LockingProtocol {
         if self.isolation != IsolationLevel::Serializable {
             return Ok(());
         }
-        let Some(idx) = db.table(table).ordered_index() else {
+        if !db.has_ordered_index(table) {
             return Ok(());
-        };
-        let Some((next, _)) = idx.next_key_after(key) else {
+        }
+        let Some(next) = db.next_key_after(table, key) else {
             return Ok(());
         };
         let tuple = db
-            .table(table)
+            .table_for(table, next)
             .get(next)
             .expect("ordered index points at existing tuple");
-        if ctx.find_access(table, tuple.row_id).is_some() {
+        if ctx.find_access(table, tuple.key).is_some() {
             // Already hold it (e.g. several inserts into one gap): any
             // held mode suffices for ordering with scanners.
             return Ok(());
@@ -380,8 +382,15 @@ impl LockingProtocol {
     /// Releases every entry (commit or abort path). On commit, dirty
     /// images install as new committed versions tagged with the
     /// transaction's commit timestamp; `watermark` drives the eager
-    /// version-chain GC. Returns cascaded count.
-    fn release_all(&self, ctx: &mut TxnCtx, committed: bool, watermark: u64) -> usize {
+    /// version-chain GC and `trim_threshold` its amortization. Returns
+    /// cascaded count.
+    fn release_all(
+        &self,
+        ctx: &mut TxnCtx,
+        committed: bool,
+        watermark: u64,
+        trim_threshold: usize,
+    ) -> usize {
         let mut cascaded = 0;
         let commit_ts = ctx.commit_ts;
         for a in ctx.accesses.iter_mut() {
@@ -394,6 +403,7 @@ impl LockingProtocol {
                     row: &a.local,
                     commit_ts,
                     watermark,
+                    trim_threshold,
                 })
             } else {
                 None
@@ -437,10 +447,10 @@ impl Protocol for LockingProtocol {
             return snapshot_read(db, ctx, table, key);
         }
         let tuple = db
-            .table(table)
+            .table_for(table, key)
             .get(key)
             .unwrap_or_else(|| panic!("read: missing key {key} in table {}", table.0));
-        if let Some(i) = ctx.find_access(table, tuple.row_id) {
+        if let Some(i) = ctx.find_access(table, tuple.key) {
             // Own writes are always visible; under read committed a clean
             // cached read is refreshed instead (non-repeatable by design).
             if self.isolation != IsolationLevel::ReadCommitted
@@ -534,10 +544,10 @@ impl Protocol for LockingProtocol {
         ctx.forbid_snapshot_write("update");
         ctx.op_seq += 1;
         let tuple = db
-            .table(table)
+            .table_for(table, key)
             .get(key)
             .unwrap_or_else(|| panic!("update: missing key {key} in table {}", table.0));
-        let i = match ctx.find_access(table, tuple.row_id) {
+        let i = match ctx.find_access(table, tuple.key) {
             Some(i) => {
                 // Re-access. Three cases:
                 //  * still an exclusive owner: just mutate the local copy;
@@ -594,7 +604,7 @@ impl Protocol for LockingProtocol {
                         // A weak-isolation read cached this key without a
                         // lock entry; forget it and take a fresh exclusive
                         // acquire.
-                        ctx.forget_access(table, tuple.row_id);
+                        ctx.forget_access(table, tuple.key);
                         let (row, retired) =
                             self.acquire_blocking(db, ctx, &tuple, LockMode::Ex)?;
                         debug_assert!(!retired);
@@ -616,7 +626,7 @@ impl Protocol for LockingProtocol {
                             IsolationLevel::ReadUncommitted,
                             "only RU releases writes mid-transaction"
                         );
-                        ctx.forget_access(table, tuple.row_id);
+                        ctx.forget_access(table, tuple.key);
                         let (row, _) = self.acquire_blocking(db, ctx, &tuple, LockMode::Ex)?;
                         ctx.push_access(Access {
                             table,
@@ -738,13 +748,10 @@ impl Protocol for LockingProtocol {
         ctx.timers.commit_wait += t0.elapsed();
 
         // Algorithm 1 line 6: log, then the commit point (Definition 1).
-        wal.append_commit(
-            ctx.shared.id,
-            ctx.accesses
-                .iter()
-                .filter(|a| a.dirty)
-                .map(|a| (a.table, a.tuple.row_id, &a.local)),
-        );
+        // On a partitioned database the record splits into per-partition
+        // WAL appends in ascending partition-id order (the PartitionedDb
+        // commit-ordering contract).
+        log_commit(db, ctx, wal);
         // Allocate the MVCC commit timestamp just before the commit point:
         // installs (and commit-time inserts) are tagged with it, and the
         // clock keeps it "in flight" until every install landed, so
@@ -757,7 +764,7 @@ impl Protocol for LockingProtocol {
             return Err(ctx.abort_err());
         }
         apply_inserts(db, ctx);
-        self.release_all(ctx, true, db.gc_watermark());
+        self.release_all(ctx, true, db.gc_watermark(), db.trim_threshold());
         db.note_commit(ctx.commit_ts);
         Ok(())
     }
@@ -784,13 +791,13 @@ impl Protocol for LockingProtocol {
         table: TableId,
         range: std::ops::RangeInclusive<u64>,
     ) -> Result<Vec<Row>, Abort> {
-        let idx = db
-            .table(table)
-            .ordered_index()
-            .expect("scan requires an ordered index (Table::enable_ordered_index)");
         let in_snapshot = ctx.snapshot.is_some();
         let mut rows = Vec::new();
-        for (key, _) in idx.range(range.clone()) {
+        // Partitioned databases merge the key set across every shard's
+        // index; each key then reads from its owning shard. A remote key
+        // invisible at the snapshot is skipped exactly like a local one —
+        // the Txn::read_opt absorption rule, never an abort.
+        for key in db.scan_keys(table, range.clone()) {
             match self.read(db, ctx, table, key) {
                 Ok(row) => rows.push(row.clone()),
                 Err(Abort(AbortReason::SnapshotNotVisible)) if in_snapshot => continue,
@@ -798,7 +805,7 @@ impl Protocol for LockingProtocol {
             }
         }
         if self.isolation == IsolationLevel::Serializable && !in_snapshot {
-            if let Some((next, _)) = idx.next_key_after(*range.end()) {
+            if let Some(next) = db.next_key_after(table, *range.end()) {
                 self.read(db, ctx, table, next)?;
             }
         }
@@ -810,7 +817,7 @@ impl Protocol for LockingProtocol {
         ctx.shared.set_abort(AbortReason::User);
         ctx.inserts.clear();
         ctx.end_snapshot(db);
-        self.release_all(ctx, false, 0)
+        self.release_all(ctx, false, 0, db.trim_threshold())
     }
 }
 

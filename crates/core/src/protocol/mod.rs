@@ -107,10 +107,15 @@ pub trait Protocol: Send + Sync {
     /// The default implementation performs plain per-key reads — correct
     /// under every protocol, with no phantom protection. Protocols with a
     /// stronger story override it ([`LockingProtocol`] adds §3.4's
-    /// next-key locking under Serializable). In snapshot mode, rows not
-    /// visible at the snapshot timestamp are skipped — an index entry
-    /// committed after the snapshot was taken is a phantom to this
-    /// transaction, not an error.
+    /// next-key locking under Serializable). On a partitioned database the
+    /// key set merges every partition's index shard
+    /// ([`Database::scan_keys`]), so a range spanning partitions reads
+    /// each key from its owning shard. In snapshot mode, rows not visible
+    /// at the snapshot timestamp are skipped — an index entry committed
+    /// after the snapshot was taken is a phantom to this transaction, not
+    /// an error — and the skip applies identically to local and remote
+    /// partitions' keys (the same `Ok(None)`-style absorption as
+    /// [`crate::session::Txn::read_opt`], never an abort).
     fn scan(
         &self,
         db: &Database,
@@ -118,13 +123,9 @@ pub trait Protocol: Send + Sync {
         table: TableId,
         range: std::ops::RangeInclusive<u64>,
     ) -> Result<Vec<Row>, Abort> {
-        let idx = db
-            .table(table)
-            .ordered_index()
-            .expect("scan requires an ordered index (Table::enable_ordered_index)");
         let in_snapshot = ctx.snapshot.is_some();
         let mut rows = Vec::new();
-        for (key, _) in idx.range(range) {
+        for key in db.scan_keys(table, range) {
             match self.read(db, ctx, table, key) {
                 Ok(row) => rows.push(row.clone()),
                 Err(Abort(crate::txn::AbortReason::SnapshotNotVisible)) if in_snapshot => continue,
@@ -156,14 +157,96 @@ pub trait Protocol: Send + Sync {
 
 /// Applies buffered inserts at commit time (shared by all protocols). The
 /// new rows' first version carries the transaction's commit timestamp, so
-/// snapshots older than the inserting transaction do not see them.
+/// snapshots older than the inserting transaction do not see them. Each
+/// insert lands in the shard owning its key (the local table on a
+/// monolithic database), and secondary-index maintenance stays within
+/// that shard.
 pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
     for ins in ctx.inserts.drain(..) {
-        let table = db.table(ins.table);
+        let table = db.table_for(ins.table, ins.key);
         let tuple = table.insert_at(ins.key, ins.row, ctx.commit_ts);
         if let Some((slot, skey)) = ins.secondary {
             table.secondary_index(slot).insert(skey, tuple.row_id);
         }
+    }
+}
+
+/// Appends one commit's redo record to the WAL (shared by all protocols).
+///
+/// * Monolithic database: one append to the session's ring, as always.
+/// * Partitioned database: the record is split by partition and appended
+///   to each *written* partition's WAL segment **in ascending
+///   partition-id order** — the commit-ordering contract of
+///   [`crate::partition::PartitionedDb`]. A partition-local transaction
+///   therefore performs exactly one append, to its home segment (which is
+///   what the session's handle is bound to under
+///   [`crate::partition::PartSession`]).
+pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
+    let dirty = |a: &&crate::txn::Access| a.dirty;
+    let Some(topo) = db.topology() else {
+        wal.append_commit(
+            ctx.shared.id,
+            ctx.accesses
+                .iter()
+                .filter(dirty)
+                .map(|a| (a.table, a.tuple.row_id, &a.local)),
+        );
+        return;
+    };
+    // Fast path: the write set usually lives on a single partition (the
+    // partition-local transactions the architecture optimizes for), so
+    // first scan for the set of written partitions without allocating.
+    let mut single: Option<bamboo_storage::PartitionId> = None;
+    let mut homogeneous = true;
+    for a in ctx.accesses.iter().filter(|a| a.dirty) {
+        let p = topo.router.route_from(topo.me, a.table, a.tuple.key);
+        match single {
+            None => single = Some(p),
+            Some(prev) if prev != p => {
+                homogeneous = false;
+                break;
+            }
+            Some(_) => {}
+        }
+    }
+    // A commit with no writes still logs its header record, to the home
+    // partition (parity with the monolithic path); a single-partition
+    // write set appends once to the owning segment — no grouping, no
+    // allocation.
+    if homogeneous {
+        let p = single.unwrap_or(topo.me);
+        topo.wals[p.idx()].append_commit(
+            ctx.shared.id,
+            ctx.accesses
+                .iter()
+                .filter(|a| a.dirty)
+                .map(|a| (a.table, a.tuple.row_id, &a.local)),
+        );
+        return;
+    }
+    // Cross-partition write set: group by owning partition (small vecs of
+    // indexes; write sets are tens of entries, partitions a handful).
+    let n = topo.router.partitions() as usize;
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, a) in ctx.accesses.iter().enumerate() {
+        if a.dirty {
+            let p = topo.router.route_from(topo.me, a.table, a.tuple.key);
+            groups[p.idx()].push(i);
+        }
+    }
+    // Ascending partition-id order: the fixed acquisition order of the
+    // commit-ordering contract.
+    for (p, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        topo.wals[p].append_commit(
+            ctx.shared.id,
+            group
+                .iter()
+                .map(|&i| &ctx.accesses[i])
+                .map(|a| (a.table, a.tuple.row_id, &a.local)),
+        );
     }
 }
 
@@ -197,10 +280,10 @@ pub(crate) fn snapshot_read<'c>(
             return Err(Abort(AbortReason::SnapshotTooOld));
         }
     }
-    let Some(tuple) = db.table(table).get(key) else {
+    let Some(tuple) = db.table_for(table, key).get(key) else {
         return Err(Abort(AbortReason::SnapshotNotVisible));
     };
-    if let Some(i) = ctx.find_access(table, tuple.row_id) {
+    if let Some(i) = ctx.find_access(table, tuple.key) {
         return Ok(&ctx.accesses[i].local);
     }
     let Some(row) = tuple.read_at(snap) else {

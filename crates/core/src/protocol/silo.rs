@@ -30,7 +30,7 @@ use bamboo_storage::{Row, TableId, Tuple};
 
 use crate::db::Database;
 use crate::meta::TupleCc;
-use crate::protocol::{apply_inserts, commit_snapshot, snapshot_read, Protocol};
+use crate::protocol::{apply_inserts, commit_snapshot, log_commit, snapshot_read, Protocol};
 use crate::txn::{Abort, AbortReason, Access, AccessState, LockMode, PendingInsert, TxnCtx};
 use crate::wal::WalHandle;
 
@@ -131,10 +131,10 @@ impl Protocol for SiloProtocol {
             return snapshot_read(db, ctx, table, key);
         }
         let tuple = db
-            .table(table)
+            .table_for(table, key)
             .get(key)
             .unwrap_or_else(|| panic!("read: missing key {key} in table {}", table.0));
-        if let Some(i) = ctx.find_access(table, tuple.row_id) {
+        if let Some(i) = ctx.find_access(table, tuple.key) {
             return Ok(&ctx.accesses[i].local);
         }
         let (row, tid) = Self::stable_read(&tuple);
@@ -163,10 +163,10 @@ impl Protocol for SiloProtocol {
         ctx.forbid_snapshot_write("update");
         ctx.op_seq += 1;
         let tuple = db
-            .table(table)
+            .table_for(table, key)
             .get(key)
             .unwrap_or_else(|| panic!("update: missing key {key} in table {}", table.0));
-        let i = match ctx.find_access(table, tuple.row_id) {
+        let i = match ctx.find_access(table, tuple.key) {
             Some(i) => {
                 ctx.accesses[i].mode = LockMode::Ex;
                 i
@@ -254,14 +254,9 @@ impl Protocol for SiloProtocol {
         }
         let new_tid = max_tid + 2; // LSB reserved for the lock bit.
 
-        // Commit point: log then install.
-        wal.append_commit(
-            ctx.shared.id,
-            write_idx
-                .iter()
-                .map(|&i| &ctx.accesses[i])
-                .map(|a| (a.table, a.tuple.row_id, &a.local)),
-        );
+        // Commit point: log then install (per-partition WAL appends in
+        // partition-id order when the database is partitioned).
+        log_commit(db, ctx, wal);
         // MVCC commit timestamp: the write set is locked and validation
         // passed, so the serialization point is now; snapshots cannot be
         // taken past this timestamp until every install lands.
@@ -272,10 +267,11 @@ impl Protocol for SiloProtocol {
         // Phase 3: install write set as new committed versions, bump TIDs,
         // unlock.
         let watermark = db.gc_watermark();
+        let trim = db.trim_threshold();
         for &i in &write_idx {
             let a = &ctx.accesses[i];
             a.tuple
-                .install_versioned(a.local.clone(), ctx.commit_ts, watermark);
+                .install_versioned_with(a.local.clone(), ctx.commit_ts, watermark, trim);
             Self::unlock_with(&a.tuple, new_tid);
         }
         apply_inserts(db, ctx);

@@ -214,7 +214,7 @@ pub struct Session {
     db: Arc<Database>,
     proto: Arc<dyn Protocol>,
     retry: RetryPolicy,
-    wal: WalHandle,
+    wal: Arc<WalHandle>,
 }
 
 impl Session {
@@ -225,7 +225,7 @@ impl Session {
             db,
             proto,
             retry: RetryPolicy::default(),
-            wal: WalHandle::new(),
+            wal: Arc::new(WalHandle::new()),
         }
     }
 
@@ -237,7 +237,15 @@ impl Session {
 
     /// Shrinks (or grows) the WAL ring — tests use small rings.
     pub fn with_wal_capacity(mut self, bytes: usize) -> Self {
-        self.wal = WalHandle::from_buffer(WalBuffer::with_capacity(bytes));
+        self.wal = Arc::new(WalHandle::from_buffer(WalBuffer::with_capacity(bytes)));
+        self
+    }
+
+    /// Binds the session to an existing (possibly shared) WAL handle —
+    /// partition-aware sessions point every worker of one partition at
+    /// that partition's WAL segment.
+    pub fn with_wal_handle(mut self, wal: Arc<WalHandle>) -> Self {
+        self.wal = wal;
         self
     }
 
@@ -338,7 +346,7 @@ impl Session {
         let mut attempt = 0u32;
         loop {
             let t0 = Instant::now();
-            let (res, cascaded, timers, locks) = self.attempt(spec);
+            let (res, cascaded, timers, locks, spanned) = self.attempt(spec);
             if let Some(stats) = stats.as_deref_mut() {
                 stats.lock_wait += timers.lock_wait;
                 stats.commit_wait += timers.commit_wait;
@@ -349,6 +357,9 @@ impl Session {
                 }
                 match res {
                     Ok(()) => {
+                        if spanned > 1 {
+                            stats.cross_partition_commits += 1;
+                        }
                         if snapshot {
                             stats.record_snapshot_commit(t0.elapsed());
                         } else {
@@ -385,15 +396,21 @@ impl Session {
 
     /// One attempt: begin per the spec's options, run the pieces in order,
     /// commit — aborting the attempt on any failure. Returns the result,
-    /// the abort-cascade count, and the attempt's timers/lock counters.
-    fn attempt(&self, spec: &dyn TxnSpec) -> (Result<(), Abort>, usize, TxnTimers, u64) {
+    /// the abort-cascade count, the attempt's timers/lock counters, and
+    /// the number of partitions the access set spanned (always 1 on a
+    /// monolithic database).
+    fn attempt(&self, spec: &dyn TxnSpec) -> (Result<(), Abort>, usize, TxnTimers, u64, u32) {
         let mut txn = self.begin_with(TxnOptions::for_spec(spec));
+        let mut spanned = 1;
         let res = (|| -> Result<(), Abort> {
             for p in 0..spec.pieces() {
                 txn.piece_begin(p)?;
                 spec.run_piece(p, &mut txn)?;
                 txn.piece_end()?;
             }
+            // Before the commit: apply_inserts drains the buffered inserts,
+            // which count toward the partition span.
+            spanned = txn.partitions_spanned();
             txn.commit_in_place()
         })();
         let timers = txn.ctx.timers;
@@ -403,7 +420,7 @@ impl Session {
         } else {
             0
         };
-        (res, cascaded, timers, locks)
+        (res, cascaded, timers, locks, spanned)
     }
 }
 
@@ -457,11 +474,9 @@ impl<'s> Txn<'s> {
         {
             return Ok(Some(&self.ctx.inserts[i].row));
         }
-        let Some(tuple) = self.session.db.table(table).get(key) else {
+        if self.session.db.table_for(table, key).get(key).is_none() {
             return Ok(None);
-        };
-        let row_id = tuple.row_id;
-        drop(tuple);
+        }
         let in_snapshot = self.ctx.snapshot.is_some();
         match self
             .session
@@ -477,7 +492,7 @@ impl<'s> Txn<'s> {
         // over the error arms (NLL limitation).
         let i = self
             .ctx
-            .find_access(table, row_id)
+            .find_access(table, key)
             .expect("successful read recorded an access");
         Ok(Some(&self.ctx.accesses[i].local))
     }
@@ -491,6 +506,7 @@ impl<'s> Txn<'s> {
         key: u64,
         mut f: impl FnMut(&mut Row),
     ) -> Result<(), Abort> {
+        self.forbid_replicated_write(table, "update");
         self.session
             .proto
             .update(&self.session.db, &mut self.ctx, table, key, &mut f)
@@ -505,9 +521,25 @@ impl<'s> Txn<'s> {
         row: Row,
         secondary: Option<(usize, u64)>,
     ) -> Result<(), Abort> {
+        self.forbid_replicated_write(table, "insert");
         self.session
             .proto
             .insert(&self.session.db, &mut self.ctx, table, key, row, secondary)
+    }
+
+    /// A write to a replicated table would only touch the *local* replica
+    /// and silently diverge the copies — replicated tables are read-only
+    /// reference data by contract, enforced here at the one user-facing
+    /// write chokepoint.
+    #[inline]
+    fn forbid_replicated_write(&self, _table: TableId, _op: &str) {
+        debug_assert!(
+            !self.session.db.is_table_replicated(_table),
+            "cannot {_op} replicated table {}: writes only reach the local \
+             replica and would diverge the copies (replicated tables are \
+             read-only reference data)",
+            _table.0
+        );
     }
 
     /// Range scan over the table's ordered index (phantom-protected under
@@ -571,6 +603,20 @@ impl<'s> Txn<'s> {
     /// asserted by the stats layer).
     pub fn locks_acquired(&self) -> u64 {
         self.ctx.locks_acquired
+    }
+
+    /// Number of distinct partitions this attempt's access set (reads,
+    /// writes, buffered inserts) touches — always 1 on a monolithic
+    /// database, and 1 for the partition-local fast path of a
+    /// partitioned one.
+    pub fn partitions_spanned(&self) -> u32 {
+        self.session.db.partitions_spanned(
+            self.ctx
+                .accesses
+                .iter()
+                .map(|a| (a.table, a.tuple.key))
+                .chain(self.ctx.inserts.iter().map(|i| (i.table, i.key))),
+        )
     }
 
     /// Read-only view of the execution context (assertions, diagnostics).

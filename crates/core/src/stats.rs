@@ -92,6 +92,11 @@ pub struct WorkerStats {
     /// [`WorkerStats::latency_us_log2`] (own bucket so 1000-tuple scans do
     /// not pollute the short-transaction percentiles).
     pub snapshot_latency_us_log2: [u64; 32],
+    /// Committed transactions whose access set spanned more than one
+    /// partition (0 on a monolithic database; also counted in
+    /// [`WorkerStats::commits`]). The partition-scaling benches report the
+    /// cross-partition share from this.
+    pub cross_partition_commits: u64,
 }
 
 impl WorkerStats {
@@ -145,6 +150,7 @@ impl WorkerStats {
         self.snapshot_commits += other.snapshot_commits;
         self.snapshot_aborts += other.snapshot_aborts;
         self.snapshot_lock_acquisitions += other.snapshot_lock_acquisitions;
+        self.cross_partition_commits += other.cross_partition_commits;
         for i in 0..32 {
             self.latency_us_log2[i] += other.latency_us_log2[i];
             self.snapshot_latency_us_log2[i] += other.snapshot_latency_us_log2[i];
@@ -228,6 +234,16 @@ impl BenchResult {
     /// Approximate latency percentile of the snapshot-commit bucket.
     pub fn snapshot_latency_percentile_us(&self, q: f64) -> u64 {
         Self::percentile_of(&self.totals.snapshot_latency_us_log2, q)
+    }
+
+    /// Fraction of commits whose access set spanned more than one
+    /// partition (0.0 on a monolithic database).
+    pub fn cross_partition_share(&self) -> f64 {
+        if self.totals.commits == 0 {
+            0.0
+        } else {
+            self.totals.cross_partition_commits as f64 / self.totals.commits as f64
+        }
     }
 
     fn percentile_of(hist: &[u64; 32], q: f64) -> u64 {

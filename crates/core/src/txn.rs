@@ -564,24 +564,29 @@ impl TxnCtx {
         }
     }
 
-    /// Finds an existing access of `(table, row)`.
+    /// Finds an existing access of `(table, key)`. Keyed by *primary key*,
+    /// not row id: row ids are per-shard slab positions, so on a
+    /// partitioned database two tuples of one table on different
+    /// partitions can share a row id — the primary key is unique across
+    /// the whole logical keyspace (replicated tables always resolve to
+    /// the local replica, so one key still means one tuple per
+    /// transaction).
     #[inline]
-    pub fn find_access(&self, table: TableId, row: RowId) -> Option<usize> {
-        self.index.get(&(table.0, row)).copied()
+    pub fn find_access(&self, table: TableId, key: u64) -> Option<usize> {
+        self.index.get(&(table.0, key)).copied()
     }
 
-    /// Drops the cache entry for `(table, row)` so the next access of the
+    /// Drops the cache entry for `(table, key)` so the next access of the
     /// key takes a fresh acquire (read-committed re-reads, read-uncommitted
     /// re-writes).
-    pub fn forget_access(&mut self, table: TableId, row: RowId) {
-        self.index.remove(&(table.0, row));
+    pub fn forget_access(&mut self, table: TableId, key: u64) {
+        self.index.remove(&(table.0, key));
     }
 
     /// Records a new access and returns its index.
     pub fn push_access(&mut self, access: Access) -> usize {
         let idx = self.accesses.len();
-        self.index
-            .insert((access.table.0, access.tuple.row_id), idx);
+        self.index.insert((access.table.0, access.tuple.key), idx);
         self.accesses.push(access);
         idx
     }

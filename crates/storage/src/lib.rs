@@ -19,6 +19,11 @@
 //! * [`catalog`]/[`table`] — tables, tuples, and the append-only tuple
 //!   slab; [`index`]/[`ordered`] — primary/secondary hash indexes and the
 //!   ordered (range/next-key) index.
+//! * [`partition`] — the [`Router`] mapping `(table, key)` → partition id
+//!   (hash, explicit key-range, embedded-entity and replicated
+//!   strategies); `bamboo-core` builds per-partition catalog shards on
+//!   top of it so installs, lock traffic and GC trims of one partition
+//!   never touch another's cache lines.
 //! * [`version`] — each tuple's committed [`VersionChain`]: the newest
 //!   image plus older versions tagged with commit timestamps. Committing
 //!   writers call [`Tuple::install_versioned`] with the commit timestamp
@@ -49,6 +54,7 @@
 pub mod catalog;
 pub mod index;
 pub mod ordered;
+pub mod partition;
 mod row;
 mod schema;
 pub mod table;
@@ -58,8 +64,9 @@ pub mod version;
 pub use catalog::{Catalog, TableId};
 pub use index::{hash_key, SecondaryIndex, ShardedIndex};
 pub use ordered::OrderedIndex;
+pub use partition::{PartitionId, RouteStrategy, Router};
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::{RowId, Table, Tuple};
 pub use value::Value;
-pub use version::{VersionChain, TS_LOADER};
+pub use version::{VersionChain, DEFAULT_TRIM_THRESHOLD, TS_LOADER};

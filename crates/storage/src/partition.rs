@@ -1,0 +1,267 @@
+//! Partition routing: the location abstraction of the sharded storage
+//! layer.
+//!
+//! A partitioned database holds one *shard* of every table per partition —
+//! its own tuple slab, hash index, ordered index and version chains — so
+//! installs, lock traffic and GC trims on one partition never touch
+//! another partition's cache lines. The [`Router`] is the seam between the
+//! logical keyspace and those physical shards: it maps `(table, key)` to a
+//! [`PartitionId`] purely from the key bits, with a per-table
+//! [`RouteStrategy`] override on top of a database-wide default.
+//!
+//! Strategies:
+//!
+//! * [`RouteStrategy::Hash`] — multiplicative hash of the key; the default
+//!   for keyspaces with no exploitable structure.
+//! * [`RouteStrategy::Range`] — explicit ascending upper bounds; partition
+//!   `i` owns keys below `bounds[i]`, the last partition owns the tail.
+//!   YCSB's contiguous row space uses this so a partition's keys stay
+//!   enumerable.
+//! * [`RouteStrategy::ShiftDiv`] — `((key >> shift) / div) % partitions`:
+//!   decodes an entity id embedded in a composite key. TPC-C's
+//!   warehouse-encoded keys (district `w*10+d`, stock `w*items+i`, order
+//!   `(w*10+d)<<32|o`, …) all route by warehouse through this.
+//! * [`RouteStrategy::Replicated`] — every partition holds a full copy;
+//!   lookups resolve to the *local* replica. For read-only reference
+//!   tables (TPC-C `item`): a partition-local transaction never leaves its
+//!   partition for them. Writes touch only the local replica and are not
+//!   propagated — do not use it for mutable tables.
+//! * [`RouteStrategy::Pin`] — the whole table lives on one partition.
+//!
+//! Routing is pure arithmetic on the key: no locks, no shared state, and
+//! deterministic across threads and processes — the property the
+//! cross-partition commit contract (WAL acquisition in partition-id order)
+//! depends on.
+
+use crate::catalog::TableId;
+use crate::index::hash_key;
+
+/// Identifies one partition of a partitioned database (dense, 0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// The partition index as a usize (slab addressing).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How the keys of one table map onto partitions. See the module docs for
+/// when each strategy applies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// `hash(key) % partitions`.
+    Hash,
+    /// Explicit ascending upper bounds (exclusive): partition `i` owns
+    /// keys `< bounds[i]` (and `>=` every earlier bound); keys at or past
+    /// the last bound land on the last partition. Fewer than
+    /// `partitions - 1` bounds leave the trailing partitions empty.
+    Range(Vec<u64>),
+    /// `((key >> shift) / div) % partitions` — extracts an embedded entity
+    /// id (e.g. the warehouse of a TPC-C composite key) and round-robins
+    /// it across partitions. `div` must be non-zero.
+    ShiftDiv {
+        /// Right-shift applied to the key first.
+        shift: u32,
+        /// Divisor applied after the shift.
+        div: u64,
+    },
+    /// Every partition holds a full replica; reads resolve locally.
+    /// Reserved for read-only reference tables (writes are not propagated
+    /// across replicas).
+    Replicated,
+    /// The whole table lives on this one partition.
+    Pin(u32),
+}
+
+/// Maps `(table, key)` to the partition owning that tuple.
+///
+/// Construction is load-time; routing is a pure function of the key and is
+/// called on every operation of a partitioned database, so it stays
+/// branch-light and allocation-free.
+#[derive(Clone, Debug)]
+pub struct Router {
+    partitions: u32,
+    default: RouteStrategy,
+    /// Per-table overrides, indexed by `TableId` (None = default).
+    per_table: Vec<Option<RouteStrategy>>,
+}
+
+impl Router {
+    /// A router over `partitions` partitions using `default` for every
+    /// table without an override. `partitions` must be at least 1.
+    pub fn new(partitions: u32, default: RouteStrategy) -> Self {
+        assert!(partitions >= 1, "a database has at least one partition");
+        Router {
+            partitions,
+            default,
+            per_table: Vec::new(),
+        }
+    }
+
+    /// Overrides the strategy for one table.
+    pub fn with_table(mut self, table: TableId, strategy: RouteStrategy) -> Self {
+        let i = table.0 as usize;
+        if self.per_table.len() <= i {
+            self.per_table.resize(i + 1, None);
+        }
+        self.per_table[i] = Some(strategy);
+        self
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The strategy governing `table`.
+    #[inline]
+    pub fn strategy(&self, table: TableId) -> &RouteStrategy {
+        self.per_table
+            .get(table.0 as usize)
+            .and_then(|s| s.as_ref())
+            .unwrap_or(&self.default)
+    }
+
+    /// True when `table` is replicated on every partition.
+    #[inline]
+    pub fn is_replicated(&self, table: TableId) -> bool {
+        matches!(self.strategy(table), RouteStrategy::Replicated)
+    }
+
+    /// Routes `(table, key)` from the viewpoint of partition `local`:
+    /// replicated tables resolve to the local replica, everything else to
+    /// the owning partition.
+    #[inline]
+    pub fn route_from(&self, local: PartitionId, table: TableId, key: u64) -> PartitionId {
+        let n = self.partitions as u64;
+        let p = match self.strategy(table) {
+            RouteStrategy::Hash => hash_key(&key) % n,
+            RouteStrategy::Range(bounds) => {
+                let i = bounds.partition_point(|b| *b <= key) as u64;
+                i.min(n - 1)
+            }
+            RouteStrategy::ShiftDiv { shift, div } => {
+                debug_assert!(*div != 0, "ShiftDiv with zero divisor");
+                ((key >> shift) / div) % n
+            }
+            RouteStrategy::Replicated => return local,
+            RouteStrategy::Pin(p) => (*p as u64) % n,
+        };
+        PartitionId(p as u32)
+    }
+
+    /// Routes `(table, key)` with partition 0 as the viewpoint (callers
+    /// outside any partition; replicated tables resolve to partition 0).
+    #[inline]
+    pub fn route(&self, table: TableId, key: u64) -> PartitionId {
+        self.route_from(PartitionId(0), table, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(0);
+
+    #[test]
+    fn hash_routing_is_deterministic_and_covers_all_partitions() {
+        let r = Router::new(4, RouteStrategy::Hash);
+        let mut seen = [false; 4];
+        for k in 0..256u64 {
+            let a = r.route(T, k);
+            let b = r.route(T, k);
+            assert_eq!(a, b, "routing must be a pure function of the key");
+            assert!(a.0 < 4);
+            seen[a.idx()] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "256 keys must hit all 4 partitions"
+        );
+    }
+
+    #[test]
+    fn range_routing_boundary_keys() {
+        // Partition 0: [0, 100), 1: [100, 200), 2: [200, ∞).
+        let r = Router::new(3, RouteStrategy::Range(vec![100, 200]));
+        assert_eq!(r.route(T, 0), PartitionId(0));
+        assert_eq!(r.route(T, 99), PartitionId(0));
+        assert_eq!(r.route(T, 100), PartitionId(1), "bound is exclusive below");
+        assert_eq!(r.route(T, 199), PartitionId(1));
+        assert_eq!(r.route(T, 200), PartitionId(2));
+        assert_eq!(
+            r.route(T, u64::MAX),
+            PartitionId(2),
+            "tail partition owns the rest"
+        );
+    }
+
+    #[test]
+    fn range_with_excess_bounds_clamps_to_last_partition() {
+        let r = Router::new(2, RouteStrategy::Range(vec![10, 20, 30]));
+        assert_eq!(r.route(T, 25), PartitionId(1));
+        assert_eq!(r.route(T, 1000), PartitionId(1));
+    }
+
+    #[test]
+    fn shift_div_decodes_embedded_warehouse() {
+        // TPC-C order keys: (w*10 + d) << 32 | o — warehouse = (key>>32)/10.
+        let r = Router::new(4, RouteStrategy::ShiftDiv { shift: 32, div: 10 });
+        for w in 0..8u64 {
+            for d in 0..10u64 {
+                let key = ((w * 10 + d) << 32) | 12345;
+                assert_eq!(r.route(T, key), PartitionId((w % 4) as u32));
+            }
+        }
+        // Plain entity keys: shift 0, div 1 → key % n.
+        let r = Router::new(4, RouteStrategy::ShiftDiv { shift: 0, div: 1 });
+        assert_eq!(r.route(T, 7), PartitionId(3));
+    }
+
+    #[test]
+    fn replicated_resolves_to_local_partition() {
+        let r = Router::new(4, RouteStrategy::Hash).with_table(T, RouteStrategy::Replicated);
+        for p in 0..4 {
+            assert_eq!(r.route_from(PartitionId(p), T, 999), PartitionId(p));
+        }
+        assert!(r.is_replicated(T));
+        assert!(!r.is_replicated(TableId(1)));
+    }
+
+    #[test]
+    fn pin_sends_every_key_to_one_partition() {
+        let r = Router::new(4, RouteStrategy::Hash).with_table(T, RouteStrategy::Pin(2));
+        for k in 0..64u64 {
+            assert_eq!(r.route(T, k), PartitionId(2));
+        }
+    }
+
+    #[test]
+    fn per_table_override_leaves_other_tables_on_default() {
+        let r = Router::new(2, RouteStrategy::Range(vec![50]))
+            .with_table(TableId(3), RouteStrategy::Pin(1));
+        assert_eq!(r.route(TableId(3), 0), PartitionId(1));
+        assert_eq!(r.route(TableId(1), 10), PartitionId(0));
+        assert_eq!(r.route(TableId(1), 60), PartitionId(1));
+        assert_eq!(*r.strategy(TableId(9)), RouteStrategy::Range(vec![50]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        Router::new(0, RouteStrategy::Hash);
+    }
+
+    #[test]
+    fn single_partition_routes_everything_to_zero() {
+        let r = Router::new(1, RouteStrategy::Hash);
+        for k in [0u64, 17, u64::MAX] {
+            assert_eq!(r.route(T, k), PartitionId(0));
+        }
+    }
+}

@@ -1,13 +1,25 @@
-//! TPC-C database loader.
+//! TPC-C database loader — monolithic ([`load`]) and warehouse-partitioned
+//! ([`load_partitioned`]).
+//!
+//! The partitioned variant is the canonical TPC-C split: warehouse `w`
+//! lives on partition `w % partitions`, and every warehouse-scoped table
+//! (district, customer, stock, orders, order lines, history) routes by the
+//! warehouse id embedded in its composite key
+//! ([`bamboo_storage::RouteStrategy::ShiftDiv`] decodes it). The
+//! warehouse-agnostic, read-only `item` table is replicated on every
+//! partition so a partition-local NewOrder never leaves its partition.
 
 use std::sync::Arc;
 
-use bamboo_core::{Database, DatabaseBuilder};
-use bamboo_storage::{DataType, Row, Schema, SecondaryIndex, TableId, Value};
+use bamboo_core::{Database, DatabaseBuilder, PartitionedDb};
+use bamboo_storage::{
+    DataType, PartitionId, RouteStrategy, Row, Schema, SecondaryIndex, TableId, Value,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use super::schema::*;
+use super::txns::HISTORY_SEQ_BITS;
 use super::TpccConfig;
 
 /// Table ids of a loaded TPC-C database.
@@ -114,6 +126,73 @@ fn order_line_schema() -> Schema {
         .column("OL_AMOUNT", DataType::F64)
 }
 
+fn warehouse_row(w: u64, rng: &mut SmallRng) -> Row {
+    Row::from(vec![
+        Value::U64(w),
+        Value::from(format!("WH-{w}")),
+        Value::F64(rng.gen_range(0.0..0.2)),
+        Value::F64(300_000.0),
+    ])
+}
+
+fn district_row(w: u64, d: u64, rng: &mut SmallRng) -> Row {
+    Row::from(vec![
+        Value::U64(dist_key(w, d)),
+        Value::from(format!("D-{w}-{d}")),
+        Value::F64(rng.gen_range(0.0..0.2)),
+        Value::F64(30_000.0),
+        Value::U64(3001),
+    ])
+}
+
+fn customer_row(key: u64, c: u64, name_num: u64, rng: &mut SmallRng) -> Row {
+    let credit = if rng.gen_bool(0.1) { "BC" } else { "GC" };
+    Row::from(vec![
+        Value::U64(key),
+        Value::from(format!("F{c:06}")),
+        Value::from("OE"),
+        Value::from(last_name(name_num)),
+        Value::from(credit),
+        Value::F64(rng.gen_range(0.0..0.5)),
+        Value::F64(-10.0),
+        Value::F64(10.0),
+        Value::U64(1),
+        Value::from("customer-data"),
+    ])
+}
+
+fn item_row(i: u64, rng: &mut SmallRng) -> Row {
+    Row::from(vec![
+        Value::U64(i),
+        Value::from(format!("item-{i}")),
+        Value::F64(rng.gen_range(1.0..100.0)),
+        Value::U64(rng.gen_range(1..10_000)),
+        Value::from("item-data"),
+    ])
+}
+
+fn stock_row(key: u64, rng: &mut SmallRng) -> Row {
+    Row::from(vec![
+        Value::U64(key),
+        Value::I64(rng.gen_range(10..100)),
+        Value::F64(0.0),
+        Value::U64(0),
+        Value::U64(0),
+        Value::from("stock-data"),
+    ])
+}
+
+/// The last-name number of customer `c` of a district: the first 1000 per
+/// district get sequential numbers (spec: uniquely covers the lookup
+/// space); the rest NURand.
+fn customer_name_num(c: u64, rng: &mut SmallRng) -> u64 {
+    if c < LAST_NAMES {
+        c
+    } else {
+        nurand(rng, 255, 0, LAST_NAMES - 1)
+    }
+}
+
 /// Registers the TPC-C tables and loads initial data. Returns the database,
 /// the table ids, and the customer-by-last-name secondary index.
 pub fn load(cfg: &TpccConfig) -> (Arc<Database>, TpccTables, Arc<SecondaryIndex>) {
@@ -142,91 +221,155 @@ pub fn load(cfg: &TpccConfig) -> (Arc<Database>, TpccTables, Arc<SecondaryIndex>
     let mut rng = SmallRng::seed_from_u64(0xBA_5EBA11);
 
     for w in 0..w_count {
-        db.table(tables.warehouse).insert(
-            w,
-            Row::from(vec![
-                Value::U64(w),
-                Value::from(format!("WH-{w}")),
-                Value::F64(rng.gen_range(0.0..0.2)),
-                Value::F64(300_000.0),
-            ]),
-        );
+        db.table(tables.warehouse)
+            .insert(w, warehouse_row(w, &mut rng));
         for d in 0..DISTRICTS_PER_WAREHOUSE {
-            db.table(tables.district).insert(
-                dist_key(w, d),
-                Row::from(vec![
-                    Value::U64(dist_key(w, d)),
-                    Value::from(format!("D-{w}-{d}")),
-                    Value::F64(rng.gen_range(0.0..0.2)),
-                    Value::F64(30_000.0),
-                    Value::U64(3001),
-                ]),
-            );
+            db.table(tables.district)
+                .insert(dist_key(w, d), district_row(w, d, &mut rng));
         }
     }
 
-    // Customers: the first 1000 per district get sequential last-name
-    // numbers (spec: uniquely covers the lookup space); the rest NURand.
     let lastname_idx = db.table(tables.customer).add_secondary_index();
     for w in 0..w_count {
         for d in 0..DISTRICTS_PER_WAREHOUSE {
             for c in 0..cfg.customers_per_district {
-                let name_num = if c < LAST_NAMES {
-                    c
-                } else {
-                    nurand(&mut rng, 255, 0, LAST_NAMES - 1)
-                };
+                let name_num = customer_name_num(c, &mut rng);
                 let key = cust_key(w, d, c, cfg.customers_per_district);
-                let credit = if rng.gen_bool(0.1) { "BC" } else { "GC" };
-                let tuple = db.table(tables.customer).insert(
-                    key,
-                    Row::from(vec![
-                        Value::U64(key),
-                        Value::from(format!("F{c:06}")),
-                        Value::from("OE"),
-                        Value::from(last_name(name_num)),
-                        Value::from(credit),
-                        Value::F64(rng.gen_range(0.0..0.5)),
-                        Value::F64(-10.0),
-                        Value::F64(10.0),
-                        Value::U64(1),
-                        Value::from("customer-data"),
-                    ]),
-                );
+                let tuple = db
+                    .table(tables.customer)
+                    .insert(key, customer_row(key, c, name_num, &mut rng));
                 lastname_idx.insert(lastname_index_key(w, d, name_num), tuple.row_id);
             }
         }
     }
 
     for i in 0..cfg.items {
-        db.table(tables.item).insert(
-            i,
-            Row::from(vec![
-                Value::U64(i),
-                Value::from(format!("item-{i}")),
-                Value::F64(rng.gen_range(1.0..100.0)),
-                Value::U64(rng.gen_range(1..10_000)),
-                Value::from("item-data"),
-            ]),
-        );
+        db.table(tables.item).insert(i, item_row(i, &mut rng));
     }
     for w in 0..w_count {
         for i in 0..cfg.items {
-            db.table(tables.stock).insert(
-                stock_key(w, i, cfg.items),
-                Row::from(vec![
-                    Value::U64(stock_key(w, i, cfg.items)),
-                    Value::I64(rng.gen_range(10..100)),
-                    Value::F64(0.0),
-                    Value::U64(0),
-                    Value::U64(0),
-                    Value::from("stock-data"),
-                ]),
-            );
+            let key = stock_key(w, i, cfg.items);
+            db.table(tables.stock).insert(key, stock_row(key, &mut rng));
         }
     }
 
     (db, tables, lastname_idx)
+}
+
+/// Registers the TPC-C tables on every partition (warehouse `w` →
+/// partition `w % partitions`; `item` replicated) and loads initial data
+/// into the owning shards. Returns the partitioned database, the table
+/// ids, and one customer-by-last-name secondary index per partition
+/// (indexed by partition id — each covers exactly its shard's customers).
+pub fn load_partitioned(
+    cfg: &TpccConfig,
+) -> (Arc<PartitionedDb>, TpccTables, Vec<Arc<SecondaryIndex>>) {
+    let n = cfg.partitions.max(1) as u32;
+    let w_count = cfg.warehouses;
+    let cpd = cfg.customers_per_district;
+    let by_warehouse = |shift: u32, div: u64| RouteStrategy::ShiftDiv { shift, div };
+    let mut b = PartitionedDb::builder(n);
+    let tables = TpccTables {
+        warehouse: b.add_table_with_capacity(
+            "warehouse",
+            warehouse_schema(),
+            w_count as usize,
+            by_warehouse(0, 1),
+        ),
+        district: b.add_table_with_capacity(
+            "district",
+            district_schema(),
+            (w_count * DISTRICTS_PER_WAREHOUSE) as usize,
+            by_warehouse(0, DISTRICTS_PER_WAREHOUSE),
+        ),
+        customer: b.add_table_with_capacity(
+            "customer",
+            customer_schema(),
+            (w_count * DISTRICTS_PER_WAREHOUSE * cpd) as usize,
+            by_warehouse(0, DISTRICTS_PER_WAREHOUSE * cpd),
+        ),
+        history: b.add_table(
+            "history",
+            history_schema(),
+            by_warehouse(HISTORY_SEQ_BITS, 1),
+        ),
+        item: b.add_table_with_capacity(
+            "item",
+            item_schema(),
+            cfg.items as usize,
+            RouteStrategy::Replicated,
+        ),
+        stock: b.add_table_with_capacity(
+            "stock",
+            stock_schema(),
+            (w_count * cfg.items) as usize,
+            by_warehouse(0, cfg.items),
+        ),
+        // Order keys put dist_key in bits 32.. (order_key), order-line
+        // keys shift that by another 4 (16 lines per order).
+        orders: b.add_table(
+            "orders",
+            orders_schema(),
+            by_warehouse(32, DISTRICTS_PER_WAREHOUSE),
+        ),
+        new_order: b.add_table(
+            "new_order",
+            new_order_schema(),
+            by_warehouse(32, DISTRICTS_PER_WAREHOUSE),
+        ),
+        order_line: b.add_table(
+            "order_line",
+            order_line_schema(),
+            by_warehouse(36, DISTRICTS_PER_WAREHOUSE),
+        ),
+    };
+    let pdb = b.build();
+    let mut rng = SmallRng::seed_from_u64(0xBA_5EBA11);
+
+    for w in 0..w_count {
+        pdb.insert(tables.warehouse, w, warehouse_row(w, &mut rng));
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            pdb.insert(
+                tables.district,
+                dist_key(w, d),
+                district_row(w, d, &mut rng),
+            );
+        }
+    }
+
+    let lastname: Vec<Arc<SecondaryIndex>> = (0..n)
+        .map(|p| {
+            pdb.table(PartitionId(p), tables.customer)
+                .add_secondary_index()
+        })
+        .collect();
+    for w in 0..w_count {
+        let shard = (w % n as u64) as usize;
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            for c in 0..cpd {
+                let name_num = customer_name_num(c, &mut rng);
+                let key = cust_key(w, d, c, cpd);
+                let tuple = pdb.insert(
+                    tables.customer,
+                    key,
+                    customer_row(key, c, name_num, &mut rng),
+                );
+                lastname[shard].insert(lastname_index_key(w, d, name_num), tuple.row_id);
+            }
+        }
+    }
+
+    for i in 0..cfg.items {
+        pdb.insert_replicated(tables.item, i, item_row(i, &mut rng));
+    }
+    for w in 0..w_count {
+        for i in 0..cfg.items {
+            let key = stock_key(w, i, cfg.items);
+            pdb.insert(tables.stock, key, stock_row(key, &mut rng));
+        }
+    }
+
+    (pdb, tables, lastname)
 }
 
 #[cfg(test)]

@@ -11,16 +11,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bamboo_core::executor::{TxnSpec, Workload};
-use bamboo_core::Database;
+use bamboo_core::{Database, PartitionedDb};
 use bamboo_storage::SecondaryIndex;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-pub use loader::{load, TpccTables};
+pub use loader::{load, load_partitioned, TpccTables};
 use readonly::{OrderStatusTxn, StockLevelTxn};
 use schema::*;
 pub use templates::templates;
-use txns::{NewOrderTxn, OrderLineReq, PaymentTxn, INVALID_ITEM};
+use txns::{history_key, NewOrderTxn, OrderLineReq, PaymentTxn, INVALID_ITEM};
 
 /// TPC-C configuration.
 #[derive(Clone, Debug)]
@@ -48,6 +48,12 @@ pub struct TpccConfig {
     /// Run the read-only transactions as lock-free MVCC snapshots instead
     /// of locking readers.
     pub readonly_snapshot: bool,
+    /// Warehouse partitioning ([`load_partitioned`]): warehouse `w` lives
+    /// on partition `w % partitions`, `item` is replicated. 1 = the
+    /// classic monolithic database. Remote-warehouse payments and
+    /// remote-stock order lines become genuine cross-partition
+    /// transactions.
+    pub partitions: u64,
 }
 
 impl Default for TpccConfig {
@@ -62,6 +68,7 @@ impl Default for TpccConfig {
             neworder_reads_wytd: false,
             readonly_fraction: 0.0,
             readonly_snapshot: false,
+            partitions: 1,
         }
     }
 }
@@ -86,19 +93,44 @@ impl TpccConfig {
         self.readonly_snapshot = snapshot;
         self
     }
+
+    /// Sets the partition count (warehouse `w` → partition
+    /// `w % partitions`; load through [`load_partitioned`]).
+    pub fn with_partitions(mut self, partitions: u64) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Sets both remote knobs at once — the "remote ratio" of the
+    /// partition-scaling benches: `r` is the fraction of Payments paying a
+    /// remote customer *and* the per-line probability of a remote
+    /// supplying warehouse. 0 makes every transaction single-warehouse
+    /// (and, partitioned, single-partition).
+    pub fn with_remote_ratio(mut self, r: f64) -> Self {
+        self.remote_payment_fraction = r;
+        self.remote_stock_fraction = r;
+        self
+    }
 }
 
-/// TPC-C transaction generator.
+/// TPC-C transaction generator. Works over a monolithic database
+/// ([`TpccWorkload::new`]) or a warehouse-partitioned one
+/// ([`TpccWorkload::new_partitioned`]); the only generation-time
+/// difference is which partition's customer shard resolves the
+/// by-last-name lookup and which home partition each spec carries.
 pub struct TpccWorkload {
     cfg: TpccConfig,
-    db: Arc<Database>,
+    /// One database view per partition (a single entry when monolithic).
+    dbs: Vec<Arc<Database>>,
     tables: TpccTables,
-    lastname_idx: Arc<SecondaryIndex>,
+    /// The per-partition customer-by-last-name indexes (parallel to
+    /// `dbs`).
+    lastname: Vec<Arc<SecondaryIndex>>,
     history_seq: AtomicU64,
 }
 
 impl TpccWorkload {
-    /// Builds the generator over a loaded database.
+    /// Builds the generator over a loaded monolithic database.
     pub fn new(
         cfg: TpccConfig,
         db: Arc<Database>,
@@ -107,9 +139,31 @@ impl TpccWorkload {
     ) -> Self {
         TpccWorkload {
             cfg,
-            db,
+            dbs: vec![db],
             tables,
-            lastname_idx,
+            lastname: vec![lastname_idx],
+            history_seq: AtomicU64::new(1),
+        }
+    }
+
+    /// Builds the generator over a warehouse-partitioned database (the
+    /// triple returned by [`load_partitioned`]).
+    pub fn new_partitioned(
+        cfg: TpccConfig,
+        pdb: &Arc<PartitionedDb>,
+        tables: TpccTables,
+        lastname: Vec<Arc<SecondaryIndex>>,
+    ) -> Self {
+        assert_eq!(
+            lastname.len(),
+            pdb.partitions() as usize,
+            "one lastname index per partition"
+        );
+        TpccWorkload {
+            cfg,
+            dbs: pdb.parts().iter().map(|p| Arc::clone(p.db())).collect(),
+            tables,
+            lastname,
             history_seq: AtomicU64::new(1),
         }
     }
@@ -122,6 +176,12 @@ impl TpccWorkload {
     /// The IC3 templates matching this configuration.
     pub fn ic3_templates(&self) -> Vec<bamboo_core::protocol::TemplateDecl> {
         templates(&self.tables, self.cfg.neworder_reads_wytd)
+    }
+
+    /// The shard (and home partition) of warehouse `w` — `w % partitions`,
+    /// matching the router's `ShiftDiv` mapping; 0 when monolithic.
+    fn shard(&self, w: u64) -> usize {
+        (w % self.dbs.len() as u64) as usize
     }
 
     fn gen_new_order(&self, rng: &mut SmallRng) -> NewOrderTxn {
@@ -169,6 +229,7 @@ impl TpccWorkload {
             lines,
             items_per_wh: self.cfg.items,
             read_wytd: self.cfg.neworder_reads_wytd,
+            home: self.shard(w) as u32,
         }
     }
 
@@ -186,12 +247,13 @@ impl TpccWorkload {
             } else {
                 (w, d)
             };
-        // 60% by last name through the secondary index, 40% by id.
+        // 60% by last name through the secondary index, 40% by id. The
+        // lookup resolves against the *customer's* partition — its shard
+        // holds the by-last-name index and the row.
+        let c_shard = self.shard(c_w);
         let c_key = if rng.gen::<f64>() < 0.6 {
             let name_num = nurand(rng, 255, 0, LAST_NAMES - 1);
-            let rows = self
-                .lastname_idx
-                .get(lastname_index_key(c_w, c_d, name_num));
+            let rows = self.lastname[c_shard].get(lastname_index_key(c_w, c_d, name_num));
             if rows.is_empty() {
                 cust_key(
                     c_w,
@@ -204,7 +266,7 @@ impl TpccWorkload {
                 // in first-name order; the loader inserts in first-name
                 // order).
                 let row_id = rows[rows.len() / 2];
-                self.db
+                self.dbs[c_shard]
                     .table(self.tables.customer)
                     .get_by_row_id(row_id)
                     .expect("customer row")
@@ -224,7 +286,8 @@ impl TpccWorkload {
             d,
             c_key,
             amount: rng.gen_range(1.0..5000.0),
-            h_key: self.history_seq.fetch_add(1, Ordering::Relaxed),
+            h_key: history_key(w, self.history_seq.fetch_add(1, Ordering::Relaxed)),
+            home: self.shard(w) as u32,
         }
     }
 }
@@ -250,6 +313,7 @@ impl Workload for TpccWorkload {
                         self.cfg.customers_per_district,
                     ),
                     snapshot: self.cfg.readonly_snapshot,
+                    home: self.shard(w) as u32,
                 });
             }
             return Box::new(StockLevelTxn {
@@ -259,6 +323,7 @@ impl Workload for TpccWorkload {
                 threshold: rng.gen_range(10..=20),
                 items_per_wh: self.cfg.items,
                 snapshot: self.cfg.readonly_snapshot,
+                home: self.shard(w) as u32,
             });
         }
         // The paper: "50% new-order transactions and 50% payment".
@@ -414,6 +479,140 @@ mod tests {
         }
         assert_eq!(db.table(t.orders).len() as u64, expected_orders);
         assert_eq!(db.table(t.new_order).len() as u64, expected_orders);
+    }
+
+    /// Money totals across every partition of a partitioned TPC-C.
+    fn money_totals_partitioned(pdb: &PartitionedDb, t: &TpccTables) -> (f64, f64, f64) {
+        let mut w_ytd = 0.0;
+        let mut d_ytd = 0.0;
+        let mut c_bal = 0.0;
+        for part in pdb.parts() {
+            let db = part.db();
+            let wt = db.table(t.warehouse);
+            for r in 0..wt.len() as u64 {
+                w_ytd += wt.get_by_row_id(r).unwrap().read_row().get_f64(wh::W_YTD);
+            }
+            let dt = db.table(t.district);
+            for r in 0..dt.len() as u64 {
+                d_ytd += dt.get_by_row_id(r).unwrap().read_row().get_f64(dist::D_YTD);
+            }
+            let ct = db.table(t.customer);
+            for r in 0..ct.len() as u64 {
+                c_bal += ct
+                    .get_by_row_id(r)
+                    .unwrap()
+                    .read_row()
+                    .get_f64(cust::C_BALANCE);
+            }
+        }
+        (w_ytd, d_ytd, c_bal)
+    }
+
+    #[test]
+    fn partitioned_loader_places_warehouses_round_robin() {
+        let cfg = TpccConfig {
+            warehouses: 4,
+            partitions: 2,
+            ..tiny_cfg()
+        };
+        let (pdb, t, lastname) = load_partitioned(&cfg);
+        assert_eq!(pdb.partitions(), 2);
+        assert_eq!(lastname.len(), 2);
+        use bamboo_storage::PartitionId;
+        // Warehouses 0, 2 on partition 0; 1, 3 on partition 1.
+        assert_eq!(pdb.table(PartitionId(0), t.warehouse).len(), 2);
+        assert!(pdb.table(PartitionId(0), t.warehouse).get(2).is_some());
+        assert!(pdb.table(PartitionId(1), t.warehouse).get(3).is_some());
+        // District/stock shards follow their warehouse.
+        assert!(pdb
+            .table(PartitionId(1), t.district)
+            .get(dist_key(1, 0))
+            .is_some());
+        assert!(pdb
+            .table(PartitionId(0), t.district)
+            .get(dist_key(1, 0))
+            .is_none());
+        assert!(pdb
+            .table(PartitionId(1), t.stock)
+            .get(stock_key(3, 7, cfg.items))
+            .is_some());
+        // Item is replicated everywhere.
+        for p in 0..2 {
+            assert_eq!(pdb.table(PartitionId(p), t.item).len(), cfg.items as usize);
+        }
+        // Each partition's lastname index resolves only its own customers.
+        let rows = lastname[1].get(lastname_index_key(1, 0, 5));
+        assert!(!rows.is_empty());
+        let tuple = pdb
+            .table(PartitionId(1), t.customer)
+            .get_by_row_id(rows[0])
+            .unwrap();
+        assert_eq!(tuple.key, cust_key(1, 0, 5, cfg.customers_per_district));
+    }
+
+    #[test]
+    fn partitioned_tpcc_conserves_money_with_remote_transactions() {
+        use bamboo_core::executor::run_part_bench;
+        let cfg = TpccConfig {
+            warehouses: 4,
+            partitions: 2,
+            ..tiny_cfg()
+        }
+        .with_remote_ratio(0.3);
+        let (pdb, tables, lastname) = load_partitioned(&cfg);
+        let wl = Arc::new(TpccWorkload::new_partitioned(
+            cfg.clone(),
+            &pdb,
+            tables,
+            lastname,
+        ));
+        let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+        let before = money_totals_partitioned(&pdb, &wl.tables());
+        let wl2: Arc<dyn Workload> = Arc::clone(&wl) as _;
+        let res = run_part_bench(&pdb, &proto, &wl2, &BenchConfig::quick(2));
+        assert!(res.totals.commits > 0);
+        assert!(
+            res.totals.cross_partition_commits > 0,
+            "remote payments/stock must cross partitions"
+        );
+        let after = money_totals_partitioned(&pdb, &wl.tables());
+        let dw = after.0 - before.0;
+        let dd = after.1 - before.1;
+        let dc = before.2 - after.2;
+        assert!(
+            (dw - dd).abs() < 1e-3 && (dw - dc).abs() < 1e-3,
+            "partitioned money leaked (ΔW={dw} ΔD={dd} ΔC={dc})"
+        );
+        assert!(
+            pdb.total_commits() >= res.totals.commits,
+            "partition commit counters are lifetime counters (warmup included), \
+             so they must cover at least the measured commits"
+        );
+    }
+
+    #[test]
+    fn partitioned_tpcc_local_mix_stays_single_partition() {
+        use bamboo_core::executor::run_part_bench;
+        let cfg = TpccConfig {
+            warehouses: 4,
+            partitions: 4,
+            ..tiny_cfg()
+        }
+        .with_remote_ratio(0.0);
+        let (pdb, tables, lastname) = load_partitioned(&cfg);
+        let wl: Arc<dyn Workload> = Arc::new(TpccWorkload::new_partitioned(
+            cfg.clone(),
+            &pdb,
+            tables,
+            lastname,
+        ));
+        let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+        let res = run_part_bench(&pdb, &proto, &wl, &BenchConfig::quick(2));
+        assert!(res.totals.commits > 0);
+        assert_eq!(
+            res.totals.cross_partition_commits, 0,
+            "remote_ratio=0 must keep every transaction on its home partition"
+        );
     }
 
     #[test]

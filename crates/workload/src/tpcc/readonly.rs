@@ -33,9 +33,15 @@ pub struct OrderStatusTxn {
     pub c_key: u64,
     /// Run as a lock-free MVCC snapshot instead of taking SH locks.
     pub snapshot: bool,
+    /// Home partition (`w % partitions`; 0 when unpartitioned).
+    pub home: u32,
 }
 
 impl TxnSpec for OrderStatusTxn {
+    fn home_partition(&self) -> u32 {
+        self.home
+    }
+
     fn planned_ops(&self) -> Option<usize> {
         None // length depends on what exists; δ has nothing to skip anyway
     }
@@ -97,9 +103,15 @@ pub struct StockLevelTxn {
     pub items_per_wh: u64,
     /// Run as a lock-free MVCC snapshot instead of taking SH locks.
     pub snapshot: bool,
+    /// Home partition (`w % partitions`; 0 when unpartitioned).
+    pub home: u32,
 }
 
 impl TxnSpec for StockLevelTxn {
+    fn home_partition(&self) -> u32 {
+        self.home
+    }
+
     fn planned_ops(&self) -> Option<usize> {
         None
     }
@@ -185,6 +197,7 @@ mod tests {
             d: 0,
             c_key: cust_key(0, 0, 5, cfg.customers_per_district),
             snapshot: false,
+            home: 0,
         };
         let mut txn = session.begin();
         os.run_piece(0, &mut txn).unwrap();
@@ -196,6 +209,7 @@ mod tests {
             threshold: 15,
             items_per_wh: cfg.items,
             snapshot: false,
+            home: 0,
         };
         let mut txn = session.begin();
         sl.run_piece(0, &mut txn).unwrap();
@@ -216,6 +230,7 @@ mod tests {
             d: 0,
             c_key: cust_key(0, 0, 5, cfg.customers_per_district),
             snapshot: true,
+            home: 0,
         };
         use bamboo_core::executor::TxnSpec as _;
         assert!(os.read_only_snapshot());

@@ -56,9 +56,16 @@ pub struct NewOrderTxn {
     /// Whether NewOrder additionally reads W_YTD (Figure 11c's modified
     /// workload — only the declared/observed column set changes).
     pub read_wytd: bool,
+    /// Home partition (`w % partitions`; 0 when unpartitioned). Remote
+    /// supplying warehouses make the transaction cross-partition.
+    pub home: u32,
 }
 
 impl TxnSpec for NewOrderTxn {
+    fn home_partition(&self) -> u32 {
+        self.home
+    }
+
     fn pieces(&self) -> usize {
         5
     }
@@ -197,11 +204,32 @@ pub struct PaymentTxn {
     pub c_key: u64,
     /// Payment amount.
     pub amount: f64,
-    /// Unique history key.
+    /// Unique history key ([`history_key`]: home warehouse in the high
+    /// bits so the insert routes to the home partition).
     pub h_key: u64,
+    /// Home partition (`w % partitions`; 0 when unpartitioned). A remote
+    /// customer makes the transaction cross-partition.
+    pub home: u32,
+}
+
+/// Bits of a history key holding the per-run sequence number; the home
+/// warehouse sits above them, so history inserts route to the paying
+/// warehouse's partition.
+pub const HISTORY_SEQ_BITS: u32 = 40;
+
+/// Encodes a history key: home warehouse in the high bits, the global
+/// sequence number below.
+#[inline]
+pub fn history_key(w: u64, seq: u64) -> u64 {
+    debug_assert!(seq < (1 << HISTORY_SEQ_BITS), "history sequence overflow");
+    (w << HISTORY_SEQ_BITS) | seq
 }
 
 impl TxnSpec for PaymentTxn {
+    fn home_partition(&self) -> u32 {
+        self.home
+    }
+
     fn pieces(&self) -> usize {
         4
     }

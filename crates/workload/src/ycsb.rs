@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use bamboo_core::executor::{TxnSpec, Workload};
-use bamboo_core::{Abort, Database, Txn};
-use bamboo_storage::{DataType, Row, Schema, TableId, Value};
+use bamboo_core::{Abort, Database, PartitionedDb, Txn};
+use bamboo_storage::{DataType, RouteStrategy, Row, Schema, TableId, Value};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -42,6 +42,16 @@ pub struct YcsbConfig {
     /// interaction instead of taking SH locks (the "snapshot" series of
     /// the Figure-7 reproduction).
     pub snapshot_ro: bool,
+    /// Partitions of the range-partitioned variant ([`load_partitioned`]):
+    /// the row space splits into `partitions` contiguous ranges, each
+    /// transaction is homed on one partition, and its keys are drawn from
+    /// the home range unless the remote roll fires. 1 = the classic
+    /// monolithic table.
+    pub partitions: u32,
+    /// Fraction of transactions (under `partitions > 1`) that draw their
+    /// keys from the *global* zipfian instead of the home partition's
+    /// range — genuine cross-partition transactions.
+    pub remote_ratio: f64,
 }
 
 impl Default for YcsbConfig {
@@ -54,6 +64,8 @@ impl Default for YcsbConfig {
             long_ro_fraction: 0.0,
             long_ro_ops: 1000,
             snapshot_ro: false,
+            partitions: 1,
+            remote_ratio: 0.0,
         }
     }
 }
@@ -89,6 +101,20 @@ impl YcsbConfig {
         self.snapshot_ro = on;
         self
     }
+
+    /// Range-partitions the table into `partitions` shards with
+    /// `remote_ratio` of transactions drawing keys globally (loaded via
+    /// [`load_partitioned`]).
+    pub fn with_partitions(mut self, partitions: u32, remote_ratio: f64) -> Self {
+        self.partitions = partitions.max(1);
+        self.remote_ratio = remote_ratio;
+        self
+    }
+
+    /// Rows per partition (the last partition absorbs the remainder).
+    pub fn rows_per_partition(&self) -> u64 {
+        self.rows / self.partitions.max(1) as u64
+    }
 }
 
 /// Loads the YCSB table: key + 10 integer payload fields. (The paper's 100-
@@ -96,23 +122,53 @@ impl YcsbConfig {
 /// keep the scaled-down table cache-resident the way the paper's table is
 /// DRAM-resident.)
 pub fn load(cfg: &YcsbConfig) -> (Arc<Database>, TableId) {
+    let mut b = Database::builder();
+    let t = b.add_table_with_capacity("usertable", ycsb_schema(), cfg.rows as usize);
+    let db = b.build();
+    let table = db.table(t);
+    for k in 0..cfg.rows {
+        table.insert(k, ycsb_row(k));
+    }
+    (db, t)
+}
+
+/// Loads the range-partitioned YCSB table: partition `p` owns the
+/// contiguous key range `[p * rows/n, (p+1) * rows/n)` (the last partition
+/// absorbs the remainder), so a partition-homed transaction can sample
+/// keys it is guaranteed to own.
+pub fn load_partitioned(cfg: &YcsbConfig) -> (Arc<PartitionedDb>, TableId) {
+    let n = cfg.partitions.max(1);
+    let per = cfg.rows_per_partition();
+    let bounds: Vec<u64> = (1..n as u64).map(|i| i * per).collect();
+    let mut b = PartitionedDb::builder(n);
+    let t = b.add_table_with_capacity(
+        "usertable",
+        ycsb_schema(),
+        cfg.rows as usize,
+        RouteStrategy::Range(bounds),
+    );
+    let pdb = b.build();
+    for k in 0..cfg.rows {
+        pdb.insert(t, k, ycsb_row(k));
+    }
+    (pdb, t)
+}
+
+fn ycsb_schema() -> Schema {
     let mut schema = Schema::build().column("key", DataType::U64);
     for f in 0..FIELDS {
         schema = schema.column(&format!("f{f}"), DataType::U64);
     }
-    let mut b = Database::builder();
-    let t = b.add_table_with_capacity("usertable", schema, cfg.rows as usize);
-    let db = b.build();
-    let table = db.table(t);
-    for k in 0..cfg.rows {
-        let mut vals = Vec::with_capacity(FIELDS + 1);
-        vals.push(Value::U64(k));
-        for f in 0..FIELDS {
-            vals.push(Value::U64(k.wrapping_mul(31).wrapping_add(f as u64)));
-        }
-        table.insert(k, Row::from(vals));
+    schema
+}
+
+fn ycsb_row(k: u64) -> Row {
+    let mut vals = Vec::with_capacity(FIELDS + 1);
+    vals.push(Value::U64(k));
+    for f in 0..FIELDS {
+        vals.push(Value::U64(k.wrapping_mul(31).wrapping_add(f as u64)));
     }
-    (db, t)
+    Row::from(vals)
 }
 
 struct YcsbOp {
@@ -126,6 +182,7 @@ struct YcsbTxn {
     table: TableId,
     ops: Vec<YcsbOp>,
     snapshot: bool,
+    home: u32,
 }
 
 impl TxnSpec for YcsbTxn {
@@ -135,6 +192,10 @@ impl TxnSpec for YcsbTxn {
 
     fn read_only_snapshot(&self) -> bool {
         self.snapshot
+    }
+
+    fn home_partition(&self) -> u32 {
+        self.home
     }
 
     fn run_piece(&self, _piece: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
@@ -158,22 +219,34 @@ pub struct YcsbWorkload {
     cfg: YcsbConfig,
     table: TableId,
     zipf: Zipfian,
+    /// Zipfian over one partition's row range (`partitions > 1` only):
+    /// partition-homed transactions skew within their own range, so every
+    /// partition reproduces the hotspot locally.
+    part_zipf: Option<Zipfian>,
 }
 
 impl YcsbWorkload {
     /// Builds the generator (precomputes the zipfian tables).
     pub fn new(cfg: YcsbConfig, table: TableId) -> Self {
         let zipf = Zipfian::new(cfg.rows, cfg.theta);
-        YcsbWorkload { cfg, table, zipf }
+        let part_zipf =
+            (cfg.partitions > 1).then(|| Zipfian::new(cfg.rows_per_partition().max(1), cfg.theta));
+        YcsbWorkload {
+            cfg,
+            table,
+            zipf,
+            part_zipf,
+        }
     }
 
     /// Draws `n` distinct keys (distinct keys avoid intra-transaction
-    /// upgrades, matching DBx1000's YCSB driver).
-    fn distinct_keys(&self, n: usize, rng: &mut SmallRng) -> Vec<u64> {
+    /// upgrades, matching DBx1000's YCSB driver) from `zipf`, offset by
+    /// `base` (the home partition's range start; 0 for global draws).
+    fn distinct_keys(&self, zipf: &Zipfian, base: u64, n: usize, rng: &mut SmallRng) -> Vec<u64> {
         let mut keys: Vec<u64> = Vec::with_capacity(n);
         let mut attempts = 0;
         while keys.len() < n {
-            let k = self.zipf.sample(rng);
+            let k = base + zipf.sample(rng);
             attempts += 1;
             if attempts > 16 * n || !keys.contains(&k) {
                 keys.push(k);
@@ -189,6 +262,19 @@ impl Workload for YcsbWorkload {
     }
 
     fn generate(&self, _worker: usize, rng: &mut SmallRng) -> Box<dyn TxnSpec> {
+        // Each transaction is homed on one partition; the remote roll
+        // makes it draw keys globally instead (a genuine cross-partition
+        // transaction). Monolithic configs are always home-partition 0.
+        let home = if self.cfg.partitions > 1 {
+            rng.gen_range(0..self.cfg.partitions)
+        } else {
+            0
+        };
+        let remote = self.cfg.partitions > 1 && rng.gen::<f64>() < self.cfg.remote_ratio;
+        let (zipf, base) = match (&self.part_zipf, remote) {
+            (Some(pz), false) => (pz, home as u64 * self.cfg.rows_per_partition()),
+            _ => (&self.zipf, 0),
+        };
         let long_ro =
             self.cfg.long_ro_fraction > 0.0 && rng.gen::<f64>() < self.cfg.long_ro_fraction;
         if long_ro {
@@ -197,7 +283,7 @@ impl Workload for YcsbWorkload {
             // scan's locality).
             let ops = (0..self.cfg.long_ro_ops)
                 .map(|_| YcsbOp {
-                    key: self.zipf.sample(rng),
+                    key: base + zipf.sample(rng),
                     field: rng.gen_range(0..FIELDS),
                     write: false,
                     value: 0,
@@ -207,9 +293,10 @@ impl Workload for YcsbWorkload {
                 table: self.table,
                 ops,
                 snapshot: self.cfg.snapshot_ro,
+                home,
             });
         }
-        let keys = self.distinct_keys(self.cfg.ops_per_txn, rng);
+        let keys = self.distinct_keys(zipf, base, self.cfg.ops_per_txn, rng);
         let ops = keys
             .into_iter()
             .map(|key| {
@@ -226,6 +313,7 @@ impl Workload for YcsbWorkload {
             table: self.table,
             ops,
             snapshot: false,
+            home,
         })
     }
 }
@@ -246,6 +334,8 @@ mod tests {
             long_ro_fraction: 0.0,
             long_ro_ops: 64,
             snapshot_ro: false,
+            partitions: 1,
+            remote_ratio: 0.0,
         }
     }
 
@@ -265,12 +355,58 @@ mod tests {
         let wl = YcsbWorkload::new(cfg, TableId(0));
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..50 {
-            let keys = wl.distinct_keys(8, &mut rng);
+            let keys = wl.distinct_keys(&wl.zipf, 0, 8, &mut rng);
             let mut sorted = keys.clone();
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), keys.len());
         }
+    }
+
+    #[test]
+    fn partitioned_loader_splits_the_row_space() {
+        let mut cfg = small_cfg();
+        cfg.partitions = 4;
+        let (pdb, t) = load_partitioned(&cfg);
+        assert_eq!(pdb.partitions(), 4);
+        assert_eq!(pdb.total_rows(), 4096);
+        for p in 0..4u32 {
+            let shard = pdb.table(bamboo_storage::PartitionId(p), t);
+            assert_eq!(shard.len(), 1024, "partition {p} owns its quarter");
+            assert!(shard.get(p as u64 * 1024).is_some());
+        }
+    }
+
+    #[test]
+    fn partitioned_bench_commits_and_counts_cross_partition_share() {
+        use bamboo_core::executor::run_part_bench;
+        let mut cfg = small_cfg();
+        cfg.partitions = 2;
+        cfg.remote_ratio = 0.5;
+        let (pdb, t) = load_partitioned(&cfg);
+        let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+        let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(cfg.clone(), t));
+        let res = run_part_bench(&pdb, &proto, &wl, &BenchConfig::quick(2));
+        assert!(res.totals.commits > 0);
+        assert!(
+            res.totals.cross_partition_commits > 0,
+            "remote_ratio=0.5 must produce cross-partition commits"
+        );
+        assert!(res.cross_partition_share() < 1.0, "home draws stay local");
+        assert!(pdb.log_bytes() > 0, "commits land in the partition WALs");
+
+        // remote_ratio = 0: every transaction stays on its home partition.
+        let mut local = small_cfg();
+        local.partitions = 2;
+        local.remote_ratio = 0.0;
+        let (pdb, t) = load_partitioned(&local);
+        let wl: Arc<dyn Workload> = Arc::new(YcsbWorkload::new(local.clone(), t));
+        let res = run_part_bench(&pdb, &proto, &wl, &BenchConfig::quick(2));
+        assert!(res.totals.commits > 0);
+        assert_eq!(
+            res.totals.cross_partition_commits, 0,
+            "remote_ratio=0 keeps every transaction single-partition"
+        );
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! End-to-end partitioning tests: router determinism at the storage layer,
+//! cross-partition serializability (the bank-transfer invariant under all
+//! five protocols), the zero-extra-locks guarantee of the single-partition
+//! fast path, and the snapshot-scan visibility regression (a remote
+//! partition's post-snapshot insert is a phantom to skip, never an abort).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bamboo_repro::core::partition::{PartSession, PartitionedDb};
+use bamboo_repro::core::protocol::{
+    Ic3Protocol, InteractiveProtocol, LockingProtocol, PieceAccess, PieceDecl, Protocol,
+    SiloProtocol, TemplateDecl,
+};
+use bamboo_repro::core::sync::thread_lock_acquisitions;
+use bamboo_repro::core::{Database, Session};
+use bamboo_repro::storage::{
+    DataType, PartitionId, RouteStrategy, Router, Row, Schema, TableId, Value,
+};
+
+/// Accounts per partition in the bank fixture.
+const ACCOUNTS_PER_PART: u64 = 8;
+/// Initial balance of every account.
+const INITIAL: i64 = 1000;
+
+fn kv_schema() -> Schema {
+    Schema::build()
+        .column("k", DataType::U64)
+        .column("v", DataType::I64)
+}
+
+/// A bank of `parts * ACCOUNTS_PER_PART` accounts, range-partitioned so
+/// account `a` lives on partition `a / ACCOUNTS_PER_PART`.
+fn bank(parts: u32) -> (Arc<PartitionedDb>, TableId) {
+    let bounds = (1..parts as u64).map(|i| i * ACCOUNTS_PER_PART).collect();
+    let mut b = PartitionedDb::builder(parts);
+    let t = b.add_table("accounts", kv_schema(), RouteStrategy::Range(bounds));
+    let pdb = b.build();
+    for a in 0..parts as u64 * ACCOUNTS_PER_PART {
+        pdb.insert(t, a, Row::from(vec![Value::U64(a), Value::I64(INITIAL)]));
+    }
+    (pdb, t)
+}
+
+fn total_balance(pdb: &PartitionedDb, t: TableId) -> i64 {
+    pdb.parts()
+        .iter()
+        .map(|p| {
+            let table = p.db().table(t);
+            (0..table.len() as u64)
+                .map(|r| table.get_by_row_id(r).unwrap().read_row().get_i64(1))
+                .sum::<i64>()
+        })
+        .sum()
+}
+
+/// The five-protocol roster of the acceptance criterion: Bamboo, WW, Silo,
+/// IC3 and Interactive (Bamboo behind per-op RPC delays).
+fn roster() -> Vec<(&'static str, Arc<dyn Protocol>)> {
+    let template = TemplateDecl {
+        name: "transfer".into(),
+        pieces: vec![PieceDecl::new(vec![PieceAccess::write(
+            TableId(0),
+            u64::MAX,
+            u64::MAX,
+        )])],
+    };
+    vec![
+        ("bamboo", Arc::new(LockingProtocol::bamboo())),
+        ("wound_wait", Arc::new(LockingProtocol::wound_wait())),
+        ("silo", Arc::new(SiloProtocol::new())),
+        ("ic3", Arc::new(Ic3Protocol::new(vec![template], false))),
+        (
+            "interactive",
+            Arc::new(InteractiveProtocol::new(
+                LockingProtocol::bamboo(),
+                Duration::from_micros(5),
+            )),
+        ),
+    ]
+}
+
+/// Cross-partition serializability: concurrent transfers between accounts
+/// on *different* partitions must conserve the total balance under every
+/// protocol, and a concurrent snapshot reader must always see a balanced
+/// total (one commit timestamp per cross-partition commit).
+#[test]
+fn cross_partition_bank_transfers_conserve_money_under_all_protocols() {
+    for (name, proto) in roster() {
+        let (pdb, t) = bank(2);
+        let session = Arc::new(PartSession::new(Arc::clone(&pdb), Arc::clone(&proto)));
+        let threads = 4;
+        let per = 60;
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let session = Arc::clone(&session);
+                s.spawn(move || {
+                    let mut rng = w as u64;
+                    let mut next = move || {
+                        // xorshift: cheap deterministic per-thread stream.
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        rng
+                    };
+                    let mut done = 0;
+                    while done < per {
+                        // `from` on partition 0, `to` on partition 1: every
+                        // transfer is cross-partition by construction.
+                        let from = next() % ACCOUNTS_PER_PART;
+                        let to = ACCOUNTS_PER_PART + next() % ACCOUNTS_PER_PART;
+                        let amount = (next() % 10) as i64 + 1;
+                        let mut txn = session.begin_on(PartitionId(0));
+                        let moved = txn
+                            .update(t, from, |r| r.set(1, Value::I64(r.get_i64(1) - amount)))
+                            .and_then(|_| {
+                                txn.update(t, to, |r| r.set(1, Value::I64(r.get_i64(1) + amount)))
+                            })
+                            .and_then(|_| txn.commit());
+                        if moved.is_ok() {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+            // A snapshot reader riding along: every snapshot total must be
+            // exactly balanced — a torn cross-partition commit would show.
+            let session = Arc::clone(&session);
+            let expected = 2 * ACCOUNTS_PER_PART as i64 * INITIAL;
+            s.spawn(move || {
+                for _ in 0..40 {
+                    let mut snap = session.snapshot_on(PartitionId(1));
+                    let mut sum = 0i64;
+                    for a in 0..2 * ACCOUNTS_PER_PART {
+                        sum += snap.read(t, a).unwrap().get_i64(1);
+                    }
+                    snap.commit().unwrap();
+                    assert_eq!(sum, expected, "{name}: snapshot saw a torn transfer");
+                }
+            });
+        });
+        assert_eq!(
+            total_balance(&pdb, t),
+            2 * ACCOUNTS_PER_PART as i64 * INITIAL,
+            "{name}: cross-partition transfers leaked money"
+        );
+        assert!(
+            pdb.part(PartitionId(0)).wal().records() > 0
+                && pdb.part(PartitionId(1)).wal().records() > 0,
+            "{name}: cross-partition commits must log on both partitions"
+        );
+    }
+}
+
+/// The single-partition fast path takes **no more lock acquisitions** than
+/// the identical transaction on a pre-refactor-style monolithic database —
+/// measured with the vendored parking_lot shim's per-thread lock counter
+/// over the whole begin→read→update→commit cycle (tuple latches, WAL lock,
+/// everything).
+#[test]
+fn single_partition_fast_path_takes_no_extra_locks() {
+    let ops = |session: &Session, t: TableId, base: u64| {
+        // Steady-state: warm up, then measure 32 identical transactions.
+        let run = |session: &Session| {
+            let mut txn = session.begin();
+            let v = txn.read(t, base).unwrap().get_i64(1);
+            txn.update(t, base + 1, |r| r.set(1, Value::I64(v + 1)))
+                .unwrap();
+            txn.update(t, base + 2, |r| r.set(1, Value::I64(v + 2)))
+                .unwrap();
+            txn.commit().unwrap();
+        };
+        for _ in 0..4 {
+            run(session);
+        }
+        let before = thread_lock_acquisitions();
+        for _ in 0..32 {
+            run(session);
+        }
+        thread_lock_acquisitions() - before
+    };
+
+    // Monolithic baseline.
+    let mut b = Database::builder();
+    let t = b.add_table("accounts", kv_schema());
+    let mono = b.build();
+    for a in 0..ACCOUNTS_PER_PART {
+        mono.table(t)
+            .insert(a, Row::from(vec![Value::U64(a), Value::I64(0)]));
+    }
+    let mono_session = Session::new(mono, Arc::new(LockingProtocol::bamboo()));
+    let mono_locks = ops(&mono_session, t, 0);
+
+    // 4-partition database, transaction confined to partition 2's keys.
+    let (pdb, t) = bank(4);
+    let psession = PartSession::new(Arc::clone(&pdb), Arc::new(LockingProtocol::bamboo()));
+    let home = PartitionId(2);
+    let part_locks = ops(psession.session(home), t, 2 * ACCOUNTS_PER_PART);
+
+    assert!(
+        part_locks <= mono_locks,
+        "partition-local fast path took {part_locks} lock acquisitions vs \
+         {mono_locks} on the monolithic baseline"
+    );
+}
+
+/// Satellite regression: a cross-partition snapshot scan must honor
+/// `SnapshotNotVisible` exactly like single-key reads — a row inserted
+/// *after* the snapshot, on a remote partition, is skipped as a phantom
+/// (`read_opt` returns `Ok(None)`, `scan` omits it); it must never abort
+/// the scan.
+#[test]
+fn cross_partition_snapshot_scan_skips_post_snapshot_inserts() {
+    // Sparse ranges so both partitions have room for new keys: partition 0
+    // owns [0, 1000), partition 1 owns the rest.
+    let mut b = PartitionedDb::builder(2);
+    let t = b.add_table("accounts", kv_schema(), RouteStrategy::Range(vec![1000]));
+    let pdb = b.build();
+    for a in (0..8u64).chain(1000..1008) {
+        pdb.insert(t, a, Row::from(vec![Value::U64(a), Value::I64(INITIAL)]));
+    }
+    pdb.enable_ordered_index(t);
+    let session = PartSession::new(Arc::clone(&pdb), Arc::new(LockingProtocol::bamboo()));
+
+    // Take the snapshot first (homed on partition 0).
+    let mut snap = session.snapshot_on(PartitionId(0));
+    // Then commit one insert into each partition's range — from a session
+    // homed on partition 1, so the partition-0 insert is itself a
+    // cross-partition commit.
+    let local_key = 500; // partition 0 (the snapshot's home)
+    let remote_key = 2000; // partition 1 (remote from the snapshot's home)
+    for key in [local_key, remote_key] {
+        let mut w = session.begin_on(PartitionId(1));
+        w.insert(
+            t,
+            key,
+            Row::from(vec![Value::U64(key), Value::I64(1)]),
+            None,
+        )
+        .unwrap();
+        w.commit().unwrap();
+    }
+
+    // The scan spans both partitions and must silently skip both phantoms.
+    let rows = snap.scan(t, 0..=u64::MAX).unwrap();
+    assert_eq!(
+        rows.len(),
+        16,
+        "snapshot scan must see exactly the pre-snapshot rows"
+    );
+    // Single-key reads agree: Ok(None) through read_opt, not an abort.
+    assert!(snap.read_opt(t, local_key).unwrap().is_none());
+    assert!(snap.read_opt(t, remote_key).unwrap().is_none());
+    snap.commit().unwrap();
+
+    // A fresh snapshot sees the inserts.
+    let mut snap = session.snapshot_on(PartitionId(0));
+    assert_eq!(snap.scan(t, 0..=u64::MAX).unwrap().len(), 18);
+    snap.commit().unwrap();
+}
+
+/// Router sanity at the integration level: the same `(table, key)` routes
+/// identically from every partition's viewpoint (except replicated
+/// tables, which resolve locally) — the property the WAL-ordering
+/// contract depends on.
+#[test]
+fn routing_is_viewpoint_independent_for_owned_tables() {
+    let r = Router::new(4, RouteStrategy::Hash)
+        .with_table(TableId(1), RouteStrategy::Range(vec![10, 20, 30]))
+        .with_table(TableId(2), RouteStrategy::Replicated);
+    for key in 0..64u64 {
+        let owned = r.route(TableId(1), key);
+        for p in 0..4 {
+            assert_eq!(r.route_from(PartitionId(p), TableId(1), key), owned);
+            assert_eq!(
+                r.route_from(PartitionId(p), TableId(2), key),
+                PartitionId(p),
+                "replicated tables resolve to the asking partition"
+            );
+        }
+    }
+}

@@ -37,6 +37,8 @@ fn high_skew_progress_for_every_protocol() {
         long_ro_fraction: 0.0,
         long_ro_ops: 0,
         snapshot_ro: false,
+        partitions: 1,
+        remote_ratio: 0.0,
     };
     let (db, t) = ycsb::load(&cfg);
     for proto in protocols() {
@@ -61,6 +63,8 @@ fn long_readonly_mix_commits_long_transactions() {
         long_ro_fraction: 0.3, // exaggerate so quick runs surely sample them
         long_ro_ops: 200,
         snapshot_ro: false,
+        partitions: 1,
+        remote_ratio: 0.0,
     };
     let (db, t) = ycsb::load(&cfg);
     for proto in [
@@ -94,6 +98,8 @@ fn uniform_load_all_protocols_agree_on_progress() {
         long_ro_fraction: 0.0,
         long_ro_ops: 0,
         snapshot_ro: false,
+        partitions: 1,
+        remote_ratio: 0.0,
     };
     let (db, t) = ycsb::load(&cfg);
     for proto in protocols() {
@@ -118,6 +124,8 @@ fn tuple_lock_state_quiesces_after_run() {
         long_ro_fraction: 0.0,
         long_ro_ops: 0,
         snapshot_ro: false,
+        partitions: 1,
+        remote_ratio: 0.0,
     };
     let (db, t) = ycsb::load(&cfg);
     let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
