@@ -128,7 +128,7 @@ fn exec_block(
                     AccessMode::Write => {
                         // Track would-be second writes: a correct analysis
                         // never retires a lock that is written again.
-                        if let Some(t) = db.table(*table).get(k) {
+                        if let Some(t) = db.table_for(*table, k).get(k) {
                             if let Some(i) = ctx.find_access(*table, t.key) {
                                 if ctx.accesses[i].state == AccessState::Retired {
                                     stats.reacquires += 1;

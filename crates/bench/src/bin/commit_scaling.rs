@@ -20,7 +20,7 @@
 //! as `BENCH_commit_scaling.json`; the committed copy at the repo root is
 //! the first point of the perf trajectory.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use bamboo_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

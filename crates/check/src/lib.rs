@@ -1,0 +1,633 @@
+//! Repo-specific contract lints ("bamboo_check").
+//!
+//! The commit pipeline's safety rests on conventions rustc cannot see:
+//! which module owns the atomics, which layer may call the protocol
+//! directly, how partitioned lookups must route. This crate enforces them
+//! token-level over the workspace source — hand-rolled (no registry deps),
+//! masking comments/strings and exempting test code, so the rules bind
+//! production code without outlawing test scaffolding.
+//!
+//! The rules (each has a fixture test below proving it fires):
+//!
+//! 1. **std-sync** — `std::sync::{Mutex, RwLock, atomic}` appear only in
+//!    the `bamboo_core::sync` façade (and `vendor/`, which is not
+//!    scanned). Everything else goes through `crate::sync::atomic` /
+//!    `parking_lot`, which is what lets `cfg(bamboo_model)` swap in the
+//!    model-checker types.
+//! 2. **protocol-calls** — no direct `proto*.begin/commit/abort(` calls
+//!    outside `session.rs`: the Session/Txn RAII layer is the only entry
+//!    to the protocol lifecycle (the PR-3 contract).
+//! 3. **table-routing** — protocol-layer code resolves tuples with
+//!    `Database::table_for`, never `db.table(`: on a partitioned database
+//!    `table(` returns the *local* shard regardless of key ownership (the
+//!    exact bug class PR 5 fixed).
+//! 4. **ordering-justification** — every `Ordering::SeqCst` and `fence(`
+//!    in non-test code carries an adjacent `// ordering:` comment tying it
+//!    to the memory-ordering contract in the `db` module docs.
+//! 5. **diag-seam** — `parking_lot::diag` is reached only through the
+//!    `thread_lock_acquisitions` seam in `bamboo_core::sync`, keeping the
+//!    vendored shim swappable (see ROADMAP).
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule slug (e.g. `std-sync`).
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Scans every workspace source file under `root` (crates/, src/,
+/// examples/ — not vendor/, target/ or tests/, which are exempt from
+/// every rule).
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if let Ok(src) = std::fs::read_to_string(f) {
+            findings.extend(scan_source(&rel, &src));
+        }
+    }
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || name == "vendor" {
+            continue;
+        }
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Applies every rule to one file. `rel_path` selects the per-rule scope;
+/// exposed so tests can lint fixture strings under any pretend path.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let masked = Masked::new(source);
+    let test_lines = test_regions(&masked);
+    let mut findings = Vec::new();
+    let is_sync_facade = rel_path == "crates/core/src/sync.rs";
+    let in_protocol_layer = rel_path.starts_with("crates/core/src/protocol/")
+        || rel_path.starts_with("crates/analysis/src/");
+
+    for (i, line) in masked.code.lines().enumerate() {
+        let lineno = i + 1;
+        let in_test = test_lines.contains(&i);
+        let mut push = |rule: &'static str, msg: String| {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: lineno,
+                rule,
+                msg,
+            });
+        };
+
+        // Rule 1: std::sync primitives only inside the façade.
+        if !is_sync_facade && !in_test {
+            for banned in ["std::sync::Mutex", "std::sync::RwLock", "std::sync::atomic"] {
+                if line.contains(banned) {
+                    push(
+                        "std-sync",
+                        format!("`{banned}` outside bamboo_core::sync — use the `crate::sync` façade (model-checker swap point)"),
+                    );
+                }
+            }
+        }
+
+        // Rule 2: protocol lifecycle calls only from session.rs.
+        if rel_path.starts_with("crates/core/src/")
+            && !rel_path.ends_with("/session.rs")
+            && !in_test
+        {
+            for method in ["begin", "commit", "abort"] {
+                if has_proto_call(line, method) {
+                    push(
+                        "protocol-calls",
+                        format!("direct `Protocol::{method}` call outside session.rs — go through Session/Txn"),
+                    );
+                }
+            }
+        }
+
+        // Rule 3: protocol-layer lookups route through table_for.
+        if in_protocol_layer && !in_test && has_db_table_call(line) {
+            push(
+                "table-routing",
+                "`db.table(` in protocol-layer code — use `Database::table_for(table, key)` so partitioned lookups route to the owning shard".to_string(),
+            );
+        }
+
+        // Rule 4: SeqCst / fence sites carry an `// ordering:` note.
+        if !is_sync_facade && !in_test {
+            let has_seqcst = line.contains("Ordering::SeqCst");
+            let has_fence = find_fence_call(line);
+            if (has_seqcst || has_fence) && !ordering_justified(&masked, i) {
+                let what = if has_seqcst {
+                    "Ordering::SeqCst"
+                } else {
+                    "fence("
+                };
+                push(
+                    "ordering-justification",
+                    format!("`{what}` without an adjacent `// ordering:` justification comment"),
+                );
+            }
+        }
+
+        // Rule 5: parking_lot::diag only behind the seam.
+        if !is_sync_facade && line.contains("parking_lot::diag") {
+            push(
+                "diag-seam",
+                "`parking_lot::diag` outside bamboo_core::sync — use `thread_lock_acquisitions()` (the single swappable seam)".to_string(),
+            );
+        }
+    }
+    findings
+}
+
+/// `proto.begin(` / `protocol.commit(` / `self.proto.abort(` — an
+/// identifier beginning with `proto` receiving a lifecycle call.
+fn has_proto_call(line: &str, method: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(&format!(".{method}")) {
+        let at = from + pos;
+        let after = at + 1 + method.len();
+        from = at + 1;
+        // Must be a call, not a field or a longer identifier.
+        if bytes.get(after).copied() != Some(b'(') {
+            continue;
+        }
+        // Receiver: the identifier ending right before the dot.
+        let recv_end = at;
+        let recv_start = line[..recv_end]
+            .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if line[recv_start..recv_end].starts_with("proto") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `db.table(` with any receiver identifier ending in `db` (`db`,
+/// `self.db`, `part_db`).
+fn has_db_table_call(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(".table(") {
+        let at = from + pos;
+        from = at + 1;
+        let recv_start = line[..at]
+            .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if line[recv_start..at].ends_with("db") {
+            return true;
+        }
+    }
+    false
+}
+
+/// A `fence(` *call* (standalone or path-qualified), not a definition like
+/// `pub fn fence(`.
+fn find_fence_call(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("fence(") {
+        let at = from + pos;
+        from = at + 1;
+        // Preceded by start, whitespace, `:` (path) or `(`/`=` etc. — but
+        // not by `fn ` (a definition) and not mid-identifier.
+        let before = &line[..at];
+        if before
+            .chars()
+            .last()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        if before.trim_end().ends_with("fn") {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+/// The site line, or the contiguous block of comment-only and attribute
+/// lines immediately above it, carries `ordering:` in a
+/// comment.
+fn ordering_justified(masked: &Masked, line_idx: usize) -> bool {
+    let has = |l: usize| {
+        masked
+            .comments
+            .get(l)
+            .is_some_and(|c| c.contains("ordering:"))
+    };
+    if has(line_idx) {
+        return true;
+    }
+    // Walk up through the justification block: comment-only lines (the
+    // note routinely runs longer than a couple of lines) and attribute
+    // lines (a `#[cfg(...)]` gate may sit between the comment and the
+    // operation). Any other line ends the block.
+    let code_lines: Vec<&str> = masked.code.lines().collect();
+    let mut l = line_idx;
+    while l > 0 {
+        l -= 1;
+        if has(l) {
+            return true;
+        }
+        let code = code_lines.get(l).map_or("", |s| s.trim());
+        let comment_only = code.is_empty() && masked.comments.get(l).is_some_and(|c| !c.is_empty());
+        let attribute = code.starts_with("#[");
+        if !(comment_only || attribute) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Source with comments and string/char literals blanked out (newlines
+/// kept, so line numbers survive), plus the comment text per line.
+struct Masked {
+    code: String,
+    comments: Vec<String>,
+}
+
+impl Masked {
+    fn new(src: &str) -> Self {
+        let n_lines = src.lines().count() + 1;
+        let mut comments = vec![String::new(); n_lines];
+        let mut code = String::with_capacity(src.len());
+        let b: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let mut line = 0;
+        let emit = |code: &mut String, c: char, line: &mut usize| {
+            code.push(c);
+            if c == '\n' {
+                *line += 1;
+            }
+        };
+        while i < b.len() {
+            let c = b[i];
+            let next = b.get(i + 1).copied();
+            if c == '/' && next == Some('/') {
+                // Line comment: record text, blank it.
+                let mut j = i;
+                while j < b.len() && b[j] != '\n' {
+                    comments[line].push(b[j]);
+                    code.push(' ');
+                    j += 1;
+                }
+                i = j;
+            } else if c == '/' && next == Some('*') {
+                let mut depth = 1;
+                code.push_str("  ");
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 1;
+                        code.push(' ');
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 1;
+                        code.push(' ');
+                    }
+                    if b[j] == '\n' {
+                        emit(&mut code, '\n', &mut line);
+                    } else {
+                        comments[line].push(b[j]);
+                        code.push(' ');
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else if c == '"' || (c == 'r' && matches!(next, Some('"') | Some('#'))) {
+                // (Raw) string literal: blank the contents.
+                let mut hashes = 0;
+                let mut j = i;
+                if c == 'r' {
+                    j += 1;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) != Some(&'"') {
+                        // `r#ident` (raw identifier), not a string.
+                        emit(&mut code, c, &mut line);
+                        i += 1;
+                        continue;
+                    }
+                    // Blank the `r` and the opening hashes.
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                }
+                code.push(' ');
+                j += 1;
+                while let Some(&ch) = b.get(j) {
+                    if ch == '\\' && hashes == 0 {
+                        code.push_str("  ");
+                        j += 2;
+                        continue;
+                    }
+                    if ch == '"' {
+                        let close = (1..=hashes).all(|k| b.get(j + k) == Some(&'#'));
+                        if close {
+                            for _ in 0..=hashes {
+                                code.push(' ');
+                            }
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    if ch == '\n' {
+                        emit(&mut code, '\n', &mut line);
+                    } else {
+                        code.push(' ');
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else if c == '\'' {
+                // Char literal vs. lifetime: a literal closes within a few
+                // chars (`'x'`, `'\n'`, `'\u{..}'`).
+                let mut j = i + 1;
+                let mut is_char = false;
+                if b.get(j) == Some(&'\\') {
+                    while j < b.len() && b[j] != '\'' && b[j] != '\n' {
+                        j += 1;
+                    }
+                    is_char = b.get(j) == Some(&'\'');
+                } else if b.get(j + 1) == Some(&'\'') {
+                    is_char = true;
+                    j += 1;
+                }
+                if is_char {
+                    for _ in i..=j {
+                        code.push(' ');
+                    }
+                    i = j + 1;
+                } else {
+                    emit(&mut code, c, &mut line);
+                    i += 1;
+                }
+            } else {
+                emit(&mut code, c, &mut line);
+                i += 1;
+            }
+        }
+        Masked { code, comments }
+    }
+}
+
+/// 0-based line indexes covered by `#[cfg(test)] mod … { … }` regions (and
+/// `#[cfg(all(test, …))]`).
+fn test_regions(masked: &Masked) -> std::collections::HashSet<usize> {
+    let mut out = std::collections::HashSet::new();
+    let code = &masked.code;
+    let line_of = |pos: usize| code[..pos].matches('\n').count();
+    let mut from = 0;
+    while let Some(p) = code[from..].find("#[cfg(") {
+        let at = from + p;
+        from = at + 1;
+        let attr_body = &code[at + 6..];
+        let trimmed = attr_body.trim_start();
+        if !(trimmed.starts_with("test)") || trimmed.starts_with("all(test")) {
+            continue;
+        }
+        // Find the block the attribute gates: the first `{` after the
+        // attribute, brace-matched to its close.
+        let Some(open_rel) = code[at..].find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        let mut depth = 0usize;
+        let mut close = code.len();
+        for (off, ch) in code[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for l in line_of(at)..=line_of(close) {
+            out.insert(l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, src: &str) -> Vec<&'static str> {
+        scan_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    // --- rule 1: std-sync ---------------------------------------------
+
+    #[test]
+    fn std_sync_fires_outside_facade() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        assert_eq!(rules("crates/core/src/db.rs", src), vec!["std-sync"]);
+        let src = "let m = std::sync::Mutex::new(0);\nlet l = std::sync::RwLock::new(0);\n";
+        assert_eq!(
+            rules("crates/workload/src/lib.rs", src),
+            vec!["std-sync", "std-sync"]
+        );
+    }
+
+    #[test]
+    fn std_sync_exempts_facade_tests_and_arc() {
+        let src = "pub use std::sync::atomic::AtomicU64;\n";
+        assert!(rules("crates/core/src/sync.rs", src).is_empty());
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+        // Arc and mpsc are not part of the façade contract.
+        let src = "use std::sync::Arc;\nuse std::sync::mpsc;\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+        // Comments and strings do not count.
+        let src = "// std::sync::Mutex is banned here\nlet s = \"std::sync::atomic\";\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+    }
+
+    // --- rule 2: protocol-calls ---------------------------------------
+
+    #[test]
+    fn protocol_calls_fire_outside_session() {
+        let src = "let ctx = proto.begin(&db);\n";
+        assert_eq!(
+            rules("crates/core/src/executor.rs", src),
+            vec!["protocol-calls"]
+        );
+        let src = "self.protocol.commit(&db, &mut ctx, &wal)?;\n";
+        assert_eq!(rules("crates/core/src/txn.rs", src), vec!["protocol-calls"]);
+    }
+
+    #[test]
+    fn protocol_calls_exempt_session_tests_and_txn_api() {
+        let src = "let ctx = self.proto.begin(&self.db);\nproto.abort(&db, &mut ctx);\n";
+        assert!(rules("crates/core/src/session.rs", src).is_empty());
+        // The Txn RAII API is the *sanctioned* path.
+        let src = "txn.commit().unwrap();\nsession.begin();\n";
+        assert!(rules("crates/core/src/executor.rs", src).is_empty());
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(proto: &P) { proto.commit(&db, &mut c, &w); }\n}\n";
+        assert!(rules("crates/core/src/protocol/locking.rs", src).is_empty());
+    }
+
+    // --- rule 3: table-routing ----------------------------------------
+
+    #[test]
+    fn table_routing_fires_in_protocol_layer() {
+        let src = "let t = db.table(table).get(key);\n";
+        assert_eq!(
+            rules("crates/core/src/protocol/silo.rs", src),
+            vec!["table-routing"]
+        );
+        assert_eq!(
+            rules("crates/analysis/src/interp.rs", src),
+            vec!["table-routing"]
+        );
+    }
+
+    #[test]
+    fn table_routing_exempts_table_for_and_other_layers() {
+        let src = "let t = db.table_for(table, key).get(key);\n";
+        assert!(rules("crates/core/src/protocol/silo.rs", src).is_empty());
+        // Outside the protocol layer `table(` is legitimate (loaders etc.).
+        let src = "let t = db.table(table).insert(k, row);\n";
+        assert!(rules("crates/workload/src/tpcc/mod.rs", src).is_empty());
+        // Non-db receivers (catalog.table) are routing-aware call sites.
+        let src = "let t = cat.table(table);\n";
+        assert!(rules("crates/core/src/protocol/silo.rs", src).is_empty());
+    }
+
+    // --- rule 4: ordering-justification -------------------------------
+
+    #[test]
+    fn seqcst_requires_justification() {
+        let src = "let v = x.load(Ordering::SeqCst);\n";
+        assert_eq!(
+            rules("crates/core/src/db.rs", src),
+            vec!["ordering-justification"]
+        );
+        let src = "crate::sync::fence(Ordering::SeqCst);\n";
+        // Both the fence and the SeqCst token are on the same line: one
+        // finding, not two.
+        assert_eq!(
+            rules("crates/core/src/db.rs", src),
+            vec!["ordering-justification"]
+        );
+    }
+
+    #[test]
+    fn justified_seqcst_is_clean() {
+        let src = "// ordering: totally orders finishers (see module docs).\nlet v = x.load(Ordering::SeqCst);\ncrate::sync::fence(Ordering::SeqCst); // ordering: drains the store buffer\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+        // A definition of a function *named* fence is not a call site.
+        let src = "pub fn fence(order: Ordering) {}\n";
+        assert!(rules("crates/core/src/sync2.rs", src).is_empty());
+        // Relaxed/Acquire/Release need no note.
+        let src = "let v = x.load(Ordering::Acquire);\nx.store(1, Ordering::Relaxed);\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn justification_block_spans_comments_and_attributes() {
+        // A long justification plus a `#[cfg]` gate between the comment
+        // and the operation: the whole contiguous block counts.
+        let src = "// ordering: SeqCst fence — totally orders finishers.\n// Second line of the note.\n// Third line of the note.\n// Fourth line of the note.\n// Fifth line of the note.\n// Sixth line of the note.\n// Seventh line of the note.\n#[cfg(not(bamboo_model_no_fence))]\ncrate::sync::fence(Ordering::SeqCst);\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+        // Code between the comment and the site ends the block.
+        let src = "// ordering: justifies only the line below.\nlet a = 1;\nlet v = x.load(Ordering::SeqCst);\n";
+        assert_eq!(
+            rules("crates/core/src/db.rs", src),
+            vec!["ordering-justification"]
+        );
+    }
+
+    // --- rule 5: diag-seam --------------------------------------------
+
+    #[test]
+    fn diag_seam_fires_outside_sync() {
+        let src = "let n = parking_lot::diag::thread_acquisitions();\n";
+        assert_eq!(rules("crates/core/src/executor.rs", src), vec!["diag-seam"]);
+        assert!(rules("crates/core/src/sync.rs", src).is_empty());
+    }
+
+    // --- masking / regions machinery ----------------------------------
+
+    #[test]
+    fn masking_preserves_line_numbers() {
+        let src = "let a = 1; /* std::sync::Mutex\nstd::sync::Mutex */ let b = std::sync::Mutex::new(0);\n";
+        let fs = scan_source("crates/core/src/db.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real {\n    use std::sync::atomic::AtomicU64;\n}\n";
+        assert_eq!(rules("crates/core/src/db.rs", src), vec!["std-sync"]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_a_test_region() {
+        let src = "#[cfg(all(test, bamboo_model))]\nmod model_check {\n    use std::sync::atomic::AtomicU64;\n}\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive_masking() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\"'; let d = '\\n'; c }\nlet m = std::sync::Mutex::new(0);\n";
+        let fs = scan_source("crates/core/src/db.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 2);
+    }
+}

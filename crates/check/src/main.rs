@@ -1,0 +1,30 @@
+//! `cargo run -p bamboo_check` — walks the workspace source and enforces
+//! the concurrency-contract lints (see the library docs). Exits nonzero on
+//! any finding, `-D warnings`-style, so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let findings = bamboo_check::check_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("bamboo_check: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("bamboo_check: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/check`, two levels
+/// down.
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}

@@ -52,8 +52,9 @@
 //! * The watermark itself is published with `fetch_max` (`AcqRel`), so a
 //!   stale racer can never move it backwards.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use bamboo_storage::{Catalog, PartitionId, Router, Schema, Table, TableId};
 
@@ -147,7 +148,14 @@ pub(crate) struct Topology {
 /// wait for the oldest one. Must be a power of two; 4096 is ~2 orders of
 /// magnitude above any realistic in-flight commit count (one per worker
 /// thread), so the wrap guard never fires in practice.
+#[cfg(not(bamboo_model))]
 const CLOCK_WINDOW: usize = 4096;
+
+/// Under the model checker every slot is a model memory location created
+/// per explored schedule, so the ring shrinks to keep iterations cheap.
+/// Still far above the 2–3 in-flight commits the model tests drive.
+#[cfg(bamboo_model)]
+const CLOCK_WINDOW: usize = 16;
 
 /// Allocates commit timestamps and tracks which are still *in flight*
 /// (allocated but not fully installed). [`CommitClock::stable`] is the
@@ -196,11 +204,16 @@ impl CommitClock {
     /// flight (the slot being reused still belongs to timestamp
     /// `ts - CLOCK_WINDOW`); then it spins until that commit finishes.
     pub fn allocate(&self) -> u64 {
+        // ordering: Relaxed — the ticket value itself carries no payload;
+        // all install-visibility ordering hangs off finish()'s slot store.
         let ts = self.next.fetch_add(1, Ordering::Relaxed);
         if ts > CLOCK_WINDOW as u64 {
             let prev = ts - CLOCK_WINDOW as u64;
             let slot = self.slot(ts);
             let mut spins = 0u32;
+            // ordering: Acquire — reusing the slot must happen-after the
+            // previous occupant's finish (its Release store), so the new
+            // occupant never overwrites an unpublished finish.
             while slot.load(Ordering::Acquire) < prev {
                 // The previous occupant is typically a thread that was
                 // preempted between allocate and finish: on an
@@ -226,22 +239,28 @@ impl CommitClock {
     /// [`stable`]: CommitClock::stable
     pub fn finish(&self, ts: u64) {
         let slot = self.slot(ts);
+        // ordering: Relaxed — debug-only sanity reads; no synchronization
+        // is derived from them.
         debug_assert!(
             slot.load(Ordering::Relaxed) < ts && ts < self.next.load(Ordering::Relaxed),
             "finish of unallocated or already-finished commit ts {ts}"
         );
-        // Release: everything this commit installed happens-before any
-        // thread that observes the slot (and hence any stable point
-        // covering `ts`).
+        // ordering: Release — everything this commit installed
+        // happens-before any thread that observes the slot (and hence any
+        // stable point covering `ts`).
         slot.store(ts, Ordering::Release);
-        // SeqCst fence: without it, two finishers of adjacent timestamps
-        // can each have their slot store sitting in the store buffer while
-        // scanning past the other's slot (store-buffering reordering —
-        // legal even on x86), leaving `stable` permanently short of a
-        // finished commit with no later finisher to re-scan. The fence
-        // totally orders the finishers: the later one is guaranteed to see
-        // the earlier one's slot store and advances over both.
-        std::sync::atomic::fence(Ordering::SeqCst);
+        // ordering: SeqCst fence — without it, two finishers of adjacent
+        // timestamps can each have their slot store sitting in the store
+        // buffer while scanning past the other's slot (store-buffering
+        // reordering — legal even on x86), leaving `stable` permanently
+        // short of a finished commit with no later finisher to re-scan.
+        // The fence totally orders the finishers: the later one is
+        // guaranteed to see the earlier one's slot store and advances over
+        // both. Model-checked by `model_check::clock_*`; compiling with
+        // `--cfg bamboo_model_no_fence` removes it so the checker can
+        // demonstrate the stranded-stable schedule it prevents.
+        #[cfg(not(bamboo_model_no_fence))]
+        crate::sync::fence(Ordering::SeqCst);
         self.advance_stable();
     }
 
@@ -251,15 +270,23 @@ impl CommitClock {
     /// finisher of a gap-filling timestamp walks past all already-finished
     /// successors.
     fn advance_stable(&self) {
+        // ordering: Acquire — synchronizes with the previous advancer's
+        // AcqRel CAS, so this scan starts from a fully-published prefix.
         let mut s = self.stable.load(Ordering::Acquire);
         loop {
             let t = s + 1;
             // `>= t`: the slot holds the newest finished ts congruent to
             // `t`; a larger value implies `t` finished long ago (its slot
             // was reused, which required `t` finished first).
+            // ordering: Acquire — synchronizes with `t`'s finisher's
+            // Release slot store: covering `t` happens-after its installs.
             if self.slot(t).load(Ordering::Acquire) < t {
                 return;
             }
+            // ordering: AcqRel success / Acquire failure — publishing the
+            // new stable point releases the chain of installs it covers to
+            // any Acquire reader of `stable`; a lost race re-reads the
+            // winner's value with Acquire for the same reason.
             match self
                 .stable
                 .compare_exchange_weak(s, t, Ordering::AcqRel, Ordering::Acquire)
@@ -280,6 +307,9 @@ impl CommitClock {
     /// total order — see the module docs.
     #[inline]
     pub fn stable(&self) -> u64 {
+        // ordering: SeqCst — participates in the registration/publication
+        // total order described in the module docs (bin update before this
+        // load; this load before the publisher's bin scan).
         self.stable.load(Ordering::SeqCst)
     }
 }
@@ -287,13 +317,23 @@ impl CommitClock {
 /// Shards in the snapshot registry. Registrants pick a shard round-robin
 /// per thread, so concurrent register/release traffic from different
 /// threads lands on different cache lines.
+#[cfg(not(bamboo_model))]
 const SNAP_SHARDS: usize = 8;
+/// Model-checking size: every bin load in a floor scan is a scheduling
+/// point, so the registry shrinks to keep exhaustive exploration
+/// tractable. The register/floor ordering argument is size-independent.
+#[cfg(bamboo_model)]
+const SNAP_SHARDS: usize = 2;
 
 /// Epoch bins per shard. Live snapshot timestamps cluster near the clock
 /// head, so a handful of bins per shard keeps collisions (two live epochs
 /// `BINS * BIN_WIDTH` apart sharing a bin) vanishingly rare — and a
 /// collision only makes the floor conservative, never wrong.
+#[cfg(not(bamboo_model))]
 const SNAP_BINS: usize = 32;
+/// Model-checking size — see `SNAP_SHARDS`.
+#[cfg(bamboo_model)]
+const SNAP_BINS: usize = 4;
 
 /// Commit timestamps per epoch bin. The bin floor (`epoch * BIN_WIDTH`)
 /// understates its members' timestamps by at most `BIN_WIDTH - 1`, which
@@ -378,6 +418,8 @@ impl SnapshotRegistry {
         SNAP_SHARD.with(|c| {
             let mut s = c.get();
             if s == usize::MAX {
+                // ordering: Relaxed — round-robin counter; the value only
+                // spreads threads over shards, it synchronizes nothing.
                 s = self.next_shard.fetch_add(1, Ordering::Relaxed) % SNAP_SHARDS;
                 c.set(s);
             }
@@ -395,6 +437,9 @@ impl SnapshotRegistry {
         let epoch = provisional / BIN_WIDTH;
         let bin_i = (epoch as usize) % SNAP_BINS;
         let bin = &self.shards[shard_i].bins[bin_i];
+        // ordering: SeqCst — the bin update must precede the stable re-read
+        // below in the single total order the watermark publisher also
+        // participates in (module docs, bullet 2).
         let mut cur = bin.load(Ordering::SeqCst);
         loop {
             let (e, c) = bin_unpack(cur);
@@ -407,6 +452,8 @@ impl SnapshotRegistry {
             } else {
                 bin_pack(e.min(epoch), c + 1)
             };
+            // ordering: SeqCst — see the bin load above: publication of
+            // this registration orders before the stable re-read.
             match bin.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => break,
                 Err(observed) => cur = observed,
@@ -429,11 +476,15 @@ impl SnapshotRegistry {
     /// floor scans skip bins with a zero count.
     fn unregister(&self, grant: SnapshotGrant) {
         let bin = &self.shards[grant.shard].bins[grant.bin];
+        // ordering: SeqCst — releases participate in the same total order
+        // as registrations and floor scans; a weaker release could let a
+        // concurrent scan double-count or miss the bin transition.
         let mut cur = bin.load(Ordering::SeqCst);
         loop {
             let (e, c) = bin_unpack(cur);
             debug_assert!(c > 0, "unregister of unknown snapshot {}", grant.ts);
             let new = bin_pack(e, c.saturating_sub(1));
+            // ordering: SeqCst — see the bin load above.
             match bin.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return,
                 Err(observed) => cur = observed,
@@ -456,11 +507,18 @@ impl SnapshotRegistry {
         for shard in self.shards.iter() {
             let mut shard_floor = u64::MAX;
             for bin in &shard.bins {
+                // ordering: SeqCst — the scan must order after the pre-scan
+                // stable read in the registration/publication total order; a
+                // registration this scan misses then provably adopted a
+                // timestamp >= our stable bound (module docs, bullet 2).
                 let (e, c) = bin_unpack(bin.load(Ordering::SeqCst));
                 if c > 0 {
                     shard_floor = shard_floor.min(e * BIN_WIDTH);
                 }
             }
+            // ordering: Release — observability slot only (tests/stats
+            // read it with Acquire); the real watermark is published by
+            // the caller via fetch_max.
             shard.floor.store(shard_floor, Ordering::Release);
             floor = floor.min(shard_floor);
         }
@@ -472,6 +530,8 @@ impl SnapshotRegistry {
         self.shards
             .iter()
             .flat_map(|s| s.bins.iter())
+            // ordering: SeqCst — counts taken in the same total order as
+            // register/unregister, so a quiesced registry reads exactly 0.
             .map(|b| bin_unpack(b.load(Ordering::SeqCst)).1 as usize)
             .sum()
     }
@@ -665,6 +725,8 @@ impl Database {
     /// Allocates a unique transaction incarnation id.
     #[inline]
     pub fn next_txn_id(&self) -> u64 {
+        // ordering: Relaxed — uniqueness is all that matters; ids carry no
+        // happens-before obligations.
         self.txn_ids.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -698,6 +760,9 @@ impl Database {
     /// path never scans the registry.
     #[inline]
     pub fn gc_watermark(&self) -> u64 {
+        // ordering: Acquire — pairs with the AcqRel fetch_max publish, so
+        // a GC that reads the watermark sees the registry state that
+        // justified it.
         self.watermark.load(Ordering::Acquire)
     }
 
@@ -708,6 +773,9 @@ impl Database {
         // backwards past a newer floor (fetch_max keeps it safe — the
         // floor is a lower bound on every *live* snapshot by construction,
         // see `SnapshotRegistry::register`/`floor`).
+        // ordering: AcqRel — the publish releases the scan that justified
+        // the floor to Acquire readers (`gc_watermark`) and keeps racing
+        // publishers totally ordered on the cell.
         self.watermark.fetch_max(floor, Ordering::AcqRel);
     }
 
@@ -720,6 +788,8 @@ impl Database {
     pub fn note_commit(&self, commit_ts: u64) {
         self.commit_clock.finish(commit_ts);
         if let Some(t) = &self.topology {
+            // ordering: Relaxed — statistics counter; read only by
+            // quiesced reporting paths.
             t.stats[t.me.idx()].commits.fetch_add(1, Ordering::Relaxed);
         }
         if commit_ts % self.options.epoch_commits == 0 {
@@ -730,6 +800,9 @@ impl Database {
     /// Advances the Silo epoch and republishes the snapshot watermark (the
     /// paper-style epoch tick doubles as the watermark publisher).
     pub fn advance_epoch(&self) {
+        // ordering: AcqRel — Silo's epoch protocol requires a committer
+        // that reads epoch `e` to see every installation the advancer to
+        // `e` observed; the RMW chains advancers into one release sequence.
         self.epoch.fetch_add(1, Ordering::AcqRel);
         self.publish_watermark();
     }

@@ -10,7 +10,7 @@
 //! [`Session::run`]/[`Session::run_reporting`] — this module only owns the
 //! worker orchestration (threads, warmup/measure switching, stats merging).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -202,10 +202,14 @@ fn drive_bench<W: BenchWorker>(
             });
         }
         std::thread::sleep(cfg.warmup);
+        // ordering: SeqCst — conservative fences around the measurement
+        // window edges so no worker's transition straddles the timer reads
+        // (off the hot path; workers poll with Relaxed loads).
         measuring.store(true, Ordering::SeqCst);
         let t0 = Instant::now();
         std::thread::sleep(cfg.duration);
         let elapsed = t0.elapsed();
+        // ordering: SeqCst — see `measuring` above.
         stop.store(true, Ordering::SeqCst);
         elapsed
     });

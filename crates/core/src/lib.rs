@@ -122,6 +122,8 @@ pub mod executor;
 pub mod lock;
 pub mod meta;
 pub mod model;
+#[cfg(all(test, bamboo_model))]
+mod model_check;
 pub mod partition;
 pub mod protocol;
 pub mod session;

@@ -7,7 +7,7 @@
 //! database, which is how DBx1000's "pluggable lock manager" comparison
 //! works (paper §5.1).
 
-use std::sync::atomic::AtomicU64;
+use crate::sync::atomic::AtomicU64;
 
 use parking_lot::Mutex;
 

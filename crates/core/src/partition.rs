@@ -75,7 +75,7 @@
 //! assert_eq!(pdb.db(PartitionId(1)).table_for(t, 99).get(99).unwrap().read_row().get_i64(1), 110);
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bamboo_storage::{Catalog, PartitionId, RouteStrategy, Router, Row, Schema, Table, TableId};

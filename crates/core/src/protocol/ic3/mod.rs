@@ -20,7 +20,7 @@
 
 mod graph;
 
-use std::sync::atomic::Ordering;
+use crate::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

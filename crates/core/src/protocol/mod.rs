@@ -236,10 +236,16 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
     }
     // Ascending partition-id order: the fixed acquisition order of the
     // commit-ordering contract.
+    let mut last: Option<usize> = None;
     for (p, group) in groups.iter().enumerate() {
         if group.is_empty() {
             continue;
         }
+        debug_assert!(
+            last.is_none_or(|l| l < p),
+            "cross-partition WAL appends out of order: {last:?} before {p}"
+        );
+        last = Some(p);
         topo.wals[p].append_commit(
             ctx.shared.id,
             group

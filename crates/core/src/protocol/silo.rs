@@ -22,7 +22,7 @@
 //! paper's figures rely on — the original handles the same caveat by taking
 //! snapshots only at epoch boundaries.
 
-use std::sync::atomic::Ordering;
+use crate::sync::atomic::Ordering;
 #[cfg(test)]
 use std::sync::Arc;
 

@@ -45,7 +45,7 @@
 //! assert_eq!(session.db().table(t).get(1).unwrap().read_row().get_i64(1), 42);
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

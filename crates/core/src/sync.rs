@@ -1,12 +1,50 @@
-//! Small concurrency utilities shared by the commit pipeline.
+//! Concurrency utilities shared by the commit pipeline — and the **single
+//! atomics façade** for the whole workspace.
 //!
 //! [`CachePadded`] keeps hot atomics on private cache lines: the commit
 //! clock's ring slots, the timestamp/TID sources, and the executor's
 //! per-worker stats slots are all written from different threads at high
 //! rates, and two of them sharing a line turns independent writes into
 //! coherence ping-pong (false sharing).
+//!
+//! # The atomics façade
+//!
+//! All non-test code in this workspace imports its atomic types from
+//! [`atomic`] and its fences from [`fence`], never from `std::sync`
+//! directly (`bamboo_check` rule `std-sync` enforces this). Normally the
+//! module simply re-exports `std::sync::atomic`; compiled with
+//! `--cfg bamboo_model` it re-exports the `interleave` model checker's
+//! types instead, so the `cfg(bamboo_model)` test suite can exhaustively
+//! explore thread interleavings (with TSO store-buffer semantics) of the
+//! commit clock, the snapshot registry and the cross-partition commit
+//! path. See CONCURRENCY.md at the workspace root.
 
 use std::ops::{Deref, DerefMut};
+
+/// Atomic types: `std::sync::atomic` normally, the `interleave` model
+/// checker's equivalents under `cfg(bamboo_model)`. [`atomic::Ordering`]
+/// is always the real `std` enum.
+pub mod atomic {
+    #[cfg(not(bamboo_model))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+
+    #[cfg(bamboo_model)]
+    pub use interleave::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+/// Memory fence: `std::sync::atomic::fence` normally, the model checker's
+/// store-buffer-draining fence under `cfg(bamboo_model)`.
+#[inline]
+pub fn fence(order: atomic::Ordering) {
+    #[cfg(not(bamboo_model))]
+    std::sync::atomic::fence(order);
+    #[cfg(bamboo_model)]
+    interleave::sync::fence(order);
+}
 
 /// Pads and aligns `T` to 128 bytes — two 64-byte lines, covering the
 /// spatial prefetcher's adjacent-line pulls on x86 (the same sizing

@@ -8,7 +8,7 @@
 //! lists (in list order) and then to the incoming transaction, all through
 //! compare-and-swap so concurrent assignment sites agree.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::sync::CachePadded;
 

@@ -11,8 +11,8 @@
 //!   tuple for each read request", §3.2.2), buffered inserts, per-attempt
 //!   timers, and protocol-specific scratch (Silo read set, IC3 piece state).
 
+use crate::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -128,7 +128,7 @@ pub struct TxnShared {
     /// IC3: set once commit installs / abort withdrawals fully finished.
     /// Commit-order waits block on this rather than on the commit point so
     /// a dependent's install can never race ahead of its predecessor's.
-    released: std::sync::atomic::AtomicBool,
+    released: crate::sync::atomic::AtomicBool,
     /// Why this transaction was told to abort (valid once status=Aborted).
     abort_reason: AtomicU8,
     /// Threads currently parked on `cond`. [`TxnShared::notify`] skips the
@@ -181,7 +181,7 @@ impl TxnShared {
             status: AtomicU8::new(TxnStatus::Running as u8),
             commit_semaphore: AtomicI64::new(0),
             pieces_done: AtomicU32::new(0),
-            released: std::sync::atomic::AtomicBool::new(false),
+            released: crate::sync::atomic::AtomicBool::new(false),
             abort_reason: AtomicU8::new(0),
             waiters: AtomicU32::new(0),
             park: Mutex::new(()),
@@ -299,6 +299,10 @@ impl TxnShared {
     /// Wakes the owning worker if it is parked. Lock-free when nobody is
     /// parked (the common case with the pre-park spin): one atomic load.
     pub fn notify(&self) {
+        // ordering: SeqCst — the waiter's fetch_add and this load must
+        // fall into one total order with the state flip that precedes this
+        // notify: either the waiter sees the new state before parking, or
+        // this load sees the waiter and takes the park lock to wake it.
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -342,8 +346,12 @@ impl TxnShared {
             if self.is_aborted() || pred() {
                 continue;
             }
+            // ordering: SeqCst — pairs with the SeqCst `waiters` load in
+            // `notify` (see there); publication must not sink below the
+            // predicate re-check or above the wait.
             self.waiters.fetch_add(1, Ordering::SeqCst);
             self.cond.wait_for(&mut guard, PARK_TIMEOUT);
+            // ordering: SeqCst — symmetric retraction of the publication.
             self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -353,8 +361,10 @@ impl TxnShared {
     /// notification window.
     pub fn park_brief(&self) {
         let mut guard = self.park.lock();
+        // ordering: SeqCst — same pairing as `wait_until`'s publication.
         self.waiters.fetch_add(1, Ordering::SeqCst);
         self.cond.wait_for(&mut guard, PARK_TIMEOUT);
+        // ordering: SeqCst — symmetric retraction of the publication.
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 

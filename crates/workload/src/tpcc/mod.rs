@@ -7,7 +7,7 @@ pub mod schema;
 pub mod templates;
 pub mod txns;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bamboo_core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bamboo_core::executor::{TxnSpec, Workload};

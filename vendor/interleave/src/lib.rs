@@ -1,0 +1,529 @@
+//! A minimal deterministic concurrency model checker in the loom/shuttle
+//! family, sized for this workspace's commit-pipeline invariants.
+//!
+//! [`model`] runs a closure over and over, each time forcing a different
+//! thread interleaving, until every schedule reachable under the configured
+//! preemption bound has been explored (or a panic — an assertion failure in
+//! the closure — surfaces a buggy schedule, which then propagates out of
+//! [`model`] so the enclosing test fails).
+//!
+//! # Execution model
+//!
+//! * Threads created with [`thread::spawn`] are real OS threads, but a
+//!   scheduler serializes them: exactly one runs at a time, and control
+//!   transfers only at *yield points* — every operation on a model atomic
+//!   ([`sync::atomic`]), every [`sync::fence`]`(SeqCst)`, joins, and thread
+//!   exit. Plain (non-atomic) code runs atomically between yield points,
+//!   which is exactly the reduction loom applies: only operations on shared
+//!   state order threads against each other.
+//! * At each yield point the scheduler consults a DFS *choice tree*: the
+//!   first run takes the first option everywhere, each subsequent run
+//!   replays a recorded prefix and flips the deepest unexplored decision
+//!   (backtracking). When the tree is exhausted, exploration is complete.
+//! * **Preemption bounding** (CHESS-style): switching away from a thread
+//!   that could have kept running costs one preemption from
+//!   [`Config::preemption_bound`]; forced switches (the yielder blocked or
+//!   exited) are free. Most real concurrency bugs need very few
+//!   preemptions, so a small bound explores a tiny, high-yield slice of
+//!   the schedule space — and `None` means exhaustive.
+//!
+//! # Memory model: TSO store buffers
+//!
+//! Sequentially-consistent interleaving exploration cannot reproduce the
+//! store-buffering reorder that the commit clock's `SeqCst` fence exists to
+//! defeat, so the model atomics implement a TSO (x86-style) memory model:
+//!
+//! * Plain stores (`Relaxed`/`Release`) enter the writing thread's FIFO
+//!   store buffer and are invisible to other threads until drained.
+//! * `SeqCst` stores, every read-modify-write (`fetch_add`,
+//!   `compare_exchange`, ...), `fence(SeqCst)`, and thread exit drain the
+//!   buffer to shared memory first.
+//! * Loads forward from the newest buffered store to the same location
+//!   (store-to-load forwarding), else read shared memory. `SeqCst` loads
+//!   are plain loads, as on x86.
+//! * `Acquire`/`Release` fences are no-ops (TSO already provides them).
+//!
+//! Buffers drain only at those points, never spontaneously — a *subset* of
+//! TSO's behaviors (real hardware may flush earlier, which only makes
+//! stores visible *sooner*). Exploring a subset can miss schedules but
+//! never invents one, so a failure found here is a real TSO execution, and
+//! the commit pipeline's documented race (db.rs module docs) is exactly a
+//! delayed-flush scenario this model does reach.
+//!
+//! # Limitations
+//!
+//! Spin loops that wait on another thread without bounded progress will hit
+//! [`Config::max_steps`] (the DFS keeps choosing the spinner); code under
+//! test must be lock-free on the explored paths. Blocking locks are
+//! invisible to the scheduler — safe only if no yield point occurs while
+//! one is held (see CONCURRENCY.md at the workspace root).
+
+pub mod sync;
+pub mod thread;
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Exploration limits.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum voluntary preemptions per schedule (`None` = unbounded =
+    /// exhaustive over all interleavings at every yield point).
+    pub preemption_bound: Option<usize>,
+    /// Give up (report `complete: false`) after this many schedules.
+    pub max_iterations: usize,
+    /// Fail the model if one schedule makes more than this many scheduling
+    /// decisions (catches unbounded spin loops).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_iterations: 1_000_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub iterations: usize,
+    /// True when the choice tree was exhausted (every schedule reachable
+    /// under the preemption bound ran); false when `max_iterations` cut
+    /// exploration short.
+    pub complete: bool,
+}
+
+/// One recorded scheduling decision: the runnable options at that point
+/// (yielder first when it was runnable) and which one the current schedule
+/// takes.
+struct Choice {
+    options: Vec<usize>,
+    index: usize,
+    /// Whether the yielding thread could have kept running — taking
+    /// `index > 0` then costs a preemption.
+    yielder_runnable: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+enum Picked {
+    Thread(usize),
+    AllDone,
+    Deadlock,
+}
+
+pub(crate) struct State {
+    /// The one thread allowed to run (meaningless once `free_run`).
+    active: usize,
+    statuses: Vec<Status>,
+    /// Per-thread list of threads blocked joining it.
+    joiners: Vec<Vec<usize>>,
+    /// Shared memory: location id → value (absent = 0).
+    mem: HashMap<usize, u64>,
+    /// Per-thread FIFO store buffers (TSO).
+    buffers: Vec<Vec<(usize, u64)>>,
+    next_loc: usize,
+    /// The DFS schedule: replayed up to `depth`, extended past it.
+    decisions: Vec<Choice>,
+    depth: usize,
+    preemptions: usize,
+    steps: usize,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    /// Set on failure (or after main exits with stragglers): scheduling is
+    /// abandoned and every thread runs freely so the iteration can unwind.
+    free_run: bool,
+    failed: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Real OS-thread handles, joined by the controller between iterations.
+    real: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn new(config: &Config, decisions: Vec<Choice>) -> Self {
+        Shared {
+            state: Mutex::new(State {
+                active: 0,
+                statuses: vec![Status::Runnable],
+                joiners: vec![Vec::new()],
+                mem: HashMap::new(),
+                buffers: vec![Vec::new()],
+                next_loc: 0,
+                decisions,
+                depth: 0,
+                preemptions: 0,
+                steps: 0,
+                preemption_bound: config.preemption_bound,
+                max_steps: config.max_steps,
+                free_run: false,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+            real: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Locks the state, ignoring poisoning: a panicking model thread must
+    /// not wedge its siblings (they free-run to completion instead).
+    pub(crate) fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        self.cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a failure, releases every thread into free-run, and panics
+    /// (the descriptive payload is what [`model`] re-raises).
+    fn fail(&self, mut st: MutexGuard<'_, State>, msg: String) -> ! {
+        if st.failed.is_none() {
+            st.failed = Some(Box::new(msg.clone()));
+        }
+        st.free_run = true;
+        self.cv.notify_all();
+        drop(st);
+        panic!("{msg}");
+    }
+}
+
+/// Takes the next scheduling decision: replays the recorded choice at this
+/// depth, or creates a new one (yielder-first, others admitted while the
+/// preemption budget lasts).
+fn pick(st: &mut State, tid: usize, yielder_runnable: bool) -> Picked {
+    let i = st.depth;
+    st.depth += 1;
+    if i < st.decisions.len() {
+        let c = &st.decisions[i];
+        if c.yielder_runnable && c.index != 0 {
+            st.preemptions += 1;
+        }
+        return Picked::Thread(c.options[c.index]);
+    }
+    let mut options = Vec::new();
+    if yielder_runnable {
+        options.push(tid);
+    }
+    let budget_open = st.preemption_bound.is_none_or(|b| st.preemptions < b);
+    if !yielder_runnable || budget_open {
+        options.extend(
+            (0..st.statuses.len()).filter(|&t| t != tid && st.statuses[t] == Status::Runnable),
+        );
+    }
+    if options.is_empty() {
+        return if st.statuses.iter().all(|s| *s == Status::Finished) {
+            Picked::AllDone
+        } else {
+            Picked::Deadlock
+        };
+    }
+    let chosen = options[0];
+    st.decisions.push(Choice {
+        options,
+        index: 0,
+        yielder_runnable,
+    });
+    Picked::Thread(chosen)
+}
+
+/// Yield point before an atomic operation: decide who runs next, hand off
+/// if it is someone else, and return the state lock once this thread is
+/// active again (the caller performs its memory effect under the returned
+/// guard, atomically with the decision).
+pub(crate) fn schedule_point<'a>(shared: &'a Shared, tid: usize) -> MutexGuard<'a, State> {
+    let mut st = shared.lock();
+    if st.free_run {
+        return st;
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let msg = format!(
+            "interleave: schedule exceeded max_steps ({}) — unbounded spin loop under test?",
+            st.max_steps
+        );
+        shared.fail(st, msg);
+    }
+    match pick(&mut st, tid, true) {
+        Picked::Thread(next) if next != tid => {
+            st.active = next;
+            shared.cv.notify_all();
+            loop {
+                st = shared.wait(st);
+                if st.free_run || st.active == tid {
+                    break;
+                }
+            }
+        }
+        Picked::Thread(_) => {}
+        // The yielder itself is runnable, so options can never be empty.
+        Picked::AllDone | Picked::Deadlock => unreachable!("runnable yielder had no options"),
+    }
+    st
+}
+
+/// Yield point for a thread that just blocked (status already set by the
+/// caller): always hands off, and returns once this thread is runnable and
+/// scheduled again.
+pub(crate) fn block_point(shared: &Shared, tid: usize) {
+    let mut st = shared.lock();
+    if st.free_run {
+        return;
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let msg = format!("interleave: schedule exceeded max_steps ({})", st.max_steps);
+        shared.fail(st, msg);
+    }
+    match pick(&mut st, tid, false) {
+        Picked::Thread(next) => {
+            st.active = next;
+            shared.cv.notify_all();
+            loop {
+                st = shared.wait(st);
+                if st.free_run || (st.active == tid && st.statuses[tid] == Status::Runnable) {
+                    break;
+                }
+            }
+        }
+        Picked::AllDone => unreachable!("blocked thread outlives every other"),
+        Picked::Deadlock => {
+            let msg = "interleave: deadlock — every live thread is blocked".to_string();
+            shared.fail(st, msg);
+        }
+    }
+}
+
+/// Final yield point of a thread: drain its store buffer, wake joiners,
+/// and hand the schedule to a survivor without waiting.
+pub(crate) fn exit_point(shared: &Shared, tid: usize) {
+    // Pre-exit yield: the terminal buffer drain is a visible memory event
+    // (it publishes this thread's last plain stores), so siblings must be
+    // schedulable before it — otherwise the store-buffering window closes
+    // artificially early and reachable TSO outcomes disappear.
+    let mut st = schedule_point(shared, tid);
+    drain(&mut st, tid);
+    st.statuses[tid] = Status::Finished;
+    let joiners = std::mem::take(&mut st.joiners[tid]);
+    for j in joiners {
+        st.statuses[j] = Status::Runnable;
+    }
+    if st.free_run {
+        shared.cv.notify_all();
+        return;
+    }
+    match pick(&mut st, tid, false) {
+        Picked::Thread(next) => {
+            st.active = next;
+            shared.cv.notify_all();
+        }
+        Picked::AllDone => shared.cv.notify_all(),
+        Picked::Deadlock => {
+            let msg =
+                "interleave: deadlock — exiting thread leaves only blocked threads".to_string();
+            shared.fail(st, msg);
+        }
+    }
+}
+
+/// Called by a spawned thread before running its closure: its first slice
+/// starts only once a decision schedules it.
+pub(crate) fn wait_until_active(shared: &Shared, tid: usize) {
+    let mut st = shared.lock();
+    while !st.free_run && st.active != tid {
+        st = shared.wait(st);
+    }
+}
+
+/// Records a panic escaping a model thread and releases every sibling.
+pub(crate) fn record_failure(shared: &Shared, tid: usize, payload: Box<dyn Any + Send>) {
+    let mut st = shared.lock();
+    if st.failed.is_none() {
+        st.failed = Some(payload);
+    }
+    st.free_run = true;
+    st.statuses[tid] = Status::Finished;
+    let joiners = std::mem::take(&mut st.joiners[tid]);
+    for j in joiners {
+        st.statuses[j] = Status::Runnable;
+    }
+    shared.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// State helpers used by the model atomics (sync.rs)
+// ---------------------------------------------------------------------
+
+/// Flushes `tid`'s store buffer to shared memory, oldest first.
+pub(crate) fn drain(st: &mut State, tid: usize) {
+    let buf = std::mem::take(&mut st.buffers[tid]);
+    for (loc, val) in buf {
+        st.mem.insert(loc, val);
+    }
+}
+
+impl State {
+    pub(crate) fn alloc_loc(&mut self, initial: u64) -> usize {
+        let loc = self.next_loc;
+        self.next_loc += 1;
+        if initial != 0 {
+            self.mem.insert(loc, initial);
+        }
+        loc
+    }
+
+    /// Load with store-to-load forwarding from `tid`'s own buffer.
+    pub(crate) fn read(&self, tid: usize, loc: usize) -> u64 {
+        self.buffers[tid]
+            .iter()
+            .rev()
+            .find(|(l, _)| *l == loc)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| self.mem.get(&loc).copied().unwrap_or(0))
+    }
+
+    pub(crate) fn buffer_store(&mut self, tid: usize, loc: usize, val: u64) {
+        self.buffers[tid].push((loc, val));
+    }
+
+    pub(crate) fn write_now(&mut self, loc: usize, val: u64) {
+        self.mem.insert(loc, val);
+    }
+
+    pub(crate) fn finished(&self, tid: usize) -> bool {
+        self.statuses[tid] == Status::Finished
+    }
+
+    /// Marks `joiner` blocked until `target` exits.
+    pub(crate) fn block_on(&mut self, joiner: usize, target: usize) {
+        self.statuses[joiner] = Status::Blocked;
+        self.joiners[target].push(joiner);
+    }
+}
+
+pub(crate) fn register_thread(shared: &Shared) -> usize {
+    let mut st = shared.lock();
+    st.statuses.push(Status::Runnable);
+    st.joiners.push(Vec::new());
+    st.buffers.push(Vec::new());
+    st.statuses.len() - 1
+}
+
+pub(crate) fn thread_finished(shared: &Shared, tid: usize) -> bool {
+    shared.lock().statuses[tid] == Status::Finished
+}
+
+// ---------------------------------------------------------------------
+// Thread-local model context
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Ctx) {
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+}
+
+// ---------------------------------------------------------------------
+// The exploration driver
+// ---------------------------------------------------------------------
+
+/// Moves the DFS cursor to the next unexplored schedule. Returns false when
+/// the tree is exhausted.
+fn advance(decisions: &mut Vec<Choice>) -> bool {
+    while let Some(c) = decisions.last_mut() {
+        c.index += 1;
+        if c.index < c.options.len() {
+            return true;
+        }
+        decisions.pop();
+    }
+    false
+}
+
+/// Explores every schedule of `f` under the default [`Config`]. Panics (in
+/// the caller) with the failing schedule's panic if any schedule fails.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// [`model`] with explicit limits.
+pub fn model_with<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut decisions: Vec<Choice> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let shared = Arc::new(Shared::new(&config, std::mem::take(&mut decisions)));
+        let main = {
+            let shared = Arc::clone(&shared);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                set_ctx(Ctx {
+                    shared: Arc::clone(&shared),
+                    tid: 0,
+                });
+                match catch_unwind(AssertUnwindSafe(|| f())) {
+                    Ok(()) => exit_point(&shared, 0),
+                    Err(payload) => record_failure(&shared, 0, payload),
+                }
+            })
+        };
+        // The wrappers catch everything, so these joins cannot fail.
+        let _ = main.join();
+        let handles = std::mem::take(&mut *shared.real.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = shared.lock();
+        if let Some(payload) = st.failed.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+        decisions = std::mem::take(&mut st.decisions);
+        drop(st);
+        if !advance(&mut decisions) {
+            return Report {
+                iterations,
+                complete: true,
+            };
+        }
+        if iterations >= config.max_iterations {
+            return Report {
+                iterations,
+                complete: false,
+            };
+        }
+    }
+}

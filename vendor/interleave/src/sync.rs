@@ -1,0 +1,298 @@
+//! Model replacements for `std::sync::atomic` and `std::sync::atomic::fence`.
+//!
+//! Each atomic constructed *inside* a model run (see [`crate::model`])
+//! becomes a location in the model's shared memory, and every operation on
+//! it is a scheduler yield point with TSO store-buffer semantics (see the
+//! crate docs). Constructed outside a model run, the types transparently
+//! delegate to the real `std::sync::atomic` primitives, so code compiled
+//! against this module still behaves normally in ordinary tests.
+//!
+//! Approximations, all *behavior subsets* (they can hide schedules, never
+//! invent them): `compare_exchange_weak` never fails spuriously, `SeqCst`
+//! loads are plain loads (x86), and `Acquire`/`Release` fences are no-ops
+//! (TSO provides their ordering already).
+
+use std::sync::Arc;
+
+use crate::{current, drain, schedule_point, Shared};
+
+/// Model atomic integer types (plus the re-exported real
+/// [`Ordering`](std::sync::atomic::Ordering)).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    enum Inner<R> {
+        Real(R),
+        Model { shared: Arc<Shared>, loc: usize },
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $ty:ty, $real:ty) => {
+            /// Model version of the equivalently-named `std::sync::atomic`
+            /// type. See the module docs for semantics.
+            pub struct $name(Inner<$real>);
+
+            impl $name {
+                #[allow(clippy::cast_lossless)]
+                fn to_u64(v: $ty) -> u64 {
+                    v as u64
+                }
+
+                #[allow(clippy::cast_lossless, clippy::cast_possible_truncation)]
+                fn from_u64(v: u64) -> $ty {
+                    v as $ty
+                }
+
+                /// Creates the atomic: a model memory location inside a
+                /// model run, a real atomic otherwise.
+                pub fn new(v: $ty) -> Self {
+                    match current() {
+                        Some(ctx) => {
+                            let loc = ctx.shared.lock().alloc_loc(Self::to_u64(v));
+                            $name(Inner::Model {
+                                shared: ctx.shared,
+                                loc,
+                            })
+                        }
+                        None => $name(Inner::Real(<$real>::new(v))),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    match &self.0 {
+                        Inner::Real(a) => a.load(order),
+                        Inner::Model { shared, loc } => {
+                            let ctx = current().expect("model atomic used outside a model run");
+                            debug_assert!(Arc::ptr_eq(shared, &ctx.shared));
+                            let st = schedule_point(shared, ctx.tid);
+                            Self::from_u64(st.read(ctx.tid, *loc))
+                        }
+                    }
+                }
+
+                pub fn store(&self, val: $ty, order: Ordering) {
+                    match &self.0 {
+                        Inner::Real(a) => a.store(val, order),
+                        Inner::Model { shared, loc } => {
+                            let ctx = current().expect("model atomic used outside a model run");
+                            let mut st = schedule_point(shared, ctx.tid);
+                            if order == Ordering::SeqCst {
+                                // SeqCst stores drain and write through
+                                // (x86: mov + mfence).
+                                drain(&mut st, ctx.tid);
+                                st.write_now(*loc, Self::to_u64(val));
+                            } else {
+                                st.buffer_store(ctx.tid, *loc, Self::to_u64(val));
+                            }
+                        }
+                    }
+                }
+
+                /// All RMWs drain the store buffer and act on shared memory
+                /// (x86: locked instructions are full barriers).
+                fn rmw(&self, f: impl FnOnce($ty) -> $ty) -> $ty {
+                    match &self.0 {
+                        Inner::Real(_) => unreachable!("rmw dispatches per-op on Real"),
+                        Inner::Model { shared, loc } => {
+                            let ctx = current().expect("model atomic used outside a model run");
+                            let mut st = schedule_point(shared, ctx.tid);
+                            drain(&mut st, ctx.tid);
+                            let old = Self::from_u64(st.read(ctx.tid, *loc));
+                            st.write_now(*loc, Self::to_u64(f(old)));
+                            old
+                        }
+                    }
+                }
+
+                pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                    match &self.0 {
+                        Inner::Real(a) => a.fetch_add(val, order),
+                        _ => self.rmw(|old| old.wrapping_add(val)),
+                    }
+                }
+
+                pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                    match &self.0 {
+                        Inner::Real(a) => a.fetch_sub(val, order),
+                        _ => self.rmw(|old| old.wrapping_sub(val)),
+                    }
+                }
+
+                pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                    match &self.0 {
+                        Inner::Real(a) => a.fetch_max(val, order),
+                        _ => self.rmw(|old| old.max(val)),
+                    }
+                }
+
+                pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                    match &self.0 {
+                        Inner::Real(a) => a.swap(val, order),
+                        _ => self.rmw(|_| val),
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match &self.0 {
+                        Inner::Real(a) => a.compare_exchange(current, new, success, failure),
+                        Inner::Model { shared, loc } => {
+                            let ctx = current_ctx();
+                            let mut st = schedule_point(shared, ctx.tid);
+                            // Failed CAS drains too: x86 lock cmpxchg is a
+                            // full barrier either way.
+                            drain(&mut st, ctx.tid);
+                            let old = Self::from_u64(st.read(ctx.tid, *loc));
+                            if old == current {
+                                st.write_now(*loc, Self::to_u64(new));
+                                Ok(old)
+                            } else {
+                                Err(old)
+                            }
+                        }
+                    }
+                }
+
+                /// Never fails spuriously in the model (a strict behavior
+                /// subset of the real weak CAS).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match &self.0 {
+                        Inner::Real(a) => a.compare_exchange_weak(current, new, success, failure),
+                        _ => self.compare_exchange(current, new, success, failure),
+                    }
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    // No load here: Debug must not be a yield point.
+                    match &self.0 {
+                        Inner::Real(_) => write!(f, concat!(stringify!($name), "(real)")),
+                        Inner::Model { loc, .. } => {
+                            write!(f, concat!(stringify!($name), "(model @{})"), loc)
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    fn current_ctx() -> crate::Ctx {
+        current().expect("model atomic used outside a model run")
+    }
+
+    model_atomic!(AtomicU8, u8, std::sync::atomic::AtomicU8);
+    model_atomic!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+    model_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+    model_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+    model_atomic!(AtomicI64, i64, std::sync::atomic::AtomicI64);
+
+    /// Model version of `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool(Inner<std::sync::atomic::AtomicBool>);
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            match current() {
+                Some(ctx) => {
+                    let loc = ctx.shared.lock().alloc_loc(u64::from(v));
+                    AtomicBool(Inner::Model {
+                        shared: ctx.shared,
+                        loc,
+                    })
+                }
+                None => AtomicBool(Inner::Real(std::sync::atomic::AtomicBool::new(v))),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            match &self.0 {
+                Inner::Real(a) => a.load(order),
+                Inner::Model { shared, loc } => {
+                    let ctx = current_ctx();
+                    let st = schedule_point(shared, ctx.tid);
+                    st.read(ctx.tid, *loc) != 0
+                }
+            }
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            match &self.0 {
+                Inner::Real(a) => a.store(val, order),
+                Inner::Model { shared, loc } => {
+                    let ctx = current_ctx();
+                    let mut st = schedule_point(shared, ctx.tid);
+                    if order == Ordering::SeqCst {
+                        drain(&mut st, ctx.tid);
+                        st.write_now(*loc, u64::from(val));
+                    } else {
+                        st.buffer_store(ctx.tid, *loc, u64::from(val));
+                    }
+                }
+            }
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            match &self.0 {
+                Inner::Real(a) => a.swap(val, order),
+                Inner::Model { shared, loc } => {
+                    let ctx = current_ctx();
+                    let mut st = schedule_point(shared, ctx.tid);
+                    drain(&mut st, ctx.tid);
+                    let old = st.read(ctx.tid, *loc) != 0;
+                    st.write_now(*loc, u64::from(val));
+                    old
+                }
+            }
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match &self.0 {
+                Inner::Real(_) => write!(f, "AtomicBool(real)"),
+                Inner::Model { loc, .. } => write!(f, "AtomicBool(model @{loc})"),
+            }
+        }
+    }
+}
+
+/// Model version of `std::sync::atomic::fence`: inside a model run a
+/// `SeqCst` fence drains the calling thread's store buffer (x86 `mfence`);
+/// `Acquire`/`Release` fences are no-ops under TSO. Outside a model run it
+/// is the real fence.
+pub fn fence(order: atomic::Ordering) {
+    match current() {
+        Some(ctx) => {
+            if order == atomic::Ordering::SeqCst {
+                let mut st = schedule_point(&ctx.shared, ctx.tid);
+                drain(&mut st, ctx.tid);
+            }
+        }
+        None => std::sync::atomic::fence(order),
+    }
+}

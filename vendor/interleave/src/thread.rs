@@ -1,0 +1,102 @@
+//! Model threads: real OS threads driven by the model scheduler.
+//!
+//! Must only be used inside a [`crate::model`] run. A spawned thread does
+//! not start executing until a scheduling decision picks it; `join` is a
+//! blocking yield point (the joiner leaves the runnable set until the
+//! target exits).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::{
+    block_point, current, exit_point, record_failure, register_thread, set_ctx, thread_finished,
+    wait_until_active, Ctx, Shared,
+};
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// Handle to a model thread; `join` it before the model closure returns.
+pub struct JoinHandle<T> {
+    shared: Arc<Shared>,
+    tid: usize,
+    result: Arc<Mutex<Option<Result<T, Payload>>>>,
+}
+
+/// Spawns a model thread. Panics if called outside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = current().expect("interleave::thread::spawn outside a model run");
+    let shared = ctx.shared;
+    let tid = register_thread(&shared);
+    let result: Arc<Mutex<Option<Result<T, Payload>>>> = Arc::new(Mutex::new(None));
+    let real = {
+        let shared = Arc::clone(&shared);
+        let result = Arc::clone(&result);
+        std::thread::spawn(move || {
+            set_ctx(Ctx {
+                shared: Arc::clone(&shared),
+                tid,
+            });
+            wait_until_active(&shared, tid);
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    // Publish the result before the Finished status a
+                    // joiner checks.
+                    *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    exit_point(&shared, tid);
+                }
+                Err(payload) => {
+                    *result.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(Err(Box::new("model thread panicked") as Payload));
+                    record_failure(&shared, tid, payload);
+                }
+            }
+        })
+    };
+    shared
+        .real
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(real);
+    JoinHandle {
+        shared,
+        tid,
+        result,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (as a scheduling decision) until the thread exits, then
+    /// returns its result — `Err` if it panicked, like `std`'s join.
+    pub fn join(self) -> Result<T, Payload> {
+        let ctx = current().expect("interleave join outside a model run");
+        loop {
+            {
+                let mut st = self.shared.lock();
+                if st.free_run {
+                    drop(st);
+                    // Scheduling is abandoned (a sibling failed): fall back
+                    // to plain waiting so the iteration can unwind.
+                    while !thread_finished(&self.shared, self.tid) {
+                        std::thread::yield_now();
+                    }
+                    break;
+                }
+                if st.finished(self.tid) {
+                    break;
+                }
+                st.block_on(ctx.tid, self.tid);
+            }
+            block_point(&self.shared, ctx.tid);
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("model thread result already taken")
+    }
+}

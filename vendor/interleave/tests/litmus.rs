@@ -1,0 +1,258 @@
+//! Litmus tests for the model checker: classic memory-model shapes with
+//! known outcome sets, checking both that exploration *finds* every
+//! reachable outcome (completeness at the bound) and that it never invents
+//! an unreachable one (soundness).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use interleave::sync::atomic::{AtomicU64, Ordering};
+use interleave::{model, model_with, sync::fence, thread, Config};
+
+/// Runs the two-thread store-buffering shape, with or without a `SeqCst`
+/// fence between each thread's store and load, and collects every
+/// `(r0, r1)` outcome reached.
+fn sb_outcomes(with_fence: bool) -> (HashSet<(u64, u64)>, interleave::Report) {
+    let outcomes: Arc<Mutex<HashSet<(u64, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
+    let o = Arc::clone(&outcomes);
+    let report = model_with(
+        Config {
+            preemption_bound: None,
+            ..Config::default()
+        },
+        move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x0, y0) = (Arc::clone(&x), Arc::clone(&y));
+            let t0 = thread::spawn(move || {
+                x0.store(1, Ordering::Release);
+                if with_fence {
+                    fence(Ordering::SeqCst);
+                }
+                y0.load(Ordering::Acquire)
+            });
+            let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                y1.store(1, Ordering::Release);
+                if with_fence {
+                    fence(Ordering::SeqCst);
+                }
+                x1.load(Ordering::Acquire)
+            });
+            let r0 = t0.join().unwrap();
+            let r1 = t1.join().unwrap();
+            o.lock().unwrap().insert((r0, r1));
+        },
+    );
+    (
+        Arc::try_unwrap(outcomes).unwrap().into_inner().unwrap(),
+        report,
+    )
+}
+
+#[test]
+fn store_buffering_without_fence_reaches_0_0() {
+    let (outcomes, report) = sb_outcomes(false);
+    assert!(report.complete, "exploration must exhaust the tree");
+    // The TSO-only outcome: both stores parked in store buffers while both
+    // loads read main memory. This is the reorder the commit clock's fence
+    // exists to defeat — the model must be able to reach it.
+    assert!(
+        outcomes.contains(&(0, 0)),
+        "store-buffering outcome not found: {outcomes:?}"
+    );
+    // SC outcomes are reachable too.
+    assert!(outcomes.contains(&(0, 1)) || outcomes.contains(&(1, 0)));
+}
+
+#[test]
+fn store_buffering_with_fence_excludes_0_0() {
+    let (outcomes, report) = sb_outcomes(true);
+    assert!(report.complete);
+    // With both buffers drained before the loads, at least one thread sees
+    // the other's store: (0,0) is impossible, exactly as on real hardware.
+    assert!(
+        !outcomes.contains(&(0, 0)),
+        "fenced SB must never yield (0,0): {outcomes:?}"
+    );
+    assert!(outcomes.contains(&(1, 1)));
+}
+
+#[test]
+fn rmws_are_atomic_under_every_schedule() {
+    let report = model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+    });
+    assert!(report.complete);
+    // More than one schedule actually ran.
+    assert!(
+        report.iterations > 1,
+        "only {} iterations",
+        report.iterations
+    );
+}
+
+#[test]
+fn compare_exchange_observes_drained_memory() {
+    // A CAS loop from two threads must serialize: exactly one wins each
+    // value transition, under every interleaving.
+    let report = model(|| {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    let mut cur = c.load(Ordering::Acquire);
+                    loop {
+                        match c.compare_exchange_weak(
+                            cur,
+                            cur + 10 + i,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => return,
+                            Err(seen) => cur = seen,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let v = c.load(Ordering::Relaxed);
+        // One thread moved 0 -> 10+i, the other stacked on top.
+        assert!(v == 10 + 11 || v == 10 + 10 + 1 + 10, "unexpected {v}");
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn failing_schedule_panics_out_of_model() {
+    // A bug reachable only under a specific interleaving must surface as a
+    // panic from model(): two increments done as load-then-store (not
+    // RMW) can lose an update.
+    let result = std::panic::catch_unwind(|| {
+        model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        })
+    });
+    assert!(result.is_err(), "model failed to find the lost update");
+}
+
+#[test]
+fn store_to_load_forwarding_sees_own_buffered_store() {
+    let report = model(|| {
+        let x = Arc::new(AtomicU64::new(7));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.store(9, Ordering::Release);
+            // Buffered, but our own load must forward it.
+            assert_eq!(x2.load(Ordering::Acquire), 9);
+        });
+        t.join().unwrap();
+        // After the thread exits its buffer has drained.
+        assert_eq!(x.load(Ordering::Acquire), 9);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn preemption_bound_zero_explores_only_forced_switches() {
+    // With bound 0 a runnable thread is never preempted, so the two
+    // writers run serially in either order: 2 schedules at most per
+    // blocking structure, and the SB outcome (0,0) is unreachable (it
+    // needs a mid-thread preemption).
+    let outcomes: Arc<Mutex<HashSet<(u64, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
+    let o = Arc::clone(&outcomes);
+    let report = model_with(
+        Config {
+            preemption_bound: Some(0),
+            ..Config::default()
+        },
+        move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x0, y0) = (Arc::clone(&x), Arc::clone(&y));
+            let t0 = thread::spawn(move || {
+                x0.store(1, Ordering::Release);
+                y0.load(Ordering::Acquire)
+            });
+            let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                y1.store(1, Ordering::Release);
+                x1.load(Ordering::Acquire)
+            });
+            let r0 = t0.join().unwrap();
+            let r1 = t1.join().unwrap();
+            o.lock().unwrap().insert((r0, r1));
+        },
+    );
+    assert!(report.complete);
+    let outcomes = outcomes.lock().unwrap();
+    assert!(
+        !outcomes.contains(&(0, 0)),
+        "bound 0 reached a preemptive outcome"
+    );
+}
+
+#[test]
+fn iteration_cap_reports_incomplete() {
+    let report = model_with(
+        Config {
+            preemption_bound: None,
+            max_iterations: 2,
+            ..Config::default()
+        },
+        || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+            c.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+        },
+    );
+    assert!(!report.complete);
+    assert_eq!(report.iterations, 2);
+}
+
+#[test]
+fn atomics_outside_model_fall_back_to_std() {
+    let x = AtomicU64::new(3);
+    assert_eq!(x.fetch_add(2, Ordering::SeqCst), 3);
+    assert_eq!(x.load(Ordering::SeqCst), 5);
+    assert_eq!(
+        x.compare_exchange(5, 9, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(5)
+    );
+    fence(Ordering::SeqCst);
+}
