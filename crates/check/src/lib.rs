@@ -27,6 +27,11 @@
 //! 5. **diag-seam** — `parking_lot::diag` is reached only through the
 //!    `thread_lock_acquisitions` seam in `bamboo_core::sync`, keeping the
 //!    vendored shim swappable (see ROADMAP).
+//! 6. **file-io** — `std::fs` appears in `bamboo_core`/`bamboo_storage`
+//!    production code only inside the durability module
+//!    (`crates/storage/src/log.rs`). Everything else stays in-memory or
+//!    goes through the `WalHandle`/checkpoint seams, so a recovery test
+//!    can enumerate every byte that could survive a crash.
 
 use std::fmt;
 use std::path::Path;
@@ -167,6 +172,18 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
                     format!("`{what}` without an adjacent `// ordering:` justification comment"),
                 );
             }
+        }
+
+        // Rule 6: file I/O only inside the durability module.
+        if (rel_path.starts_with("crates/core/src/") || rel_path.starts_with("crates/storage/src/"))
+            && rel_path != "crates/storage/src/log.rs"
+            && !in_test
+            && line.contains("std::fs")
+        {
+            push(
+                "file-io",
+                "`std::fs` outside crates/storage/src/log.rs — all durable bytes go through the WAL/checkpoint seams so recovery can account for them".to_string(),
+            );
         }
 
         // Rule 5: parking_lot::diag only behind the seam.
@@ -599,6 +616,28 @@ mod tests {
         let src = "let n = parking_lot::diag::thread_acquisitions();\n";
         assert_eq!(rules("crates/core/src/executor.rs", src), vec!["diag-seam"]);
         assert!(rules("crates/core/src/sync.rs", src).is_empty());
+    }
+
+    // --- rule 6: file-io ----------------------------------------------
+
+    #[test]
+    fn file_io_fires_outside_the_durability_module() {
+        let src = "let bytes = std::fs::read(path)?;\n";
+        assert_eq!(rules("crates/core/src/db.rs", src), vec!["file-io"]);
+        assert_eq!(rules("crates/storage/src/table.rs", src), vec!["file-io"]);
+        let src = "use std::fs::File;\n";
+        assert_eq!(rules("crates/core/src/wal.rs", src), vec!["file-io"]);
+    }
+
+    #[test]
+    fn file_io_allowed_in_log_rs_tests_and_other_crates() {
+        let src = "let f = std::fs::File::create(&path)?;\n";
+        assert!(rules("crates/storage/src/log.rs", src).is_empty());
+        // Bench/workload crates are out of scope (they write result files).
+        assert!(rules("crates/bench/src/bin/durability.rs", src).is_empty());
+        // Test scaffolding may touch the filesystem.
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::fs::remove_dir_all(&d).unwrap(); }\n}\n";
+        assert!(rules("crates/core/src/durability.rs", src).is_empty());
     }
 
     // --- masking / regions machinery ----------------------------------

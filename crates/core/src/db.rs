@@ -90,13 +90,34 @@ pub struct DbOptions {
     /// looks unchanged (see
     /// [`bamboo_storage::VersionChain::install_at_with`]).
     pub trim_threshold: usize,
+    /// Directory for durable per-partition WAL segments. `None` (the
+    /// default) keeps the historical in-memory ring: no files, no fsync,
+    /// nothing survives the process. Set through
+    /// [`DbOptions::with_wal_dir`] to make
+    /// [`crate::partition::PartitionedDbBuilder::build`] open file-backed
+    /// segments instead.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// When (if ever) the durable log fsyncs on the commit path. Ignored
+    /// unless [`DbOptions::wal_dir`] is set. See
+    /// [`bamboo_storage::FsyncPolicy`] for the durability horizon each
+    /// policy buys.
+    pub fsync_policy: bamboo_storage::FsyncPolicy,
+    /// Size at which a durable WAL segment rotates to a fresh file.
+    /// Ignored unless [`DbOptions::wal_dir`] is set.
+    pub segment_bytes: u64,
 }
+
+/// Default durable-segment rotation size (8 MiB).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
 
 impl Default for DbOptions {
     fn default() -> Self {
         DbOptions {
             epoch_commits: EPOCH_COMMITS,
             trim_threshold: bamboo_storage::DEFAULT_TRIM_THRESHOLD,
+            wal_dir: None,
+            fsync_policy: bamboo_storage::FsyncPolicy::Never,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -116,6 +137,26 @@ impl DbOptions {
     /// Sets the version-chain trim threshold.
     pub fn with_trim_threshold(mut self, n: usize) -> Self {
         self.trim_threshold = n;
+        self
+    }
+
+    /// Enables durable WAL segments under `dir` (per-partition files; the
+    /// directory is created on build if missing).
+    pub fn with_wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the fsync policy of the durable log (no effect without
+    /// [`DbOptions::with_wal_dir`]).
+    pub fn with_fsync_policy(mut self, policy: bamboo_storage::FsyncPolicy) -> Self {
+        self.fsync_policy = policy;
+        self
+    }
+
+    /// Sets the durable-segment rotation size in bytes.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
         self
     }
 }
@@ -297,6 +338,45 @@ impl CommitClock {
                 Err(cur) => s = cur,
             }
         }
+    }
+
+    /// The next timestamp to be handed out: every allocated timestamp is
+    /// strictly below the returned value.
+    ///
+    /// The fuzzy checkpoint reads this *after* capturing the per-partition
+    /// log cuts: any commit whose timestamp is at or above the returned
+    /// value allocated after this load, hence logs after the cuts — which
+    /// is exactly the bound that makes `stable = next - 1` a safe
+    /// checkpoint horizon.
+    pub fn next(&self) -> u64 {
+        // ordering: SeqCst — must not read a stale value that misses an
+        // allocation whose log records precede the checkpoint's cut
+        // capture; SeqCst puts this load after the cut capture in the
+        // single total order the checkpoint reasons about.
+        self.next.load(Ordering::SeqCst)
+    }
+
+    /// Fast-forwards a quiescent clock so every timestamp `<= ts` counts
+    /// as finished and `ts + 1` is the next allocation. Recovery-only:
+    /// callers guarantee no concurrent allocator or finisher exists.
+    pub(crate) fn restore(&self, ts: u64) {
+        // ordering: Relaxed throughout — recovery is single-threaded
+        // before any session exists; the first post-recovery finish()'s
+        // Release store publishes everything this wrote.
+        for i in 0..CLOCK_WINDOW as u64 {
+            // Newest t <= ts congruent to slot i (0 when none: timestamps
+            // are 1-based, so slot value 0 means "never occupied").
+            let base = ts - (ts % CLOCK_WINDOW as u64);
+            let cand = base + i;
+            let newest = if cand <= ts {
+                cand
+            } else {
+                cand.saturating_sub(CLOCK_WINDOW as u64)
+            };
+            self.slots[i as usize].store(newest, Ordering::Relaxed);
+        }
+        self.stable.store(ts, Ordering::Relaxed);
+        self.next.store(ts + 1, Ordering::Relaxed);
     }
 
     /// The newest timestamp at which a consistent snapshot can be taken
@@ -984,6 +1064,48 @@ mod tests {
         let mut b = Database::builder();
         b.with_options(DbOptions::new().with_epoch_commits(0));
         assert_eq!(b.build().options().epoch_commits, 1);
+    }
+
+    #[test]
+    fn db_options_durability_knobs() {
+        use bamboo_storage::FsyncPolicy;
+        // Default stays in-memory: no wal dir, no fsync, stock rotation.
+        let opts = DbOptions::new();
+        assert_eq!(opts.wal_dir, None);
+        assert_eq!(opts.fsync_policy, FsyncPolicy::Never);
+        assert_eq!(opts.segment_bytes, DEFAULT_SEGMENT_BYTES);
+        // The builders set each knob independently.
+        let opts = DbOptions::new()
+            .with_wal_dir("/tmp/bamboo-wal")
+            .with_fsync_policy(FsyncPolicy::GroupEveryN(8))
+            .with_segment_bytes(1 << 16);
+        assert_eq!(
+            opts.wal_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/bamboo-wal"))
+        );
+        assert_eq!(opts.fsync_policy, FsyncPolicy::GroupEveryN(8));
+        assert_eq!(opts.segment_bytes, 1 << 16);
+        // A database built without a wal dir ignores the other knobs (in
+        // particular its options survive round-tripping through build).
+        let mut b = Database::builder();
+        b.with_options(DbOptions::new().with_fsync_policy(FsyncPolicy::EveryCommit));
+        assert_eq!(b.build().options().fsync_policy, FsyncPolicy::EveryCommit);
+    }
+
+    #[test]
+    fn commit_clock_restore_resumes_allocation() {
+        let clock = CommitClock::new();
+        // Restore well past the slot window to exercise the wrap guard.
+        let resume = CLOCK_WINDOW as u64 * 2 + 5;
+        clock.restore(resume);
+        assert_eq!(clock.stable(), resume);
+        assert_eq!(clock.next(), resume + 1);
+        // Allocation continues seamlessly: no spin on a stale slot, and
+        // finishing advances stable as usual.
+        let ts = clock.allocate();
+        assert_eq!(ts, resume + 1);
+        clock.finish(ts);
+        assert_eq!(clock.stable(), resume + 1);
     }
 
     #[test]

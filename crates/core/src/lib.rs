@@ -118,6 +118,7 @@
 //! [`db::DbOptions`].
 
 pub mod db;
+pub mod durability;
 pub mod executor;
 pub mod lock;
 pub mod meta;
@@ -134,6 +135,7 @@ pub mod txn;
 pub mod wal;
 
 pub use db::{Database, DatabaseBuilder, DbOptions};
+pub use durability::RecoveryReport;
 pub use meta::TupleCc;
 pub use partition::{PartSession, Partition, PartitionedDb};
 pub use session::{RetryPolicy, Session, Txn, TxnOptions};

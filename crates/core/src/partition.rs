@@ -37,17 +37,23 @@
 //!
 //! 1. The protocol runs its normal commit protocol (semaphore wait /
 //!    validation) once, over the whole access set.
-//! 2. The redo record is split by partition and appended to each written
+//! 2. **One commit timestamp** is allocated from the shared clock and the
+//!    commit point passes *before* anything is logged or installed, so a
+//!    wounded transaction never reaches any WAL segment (with durable
+//!    segments that is what makes recovery redo-only). The clock holds
+//!    the timestamp in flight until all installs land, so no snapshot —
+//!    on any partition — can observe a cross-partition commit
+//!    half-applied.
+//! 3. The redo group is split by partition and appended to each written
 //!    partition's WAL segment **in ascending partition-id order** (see
-//!    `log_commit` in `protocol`). Appends never nest — each WAL lock is
-//!    held for exactly one append — and the fixed acquisition order keeps
-//!    the discipline deadlock-free if segment locks are ever held across
-//!    appends (e.g. future group commit).
-//! 3. **One commit timestamp** is allocated from the shared clock after
-//!    logging, and every install on every partition is tagged with it.
-//!    The clock holds the timestamp in flight until all installs land, so
-//!    no snapshot — on any partition — can observe a cross-partition
-//!    commit half-applied.
+//!    `log_commit` in `protocol`), every append carrying the same commit
+//!    timestamp and the full written-partition mask (what crash recovery
+//!    checks cross-partition completeness against). Appends never nest —
+//!    each WAL lock is held for exactly one append — and the fixed
+//!    acquisition order keeps the discipline deadlock-free if segment
+//!    locks are ever held across appends (e.g. future group commit).
+//!    Installs run only after every partition's append, so anything a
+//!    dependent transaction can read was logged first.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -318,6 +324,13 @@ impl PartitionedDbBuilder {
 
     /// Finalizes the partitioned database: builds the router, the shared
     /// commit pipeline, and one `Database` view per partition.
+    ///
+    /// When [`DbOptions::with_wal_dir`] is set, every partition opens a
+    /// durable WAL segment writer rooted in that directory (resuming after
+    /// any existing log, with the torn tail truncated away — see
+    /// [`bamboo_storage::log`]); otherwise each partition gets the
+    /// in-memory ring. Durable databases cap the partition count at 64:
+    /// the cross-partition completeness mask is a `u64` bitmask.
     pub fn build(self) -> Arc<PartitionedDb> {
         let mut router = Router::new(self.partitions, RouteStrategy::Hash);
         for (i, s) in self.strategies.into_iter().enumerate() {
@@ -326,9 +339,35 @@ impl PartitionedDbBuilder {
         let router = Arc::new(router);
         let catalogs: Arc<[Arc<Catalog<TupleCc>>]> =
             self.catalogs.into_iter().map(Arc::new).collect();
-        let wals: Arc<[Arc<WalHandle>]> = (0..self.partitions)
-            .map(|_| Arc::new(WalHandle::new()))
-            .collect();
+        let wals: Arc<[Arc<WalHandle>]> = match &self.options.wal_dir {
+            Some(dir) => {
+                assert!(
+                    self.partitions <= 64,
+                    "durable WALs support at most 64 partitions \
+                     (the completeness mask is a u64 bitmask)"
+                );
+                (0..self.partitions)
+                    .map(|p| {
+                        let w = bamboo_storage::SegmentWriter::open(
+                            dir,
+                            p,
+                            self.options.fsync_policy,
+                            self.options.segment_bytes,
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "opening WAL segment for partition {p} in {}: {e}",
+                                dir.display()
+                            )
+                        });
+                        Arc::new(WalHandle::durable(w))
+                    })
+                    .collect()
+            }
+            None => (0..self.partitions)
+                .map(|_| Arc::new(WalHandle::new()))
+                .collect(),
+        };
         let stats: Arc<[CachePadded<PartitionStats>]> = (0..self.partitions)
             .map(|_| CachePadded::new(PartitionStats::default()))
             .collect();

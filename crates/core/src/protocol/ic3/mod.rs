@@ -508,6 +508,21 @@ impl Protocol for Ic3Protocol {
             ctx.shared.mark_released();
             return res;
         }
+        // The manual (piece-less) session API never calls `piece_end`, so
+        // the final group's writes are still unpublished here. Finalize it
+        // now — publish the pending versions (and validate the group in
+        // optimistic mode) — so a conflicting accessor unblocked by our
+        // commit point reads the published image instead of falling
+        // through to the committed chain during the commit-point → install
+        // window (a lost update: it would base its own write on the
+        // pre-install value).
+        if ctx
+            .accesses
+            .iter()
+            .any(|a| a.dirty && a.state == AccessState::Owner)
+        {
+            self.finalize_group(ctx)?;
+        }
         // Commit ordering: wait for every dependency to finish; a finished-
         // aborted dependency that wrote data we (may) have read cascades.
         let t0 = Instant::now();
@@ -536,13 +551,23 @@ impl Protocol for Ic3Protocol {
             }
         }
         ctx.timers.commit_wait += t0.elapsed();
-        crate::protocol::log_commit(db, ctx, wal);
         // MVCC commit timestamp for the versioned installs below.
         ctx.commit_ts = db.commit_clock.allocate();
         if !ctx.shared.try_commit_point() {
             db.commit_clock.finish(ctx.commit_ts);
             return Err(ctx.abort_err());
         }
+        // Log after the commit point with the commit timestamp, before any
+        // install (parity with the other protocols' ordering: only
+        // committed work reaches the log). Note the record carries the
+        // *column-local* copy: IC3 installs are column-masked merges
+        // computed atomically under each tuple's accessor lock below, so a
+        // full after-image cannot be captured here without racing
+        // concurrent disjoint-column writers — durable redo replay is
+        // therefore defined for the whole-row-install protocols (the 2PL
+        // family and Silo); IC3 durable logging would need column-masked
+        // update records (see DURABILITY.md).
+        crate::protocol::log_commit(db, ctx, wal);
         // Install writes (column-masked) as new committed versions and
         // clear accessor entries and versions.
         let watermark = db.gc_watermark();

@@ -747,11 +747,6 @@ impl Protocol for LockingProtocol {
         }
         ctx.timers.commit_wait += t0.elapsed();
 
-        // Algorithm 1 line 6: log, then the commit point (Definition 1).
-        // On a partitioned database the record splits into per-partition
-        // WAL appends in ascending partition-id order (the PartitionedDb
-        // commit-ordering contract).
-        log_commit(db, ctx, wal);
         // Allocate the MVCC commit timestamp just before the commit point:
         // installs (and commit-time inserts) are tagged with it, and the
         // clock keeps it "in flight" until every install landed, so
@@ -763,6 +758,17 @@ impl Protocol for LockingProtocol {
             db.commit_clock.finish(ctx.commit_ts);
             return Err(ctx.abort_err());
         }
+        // Algorithm 1 line 6: the log write, here *after* the commit point
+        // (Definition 1) so a wounded transaction never reaches the log —
+        // with a durable sink that is what makes recovery redo-only — and
+        // carrying the just-allocated commit timestamp. On a partitioned
+        // database the group splits into per-partition WAL appends in
+        // ascending partition-id order (the PartitionedDb commit-ordering
+        // contract). Logging precedes every install: if the process dies
+        // between fsync-acknowledged log and install, replay redoes the
+        // writes; if it dies before the log write completes, nothing was
+        // installed either.
+        log_commit(db, ctx, wal);
         apply_inserts(db, ctx);
         self.release_all(ctx, true, db.gc_watermark(), db.trim_threshold());
         db.note_commit(ctx.commit_ts);

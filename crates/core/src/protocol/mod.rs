@@ -27,7 +27,7 @@ pub use silo::SiloProtocol;
 
 use crate::db::Database;
 use crate::txn::{Abort, TxnCtx};
-use crate::wal::WalHandle;
+use crate::wal::{WalHandle, WalWrite};
 
 /// A pluggable concurrency-control protocol.
 ///
@@ -171,25 +171,56 @@ pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
     }
 }
 
-/// Appends one commit's redo record to the WAL (shared by all protocols).
+/// Appends one commit's redo group to the WAL (shared by all protocols).
+/// Called **after** the commit timestamp is allocated and the commit-point
+/// CAS succeeded, so `ctx.commit_ts` is final and uncommitted work never
+/// reaches a durable sink — recovery is redo-only by construction.
 ///
-/// * Monolithic database: one append to the session's ring, as always.
-/// * Partitioned database: the record is split by partition and appended
+/// * Monolithic database: one append to the session's sink, as always.
+/// * Partitioned database: the group is split by partition and appended
 ///   to each *written* partition's WAL segment **in ascending
 ///   partition-id order** — the commit-ordering contract of
-///   [`crate::partition::PartitionedDb`]. A partition-local transaction
-///   therefore performs exactly one append, to its home segment (which is
-///   what the session's handle is bound to under
-///   [`crate::partition::PartSession`]).
+///   [`crate::partition::PartitionedDb`]. Every per-partition group
+///   carries the same commit timestamp and the full partition mask, which
+///   is what lets recovery check cross-partition completeness. A
+///   partition-local transaction therefore performs exactly one append, to
+///   its home segment (which is what the session's handle is bound to
+///   under [`crate::partition::PartSession`]).
+///
+/// Buffered inserts are logged alongside updates: an insert's row lives in
+/// `ctx.inserts` until [`apply_inserts`] runs (after this), so the log
+/// carries its key and image explicitly.
 pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
-    let dirty = |a: &&crate::txn::Access| a.dirty;
+    // Partition bit for the durable completeness mask. Masks cap the
+    // partition count at 64 for durable databases (asserted at build);
+    // ring-backed databases ignore the mask, so larger counts just
+    // saturate to 0 here instead of overflowing the shift.
+    let part_bit = |p: usize| 1u64.checked_shl(p as u32).unwrap_or(0);
+    fn updates(ctx: &TxnCtx) -> impl Iterator<Item = WalWrite<'_>> + '_ {
+        ctx.accesses
+            .iter()
+            .filter(|a| a.dirty)
+            .map(|a| WalWrite::Update {
+                table: a.table,
+                row_id: a.tuple.row_id,
+                key: a.tuple.key,
+                after: &a.local,
+            })
+    }
+    fn inserts(ctx: &TxnCtx) -> impl Iterator<Item = WalWrite<'_>> + '_ {
+        ctx.inserts.iter().map(|i| WalWrite::Insert {
+            table: i.table,
+            key: i.key,
+            row: &i.row,
+            secondary: i.secondary,
+        })
+    }
     let Some(topo) = db.topology() else {
-        wal.append_commit(
+        wal.append_txn(
             ctx.shared.id,
-            ctx.accesses
-                .iter()
-                .filter(dirty)
-                .map(|a| (a.table, a.tuple.row_id, &a.local)),
+            ctx.commit_ts,
+            1,
+            updates(ctx).chain(inserts(ctx)),
         );
         return;
     };
@@ -198,8 +229,14 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
     // first scan for the set of written partitions without allocating.
     let mut single: Option<bamboo_storage::PartitionId> = None;
     let mut homogeneous = true;
-    for a in ctx.accesses.iter().filter(|a| a.dirty) {
-        let p = topo.router.route_from(topo.me, a.table, a.tuple.key);
+    let routes = ctx
+        .accesses
+        .iter()
+        .filter(|a| a.dirty)
+        .map(|a| (a.table, a.tuple.key))
+        .chain(ctx.inserts.iter().map(|i| (i.table, i.key)));
+    for (table, key) in routes {
+        let p = topo.router.route_from(topo.me, table, key);
         match single {
             None => single = Some(p),
             Some(prev) if prev != p => {
@@ -215,29 +252,36 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
     // allocation.
     if homogeneous {
         let p = single.unwrap_or(topo.me);
-        topo.wals[p.idx()].append_commit(
+        topo.wals[p.idx()].append_txn(
             ctx.shared.id,
-            ctx.accesses
-                .iter()
-                .filter(|a| a.dirty)
-                .map(|a| (a.table, a.tuple.row_id, &a.local)),
+            ctx.commit_ts,
+            part_bit(p.idx()),
+            updates(ctx).chain(inserts(ctx)),
         );
         return;
     }
     // Cross-partition write set: group by owning partition (small vecs of
-    // indexes; write sets are tens of entries, partitions a handful).
+    // write descriptors; write sets are tens of entries, partitions a
+    // handful).
     let n = topo.router.partitions() as usize;
-    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, a) in ctx.accesses.iter().enumerate() {
-        if a.dirty {
-            let p = topo.router.route_from(topo.me, a.table, a.tuple.key);
-            groups[p.idx()].push(i);
-        }
+    let mut groups: Vec<Vec<WalWrite<'_>>> = (0..n).map(|_| Vec::new()).collect();
+    for w in updates(ctx).chain(inserts(ctx)) {
+        let (table, key) = match &w {
+            WalWrite::Update { table, key, .. } => (*table, *key),
+            WalWrite::Insert { table, key, .. } => (*table, *key),
+        };
+        let p = topo.router.route_from(topo.me, table, key);
+        groups[p.idx()].push(w);
     }
+    let parts_mask = groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .fold(0u64, |m, (p, _)| m | part_bit(p));
     // Ascending partition-id order: the fixed acquisition order of the
     // commit-ordering contract.
     let mut last: Option<usize> = None;
-    for (p, group) in groups.iter().enumerate() {
+    for (p, group) in groups.iter_mut().enumerate() {
         if group.is_empty() {
             continue;
         }
@@ -246,13 +290,7 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
             "cross-partition WAL appends out of order: {last:?} before {p}"
         );
         last = Some(p);
-        topo.wals[p].append_commit(
-            ctx.shared.id,
-            group
-                .iter()
-                .map(|&i| &ctx.accesses[i])
-                .map(|a| (a.table, a.tuple.row_id, &a.local)),
-        );
+        topo.wals[p].append_txn(ctx.shared.id, ctx.commit_ts, parts_mask, group.drain(..));
     }
 }
 

@@ -254,15 +254,18 @@ impl Protocol for SiloProtocol {
         }
         let new_tid = max_tid + 2; // LSB reserved for the lock bit.
 
-        // Commit point: log then install (per-partition WAL appends in
-        // partition-id order when the database is partitioned).
-        log_commit(db, ctx, wal);
         // MVCC commit timestamp: the write set is locked and validation
         // passed, so the serialization point is now; snapshots cannot be
         // taken past this timestamp until every install lands.
         ctx.commit_ts = db.commit_clock.allocate();
         let committed = ctx.shared.try_commit_point();
         debug_assert!(committed, "nothing wounds a Silo transaction");
+        // Log after the commit point, carrying the commit timestamp, and
+        // before any install (per-partition WAL appends in partition-id
+        // order when the database is partitioned): only committed work
+        // reaches a durable sink, and a crash between log and install is
+        // covered by redo replay.
+        log_commit(db, ctx, wal);
 
         // Phase 3: install write set as new committed versions, bump TIDs,
         // unlock.

@@ -7,8 +7,25 @@
 //! realistic memcpy without any I/O syscalls. Algorithm 1 line 6 — the log
 //! write happens after the commit-semaphore wait and defines the commit
 //! point together with the status CAS.
+//!
+//! [`WalHandle`] is the seam the commit path logs through, and it fronts
+//! one of two sinks:
+//!
+//! * the historical in-memory **ring** ([`WalBuffer`]) — the default, and
+//!   what every monolithic [`crate::Database`] uses;
+//! * a **durable** per-partition segment writer
+//!   ([`bamboo_storage::log::SegmentWriter`]) when
+//!   [`crate::DbOptions::with_wal_dir`] is set on a partitioned database —
+//!   checksummed `Begin`/`Update`/`Insert`/`Commit` records that
+//!   [`crate::durability`] replays after a crash.
+//!
+//! Either way the protocol code calls [`WalHandle::append_txn`] exactly
+//! once per written partition, after the commit point succeeded — so only
+//! committed work ever reaches a durable sink, which is what makes
+//! recovery redo-only.
 
-use bamboo_storage::{Row, RowId, TableId, Value};
+use bamboo_storage::log::{Lsn, SegmentWriter, WalRecord};
+use bamboo_storage::{FsyncPolicy, Row, RowId, TableId, Value};
 
 /// Default per-worker ring capacity (16 MiB, comfortably larger than any
 /// single record).
@@ -151,8 +168,51 @@ impl Default for WalBuffer {
     }
 }
 
-/// A shareable handle to a WAL ring: a [`WalBuffer`] behind a mutex that
-/// is taken **only for the duration of one append**.
+/// One write inside a commit's redo group, as handed to
+/// [`WalHandle::append_txn`]. Borrowed from the transaction context — the
+/// log append clones nothing on the ring path and encodes borrowed bytes
+/// on the durable path.
+pub enum WalWrite<'a> {
+    /// After-image of an updated row.
+    Update {
+        /// Owning table.
+        table: TableId,
+        /// Dense row id (what the ring's historical record format carries).
+        row_id: RowId,
+        /// Primary key (what the durable format carries — keys are stable
+        /// across recoveries by construction, row ids only per shard).
+        key: u64,
+        /// The full after-image.
+        after: &'a Row,
+    },
+    /// A freshly inserted row.
+    Insert {
+        /// Owning table.
+        table: TableId,
+        /// Primary key.
+        key: u64,
+        /// The inserted row.
+        row: &'a Row,
+        /// Optional `(secondary index slot, secondary key)` maintained with
+        /// the insert.
+        secondary: Option<(usize, u64)>,
+    },
+}
+
+/// The sink behind a [`WalHandle`].
+enum WalSink {
+    /// The in-memory ring (default; models NVM logging cost).
+    Ring(WalBuffer),
+    /// A durable per-partition segment writer plus its commit-group count.
+    Durable {
+        writer: Box<SegmentWriter>,
+        records: u64,
+    },
+}
+
+/// A shareable handle to a WAL sink: an in-memory ring or a durable
+/// segment writer behind a mutex that is taken **only for the duration of
+/// one append**.
 ///
 /// [`Protocol::commit`](crate::protocol::Protocol::commit) receives this
 /// instead of `&mut WalBuffer` so that a commit which *waits* (the
@@ -162,13 +222,15 @@ impl Default for WalBuffer {
 /// a deadlock the type system would otherwise force on every caller
 /// sharing a ring. One handle per [`Session`](crate::session::Session)
 /// keeps the ring per-worker in the benchmark executor, so the lock is
-/// uncontended on the hot path.
-pub struct WalHandle(parking_lot::Mutex<WalBuffer>);
+/// uncontended on the hot path. Durable handles are per *partition* (the
+/// segment file is the serialization point anyway), shared by every
+/// session of the partitioned database.
+pub struct WalHandle(parking_lot::Mutex<WalSink>);
 
 impl WalHandle {
     /// Wraps an existing ring.
     pub fn from_buffer(buf: WalBuffer) -> Self {
-        WalHandle(parking_lot::Mutex::new(buf))
+        WalHandle(parking_lot::Mutex::new(WalSink::Ring(buf)))
     }
 
     /// Default-sized ring.
@@ -181,24 +243,168 @@ impl WalHandle {
         Self::from_buffer(WalBuffer::for_tests())
     }
 
-    /// Appends one commit record (see [`WalBuffer::append_commit`]),
-    /// locking the ring for exactly the append.
+    /// Wraps a durable segment writer (one per partition; see
+    /// [`crate::DbOptions::with_wal_dir`]).
+    pub fn durable(writer: SegmentWriter) -> Self {
+        WalHandle(parking_lot::Mutex::new(WalSink::Durable {
+            writer: Box::new(writer),
+            records: 0,
+        }))
+    }
+
+    /// True when this handle logs to durable segment files.
+    pub fn is_durable(&self) -> bool {
+        matches!(&*self.0.lock(), WalSink::Durable { .. })
+    }
+
+    /// Appends one commit record in the historical ring format, locking
+    /// the sink for exactly the append. Ring-backed handles only — the
+    /// durable format needs the commit timestamp and partition mask that
+    /// [`WalHandle::append_txn`] carries.
     pub fn append_commit<'a>(
         &self,
         txn_id: u64,
         writes: impl Iterator<Item = (TableId, RowId, &'a Row)>,
     ) {
-        self.0.lock().append_commit(txn_id, writes);
+        match &mut *self.0.lock() {
+            WalSink::Ring(buf) => buf.append_commit(txn_id, writes),
+            WalSink::Durable { .. } => {
+                panic!("append_commit is the ring-only legacy path; use append_txn")
+            }
+        }
     }
 
-    /// Total bytes appended over the ring's lifetime.
+    /// Appends one transaction's redo group — its share on this handle's
+    /// partition — after the commit point succeeded.
+    ///
+    /// * Ring sink: one historical-format record (updates use the row id,
+    ///   inserts the key; the ring is never read back).
+    /// * Durable sink: a `Begin` / writes / `Commit` record group carrying
+    ///   `commit_ts` and `parts_mask`, then the fsync policy runs at the
+    ///   commit boundary.
+    ///
+    /// Returns `true` when every byte of the group is durable on return
+    /// (always `true` for the ring, which has no crash story to promise).
+    /// Durable I/O errors panic: the log *is* the database's crash story,
+    /// so a failed append is not a recoverable transaction outcome.
+    pub fn append_txn<'a>(
+        &self,
+        txn_id: u64,
+        commit_ts: u64,
+        parts_mask: u64,
+        writes: impl Iterator<Item = WalWrite<'a>>,
+    ) -> bool {
+        match &mut *self.0.lock() {
+            WalSink::Ring(buf) => {
+                buf.append_commit(
+                    txn_id,
+                    writes.map(|w| match w {
+                        WalWrite::Update {
+                            table,
+                            row_id,
+                            after,
+                            ..
+                        } => (table, row_id, after),
+                        WalWrite::Insert {
+                            table, key, row, ..
+                        } => (table, key, row),
+                    }),
+                );
+                true
+            }
+            WalSink::Durable { writer, records } => {
+                writer
+                    .append_record(&WalRecord::Begin {
+                        txn_id,
+                        commit_ts,
+                        parts_mask,
+                    })
+                    .expect("WAL append failed");
+                for w in writes {
+                    match w {
+                        WalWrite::Update {
+                            table, key, after, ..
+                        } => writer.append_update(table.0, key, after),
+                        WalWrite::Insert {
+                            table,
+                            key,
+                            row,
+                            secondary,
+                        } => writer.append_insert(
+                            table.0,
+                            key,
+                            row,
+                            secondary.map(|(i, k)| (i as u32, k)),
+                        ),
+                    }
+                    .expect("WAL append failed");
+                }
+                writer
+                    .append_record(&WalRecord::Commit { txn_id, commit_ts })
+                    .expect("WAL append failed");
+                *records += 1;
+                writer.commit_boundary().expect("WAL fsync failed")
+            }
+        }
+    }
+
+    /// Appends a checkpoint marker (durable sinks; a no-op on the ring)
+    /// and returns the sink's current end LSN.
+    pub fn append_checkpoint(&self, stable_ts: u64, cuts: &[Lsn]) -> Lsn {
+        match &mut *self.0.lock() {
+            WalSink::Ring(buf) => buf.bytes_logged(),
+            WalSink::Durable { writer, .. } => {
+                let at = writer
+                    .append_record(&WalRecord::Checkpoint {
+                        stable_ts,
+                        cuts: cuts.to_vec(),
+                    })
+                    .expect("WAL append failed");
+                writer.sync().expect("WAL fsync failed");
+                debug_assert!(at < writer.lsn());
+                writer.lsn()
+            }
+        }
+    }
+
+    /// Forces buffered bytes to disk (durable sinks; a no-op on the ring).
+    pub fn sync(&self) {
+        if let WalSink::Durable { writer, .. } = &mut *self.0.lock() {
+            writer.sync().expect("WAL fsync failed");
+        }
+    }
+
+    /// The sink's current end position: the next LSN on a durable sink,
+    /// total bytes appended on a ring.
+    pub fn current_lsn(&self) -> Lsn {
+        match &*self.0.lock() {
+            WalSink::Ring(buf) => buf.bytes_logged(),
+            WalSink::Durable { writer, .. } => writer.lsn(),
+        }
+    }
+
+    /// The durable sink's fsync policy (`None` on a ring).
+    pub fn fsync_policy(&self) -> Option<FsyncPolicy> {
+        match &*self.0.lock() {
+            WalSink::Ring(_) => None,
+            WalSink::Durable { writer, .. } => Some(writer.policy()),
+        }
+    }
+
+    /// Total bytes appended over the sink's lifetime.
     pub fn bytes_logged(&self) -> u64 {
-        self.0.lock().bytes_logged()
+        match &*self.0.lock() {
+            WalSink::Ring(buf) => buf.bytes_logged(),
+            WalSink::Durable { writer, .. } => writer.lsn(),
+        }
     }
 
-    /// Number of commit records appended.
+    /// Number of commit records (ring) / commit groups (durable) appended.
     pub fn records(&self) -> u64 {
-        self.0.lock().records()
+        match &*self.0.lock() {
+            WalSink::Ring(buf) => buf.records(),
+            WalSink::Durable { records, .. } => *records,
+        }
     }
 }
 

@@ -132,6 +132,19 @@ impl SecondaryIndex {
             .unwrap_or_default()
     }
 
+    /// Every `(key, row id)` posting in the index, in unspecified key order
+    /// but insertion order within one key (the checkpoint dump path; the
+    /// per-key order is what the TPC-C midpoint lookup depends on).
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            for (key, rows) in shard.read().iter() {
+                out.extend(rows.iter().map(|&r| (*key, r)));
+            }
+        }
+        out
+    }
+
     /// Removes one row id from the posting list of `key`.
     pub fn remove(&self, key: u64, row: u64) {
         let mut shard = self.shards[shard_of(key)].write();

@@ -24,6 +24,11 @@
 //!   strategies); `bamboo-core` builds per-partition catalog shards on
 //!   top of it so installs, lock traffic and GC trims of one partition
 //!   never touch another's cache lines.
+//! * [`log`] — the durable side: per-partition WAL segment files with a
+//!   checksummed record format, fsync policies, and checkpoint data files.
+//!   The only module in the workspace allowed to touch `std::fs`
+//!   (`bamboo_check` enforces this); `bamboo-core`'s `WalHandle` and
+//!   recovery orchestration sit on top of it.
 //! * [`version`] — each tuple's committed [`VersionChain`]: the newest
 //!   image plus older versions tagged with commit timestamps. Committing
 //!   writers call [`Tuple::install_versioned`] with the commit timestamp
@@ -53,6 +58,7 @@
 
 pub mod catalog;
 pub mod index;
+pub mod log;
 pub mod ordered;
 pub mod partition;
 mod row;
@@ -63,6 +69,7 @@ pub mod version;
 
 pub use catalog::{Catalog, TableId};
 pub use index::{hash_key, SecondaryIndex, ShardedIndex};
+pub use log::{FsyncPolicy, Lsn, SegmentWriter, WalRecord};
 pub use ordered::OrderedIndex;
 pub use partition::{PartitionId, RouteStrategy, Router};
 pub use row::Row;

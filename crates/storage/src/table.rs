@@ -88,6 +88,16 @@ impl<M> Tuple<M> {
         self.data.read().read_at(snap).cloned()
     }
 
+    /// The newest version visible at `snap` together with its commit
+    /// timestamp (the checkpoint dump path).
+    #[inline]
+    pub fn read_version_at(&self, snap: u64) -> Option<(u64, Row)> {
+        self.data
+            .read()
+            .version_at(snap)
+            .map(|(ts, row)| (ts, row.clone()))
+    }
+
     /// True when some version of this tuple is visible at `snap`.
     #[inline]
     pub fn visible_at(&self, snap: u64) -> bool {
@@ -214,6 +224,11 @@ impl<M> Table<M> {
     /// Secondary index `i` (panics when out of range).
     pub fn secondary_index(&self, i: usize) -> Arc<SecondaryIndex> {
         Arc::clone(&self.secondary.read()[i])
+    }
+
+    /// Number of registered secondary indexes.
+    pub fn secondary_count(&self) -> usize {
+        self.secondary.read().len()
     }
 
     /// Enables (or returns) the ordered primary-key index, backfilling

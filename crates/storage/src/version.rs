@@ -141,6 +141,20 @@ impl VersionChain {
             .map(|(_, row)| row)
     }
 
+    /// Like [`VersionChain::read_at`], but also returns the version's
+    /// commit timestamp. Checkpoint dumps use the timestamp as the redo
+    /// guard: replay skips any logged write at or below it.
+    pub fn version_at(&self, snap: u64) -> Option<(u64, &Row)> {
+        if self.latest_ts <= snap {
+            return Some((self.latest_ts, &self.latest));
+        }
+        self.older
+            .iter()
+            .rev()
+            .find(|(ts, _)| *ts <= snap)
+            .map(|(ts, row)| (*ts, row))
+    }
+
     /// True when some version of this tuple is visible at `snap`.
     #[inline]
     pub fn visible_at(&self, snap: u64) -> bool {

@@ -1,0 +1,230 @@
+//! The `kill -9` crash harness: a child process loads a durable bank,
+//! fires transfers under `FsyncPolicy::EveryCommit` and prints an `ACK`
+//! line for every fsync-acknowledged commit; the parent SIGKILLs it in
+//! steady state — so the crash lands at an arbitrary point of the commit
+//! pipeline, possibly mid-append — then recovers the directory and checks:
+//!
+//! 1. money is conserved (the sum of all balances is exactly the initial
+//!    endowment);
+//! 2. every acknowledged commit is present (each transfer also inserts a
+//!    unique ledger row in the same transaction; every `ACK`ed ledger row
+//!    must exist after recovery with the right payload);
+//! 3. atomicity: replaying the *recovered* ledger against the initial
+//!    balances reproduces the recovered balances exactly — no transfer is
+//!    half-applied.
+//!
+//! The child is this same test re-executed with `BAMBOO_CRASH_DIR` set.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bamboo_repro::core::partition::{PartSession, PartitionedDb};
+use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
+use bamboo_repro::core::DbOptions;
+use bamboo_repro::storage::{
+    DataType, FsyncPolicy, PartitionId, RouteStrategy, Row, Schema, TableId, Value,
+};
+
+const ACCOUNTS_PER_PART: u64 = 8;
+const INITIAL: i64 = 1000;
+const PARTS: u32 = 2;
+const ACCOUNTS: TableId = TableId(0);
+const LEDGER: TableId = TableId(1);
+
+fn build(dir: &Path) -> Arc<PartitionedDb> {
+    let mut b = PartitionedDb::builder(PARTS);
+    b.add_table(
+        "accounts",
+        Schema::build()
+            .column("k", DataType::U64)
+            .column("v", DataType::I64),
+        RouteStrategy::Range(vec![ACCOUNTS_PER_PART]),
+    );
+    b.add_table(
+        "ledger",
+        Schema::build()
+            .column("seq", DataType::U64)
+            .column("from", DataType::U64)
+            .column("to", DataType::U64)
+            .column("amount", DataType::I64),
+        RouteStrategy::Hash,
+    );
+    b.with_options(
+        DbOptions::new()
+            .with_wal_dir(dir.to_path_buf())
+            .with_fsync_policy(FsyncPolicy::EveryCommit),
+    );
+    b.build()
+}
+
+/// Child mode: load, genesis-checkpoint, then fire transfers forever,
+/// acknowledging each committed one on stdout. Killed by the parent.
+fn child_main(dir: PathBuf) -> ! {
+    let pdb = build(&dir);
+    for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
+        pdb.insert(
+            ACCOUNTS,
+            a,
+            Row::from(vec![Value::U64(a), Value::I64(INITIAL)]),
+        );
+    }
+    pdb.checkpoint().expect("genesis checkpoint");
+
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let session = PartSession::new(Arc::clone(&pdb), proto);
+    let mut rng = 0xB4D5EEDu64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        rng
+    };
+    let stdout = std::io::stdout();
+    for seq in 1u64..1_000_000 {
+        let from = next() % ACCOUNTS_PER_PART;
+        let to = ACCOUNTS_PER_PART + next() % ACCOUNTS_PER_PART;
+        let amount = (next() % 10) as i64 + 1;
+        let mut txn = session.begin_on(PartitionId(0));
+        let committed = txn
+            .update(ACCOUNTS, from, |r| {
+                r.set(1, Value::I64(r.get_i64(1) - amount))
+            })
+            .and_then(|_| {
+                txn.update(ACCOUNTS, to, |r| {
+                    r.set(1, Value::I64(r.get_i64(1) + amount))
+                })
+            })
+            .and_then(|_| {
+                txn.insert(
+                    LEDGER,
+                    seq,
+                    Row::from(vec![
+                        Value::U64(seq),
+                        Value::U64(from),
+                        Value::U64(to),
+                        Value::I64(amount),
+                    ]),
+                    None,
+                )
+            })
+            .and_then(|_| txn.commit());
+        if committed.is_ok() {
+            // The commit fsynced (EveryCommit): acknowledge it. Flush so
+            // the parent sees the ack before any SIGKILL.
+            let mut out = stdout.lock();
+            writeln!(out, "ACK {seq} {from} {to} {amount}").unwrap();
+            out.flush().unwrap();
+        }
+    }
+    std::process::exit(0);
+}
+
+#[test]
+fn kill9_crash_preserves_acked_commits() {
+    if let Ok(dir) = std::env::var("BAMBOO_CRASH_DIR") {
+        child_main(PathBuf::from(dir));
+    }
+    let dir = std::env::temp_dir().join(format!("bamboo-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "kill9_crash_preserves_acked_commits",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("BAMBOO_CRASH_DIR", &dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawning crash child");
+
+    // Read acks until steady state, then SIGKILL mid-fire.
+    let mut acks: Vec<(u64, u64, u64, i64)> = Vec::new();
+    {
+        let out = BufReader::new(child.stdout.take().unwrap());
+        for line in out.lines() {
+            let line = line.unwrap();
+            if let Some(rest) = line.strip_prefix("ACK ") {
+                let f: Vec<u64> = rest
+                    .split(' ')
+                    .map(|w| w.parse::<i64>().unwrap() as u64)
+                    .collect();
+                acks.push((f[0], f[1], f[2], f[3] as i64));
+            }
+            if acks.len() >= 50 {
+                break;
+            }
+        }
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    assert!(
+        acks.len() >= 50,
+        "child exited after only {} acks — it should run until killed",
+        acks.len()
+    );
+
+    // Recover the directory the child left behind.
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone()))
+        .expect("recovery after SIGKILL");
+
+    // 1. Money is conserved.
+    let balances: BTreeMap<u64, i64> = {
+        let mut m = BTreeMap::new();
+        for p in rec.parts() {
+            let table = p.db().table(ACCOUNTS);
+            for r in 0..table.len() as u64 {
+                let t = table.get_by_row_id(r).unwrap();
+                m.insert(t.key, t.read_row().get_i64(1));
+            }
+        }
+        m
+    };
+    assert_eq!(
+        balances.values().sum::<i64>(),
+        PARTS as i64 * ACCOUNTS_PER_PART as i64 * INITIAL,
+        "SIGKILL leaked money (report: {report:?})"
+    );
+
+    // 2. Every fsync-acknowledged commit survived.
+    let ledger: BTreeMap<u64, (u64, u64, i64)> = {
+        let mut m = BTreeMap::new();
+        for p in rec.parts() {
+            let table = p.db().table(LEDGER);
+            for r in 0..table.len() as u64 {
+                let t = table.get_by_row_id(r).unwrap();
+                let row = t.read_row();
+                m.insert(t.key, (row.get_u64(1), row.get_u64(2), row.get_i64(3)));
+            }
+        }
+        m
+    };
+    for (seq, from, to, amount) in &acks {
+        assert_eq!(
+            ledger.get(seq),
+            Some(&(*from, *to, *amount)),
+            "acked commit {seq} lost or corrupted by the crash (report: {report:?})"
+        );
+    }
+
+    // 3. Atomicity: the recovered ledger replayed over the initial
+    //    balances reproduces the recovered balances exactly.
+    let mut expected: BTreeMap<u64, i64> = (0..PARTS as u64 * ACCOUNTS_PER_PART)
+        .map(|a| (a, INITIAL))
+        .collect();
+    for (from, to, amount) in ledger.values() {
+        *expected.get_mut(from).unwrap() -= amount;
+        *expected.get_mut(to).unwrap() += amount;
+    }
+    assert_eq!(
+        balances, expected,
+        "a transfer was half-applied (report: {report:?})"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,390 @@
+//! End-to-end durability tests: checkpoint → crash (drop) → recover round
+//! trips, recovery idempotence, checkpoint replay-prefix skipping,
+//! crash-during-recovery fallback, incomplete-group and torn-tail
+//! handling, and the no-checkpoint failure mode.
+//!
+//! "Crash" here is dropping the database mid-state and recovering from the
+//! directory it left behind — the real `kill -9` variant lives in
+//! `tests/crash_recovery.rs`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bamboo_repro::core::partition::{PartSession, PartitionedDb};
+use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
+use bamboo_repro::core::DbOptions;
+use bamboo_repro::storage::log::{SegmentWriter, WalRecord};
+use bamboo_repro::storage::{
+    DataType, FsyncPolicy, PartitionId, RouteStrategy, Row, Schema, TableId, Value,
+};
+
+const ACCOUNTS_PER_PART: u64 = 8;
+const INITIAL: i64 = 1000;
+const PARTS: u32 = 2;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bamboo-dur-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn kv_schema() -> Schema {
+    Schema::build()
+        .column("k", DataType::U64)
+        .column("v", DataType::I64)
+}
+
+/// A range-partitioned durable bank: account `a` lives on partition
+/// `a / ACCOUNTS_PER_PART`. Ends with the genesis checkpoint so the
+/// loaded rows are recoverable.
+fn durable_bank(dir: &Path, policy: FsyncPolicy) -> (Arc<PartitionedDb>, TableId) {
+    let bounds = (1..PARTS as u64).map(|i| i * ACCOUNTS_PER_PART).collect();
+    let mut b = PartitionedDb::builder(PARTS);
+    let t = b.add_table("accounts", kv_schema(), RouteStrategy::Range(bounds));
+    b.with_options(
+        DbOptions::new()
+            .with_wal_dir(dir.to_path_buf())
+            .with_fsync_policy(policy),
+    );
+    let pdb = b.build();
+    for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
+        pdb.insert(t, a, Row::from(vec![Value::U64(a), Value::I64(INITIAL)]));
+    }
+    pdb.checkpoint().expect("genesis checkpoint");
+    (pdb, t)
+}
+
+/// Runs `n` committed cross-partition transfers (deterministic pattern)
+/// through the manual session API and returns how many committed.
+fn transfers(pdb: &Arc<PartitionedDb>, t: TableId, n: u64, seed: u64) -> u64 {
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let session = PartSession::new(Arc::clone(pdb), proto);
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        rng
+    };
+    let mut done = 0;
+    while done < n {
+        let from = next() % ACCOUNTS_PER_PART;
+        let to = ACCOUNTS_PER_PART + next() % ACCOUNTS_PER_PART;
+        let amount = (next() % 10) as i64 + 1;
+        let mut txn = session.begin_on(PartitionId(0));
+        let moved = txn
+            .update(t, from, |r| r.set(1, Value::I64(r.get_i64(1) - amount)))
+            .and_then(|_| txn.update(t, to, |r| r.set(1, Value::I64(r.get_i64(1) + amount))))
+            .and_then(|_| txn.commit());
+        if moved.is_ok() {
+            done += 1;
+        }
+    }
+    done
+}
+
+/// Full observable state: every account's balance, across all shards.
+fn state(pdb: &PartitionedDb, t: TableId) -> BTreeMap<u64, i64> {
+    let mut m = BTreeMap::new();
+    for p in pdb.parts() {
+        let table = p.db().table(t);
+        for r in 0..table.len() as u64 {
+            let tuple = table.get_by_row_id(r).unwrap();
+            m.insert(tuple.key, tuple.read_row().get_i64(1));
+        }
+    }
+    m
+}
+
+fn total(pdb: &PartitionedDb, t: TableId) -> i64 {
+    state(pdb, t).values().sum()
+}
+
+#[test]
+fn genesis_checkpoint_then_recover_restores_loaded_rows() {
+    let dir = tmp_dir("genesis");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    let before = state(&pdb, t);
+    drop(pdb);
+
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec, t), before);
+    assert_eq!(report.restored_tuples, PARTS as u64 * ACCOUNTS_PER_PART);
+    assert_eq!(report.replayed_txns, 0);
+    assert_eq!(report.dropped_incomplete, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_transfers_survive_recovery() {
+    let dir = tmp_dir("roundtrip");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    let n = transfers(&pdb, t, 40, 7);
+    assert_eq!(n, 40);
+    let before = state(&pdb, t);
+    assert_eq!(before.values().sum::<i64>(), 16 * INITIAL);
+    drop(pdb);
+
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec, t), before, "recovered state diverged");
+    assert_eq!(report.replayed_txns, 40);
+    // Two partitions per transfer: one Update each.
+    assert_eq!(report.replayed_writes, 80);
+    assert_eq!(report.dropped_incomplete, 0);
+    assert_eq!(report.dropped_horizon, 0);
+
+    // The recovered database accepts new durable commits.
+    transfers(&rec, t, 10, 99);
+    assert_eq!(total(&rec, t), 16 * INITIAL);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery is idempotent: recovering the same directory twice (the second
+/// time from the post-recovery checkpoint the first one wrote) converges
+/// to the same state, with nothing left to replay.
+#[test]
+fn recovering_twice_converges() {
+    let dir = tmp_dir("idem");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    transfers(&pdb, t, 25, 3);
+    let before = state(&pdb, t);
+    drop(pdb);
+
+    let (rec1, r1) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec1, t), before);
+    let ts1 = r1.recovered_ts;
+    drop(rec1);
+
+    let (rec2, r2) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec2, t), before);
+    // The second pass starts from the first pass's sealing checkpoint:
+    // the whole replayed history is already in the image.
+    assert_eq!(r2.checkpoint_ts, ts1);
+    assert_eq!(r2.replayed_txns, 0);
+    assert_eq!(r2.recovered_ts, ts1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint's cuts skip the log prefix: transactions committed before
+/// the checkpoint are restored from the image, not replayed.
+#[test]
+fn checkpoint_skips_replay_prefix() {
+    let dir = tmp_dir("prefix");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    transfers(&pdb, t, 30, 11);
+    let mid_ts = pdb.checkpoint().unwrap();
+    transfers(&pdb, t, 5, 13);
+    let before = state(&pdb, t);
+    drop(pdb);
+
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec, t), before);
+    assert_eq!(report.checkpoint_ts, mid_ts);
+    assert_eq!(
+        report.replayed_txns, 5,
+        "pre-checkpoint transfers must come from the image, not the log"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash *during* recovery: the first recovery's sealing checkpoint wrote
+/// its data files but the meta file never landed (simulated by deleting
+/// it). The next recovery falls back to the previous complete checkpoint
+/// and replays the log again — same final state.
+#[test]
+fn crash_during_recovery_falls_back_to_previous_checkpoint() {
+    let dir = tmp_dir("midcrash");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    transfers(&pdb, t, 20, 17);
+    let before = state(&pdb, t);
+    drop(pdb);
+
+    let (rec1, r1) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec1, t), before);
+    drop(rec1);
+    // Un-land the sealing checkpoint's meta file: to a later recovery this
+    // is indistinguishable from a crash between its data and meta writes.
+    let meta = format!("ckpt-{:020}.meta", r1.recovered_ts);
+    std::fs::remove_file(dir.join(meta)).unwrap();
+
+    let (rec2, r2) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec2, t), before);
+    assert!(
+        r2.checkpoint_ts < r1.recovered_ts,
+        "fell back to the old checkpoint"
+    );
+    assert_eq!(r2.replayed_txns, 20, "replayed the log again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unterminated record group at the log tail (crash mid-append) is
+/// dropped: it was never acknowledged, and under `EveryCommit` nothing
+/// after it exists to depend on it.
+#[test]
+fn incomplete_tail_group_is_dropped() {
+    let dir = tmp_dir("incomplete");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    transfers(&pdb, t, 10, 23);
+    let before = state(&pdb, t);
+    let next_ts = before.len() as u64; // any ts above the committed history
+    drop(pdb);
+
+    // Forge a crash mid-append: a Begin + Update with no Commit on
+    // partition 0's log.
+    let mut w = SegmentWriter::open(&dir, 0, FsyncPolicy::EveryCommit, 1 << 20).unwrap();
+    w.append_record(&WalRecord::Begin {
+        txn_id: u64::MAX,
+        commit_ts: 1_000_000 + next_ts,
+        parts_mask: 0b01,
+    })
+    .unwrap();
+    w.append_record(&WalRecord::Update {
+        table: 0,
+        key: 0,
+        row: Row::from(vec![Value::U64(0), Value::I64(-999_999)]),
+    })
+    .unwrap();
+    w.sync().unwrap();
+    drop(w);
+
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(
+        state(&rec, t),
+        before,
+        "the torn transaction must not apply"
+    );
+    assert_eq!(report.dropped_incomplete, 1);
+    assert_eq!(report.replayed_txns, 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Garbage bytes at the end of a segment (torn write) are detected by the
+/// frame checksum and the tail is discarded; everything before it replays.
+#[test]
+fn torn_tail_is_detected_and_skipped() {
+    let dir = tmp_dir("torn");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::EveryCommit);
+    transfers(&pdb, t, 15, 29);
+    let before = state(&pdb, t);
+    drop(pdb);
+
+    // Append garbage to partition 0's newest segment: a torn frame.
+    let mut segs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            let name = p.file_name()?.to_str()?.to_owned();
+            (name.starts_with("wal-p000-") && name.ends_with(".seg")).then_some(p)
+        })
+        .collect();
+    segs.sort();
+    let newest = segs.pop().expect("partition 0 has segments");
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(newest)
+        .unwrap();
+    f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03])
+        .unwrap();
+    drop(f);
+
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(state(&rec, t), before);
+    assert_eq!(report.torn_partitions, 1);
+    assert_eq!(report.replayed_txns, 15);
+
+    // And the recovered database keeps committing durably past the tear
+    // (the fresh writer truncated it).
+    transfers(&rec, t, 5, 31);
+    assert_eq!(total(&rec, t), 16 * INITIAL);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without a checkpoint there is nothing sound to recover from (loader
+/// inserts bypass the WAL): `recover` must fail cleanly, not fabricate an
+/// empty database.
+#[test]
+fn recover_without_checkpoint_fails_cleanly() {
+    let dir = tmp_dir("nockpt");
+    let bounds = vec![ACCOUNTS_PER_PART];
+    let mut b = PartitionedDb::builder(PARTS);
+    let t = b.add_table("accounts", kv_schema(), RouteStrategy::Range(bounds));
+    b.with_options(DbOptions::new().with_wal_dir(dir.clone()));
+    let pdb = b.build();
+    pdb.insert(t, 0, Row::from(vec![Value::U64(0), Value::I64(INITIAL)]));
+    drop(pdb);
+
+    let err = match PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())) {
+        Err(e) => e,
+        Ok(_) => panic!("recover without a checkpoint must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under the weak policies, a complete-looking transaction above the
+/// oldest incomplete one is discarded by the horizon cut: a lost log
+/// suffix on one partition must not resurrect dependents elsewhere.
+#[test]
+fn weak_policy_horizon_cut_drops_later_transactions() {
+    let dir = tmp_dir("horizon");
+    let (pdb, t) = durable_bank(&dir, FsyncPolicy::Never);
+    transfers(&pdb, t, 10, 37);
+    // Force the buffered appends to disk — FsyncPolicy::Never means the
+    // test must sync explicitly to make this deterministic.
+    for p in pdb.parts() {
+        p.wal().sync();
+    }
+    let genesis = state(&pdb, t);
+    drop(pdb);
+
+    // Forge an incomplete group with a commit timestamp *below* a forged
+    // complete one: the horizon must discard both.
+    let mut w = SegmentWriter::open(&dir, 0, FsyncPolicy::Never, 1 << 20).unwrap();
+    w.append_record(&WalRecord::Begin {
+        txn_id: u64::MAX - 1,
+        commit_ts: 500_000,
+        parts_mask: 0b11, // claims partition 1 too — which has no group
+    })
+    .unwrap();
+    w.append_record(&WalRecord::Commit {
+        txn_id: u64::MAX - 1,
+        commit_ts: 500_000,
+    })
+    .unwrap();
+    // A complete single-partition group above the incomplete one.
+    w.append_record(&WalRecord::Begin {
+        txn_id: u64::MAX,
+        commit_ts: 500_001,
+        parts_mask: 0b01,
+    })
+    .unwrap();
+    w.append_record(&WalRecord::Update {
+        table: 0,
+        key: 1,
+        row: Row::from(vec![Value::U64(1), Value::I64(-777)]),
+    })
+    .unwrap();
+    w.append_record(&WalRecord::Commit {
+        txn_id: u64::MAX,
+        commit_ts: 500_001,
+    })
+    .unwrap();
+    w.sync().unwrap();
+    drop(w);
+
+    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone())).unwrap();
+    assert_eq!(report.dropped_incomplete, 1);
+    assert_eq!(
+        report.dropped_horizon, 1,
+        "the complete group above the horizon must be discarded"
+    );
+    assert_eq!(
+        state(&rec, t),
+        genesis,
+        "horizon-dropped writes must not apply"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
