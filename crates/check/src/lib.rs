@@ -31,7 +31,11 @@
 //!    production code only inside the durability module
 //!    (`crates/storage/src/log.rs`). Everything else stays in-memory or
 //!    goes through the `WalHandle`/checkpoint seams, so a recovery test
-//!    can enumerate every byte that could survive a crash.
+//!    can enumerate every byte that could survive a crash. The rule also
+//!    bans `unwrap()`/`expect(` in the WAL modules' production code
+//!    (`log.rs`, `wal.rs`): a storage error there must flow through the
+//!    `IoFailure` taxonomy — transient → retry, permanent → degrade the
+//!    partition — never panic the commit pipeline.
 
 use std::fmt;
 use std::path::Path;
@@ -183,6 +187,18 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
             push(
                 "file-io",
                 "`std::fs` outside crates/storage/src/log.rs — all durable bytes go through the WAL/checkpoint seams so recovery can account for them".to_string(),
+            );
+        }
+
+        // Rule 6 (continued): the WAL modules never panic on an I/O
+        // result — every storage error flows through `IoFailure`.
+        if (rel_path == "crates/storage/src/log.rs" || rel_path == "crates/core/src/wal.rs")
+            && !in_test
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+        {
+            push(
+                "file-io",
+                "`unwrap()`/`expect(` in a WAL module — classify via `IoFailure` (transient → retry, permanent → degrade); the durable commit pipeline must never panic on I/O".to_string(),
             );
         }
 
@@ -638,6 +654,28 @@ mod tests {
         // Test scaffolding may touch the filesystem.
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::fs::remove_dir_all(&d).unwrap(); }\n}\n";
         assert!(rules("crates/core/src/durability.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_on_io_fires_in_the_wal_modules() {
+        let src = "let len = file.metadata().unwrap().len();\n";
+        assert_eq!(rules("crates/storage/src/log.rs", src), vec!["file-io"]);
+        let src = "writer.sync().expect(\"fsync\");\n";
+        assert_eq!(rules("crates/core/src/wal.rs", src), vec!["file-io"]);
+    }
+
+    #[test]
+    fn unwrap_allowed_in_wal_tests_and_elsewhere() {
+        // Test scaffolding in the WAL modules may unwrap freely.
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { w.sync().unwrap(); }\n}\n";
+        assert!(rules("crates/storage/src/log.rs", src).is_empty());
+        assert!(rules("crates/core/src/wal.rs", src).is_empty());
+        // Other modules are out of this rule's scope.
+        let src = "let v = map.get(&k).unwrap();\n";
+        assert!(rules("crates/core/src/db.rs", src).is_empty());
+        // Comments and strings do not count.
+        let src = "// never .unwrap() an io::Result here\n";
+        assert!(rules("crates/core/src/wal.rs", src).is_empty());
     }
 
     // --- masking / regions machinery ----------------------------------

@@ -105,6 +105,13 @@ pub struct DbOptions {
     /// Size at which a durable WAL segment rotates to a fresh file.
     /// Ignored unless [`DbOptions::wal_dir`] is set.
     pub segment_bytes: u64,
+    /// Storage backend behind every durable file operation (WAL segments
+    /// and checkpoint files). `None` (the default) uses the real
+    /// filesystem; the chaos suite installs a seeded
+    /// [`bamboo_storage::FaultBackend`] here through
+    /// [`DbOptions::with_log_backend`]. Ignored unless
+    /// [`DbOptions::wal_dir`] is set.
+    pub log_backend: Option<std::sync::Arc<dyn bamboo_storage::LogBackend>>,
 }
 
 /// Default durable-segment rotation size (8 MiB).
@@ -118,6 +125,7 @@ impl Default for DbOptions {
             wal_dir: None,
             fsync_policy: bamboo_storage::FsyncPolicy::Never,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            log_backend: None,
         }
     }
 }
@@ -158,6 +166,27 @@ impl DbOptions {
     pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
         self.segment_bytes = bytes;
         self
+    }
+
+    /// Installs a storage backend behind every durable file operation
+    /// (segments *and* checkpoint files). The chaos suite passes a
+    /// [`bamboo_storage::FaultBackend`] wrapping a seeded
+    /// [`bamboo_storage::FaultInjector`]; production code leaves the
+    /// default (`None` → the real filesystem).
+    pub fn with_log_backend(
+        mut self,
+        backend: std::sync::Arc<dyn bamboo_storage::LogBackend>,
+    ) -> Self {
+        self.log_backend = Some(backend);
+        self
+    }
+
+    /// The effective storage backend: the configured one, or the real
+    /// filesystem.
+    pub fn backend(&self) -> std::sync::Arc<dyn bamboo_storage::LogBackend> {
+        self.log_backend
+            .clone()
+            .unwrap_or_else(bamboo_storage::log::real_backend)
     }
 }
 

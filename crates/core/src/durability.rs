@@ -65,8 +65,9 @@ use std::io;
 use std::sync::Arc;
 
 use bamboo_storage::log::{
-    latest_checkpoint, read_checkpoint_part, write_checkpoint_meta, write_checkpoint_part,
-    CheckpointMeta, CheckpointPart, Lsn, TableDump, TableMeta, WalRecord,
+    latest_checkpoint_with, read_checkpoint_part_with, retire_segments_below_with,
+    write_checkpoint_meta_with, write_checkpoint_part_with, CheckpointMeta, CheckpointPart, Lsn,
+    TableDump, TableMeta, WalRecord,
 };
 use bamboo_storage::{PartitionId, TableId};
 
@@ -118,6 +119,20 @@ impl PartitionedDb {
             .wal_dir
             .clone()
             .expect("checkpoint requires a durable WAL (DbOptions::with_wal_dir)");
+        let backend = db0.options().backend();
+        // The currently-newest complete checkpoint (if any) is about to
+        // become second-newest: its cuts bound what log compaction below
+        // may retire.
+        let prev = latest_checkpoint_with(&*backend, &dir)?;
+        // A degraded partition has no trustworthy log high-water mark (its
+        // writer is torn down), so a checkpoint taken now could record a
+        // replay cut that skips whatever its log actually holds. Refuse —
+        // heal first.
+        if self.degraded_partitions() > 0 {
+            return Err(io::Error::other(
+                "checkpoint requires every partition healthy (heal degraded partitions first)",
+            ));
+        }
         // 1. Pin the GC watermark: versions needed by the dump below can
         //    not be reclaimed while this grant is live.
         let grant = db0.register_snapshot();
@@ -161,13 +176,14 @@ impl PartitionedDb {
             let handles: Vec<_> = (0..self.partitions())
                 .map(|p| {
                     let dir = &dir;
+                    let backend = &backend;
                     s.spawn(move || {
                         let part = CheckpointPart {
                             stable_ts,
                             partition: p,
                             tables: self.dump_shard(PartitionId(p), stable_ts),
                         };
-                        write_checkpoint_part(dir, &part)
+                        write_checkpoint_part_with(&**backend, dir, &part)
                     })
                 })
                 .collect();
@@ -179,7 +195,8 @@ impl PartitionedDb {
         for r in dumps {
             r?;
         }
-        write_checkpoint_meta(
+        write_checkpoint_meta_with(
+            &*backend,
             &dir,
             &CheckpointMeta {
                 stable_ts,
@@ -189,9 +206,31 @@ impl PartitionedDb {
             },
         )?;
         // 6. Drop a checkpoint marker into every partition's log (scan
-        //    diagnostics; recovery itself reads the meta file).
+        //    diagnostics; recovery itself reads the meta file). The
+        //    checkpoint is already committed by the meta file above, so a
+        //    marker failure does not invalidate it — the handle degrades
+        //    itself (observable via `degraded_partitions`) and later
+        //    commits abort fast until healed.
         for p in self.parts() {
-            p.wal().append_checkpoint(stable_ts, &cuts);
+            let _ = p.wal().append_checkpoint(stable_ts, &cuts);
+        }
+        // 7. Log compaction, one checkpoint behind: retire sealed segments
+        //    wholly below the *previous* complete checkpoint's cuts. The
+        //    log needed by the checkpoint that just landed stays intact,
+        //    and so does everything the previous checkpoint could replay —
+        //    recovery can still fall back one checkpoint if this one's
+        //    meta file turns out to be the casualty of the next crash.
+        //    Best-effort: a failed delete only postpones reclamation.
+        if let Some(prev) = prev {
+            if prev.cuts.len() == self.partitions() as usize {
+                for p in 0..self.partitions() {
+                    if let Ok(n) =
+                        retire_segments_below_with(&*backend, &dir, p, prev.cuts[p as usize])
+                    {
+                        self.note_segments_retired(n);
+                    }
+                }
+            }
         }
         db0.release_snapshot(grant);
         Ok(stable_ts)
@@ -247,7 +286,8 @@ impl PartitionedDb {
             .wal_dir
             .clone()
             .expect("recover requires a durable WAL (DbOptions::with_wal_dir)");
-        let meta = latest_checkpoint(&dir)?.ok_or_else(|| {
+        let backend = opts.backend();
+        let meta = latest_checkpoint_with(&*backend, &dir)?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 "no complete checkpoint found (durable databases checkpoint after loading)",
@@ -263,8 +303,13 @@ impl PartitionedDb {
                 let handles: Vec<_> = (0..parts_n)
                     .map(|p| {
                         let dir = &dir;
+                        let backend = &backend;
                         let from = meta.cuts[p as usize];
-                        s.spawn(move || bamboo_storage::log::scan_partition_log_from(dir, p, from))
+                        s.spawn(move || {
+                            bamboo_storage::log::scan_partition_log_from_with(
+                                &**backend, dir, p, from,
+                            )
+                        })
                     })
                     .collect();
                 handles
@@ -372,10 +417,11 @@ impl PartitionedDb {
             let handles: Vec<_> = (0..parts_n)
                 .map(|p| {
                     let dir = &dir;
+                    let backend = &backend;
                     let pdb = &pdb;
                     let stable_ts = meta.stable_ts;
                     s.spawn(move || {
-                        let part = read_checkpoint_part(dir, stable_ts, p)?;
+                        let part = read_checkpoint_part_with(&**backend, dir, stable_ts, p)?;
                         let mut restored = 0u64;
                         for (t, dump) in part.tables.iter().enumerate() {
                             let table = pdb.db(PartitionId(p)).table(TableId(t as u32));

@@ -153,6 +153,8 @@ pub struct PartitionedDb {
     router: Arc<Router>,
     parts: Vec<Partition>,
     stats: Arc<[CachePadded<PartitionStats>]>,
+    /// Sealed WAL segments deleted by checkpoint-time log compaction.
+    segments_retired: AtomicU64,
 }
 
 impl PartitionedDb {
@@ -262,6 +264,64 @@ impl PartitionedDb {
     pub fn log_records(&self) -> u64 {
         self.parts.iter().map(|p| p.wal.records()).sum()
     }
+
+    /// Sealed WAL segments deleted by checkpoint-time log compaction over
+    /// this database's lifetime.
+    pub fn segments_retired(&self) -> u64 {
+        self.segments_retired.load(Ordering::Relaxed)
+    }
+
+    /// Adds to the compaction counter (called by
+    /// [`PartitionedDb::checkpoint`]).
+    pub(crate) fn note_segments_retired(&self, n: u64) {
+        self.segments_retired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of partitions currently degraded (WAL writes fail fast with
+    /// [`crate::txn::AbortReason::DurabilityFailed`]; snapshot reads and
+    /// the other partitions are unaffected).
+    pub fn degraded_partitions(&self) -> u64 {
+        self.parts.iter().filter(|p| p.wal.is_degraded()).count() as u64
+    }
+
+    /// Total WAL transient-fault retries across every partition's handle.
+    pub fn wal_io_retries(&self) -> u64 {
+        self.parts.iter().map(|p| p.wal.io_retries()).sum()
+    }
+
+    /// Total WAL permanent failures across every partition's handle.
+    pub fn wal_io_failures(&self) -> u64 {
+        self.parts.iter().map(|p| p.wal.io_failures()).sum()
+    }
+
+    /// Heals a degraded partition: re-opens its durable segment writer
+    /// (scanning the existing segments and truncating any torn tail, so
+    /// writing resumes on a clean frame boundary) and re-admits writes.
+    ///
+    /// Safe to call while the rest of the database keeps committing — the
+    /// swap serializes behind the partition's WAL lock. Calling it on a
+    /// healthy partition is a no-op refresh of the writer. Fails (leaving
+    /// the partition degraded) when the segment still cannot be opened —
+    /// e.g. the underlying fault persists — or when the database has no
+    /// durable WAL configured.
+    pub fn heal(&self, p: PartitionId) -> std::io::Result<()> {
+        let opts = self.parts[p.idx()].db.options();
+        let dir = opts.wal_dir.clone().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "heal requires a durable WAL (DbOptions::with_wal_dir)",
+            )
+        })?;
+        let writer = bamboo_storage::SegmentWriter::open_with(
+            opts.backend(),
+            &dir,
+            p.0,
+            opts.fsync_policy,
+            opts.segment_bytes,
+        )?;
+        self.parts[p.idx()].wal.replace_writer(writer);
+        Ok(())
+    }
 }
 
 /// Builder for [`PartitionedDb`]: registers every table in every
@@ -346,21 +406,24 @@ impl PartitionedDbBuilder {
                     "durable WALs support at most 64 partitions \
                      (the completeness mask is a u64 bitmask)"
                 );
+                let backend = self.options.backend();
                 (0..self.partitions)
                     .map(|p| {
-                        let w = bamboo_storage::SegmentWriter::open(
+                        // An unopenable segment no longer aborts the build:
+                        // that partition comes up degraded (writes fail fast
+                        // with DurabilityFailed, snapshot reads keep serving)
+                        // and `PartitionedDb::heal` can re-open it later.
+                        let handle = match bamboo_storage::SegmentWriter::open_with(
+                            Arc::clone(&backend),
                             dir,
                             p,
                             self.options.fsync_policy,
                             self.options.segment_bytes,
-                        )
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "opening WAL segment for partition {p} in {}: {e}",
-                                dir.display()
-                            )
-                        });
-                        Arc::new(WalHandle::durable(w))
+                        ) {
+                            Ok(w) => WalHandle::durable(w),
+                            Err(_) => WalHandle::poisoned(),
+                        };
+                        Arc::new(handle)
                     })
                     .collect()
             }
@@ -414,6 +477,7 @@ impl PartitionedDbBuilder {
             router,
             parts,
             stats,
+            segments_retired: AtomicU64::new(0),
         })
     }
 }

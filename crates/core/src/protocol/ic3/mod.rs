@@ -567,7 +567,19 @@ impl Protocol for Ic3Protocol {
         // therefore defined for the whole-row-install protocols (the 2PL
         // family and Silo); IC3 durable logging would need column-masked
         // update records (see DURABILITY.md).
-        crate::protocol::log_commit(db, ctx, wal);
+        if crate::protocol::log_commit(db, ctx, wal).is_err() {
+            // Durable sink failed before any install: revoke the commit
+            // point and abort with the durability reason. The `abort` call
+            // this `Err` obliges removes our accessor entries (cascading
+            // readers of published writes) and marks the context released,
+            // exactly like any pre-install abort.
+            let revoked = ctx
+                .shared
+                .revoke_commit(crate::txn::AbortReason::DurabilityFailed);
+            debug_assert!(revoked, "only the owning worker moves Committed");
+            db.commit_clock.finish(ctx.commit_ts);
+            return Err(Abort(crate::txn::AbortReason::DurabilityFailed));
+        }
         // Install writes (column-masked) as new committed versions and
         // clear accessor entries and versions.
         let watermark = db.gc_watermark();

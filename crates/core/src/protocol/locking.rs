@@ -768,7 +768,19 @@ impl Protocol for LockingProtocol {
         // between fsync-acknowledged log and install, replay redoes the
         // writes; if it dies before the log write completes, nothing was
         // installed either.
-        log_commit(db, ctx, wal);
+        if log_commit(db, ctx, wal).is_err() {
+            // Durable sink failed: the group never became durable (torn
+            // bytes were rewound / the group abandoned), so revoke the
+            // commit point — nothing installed yet, no lock released, no
+            // dependent saw a Committed status it could act on — and abort
+            // this one transaction. The timestamp retires immediately so
+            // the stable point cannot stall on a commit that never was;
+            // locks are released by the `abort` call the `Err` obliges.
+            let revoked = ctx.shared.revoke_commit(AbortReason::DurabilityFailed);
+            debug_assert!(revoked, "only the owning worker moves Committed");
+            db.commit_clock.finish(ctx.commit_ts);
+            return Err(Abort(AbortReason::DurabilityFailed));
+        }
         apply_inserts(db, ctx);
         self.release_all(ctx, true, db.gc_watermark(), db.trim_threshold());
         db.note_commit(ctx.commit_ts);

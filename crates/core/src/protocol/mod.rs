@@ -18,6 +18,7 @@ mod interactive;
 mod locking;
 mod silo;
 
+use bamboo_storage::log::{IoClass, IoFailure};
 use bamboo_storage::{Row, TableId};
 
 pub use ic3::{Ic3Protocol, PieceAccess, PieceDecl, TemplateDecl};
@@ -190,7 +191,20 @@ pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
 /// Buffered inserts are logged alongside updates: an insert's row lives in
 /// `ctx.inserts` until [`apply_inserts`] runs (after this), so the log
 /// carries its key and image explicitly.
-pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
+///
+/// ## Failure semantics
+///
+/// A durable sink can fail ([`IoFailure`]); the caller — each protocol's
+/// commit — must then revoke the commit point
+/// ([`crate::txn::TxnShared::revoke_commit`]) and abort with
+/// [`crate::txn::AbortReason::DurabilityFailed`], releasing locks and
+/// installing nothing. On the cross-partition path the degraded flag of
+/// *every* target partition is checked before the first append, so a
+/// commit never writes an orphan group to a healthy partition only to
+/// fail fast on a known-degraded sibling; a fault that strikes *during*
+/// the sequence can still orphan earlier groups, which recovery drops
+/// because their `seen_mask` never completes `parts_mask`.
+pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) -> Result<(), IoFailure> {
     // Partition bit for the durable completeness mask. Masks cap the
     // partition count at 64 for durable databases (asserted at build);
     // ring-backed databases ignore the mask, so larger counts just
@@ -221,8 +235,8 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
             ctx.commit_ts,
             1,
             updates(ctx).chain(inserts(ctx)),
-        );
-        return;
+        )?;
+        return Ok(());
     };
     // Fast path: the write set usually lives on a single partition (the
     // partition-local transactions the architecture optimizes for), so
@@ -257,8 +271,8 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
             ctx.commit_ts,
             part_bit(p.idx()),
             updates(ctx).chain(inserts(ctx)),
-        );
-        return;
+        )?;
+        return Ok(());
     }
     // Cross-partition write set: group by owning partition (small vecs of
     // write descriptors; write sets are tens of entries, partitions a
@@ -278,6 +292,20 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
         .enumerate()
         .filter(|(_, g)| !g.is_empty())
         .fold(0u64, |m, (p, _)| m | part_bit(p));
+    // Fail fast before the *first* append when any target partition is
+    // already known-degraded: better one clean DurabilityFailed abort than
+    // orphan groups on the healthy partitions.
+    for (p, group) in groups.iter().enumerate() {
+        if !group.is_empty() && topo.wals[p].is_degraded() {
+            return Err(IoFailure::with_class(
+                IoClass::Permanent,
+                "wal append",
+                std::io::Error::other(format!(
+                    "partition {p} WAL is degraded (read-only until healed)"
+                )),
+            ));
+        }
+    }
     // Ascending partition-id order: the fixed acquisition order of the
     // commit-ordering contract.
     let mut last: Option<usize> = None;
@@ -290,8 +318,9 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) {
             "cross-partition WAL appends out of order: {last:?} before {p}"
         );
         last = Some(p);
-        topo.wals[p].append_txn(ctx.shared.id, ctx.commit_ts, parts_mask, group.drain(..));
+        topo.wals[p].append_txn(ctx.shared.id, ctx.commit_ts, parts_mask, group.drain(..))?;
     }
+    Ok(())
 }
 
 /// Shared read path of snapshot mode: resolve `key` against the version

@@ -114,10 +114,17 @@ impl RetryPolicy {
     /// snapshot — retrying with a fresh snapshot would loop forever when
     /// the key simply does not exist. Specs walking volatile key spaces
     /// use [`Txn::read_opt`], which absorbs the reason as `Ok(None)`.
+    ///
+    /// [`AbortReason::DurabilityFailed`] is never retried either: the WAL
+    /// already exhausted its own transient-retry budget before surfacing
+    /// it, so the partition is degraded and a blind re-run would fail fast
+    /// in a hot loop. The caller must observe the failure (and possibly
+    /// [`crate::partition::PartitionedDb::heal`] the partition) instead.
     pub fn retryable(&self, reason: AbortReason) -> bool {
         match reason {
             AbortReason::User => self.retry_user_aborts,
             AbortReason::SnapshotNotVisible => false,
+            AbortReason::DurabilityFailed => false,
             _ => true,
         }
     }

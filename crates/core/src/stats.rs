@@ -12,7 +12,7 @@ use std::time::Duration;
 use crate::txn::AbortReason;
 
 /// Number of distinct abort reasons (array-indexed counters).
-pub const REASONS: usize = 10;
+pub const REASONS: usize = 11;
 
 fn reason_idx(r: AbortReason) -> usize {
     match r {
@@ -26,6 +26,7 @@ fn reason_idx(r: AbortReason) -> usize {
         AbortReason::Ic3Validation => 7,
         AbortReason::SnapshotNotVisible => 8,
         AbortReason::SnapshotTooOld => 9,
+        AbortReason::DurabilityFailed => 10,
     }
 }
 
@@ -41,7 +42,8 @@ pub fn reason_name(i: usize) -> &'static str {
         6 => "user",
         7 => "ic3_validation",
         8 => "snapshot_not_visible",
-        _ => "snapshot_too_old",
+        9 => "snapshot_too_old",
+        _ => "durability_failed",
     }
 }
 
@@ -97,6 +99,16 @@ pub struct WorkerStats {
     /// [`WorkerStats::commits`]). The partition-scaling benches report the
     /// cross-partition share from this.
     pub cross_partition_commits: u64,
+    /// WAL transient-fault retries (snapshot of the handles'
+    /// [`crate::wal::WalHandle::io_retries`] counters, taken once per run —
+    /// not additive across workers; the executor fills it on the merged
+    /// totals).
+    pub wal_io_retries: u64,
+    /// WAL permanent failures that degraded a partition (snapshot of
+    /// [`crate::wal::WalHandle::io_failures`], same convention).
+    pub wal_io_failures: u64,
+    /// Partitions degraded (read-only) at the end of the run.
+    pub degraded_partitions: u64,
 }
 
 impl WorkerStats {
@@ -151,6 +163,12 @@ impl WorkerStats {
         self.snapshot_aborts += other.snapshot_aborts;
         self.snapshot_lock_acquisitions += other.snapshot_lock_acquisitions;
         self.cross_partition_commits += other.cross_partition_commits;
+        // Run-level snapshots, not per-worker counters: merging takes the
+        // max so a value stamped on one side survives without double
+        // counting when both sides were stamped from the same handles.
+        self.wal_io_retries = self.wal_io_retries.max(other.wal_io_retries);
+        self.wal_io_failures = self.wal_io_failures.max(other.wal_io_failures);
+        self.degraded_partitions = self.degraded_partitions.max(other.degraded_partitions);
         for i in 0..32 {
             self.latency_us_log2[i] += other.latency_us_log2[i];
             self.snapshot_latency_us_log2[i] += other.snapshot_latency_us_log2[i];
@@ -272,8 +290,8 @@ impl BenchResult {
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        format!(
-            "{:>12} thr={:<3} tput={:>10.0} txn/s abort_rate={:>5.1}% lock_wait={:.4}ms abort={:.4}ms commit_wait={:.4}ms chain(max={} mean={:.1})",
+        let mut s = format!(
+            "{:>12} thr={:<3} tput={:>10.0} txn/s abort_rate={:>5.1}% lock_wait={:.4}ms abort={:.4}ms commit_wait={:.4}ms chain(max={} mean={:.1}) lat(p50={}us p99={}us)",
             self.protocol,
             self.threads,
             self.throughput(),
@@ -283,7 +301,23 @@ impl BenchResult {
             self.commit_wait_ms_per_commit(),
             self.totals.max_chain,
             self.mean_chain(),
-        )
+            self.latency_percentile_us(0.50),
+            self.latency_percentile_us(0.99),
+        );
+        // Fault observability: printed only when something actually
+        // happened, so fault-free runs keep the historical line format.
+        if self.totals.wal_io_retries > 0
+            || self.totals.wal_io_failures > 0
+            || self.totals.degraded_partitions > 0
+        {
+            s.push_str(&format!(
+                " wal_io(retries={} failures={} degraded={})",
+                self.totals.wal_io_retries,
+                self.totals.wal_io_failures,
+                self.totals.degraded_partitions,
+            ));
+        }
+        s
     }
 }
 

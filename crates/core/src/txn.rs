@@ -74,6 +74,13 @@ pub enum AbortReason {
     /// watermark can advance. Off unless the cap was set; retrying takes
     /// a fresh snapshot.
     SnapshotTooOld,
+    /// The durable log could not persist this transaction's commit record
+    /// group (permanent storage fault or exhausted retry budget). The
+    /// commit point is revoked: locks release, nothing installs, the
+    /// commit is never acknowledged, and the owning partition degrades to
+    /// read-only until healed ([`crate::PartitionedDb::heal`]). Not
+    /// retryable — the partition fails fast until then.
+    DurabilityFailed,
 }
 
 /// The terminal error of a transaction attempt.
@@ -153,6 +160,7 @@ fn encode_reason(r: AbortReason) -> u8 {
         AbortReason::Ic3Validation => 7,
         AbortReason::SnapshotNotVisible => 8,
         AbortReason::SnapshotTooOld => 9,
+        AbortReason::DurabilityFailed => 10,
     }
 }
 
@@ -167,7 +175,8 @@ fn decode_reason(v: u8) -> AbortReason {
         6 => AbortReason::User,
         7 => AbortReason::Ic3Validation,
         8 => AbortReason::SnapshotNotVisible,
-        _ => AbortReason::SnapshotTooOld,
+        9 => AbortReason::SnapshotTooOld,
+        _ => AbortReason::DurabilityFailed,
     }
 }
 
@@ -261,6 +270,34 @@ impl TxnShared {
     /// The reason recorded by the successful [`TxnShared::set_abort`].
     pub fn abort_reason(&self) -> AbortReason {
         decode_reason(self.abort_reason.load(Ordering::Acquire))
+    }
+
+    /// Revokes a won commit point: Committed → Aborted, recording `reason`.
+    /// Only the owning worker may call this, and only **before** any
+    /// install, release, or acknowledgment happened — the one legitimate
+    /// caller is the commit path whose durable log append failed after
+    /// [`TxnShared::try_commit_point`] succeeded. At that moment nothing
+    /// observed `Committed` irreversibly: dependents still hold their
+    /// semaphore counts (the abort release path cascades them), a waiter
+    /// blocked on a committed-unreleased retired entry re-evaluates when
+    /// the release path mutates the lock entry, and a wounder whose
+    /// `set_abort` lost simply waits for the release either way.
+    pub fn revoke_commit(&self, reason: AbortReason) -> bool {
+        let ok = self
+            .status
+            .compare_exchange(
+                TxnStatus::Committed as u8,
+                TxnStatus::Aborted as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if ok {
+            self.abort_reason
+                .store(encode_reason(reason), Ordering::Release);
+            self.notify();
+        }
+        ok
     }
 
     /// Commit-point transition: Running → Committed. Fails when a wound won

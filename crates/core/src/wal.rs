@@ -24,7 +24,11 @@
 //! committed work ever reaches a durable sink, which is what makes
 //! recovery redo-only.
 
-use bamboo_storage::log::{Lsn, SegmentWriter, WalRecord};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io;
+use std::time::Duration;
+
+use bamboo_storage::log::{IoClass, IoFailure, Lsn, SegmentWriter, WalRecord};
 use bamboo_storage::{FsyncPolicy, Row, RowId, TableId, Value};
 
 /// Default per-worker ring capacity (16 MiB, comfortably larger than any
@@ -208,6 +212,28 @@ enum WalSink {
         writer: Box<SegmentWriter>,
         records: u64,
     },
+    /// A durable sink whose writer could not be opened (or was torn down by
+    /// a permanent failure): every append fails fast until
+    /// [`WalHandle::replace_writer`] heals it.
+    Poisoned,
+}
+
+/// Total write/fsync attempts per operation before a transient fault is
+/// escalated to a permanent one (1 initial try + 2 retries).
+const WAL_IO_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `attempt` (1-based): 100µs, then 1ms.
+fn retry_backoff(attempt: u32) {
+    let us = 100u64.saturating_mul(10u64.saturating_pow(attempt.saturating_sub(1)));
+    std::thread::sleep(Duration::from_micros(us));
+}
+
+fn degraded_error(op: &'static str) -> IoFailure {
+    IoFailure::with_class(
+        IoClass::Permanent,
+        op,
+        io::Error::other("partition WAL is degraded (read-only until healed)"),
+    )
 }
 
 /// A shareable handle to a WAL sink: an in-memory ring or a durable
@@ -225,12 +251,35 @@ enum WalSink {
 /// uncontended on the hot path. Durable handles are per *partition* (the
 /// segment file is the serialization point anyway), shared by every
 /// session of the partitioned database.
-pub struct WalHandle(parking_lot::Mutex<WalSink>);
+///
+/// Durable sinks surface storage faults as [`IoFailure`] instead of
+/// panicking: transient faults are retried in place with bounded backoff,
+/// permanent ones (or an exhausted retry budget) poison the handle into a
+/// **degraded** mode where every further append fails fast until
+/// [`WalHandle::replace_writer`] installs a freshly opened writer.
+pub struct WalHandle {
+    sink: parking_lot::Mutex<WalSink>,
+    /// Set on permanent failure; checked (fail-fast) before every append.
+    degraded: AtomicBool,
+    /// Transient faults retried successfully or not (observability).
+    io_retries: AtomicU64,
+    /// Permanent failures that degraded the handle.
+    io_failures: AtomicU64,
+}
 
 impl WalHandle {
+    fn from_sink(sink: WalSink, degraded: bool) -> Self {
+        WalHandle {
+            sink: parking_lot::Mutex::new(sink),
+            degraded: AtomicBool::new(degraded),
+            io_retries: AtomicU64::new(0),
+            io_failures: AtomicU64::new(0),
+        }
+    }
+
     /// Wraps an existing ring.
     pub fn from_buffer(buf: WalBuffer) -> Self {
-        WalHandle(parking_lot::Mutex::new(WalSink::Ring(buf)))
+        Self::from_sink(WalSink::Ring(buf), false)
     }
 
     /// Default-sized ring.
@@ -246,15 +295,74 @@ impl WalHandle {
     /// Wraps a durable segment writer (one per partition; see
     /// [`crate::DbOptions::with_wal_dir`]).
     pub fn durable(writer: SegmentWriter) -> Self {
-        WalHandle(parking_lot::Mutex::new(WalSink::Durable {
-            writer: Box::new(writer),
-            records: 0,
-        }))
+        Self::from_sink(
+            WalSink::Durable {
+                writer: Box::new(writer),
+                records: 0,
+            },
+            false,
+        )
     }
 
-    /// True when this handle logs to durable segment files.
+    /// A durable handle whose writer failed to open: born degraded, every
+    /// append fails fast with [`IoFailure`] until healed. Lets a
+    /// partitioned database come up (serving snapshot reads and the other
+    /// partitions' writes) even when one partition's log is unopenable.
+    pub fn poisoned() -> Self {
+        Self::from_sink(WalSink::Poisoned, true)
+    }
+
+    /// True when this handle logs to durable segment files (including a
+    /// degraded handle whose writer is torn down: the *intent* is durable).
     pub fn is_durable(&self) -> bool {
-        matches!(&*self.0.lock(), WalSink::Durable { .. })
+        matches!(
+            &*self.sink.lock(),
+            WalSink::Durable { .. } | WalSink::Poisoned
+        )
+    }
+
+    /// True when the handle is degraded (writes fail fast; see
+    /// [`WalHandle::replace_writer`]).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Transient-fault retries performed (successful or not).
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Permanent failures that degraded this handle.
+    pub fn io_failures(&self) -> u64 {
+        self.io_failures.load(Ordering::Relaxed)
+    }
+
+    /// Heals a degraded durable handle: installs `writer` (freshly opened —
+    /// [`SegmentWriter::open`] already truncated any torn tail) and
+    /// re-admits writes. The commit-group count carries over. Ring handles
+    /// ignore the call.
+    pub fn replace_writer(&self, writer: SegmentWriter) {
+        let mut sink = self.sink.lock();
+        let records = match &*sink {
+            WalSink::Durable { records, .. } => *records,
+            _ => 0,
+        };
+        *sink = WalSink::Durable {
+            writer: Box::new(writer),
+            records,
+        };
+        // Clear the flag only after the sink is swapped: an append racing
+        // the heal either fails fast on the flag or serializes behind the
+        // sink mutex and lands in the new writer.
+        self.degraded.store(false, Ordering::Release);
+    }
+
+    /// Records a permanent failure: counts it, degrades the handle, and
+    /// forces the failure's class to permanent for the caller.
+    fn fail(&self, f: IoFailure) -> IoFailure {
+        self.io_failures.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Release);
+        IoFailure::with_class(IoClass::Permanent, f.op, f.error)
     }
 
     /// Appends one commit record in the historical ring format, locking
@@ -266,9 +374,9 @@ impl WalHandle {
         txn_id: u64,
         writes: impl Iterator<Item = (TableId, RowId, &'a Row)>,
     ) {
-        match &mut *self.0.lock() {
+        match &mut *self.sink.lock() {
             WalSink::Ring(buf) => buf.append_commit(txn_id, writes),
-            WalSink::Durable { .. } => {
+            WalSink::Durable { .. } | WalSink::Poisoned => {
                 panic!("append_commit is the ring-only legacy path; use append_txn")
             }
         }
@@ -283,18 +391,29 @@ impl WalHandle {
     ///   `commit_ts` and `parts_mask`, then the fsync policy runs at the
     ///   commit boundary.
     ///
-    /// Returns `true` when every byte of the group is durable on return
-    /// (always `true` for the ring, which has no crash story to promise).
-    /// Durable I/O errors panic: the log *is* the database's crash story,
-    /// so a failed append is not a recoverable transaction outcome.
+    /// Returns `Ok(true)` when every byte of the group is durable on return
+    /// (always `Ok(true)` for the ring, which has no crash story to
+    /// promise), `Ok(false)` when the group is written but a weak fsync
+    /// policy deferred the barrier.
+    ///
+    /// Durable I/O errors surface as [`IoFailure`] instead of a panic:
+    /// transient faults are retried up to [`WAL_IO_ATTEMPTS`] times with
+    /// backoff (the whole record group is staged up front, so a retry
+    /// rewrites identical bytes without re-consuming `writes`); a permanent
+    /// fault, an exhausted budget, or a failed rewind degrades the handle
+    /// and returns an `IoClass::Permanent` failure — the caller must abort
+    /// the transaction (`AbortReason::DurabilityFailed`) without acking.
     pub fn append_txn<'a>(
         &self,
         txn_id: u64,
         commit_ts: u64,
         parts_mask: u64,
         writes: impl Iterator<Item = WalWrite<'a>>,
-    ) -> bool {
-        match &mut *self.0.lock() {
+    ) -> Result<bool, IoFailure> {
+        if self.is_degraded() {
+            return Err(degraded_error("wal append"));
+        }
+        match &mut *self.sink.lock() {
             WalSink::Ring(buf) => {
                 buf.append_commit(
                     txn_id,
@@ -310,100 +429,217 @@ impl WalHandle {
                         } => (table, key, row),
                     }),
                 );
-                true
+                Ok(true)
             }
+            WalSink::Poisoned => Err(degraded_error("wal append")),
             WalSink::Durable { writer, records } => {
-                writer
-                    .append_record(&WalRecord::Begin {
-                        txn_id,
-                        commit_ts,
-                        parts_mask,
-                    })
-                    .expect("WAL append failed");
+                // Stage the whole Begin / writes / Commit group first: the
+                // iterator is consumed exactly once, and retries rewrite
+                // the staged bytes verbatim.
+                writer.stage_record(&WalRecord::Begin {
+                    txn_id,
+                    commit_ts,
+                    parts_mask,
+                });
                 for w in writes {
                     match w {
                         WalWrite::Update {
                             table, key, after, ..
-                        } => writer.append_update(table.0, key, after),
+                        } => writer.stage_update(table.0, key, after),
                         WalWrite::Insert {
                             table,
                             key,
                             row,
                             secondary,
-                        } => writer.append_insert(
+                        } => writer.stage_insert(
                             table.0,
                             key,
                             row,
                             secondary.map(|(i, k)| (i as u32, k)),
                         ),
                     }
-                    .expect("WAL append failed");
                 }
-                writer
-                    .append_record(&WalRecord::Commit { txn_id, commit_ts })
-                    .expect("WAL append failed");
-                *records += 1;
-                writer.commit_boundary().expect("WAL fsync failed")
+                writer.stage_record(&WalRecord::Commit { txn_id, commit_ts });
+
+                // Phase 1: land the group, retrying transients after
+                // cutting any torn prefix back out.
+                let mut attempt = 1;
+                loop {
+                    match writer.flush_group() {
+                        Ok(_) => break,
+                        Err(e) => {
+                            let f = IoFailure::new("wal append", e);
+                            if let Err(re) = writer.rewind_partial() {
+                                // The segment tail is in an unknown state:
+                                // nothing more can be written safely.
+                                writer.clear_group();
+                                return Err(self.fail(IoFailure::new("wal rewind", re)));
+                            }
+                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                                self.io_retries.fetch_add(1, Ordering::Relaxed);
+                                retry_backoff(attempt);
+                                attempt += 1;
+                                continue;
+                            }
+                            writer.clear_group();
+                            return Err(self.fail(f));
+                        }
+                    }
+                }
+
+                // Phase 2: the durability barrier (per fsync policy).
+                let mut attempt = 1;
+                loop {
+                    match writer.commit_boundary() {
+                        Ok(durable) => {
+                            *records += 1;
+                            return Ok(durable);
+                        }
+                        Err(e) => {
+                            let f = IoFailure::new("wal fsync", e);
+                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                                self.io_retries.fetch_add(1, Ordering::Relaxed);
+                                retry_backoff(attempt);
+                                attempt += 1;
+                                continue;
+                            }
+                            // The group is written but cannot be promised
+                            // durable, and the commit is about to abort:
+                            // remove it so recovery never replays an
+                            // aborted transaction. If even that fails the
+                            // group's fate is ambiguous — degrade either
+                            // way and let heal + recovery re-establish a
+                            // clean tail.
+                            let _ = writer.abandon_group();
+                            return Err(self.fail(f));
+                        }
+                    }
+                }
             }
         }
     }
 
     /// Appends a checkpoint marker (durable sinks; a no-op on the ring)
     /// and returns the sink's current end LSN.
-    pub fn append_checkpoint(&self, stable_ts: u64, cuts: &[Lsn]) -> Lsn {
-        match &mut *self.0.lock() {
-            WalSink::Ring(buf) => buf.bytes_logged(),
+    pub fn append_checkpoint(&self, stable_ts: u64, cuts: &[Lsn]) -> Result<Lsn, IoFailure> {
+        if self.is_degraded() {
+            return Err(degraded_error("checkpoint append"));
+        }
+        match &mut *self.sink.lock() {
+            WalSink::Ring(buf) => Ok(buf.bytes_logged()),
+            WalSink::Poisoned => Err(degraded_error("checkpoint append")),
             WalSink::Durable { writer, .. } => {
-                let at = writer
-                    .append_record(&WalRecord::Checkpoint {
+                let mut attempt = 1;
+                let at = loop {
+                    writer.stage_record(&WalRecord::Checkpoint {
                         stable_ts,
                         cuts: cuts.to_vec(),
-                    })
-                    .expect("WAL append failed");
-                writer.sync().expect("WAL fsync failed");
+                    });
+                    match writer.flush_group() {
+                        Ok(at) => break at,
+                        Err(e) => {
+                            let f = IoFailure::new("checkpoint append", e);
+                            writer.clear_group();
+                            if let Err(re) = writer.rewind_partial() {
+                                return Err(self.fail(IoFailure::new("wal rewind", re)));
+                            }
+                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                                self.io_retries.fetch_add(1, Ordering::Relaxed);
+                                retry_backoff(attempt);
+                                attempt += 1;
+                                continue;
+                            }
+                            return Err(self.fail(f));
+                        }
+                    }
+                };
+                let mut attempt = 1;
+                loop {
+                    match writer.sync() {
+                        Ok(()) => break,
+                        Err(e) => {
+                            let f = IoFailure::new("checkpoint fsync", e);
+                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                                self.io_retries.fetch_add(1, Ordering::Relaxed);
+                                retry_backoff(attempt);
+                                attempt += 1;
+                                continue;
+                            }
+                            let _ = writer.abandon_group();
+                            return Err(self.fail(f));
+                        }
+                    }
+                }
                 debug_assert!(at < writer.lsn());
-                writer.lsn()
+                Ok(writer.lsn())
             }
         }
     }
 
     /// Forces buffered bytes to disk (durable sinks; a no-op on the ring).
-    pub fn sync(&self) {
-        if let WalSink::Durable { writer, .. } = &mut *self.0.lock() {
-            writer.sync().expect("WAL fsync failed");
+    pub fn sync(&self) -> Result<(), IoFailure> {
+        if self.is_degraded() {
+            return Err(degraded_error("wal fsync"));
+        }
+        match &mut *self.sink.lock() {
+            WalSink::Ring(_) => Ok(()),
+            WalSink::Poisoned => Err(degraded_error("wal fsync")),
+            WalSink::Durable { writer, .. } => {
+                let mut attempt = 1;
+                loop {
+                    match writer.sync() {
+                        Ok(()) => return Ok(()),
+                        Err(e) => {
+                            let f = IoFailure::new("wal fsync", e);
+                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                                self.io_retries.fetch_add(1, Ordering::Relaxed);
+                                retry_backoff(attempt);
+                                attempt += 1;
+                                continue;
+                            }
+                            return Err(self.fail(f));
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// The sink's current end position: the next LSN on a durable sink,
     /// total bytes appended on a ring.
     pub fn current_lsn(&self) -> Lsn {
-        match &*self.0.lock() {
+        match &*self.sink.lock() {
             WalSink::Ring(buf) => buf.bytes_logged(),
             WalSink::Durable { writer, .. } => writer.lsn(),
+            WalSink::Poisoned => 0,
         }
     }
 
-    /// The durable sink's fsync policy (`None` on a ring).
+    /// The durable sink's fsync policy (`None` on a ring or a poisoned
+    /// handle).
     pub fn fsync_policy(&self) -> Option<FsyncPolicy> {
-        match &*self.0.lock() {
+        match &*self.sink.lock() {
             WalSink::Ring(_) => None,
             WalSink::Durable { writer, .. } => Some(writer.policy()),
+            WalSink::Poisoned => None,
         }
     }
 
     /// Total bytes appended over the sink's lifetime.
     pub fn bytes_logged(&self) -> u64 {
-        match &*self.0.lock() {
+        match &*self.sink.lock() {
             WalSink::Ring(buf) => buf.bytes_logged(),
             WalSink::Durable { writer, .. } => writer.lsn(),
+            WalSink::Poisoned => 0,
         }
     }
 
     /// Number of commit records (ring) / commit groups (durable) appended.
     pub fn records(&self) -> u64 {
-        match &*self.0.lock() {
+        match &*self.sink.lock() {
             WalSink::Ring(buf) => buf.records(),
             WalSink::Durable { records, .. } => *records,
+            WalSink::Poisoned => 0,
         }
     }
 }

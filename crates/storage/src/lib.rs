@@ -69,7 +69,10 @@ pub mod version;
 
 pub use catalog::{Catalog, TableId};
 pub use index::{hash_key, SecondaryIndex, ShardedIndex};
-pub use log::{FsyncPolicy, Lsn, SegmentWriter, WalRecord};
+pub use log::{
+    FaultBackend, FaultInjector, FaultPlan, FsyncPolicy, IoClass, IoFailure, LogBackend, Lsn,
+    RealBackend, SegmentWriter, WalRecord,
+};
 pub use ordered::OrderedIndex;
 pub use partition::{PartitionId, RouteStrategy, Router};
 pub use row::Row;

@@ -36,10 +36,15 @@
 //! configured with (recovery reads the policy back to pick its completeness
 //! rule).
 
+use std::collections::HashMap;
+use std::fmt;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use crate::partition::RouteStrategy;
 use crate::row::Row;
@@ -107,6 +112,510 @@ impl FsyncPolicy {
     /// True when a commit acknowledgment implies its records are durable.
     pub fn acks_are_durable(self) -> bool {
         matches!(self, FsyncPolicy::EveryCommit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// I/O failure taxonomy
+// ---------------------------------------------------------------------------
+
+/// How a storage fault should be handled by the durable commit pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoClass {
+    /// Worth retrying in place: interrupted syscalls, would-block,
+    /// timeouts. Bounded retry-with-backoff before escalating.
+    Transient,
+    /// Not retryable: a full disk, a vanished file, corruption, or an
+    /// exhausted retry budget. The owning partition degrades to read-only
+    /// until healed.
+    Permanent,
+}
+
+/// Classifies a raw I/O error for the retry policy. Everything that is not
+/// a known-transient syscall outcome is treated as permanent — `ENOSPC`,
+/// permission errors, and corruption never get better by retrying.
+pub fn classify_io_error(e: &io::Error) -> IoClass {
+    match e.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            IoClass::Transient
+        }
+        _ => IoClass::Permanent,
+    }
+}
+
+/// A classified storage failure surfaced by the durable log path instead of
+/// a panic. Carries the operation that failed so degraded-mode diagnostics
+/// and test assertions can name the fault site.
+#[derive(Debug)]
+pub struct IoFailure {
+    /// Transient (retryable) or permanent (degrade).
+    pub class: IoClass,
+    /// The failing operation, e.g. `"wal append"` or `"wal fsync"`.
+    pub op: &'static str,
+    /// The underlying error.
+    pub error: io::Error,
+}
+
+impl IoFailure {
+    /// Wraps `error`, classifying it by [`classify_io_error`].
+    pub fn new(op: &'static str, error: io::Error) -> Self {
+        IoFailure {
+            class: classify_io_error(&error),
+            op,
+            error,
+        }
+    }
+
+    /// Wraps `error` with a forced classification (retry exhaustion turns a
+    /// transient error permanent; a degraded partition fails permanently
+    /// without touching the disk at all).
+    pub fn with_class(class: IoClass, op: &'static str, error: io::Error) -> Self {
+        IoFailure { class, op, error }
+    }
+
+    /// True when the failure is worth retrying.
+    pub fn is_transient(&self) -> bool {
+        self.class == IoClass::Transient
+    }
+}
+
+impl fmt::Display for IoFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} I/O failure during {}: {}",
+            self.class, self.op, self.error
+        )
+    }
+}
+
+impl std::error::Error for IoFailure {}
+
+// ---------------------------------------------------------------------------
+// Log backend seam
+// ---------------------------------------------------------------------------
+
+/// An open, append-positioned log file handle. The writer side of
+/// [`LogBackend`]: everything [`SegmentWriter`] does to a file goes through
+/// this object so a fault-injecting backend can interpose on each byte.
+pub trait LogFile: Send {
+    /// Appends `buf` in full (or fails; a fault backend may persist a
+    /// prefix before failing, modeling a torn write).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Pushes buffered bytes to the OS without forcing them to media.
+    fn flush(&mut self) -> io::Result<()>;
+    /// Flushes, then forces file data to stable media (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem seam under `bamboo_storage::log`: every directory scan,
+/// open, read, truncate and delete the segment/checkpoint code performs is
+/// routed through this trait, so tests can substitute a deterministic
+/// fault-injecting implementation ([`FaultBackend`]) for the real one
+/// ([`RealBackend`]).
+pub trait LogBackend: Send + Sync + fmt::Debug {
+    /// `mkdir -p`.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) of `dir`'s entries.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Creates (or truncates) `path` for writing from scratch.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn LogFile>>;
+    /// Opens an existing `path` positioned for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>>;
+    /// Current on-disk length of `path`.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Reads `path` in full.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Shrinks `path` to `len` bytes and syncs the new length to media.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Removes `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`LogBackend`]: `std::fs`, with buffered writers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealBackend;
+
+struct RealFile(BufWriter<File>);
+
+impl LogFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.flush()?;
+        self.0.get_ref().sync_data()
+    }
+}
+
+impl LogBackend for RealBackend {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(out)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(BufWriter::new(file))))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Box::new(RealFile(BufWriter::new(file))))
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+}
+
+/// Returns the default (real-filesystem) backend.
+pub fn real_backend() -> Arc<dyn LogBackend> {
+    Arc::new(RealBackend)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// Per-seed fault schedule: each probability is in permille (0–1000) per
+/// I/O opportunity of the matching class. All zeros injects nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// PRNG seed; the printed repro handle for a failing chaos run.
+    pub seed: u64,
+    /// `fsync` returns a *transient* failure (`EINTR`-like).
+    pub fsync_permille: u16,
+    /// A write persists only a prefix, then fails transiently (torn write).
+    pub short_write_permille: u16,
+    /// A write fails with `ENOSPC` (permanent: retrying cannot help).
+    pub enospc_permille: u16,
+    /// Opening or creating a file fails permanently.
+    pub open_permille: u16,
+    /// Reading a file fails permanently (scan/recovery paths).
+    pub read_permille: u16,
+}
+
+impl FaultPlan {
+    /// A schedule that injects nothing (useful as a base to tweak).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// The outcome of one fault draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    None,
+    Fsync,
+    ShortWrite,
+    Enospc,
+}
+
+/// Seeded fault scheduler shared by every file a [`FaultBackend`] hands
+/// out. Draws are deterministic per (seed, file name, per-file operation
+/// index): a partition's fault schedule does not depend on how threads of
+/// *other* partitions interleave with it, which keeps per-seed chaos runs
+/// reproducible.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Faults fire only while armed — harness setup (schema load, genesis
+    /// checkpoint) runs disarmed so only the measured phase sees faults.
+    armed: Mutex<bool>,
+    /// Total faults injected (all classes).
+    injected: Mutex<u64>,
+    /// Per-file operation counters, the deterministic draw index.
+    ops: Mutex<HashMap<String, u64>>,
+}
+
+/// splitmix64: tiny, seedable, and good enough to decorrelate draw indexes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a file name, to give each file its own draw stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FaultInjector {
+    /// Creates a disarmed injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            plan,
+            armed: Mutex::new(false),
+            injected: Mutex::new(0),
+            ops: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Starts injecting faults.
+    pub fn arm(&self) {
+        *self.armed.lock() = true;
+    }
+
+    /// Stops injecting faults (drain/teardown phases).
+    pub fn disarm(&self) {
+        *self.armed.lock() = false;
+    }
+
+    /// The schedule's seed.
+    pub fn seed(&self) -> u64 {
+        self.plan.seed
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        *self.injected.lock()
+    }
+
+    /// Draws the fault decision for the next operation on `name`. The
+    /// cumulative permille ranges mean at most one fault class fires per
+    /// operation; `extra` returns a second independent value (short-write
+    /// prefix length).
+    fn draw(&self, name: &str, write_classes: bool) -> (Fault, u64) {
+        if !*self.armed.lock() {
+            return (Fault::None, 0);
+        }
+        let idx = {
+            let mut ops = self.ops.lock();
+            let n = ops.entry(name.to_owned()).or_insert(0);
+            let v = *n;
+            *n += 1;
+            v
+        };
+        let x = splitmix64(self.plan.seed ^ fnv1a(name) ^ idx.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let roll = (x % 1000) as u16;
+        let extra = splitmix64(x);
+        let p = &self.plan;
+        let fault = if write_classes {
+            let mut bound = p.short_write_permille;
+            if roll < bound {
+                Fault::ShortWrite
+            } else {
+                bound = bound.saturating_add(p.enospc_permille);
+                if roll < bound {
+                    Fault::Enospc
+                } else {
+                    Fault::None
+                }
+            }
+        } else if roll < p.fsync_permille {
+            Fault::Fsync
+        } else {
+            Fault::None
+        };
+        if fault != Fault::None {
+            *self.injected.lock() += 1;
+        }
+        (fault, extra)
+    }
+
+    /// Draw for open/create (`true` = fail).
+    fn draw_open(&self, name: &str) -> bool {
+        self.draw_simple(name, self.plan.open_permille)
+    }
+
+    /// Draw for whole-file reads (`true` = fail).
+    fn draw_read(&self, name: &str) -> bool {
+        self.draw_simple(name, self.plan.read_permille)
+    }
+
+    fn draw_simple(&self, name: &str, permille: u16) -> bool {
+        if !*self.armed.lock() || permille == 0 {
+            return false;
+        }
+        let idx = {
+            let mut ops = self.ops.lock();
+            let n = ops.entry(name.to_owned()).or_insert(0);
+            let v = *n;
+            *n += 1;
+            v
+        };
+        let x = splitmix64(self.plan.seed ^ fnv1a(name) ^ idx.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let hit = ((x % 1000) as u16) < permille;
+        if hit {
+            *self.injected.lock() += 1;
+        }
+        hit
+    }
+}
+
+fn injected_transient(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, format!("injected {what}"))
+}
+
+fn injected_permanent(what: &str) -> io::Error {
+    io::Error::other(format!("injected {what}"))
+}
+
+/// A [`LogBackend`] that delegates to [`RealBackend`] but injects faults
+/// from a seeded [`FaultInjector`] schedule: transient fsync failures,
+/// short (torn) writes, `ENOSPC`, and open/read errors. The SQLite-test-VFS
+/// / FoundationDB-simulation idea in miniature.
+#[derive(Debug)]
+pub struct FaultBackend {
+    real: RealBackend,
+    injector: Arc<FaultInjector>,
+}
+
+impl FaultBackend {
+    /// Wraps the real filesystem with `injector`'s schedule.
+    pub fn new(injector: Arc<FaultInjector>) -> Self {
+        FaultBackend {
+            real: RealBackend,
+            injector,
+        }
+    }
+
+    /// The shared injector (arm/disarm, fault counts).
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+}
+
+fn file_name_of(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string_lossy().into_owned())
+}
+
+struct FaultFile {
+    inner: Box<dyn LogFile>,
+    name: String,
+    injector: Arc<FaultInjector>,
+}
+
+impl LogFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let (fault, extra) = self.injector.draw(&self.name, true);
+        match fault {
+            Fault::ShortWrite => {
+                // Persist a prefix so the tail really is torn, then fail.
+                let cut = if buf.is_empty() {
+                    0
+                } else {
+                    (extra % buf.len() as u64) as usize
+                };
+                self.inner.write_all(&buf[..cut])?;
+                Err(injected_transient("short write"))
+            }
+            Fault::Enospc => Err(io::Error::from_raw_os_error(28)), // ENOSPC
+            _ => self.inner.write_all(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let (fault, _) = self.injector.draw(&self.name, false);
+        if fault == Fault::Fsync {
+            // The flush may have pushed bytes to the OS; only the
+            // durability barrier fails — exactly a flaky fsync.
+            let _ = self.inner.flush();
+            return Err(injected_transient("fsync failure"));
+        }
+        self.inner.sync_data()
+    }
+}
+
+impl LogBackend for FaultBackend {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.real.create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.real.list_dir(dir)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let name = file_name_of(path);
+        if self.injector.draw_open(&name) {
+            return Err(injected_permanent("open failure"));
+        }
+        let inner = self.real.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            name,
+            injector: Arc::clone(&self.injector),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let name = file_name_of(path);
+        if self.injector.draw_open(&name) {
+            return Err(injected_permanent("open failure"));
+        }
+        let inner = self.real.open_append(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            name,
+            injector: Arc::clone(&self.injector),
+        }))
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.real.file_len(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.injector.draw_read(&file_name_of(path)) {
+            return Err(injected_permanent("read failure"));
+        }
+        self.real.read(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.real.truncate(path, len)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.real.remove_file(path)
     }
 }
 
@@ -243,12 +752,12 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self) -> Option<u32> {
         self.take(4)
-            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     }
 
     fn u64(&mut self) -> Option<u64> {
         self.take(8)
-            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+            .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
     }
 
     fn done(&self) -> bool {
@@ -431,19 +940,26 @@ fn segment_name(partition: u32, index: u64) -> String {
 }
 
 /// Lists partition `p`'s segment files in `dir`, sorted by segment index.
+#[cfg(test)]
 fn list_segments(dir: &Path, partition: u32) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_segments_with(&RealBackend, dir, partition)
+}
+
+/// [`list_segments`] through an explicit backend.
+fn list_segments_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    partition: u32,
+) -> io::Result<Vec<(u64, PathBuf)>> {
     let prefix = format!("wal-p{partition:03}-");
     let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for name in backend.list_dir(dir)? {
         if let Some(rest) = name.strip_prefix(&prefix) {
             if let Some(idx) = rest
                 .strip_suffix(".seg")
                 .and_then(|s| s.parse::<u64>().ok())
             {
-                out.push((idx, entry.path()));
+                out.push((idx, dir.join(&name)));
             }
         }
     }
@@ -500,25 +1016,39 @@ fn parse_segment_header(bytes: &[u8]) -> Option<SegHeader> {
 ///
 /// Not internally synchronized: the caller (`WalHandle`) serializes appends
 /// behind its mutex, exactly like the in-memory ring.
+///
+/// Appends are **group-staged**: a transaction's records are encoded into
+/// an in-memory staging buffer ([`SegmentWriter::stage_record`] and
+/// friends) and land on the file as a single write
+/// ([`SegmentWriter::flush_group`]). A failed flush leaves the staging
+/// buffer intact so the caller can retry after [`SegmentWriter::rewind_partial`]
+/// cut any torn prefix back out — the retry loop in `WalHandle::append_txn`
+/// never needs to re-produce the records.
 pub struct SegmentWriter {
+    backend: Arc<dyn LogBackend>,
     dir: PathBuf,
     partition: u32,
     policy: FsyncPolicy,
     segment_bytes: u64,
-    file: BufWriter<File>,
+    file: Box<dyn LogFile>,
     seg_index: u64,
     seg_start_lsn: Lsn,
     /// Next LSN to assign (= bytes of frames written so far).
     lsn: Lsn,
     /// LSN up to which data is known durable (advanced by `sync`).
     synced_lsn: Lsn,
+    /// Start LSN of the group most recently flushed by `flush_group`.
+    group_start: Lsn,
+    /// Framed bytes of the staged (not yet flushed) record group.
+    stage: Vec<u8>,
     commits_since_sync: u32,
     last_sync: Instant,
     scratch: Vec<u8>,
 }
 
 impl SegmentWriter {
-    /// Opens (or creates) partition `p`'s log in `dir` for appending.
+    /// Opens (or creates) partition `p`'s log in `dir` for appending, on
+    /// the real filesystem.
     ///
     /// Existing segments are scanned to find the end of valid data; a torn
     /// tail on the last segment is truncated away so the stream ends on a
@@ -530,24 +1060,36 @@ impl SegmentWriter {
         policy: FsyncPolicy,
         segment_bytes: u64,
     ) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        let segments = list_segments(dir, partition)?;
+        Self::open_with(real_backend(), dir, partition, policy, segment_bytes)
+    }
+
+    /// [`SegmentWriter::open`] through an explicit [`LogBackend`].
+    pub fn open_with(
+        backend: Arc<dyn LogBackend>,
+        dir: &Path,
+        partition: u32,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> io::Result<Self> {
+        backend.create_dir_all(dir)?;
+        let segments = list_segments_with(&*backend, dir, partition)?;
         let (next_index, start_lsn) = match segments.last() {
             None => (0, 0),
             Some(_) => {
-                let scan = scan_partition_log_from(dir, partition, 0)?;
+                let scan = scan_partition_log_from_with(&*backend, dir, partition, 0)?;
                 // Drop the torn tail (if any) so future scans read through
                 // cleanly to the segments this writer is about to add.
-                truncate_after(dir, partition, scan.end_lsn)?;
-                let last_idx = list_segments(dir, partition)?
+                truncate_after_with(&*backend, dir, partition, scan.end_lsn)?;
+                let last_idx = list_segments_with(&*backend, dir, partition)?
                     .last()
                     .map(|(i, _)| *i)
                     .unwrap_or(0);
                 (last_idx + 1, scan.end_lsn)
             }
         };
-        let file = open_segment_file(dir, partition, next_index, start_lsn, policy)?;
+        let file = open_segment_file(&*backend, dir, partition, next_index, start_lsn, policy)?;
         Ok(SegmentWriter {
+            backend,
             dir: dir.to_path_buf(),
             partition,
             policy,
@@ -557,45 +1099,38 @@ impl SegmentWriter {
             seg_start_lsn: start_lsn,
             lsn: start_lsn,
             synced_lsn: start_lsn,
+            group_start: start_lsn,
+            stage: Vec::with_capacity(512),
             commits_since_sync: 0,
             last_sync: Instant::now(),
             scratch: Vec::with_capacity(512),
         })
     }
 
-    /// Appends one record and returns its LSN. Rotates to a fresh segment
-    /// first when the current one is full.
-    pub fn append_record(&mut self, rec: &WalRecord) -> io::Result<Lsn> {
+    /// Stages one record into the pending group.
+    pub fn stage_record(&mut self, rec: &WalRecord) {
         let mut payload = std::mem::take(&mut self.scratch);
         payload.clear();
         encode_record(rec, &mut payload);
-        let at = self.append_payload(&payload);
+        self.stage_payload(&payload);
         self.scratch = payload;
-        at
     }
 
-    /// Appends an `Update` record without materializing a [`WalRecord`]
+    /// Stages an `Update` record without materializing a [`WalRecord`]
     /// (the commit hot path borrows the after-image instead of cloning it).
-    pub fn append_update(&mut self, table: u32, key: u64, row: &Row) -> io::Result<Lsn> {
+    pub fn stage_update(&mut self, table: u32, key: u64, row: &Row) {
         let mut payload = std::mem::take(&mut self.scratch);
         payload.clear();
         payload.push(2);
         enc_u32(&mut payload, table);
         enc_u64(&mut payload, key);
         enc_row(&mut payload, row);
-        let at = self.append_payload(&payload);
+        self.stage_payload(&payload);
         self.scratch = payload;
-        at
     }
 
-    /// Appends an `Insert` record without materializing a [`WalRecord`].
-    pub fn append_insert(
-        &mut self,
-        table: u32,
-        key: u64,
-        row: &Row,
-        secondary: Option<(u32, u64)>,
-    ) -> io::Result<Lsn> {
+    /// Stages an `Insert` record without materializing a [`WalRecord`].
+    pub fn stage_insert(&mut self, table: u32, key: u64, row: &Row, secondary: Option<(u32, u64)>) {
         let mut payload = std::mem::take(&mut self.scratch);
         payload.clear();
         payload.push(3);
@@ -610,18 +1145,44 @@ impl SegmentWriter {
             }
             None => payload.push(0),
         }
-        let at = self.append_payload(&payload);
+        self.stage_payload(&payload);
         self.scratch = payload;
-        at
     }
 
-    /// Frames and writes one already-encoded payload.
-    fn append_payload(&mut self, payload: &[u8]) -> io::Result<Lsn> {
+    /// Frames one encoded payload into the staging buffer.
+    fn stage_payload(&mut self, payload: &[u8]) {
+        let mut frame = [0u8; 8];
+        frame[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.stage.extend_from_slice(&frame);
+        self.stage.extend_from_slice(payload);
+    }
+
+    /// Bytes currently staged and not yet flushed.
+    pub fn staged_bytes(&self) -> usize {
+        self.stage.len()
+    }
+
+    /// Drops the staged group without writing it (give-up path).
+    pub fn clear_group(&mut self) {
+        self.stage.clear();
+    }
+
+    /// Writes the staged group to the active segment as one write, rotating
+    /// first when the segment is full. On success the staging buffer is
+    /// cleared, the LSN advances past the group, and the group's start LSN
+    /// is returned. On failure the writer's LSN state is unchanged and the
+    /// staged bytes are kept, so the caller may [`SegmentWriter::rewind_partial`]
+    /// and retry, or [`SegmentWriter::clear_group`] and give up.
+    pub fn flush_group(&mut self) -> io::Result<Lsn> {
         if self.lsn - self.seg_start_lsn >= self.segment_bytes {
             // Rotation syncs the finished segment: a sealed segment is
-            // always fully durable, so only the active tail can tear.
+            // always fully durable, so only the active tail can tear. Both
+            // steps leave the writer unchanged on failure (`self.file` only
+            // rebinds after a successful open), so a retry re-runs them.
             self.sync()?;
             self.file = open_segment_file(
+                &*self.backend,
                 &self.dir,
                 self.partition,
                 self.seg_index + 1,
@@ -632,13 +1193,77 @@ impl SegmentWriter {
             self.seg_start_lsn = self.lsn;
         }
         let at = self.lsn;
-        let mut frame = [0u8; 8];
-        frame[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame[4..].copy_from_slice(&crc32(payload).to_le_bytes());
-        self.file.write_all(&frame)?;
-        self.file.write_all(payload)?;
-        self.lsn = at + 8 + payload.len() as u64;
+        self.file.write_all(&self.stage)?;
+        self.group_start = at;
+        self.lsn = at + self.stage.len() as u64;
+        self.stage.clear();
         Ok(at)
+    }
+
+    /// Appends one record as its own group and returns its LSN (the
+    /// single-record convenience the checkpoint marker and the unit tests
+    /// use; commit groups go through the staging API).
+    pub fn append_record(&mut self, rec: &WalRecord) -> io::Result<Lsn> {
+        debug_assert!(self.stage.is_empty(), "append_record with a staged group");
+        self.stage_record(rec);
+        let res = self.flush_group();
+        if res.is_err() {
+            self.stage.clear();
+        }
+        res
+    }
+
+    /// Cuts a torn prefix of a *failed* group flush back out of the active
+    /// segment: flushes buffered bytes so the on-disk length is
+    /// authoritative, truncates the file back to the writer's LSN, and
+    /// re-opens the handle for appending. The staged group is kept for a
+    /// retry. Any error here means the segment's tail state is unknown —
+    /// the caller must treat it as a permanent failure and degrade.
+    pub fn rewind_partial(&mut self) -> io::Result<()> {
+        self.rewind_to(self.lsn)
+    }
+
+    /// Durably removes the group most recently flushed by
+    /// [`SegmentWriter::flush_group`] (failed commit-boundary path: the
+    /// group is written but its durability barrier failed, and the commit
+    /// is being aborted — the group must not survive into recovery). Any
+    /// error leaves the group's fate ambiguous; the caller must degrade.
+    pub fn abandon_group(&mut self) -> io::Result<()> {
+        let target = self.group_start;
+        self.rewind_to(target)?;
+        self.lsn = target;
+        if self.synced_lsn > target {
+            self.synced_lsn = target;
+        }
+        Ok(())
+    }
+
+    /// Truncates the active segment so exactly `[seg_start_lsn, target)`
+    /// frame bytes remain, then re-opens the append handle.
+    fn rewind_to(&mut self, target: Lsn) -> io::Result<()> {
+        debug_assert!(target >= self.seg_start_lsn, "rewind into a sealed segment");
+        // Push buffered bytes down so file_len below sees everything this
+        // handle ever accepted (a short write's persisted prefix included).
+        self.file.flush()?;
+        let path = self.dir.join(segment_name(self.partition, self.seg_index));
+        let keep = SEG_HEADER_LEN + (target - self.seg_start_lsn);
+        let on_disk = self.backend.file_len(&path)?;
+        if on_disk < keep {
+            // Bytes the writer counted as written never reached the file
+            // (lost buffer). Shrink-only is the contract: extending with
+            // `set_len` would zero-fill, and a zero frame header passes the
+            // empty-payload CRC — a scan would mis-read it as a torn tail
+            // in the middle of otherwise valid data.
+            return Err(io::Error::other(format!(
+                "segment {} shorter than its writer's LSN ({on_disk} < {keep})",
+                path.display()
+            )));
+        }
+        if on_disk > keep {
+            self.backend.truncate(&path, keep)?;
+        }
+        self.file = self.backend.open_append(&path)?;
+        Ok(())
     }
 
     /// Marks the end of one transaction's record group and applies the
@@ -660,8 +1285,7 @@ impl SegmentWriter {
 
     /// Flushes buffered bytes and fsyncs the active segment.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        self.file.sync_data()?;
         self.synced_lsn = self.lsn;
         self.commits_since_sync = 0;
         self.last_sync = Instant::now();
@@ -686,21 +1310,21 @@ impl SegmentWriter {
 
 /// Creates segment file `index` for `partition` and writes its header.
 fn open_segment_file(
+    backend: &dyn LogBackend,
     dir: &Path,
     partition: u32,
     index: u64,
     start_lsn: Lsn,
     policy: FsyncPolicy,
-) -> io::Result<BufWriter<File>> {
+) -> io::Result<Box<dyn LogFile>> {
     let path = dir.join(segment_name(partition, index));
-    let file = OpenOptions::new()
-        .create_new(true)
-        .write(true)
-        .open(&path)?;
+    // A truncating create (not `create_new`): a retried rotation whose
+    // first attempt died between creating the file and landing its header
+    // must be able to start the segment over.
+    let mut file = backend.create(&path)?;
     let mut header = Vec::with_capacity(SEG_HEADER_LEN as usize);
     write_segment_header(&mut header, partition, index, start_lsn, policy);
     debug_assert_eq!(header.len() as u64, SEG_HEADER_LEN);
-    let mut file = BufWriter::new(file);
     file.write_all(&header)?;
     Ok(file)
 }
@@ -727,82 +1351,40 @@ pub struct LogScan {
 /// whole segments that end below `from_lsn` are skipped without parsing.
 /// The scan stops cleanly at the first torn or corrupt frame.
 pub fn scan_partition_log_from(dir: &Path, partition: u32, from_lsn: Lsn) -> io::Result<LogScan> {
-    let segments = list_segments(dir, partition)?;
+    scan_partition_log_from_with(&RealBackend, dir, partition, from_lsn)
+}
+
+/// [`scan_partition_log_from`] through an explicit backend.
+pub fn scan_partition_log_from_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    partition: u32,
+    from_lsn: Lsn,
+) -> io::Result<LogScan> {
+    let segments = list_segments_with(backend, dir, partition)?;
     let mut records = Vec::new();
     let mut policy = None;
     let mut end_lsn = 0;
     let mut torn = false;
     let mut expect_start: Option<Lsn> = None;
     for (pos, (index, path)) in segments.iter().enumerate() {
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
-        let mut header_bytes = vec![0u8; SEG_HEADER_LEN as usize];
-        if file.read_exact(&mut header_bytes).is_err() {
-            torn = true;
-            break;
-        }
-        let Some(header) = parse_segment_header(&header_bytes) else {
-            torn = true;
-            break;
-        };
-        if header.partition != partition || header.index != *index {
-            torn = true;
-            break;
-        }
-        // A gap in the chain (missing segment or start-LSN mismatch) ends
-        // the usable stream at the previous segment.
-        if let Some(expected) = expect_start {
-            if header.start_lsn != expected {
-                torn = true;
-                break;
-            }
-        }
-        policy = Some(header.policy);
-        end_lsn = header.start_lsn;
-        let data_len = file_len - SEG_HEADER_LEN;
         let last_segment = pos + 1 == segments.len();
-        if !last_segment && header.start_lsn + data_len <= from_lsn {
-            // Entirely below the replay cut: trust the sealed segment's
-            // length without parsing its frames.
-            end_lsn = header.start_lsn + data_len;
-            expect_start = Some(end_lsn);
-            continue;
-        }
-        let mut data = Vec::with_capacity(data_len as usize);
-        file.seek(SeekFrom::Start(SEG_HEADER_LEN))?;
-        file.read_to_end(&mut data)?;
-        let mut off = 0usize;
-        loop {
-            if off + 8 > data.len() {
-                torn |= off != data.len();
-                break;
-            }
-            let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
-            if off + 8 + len > data.len() {
-                torn = true;
-                break;
-            }
-            let payload = &data[off + 8..off + 8 + len];
-            if crc32(payload) != crc {
-                torn = true;
-                break;
-            }
-            let lsn = header.start_lsn + off as u64;
-            if lsn >= from_lsn {
-                let Some(rec) = decode_record(payload) else {
-                    torn = true;
-                    break;
-                };
-                records.push((lsn, rec));
-            }
-            off += 8 + len;
-            end_lsn = header.start_lsn + off as u64;
-        }
-        if torn {
+        let bytes = backend.read(path)?;
+        let step = scan_segment(
+            &bytes,
+            partition,
+            *index,
+            from_lsn,
+            &mut expect_start,
+            &mut policy,
+            &mut end_lsn,
+            &mut records,
+            last_segment,
+        );
+        if step.is_err() {
+            torn = true;
             break;
         }
-        expect_start = Some(end_lsn);
     }
     Ok(LogScan {
         records,
@@ -812,37 +1394,165 @@ pub fn scan_partition_log_from(dir: &Path, partition: u32, from_lsn: Lsn) -> io:
     })
 }
 
+/// Parses one segment's bytes into the scan accumulators. Returns `Err(())`
+/// when the stream tears here. `tail` marks the chain's last segment (the
+/// only one allowed to tear without being an error in sealed data).
+#[allow(clippy::too_many_arguments)]
+fn scan_segment(
+    bytes: &[u8],
+    partition: u32,
+    index: u64,
+    from_lsn: Lsn,
+    expect_start: &mut Option<Lsn>,
+    policy: &mut Option<FsyncPolicy>,
+    end_lsn: &mut Lsn,
+    records: &mut Vec<(Lsn, WalRecord)>,
+    tail: bool,
+) -> Result<(), ()> {
+    if bytes.len() < SEG_HEADER_LEN as usize {
+        return Err(());
+    }
+    let Some(header) = parse_segment_header(&bytes[..SEG_HEADER_LEN as usize]) else {
+        return Err(());
+    };
+    if header.partition != partition || header.index != index {
+        return Err(());
+    }
+    // A gap in the chain (missing segment or start-LSN mismatch) ends the
+    // usable stream at the previous segment.
+    if let Some(expected) = *expect_start {
+        if header.start_lsn != expected {
+            return Err(());
+        }
+    }
+    *policy = Some(header.policy);
+    *end_lsn = header.start_lsn;
+    let data = &bytes[SEG_HEADER_LEN as usize..];
+    if !tail && header.start_lsn + data.len() as u64 <= from_lsn {
+        // Entirely below the replay cut: trust the sealed segment's length
+        // without parsing its frames.
+        *end_lsn = header.start_lsn + data.len() as u64;
+        *expect_start = Some(*end_lsn);
+        return Ok(());
+    }
+    let mut off = 0usize;
+    let local_torn;
+    loop {
+        if off + 8 > data.len() {
+            local_torn = off != data.len();
+            break;
+        }
+        let len =
+            u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as usize;
+        let crc = u32::from_le_bytes([data[off + 4], data[off + 5], data[off + 6], data[off + 7]]);
+        if off + 8 + len > data.len() {
+            local_torn = true;
+            break;
+        }
+        let payload = &data[off + 8..off + 8 + len];
+        if crc32(payload) != crc {
+            local_torn = true;
+            break;
+        }
+        let lsn = header.start_lsn + off as u64;
+        if lsn >= from_lsn {
+            let Some(rec) = decode_record(payload) else {
+                local_torn = true;
+                break;
+            };
+            records.push((lsn, rec));
+        }
+        off += 8 + len;
+        *end_lsn = header.start_lsn + off as u64;
+    }
+    if local_torn {
+        return Err(());
+    }
+    *expect_start = Some(*end_lsn);
+    Ok(())
+}
+
 /// Truncates partition `p`'s segment chain so that no frame bytes exist past
 /// `end_lsn`: segments starting at or past the cut are deleted, and the
-/// segment containing it is `set_len` to the matching offset. Called by
+/// segment containing it is shrunk to the matching offset. Called by
 /// recovery (and `SegmentWriter::open`) to drop a torn tail.
 pub fn truncate_after(dir: &Path, partition: u32, end_lsn: Lsn) -> io::Result<()> {
-    for (_, path) in list_segments(dir, partition)? {
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let mut header_bytes = vec![0u8; SEG_HEADER_LEN as usize];
-        if file.read_exact(&mut header_bytes).is_err() {
-            fs::remove_file(&path)?;
-            continue;
-        }
-        let Some(header) = parse_segment_header(&header_bytes) else {
-            fs::remove_file(&path)?;
+    truncate_after_with(&RealBackend, dir, partition, end_lsn)
+}
+
+/// [`truncate_after`] through an explicit backend.
+pub fn truncate_after_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    partition: u32,
+    end_lsn: Lsn,
+) -> io::Result<()> {
+    for (_, path) in list_segments_with(backend, dir, partition)? {
+        let header = read_segment_header(backend, &path);
+        let Some(header) = header else {
+            backend.remove_file(&path)?;
             continue;
         };
         if header.start_lsn >= end_lsn {
             // Nothing from this segment survives; an empty segment at
             // exactly the cut is also removed (the writer will start a
             // fresh one).
-            drop(file);
-            fs::remove_file(&path)?;
+            backend.remove_file(&path)?;
             continue;
         }
         let keep = SEG_HEADER_LEN + (end_lsn - header.start_lsn);
-        if file.metadata()?.len() > keep {
-            file.set_len(keep)?;
-            file.sync_data()?;
+        if backend.file_len(&path)? > keep {
+            backend.truncate(&path, keep)?;
         }
     }
     Ok(())
+}
+
+/// Reads and parses one segment's header, `None` when unreadable or
+/// malformed.
+fn read_segment_header(backend: &dyn LogBackend, path: &Path) -> Option<SegHeader> {
+    let bytes = backend.read(path).ok()?;
+    if bytes.len() < SEG_HEADER_LEN as usize {
+        return None;
+    }
+    parse_segment_header(&bytes[..SEG_HEADER_LEN as usize])
+}
+
+/// Retires (deletes) every **sealed** segment of partition `p` whose frame
+/// range lies entirely at or below `cut_lsn` — the newest checkpoint's
+/// replay cut makes those bytes dead weight. The chain's last segment (the
+/// writer's active one) is never touched. Returns the number of segments
+/// removed.
+pub fn retire_segments_below(dir: &Path, partition: u32, cut_lsn: Lsn) -> io::Result<u64> {
+    retire_segments_below_with(&RealBackend, dir, partition, cut_lsn)
+}
+
+/// [`retire_segments_below`] through an explicit backend.
+pub fn retire_segments_below_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    partition: u32,
+    cut_lsn: Lsn,
+) -> io::Result<u64> {
+    let segments = list_segments_with(backend, dir, partition)?;
+    let mut retired = 0u64;
+    for (pos, (_, path)) in segments.iter().enumerate() {
+        if pos + 1 == segments.len() {
+            break; // never the active segment
+        }
+        let Some(header) = read_segment_header(backend, path) else {
+            continue; // unreadable prefix junk is recovery's problem, not compaction's
+        };
+        let data_len = backend.file_len(path)?.saturating_sub(SEG_HEADER_LEN);
+        if header.start_lsn + data_len <= cut_lsn {
+            backend.remove_file(path)?;
+            retired += 1;
+        } else {
+            // Segments are LSN-ordered: nothing later can be below the cut.
+            break;
+        }
+    }
+    Ok(retired)
 }
 
 // ---------------------------------------------------------------------------
@@ -986,25 +1696,33 @@ fn dec_datatype(tag: u8) -> Option<DataType> {
 
 /// Writes `body` to `dir/name` with a trailing CRC32 footer, fsyncing the
 /// file before returning.
-fn write_checksummed(dir: &Path, name: &str, mut body: Vec<u8>) -> io::Result<()> {
+fn write_checksummed(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    name: &str,
+    mut body: Vec<u8>,
+) -> io::Result<()> {
     let crc = crc32(&body);
     body.extend_from_slice(&crc.to_le_bytes());
-    let path = dir.join(name);
-    let mut file = File::create(&path)?;
+    let mut file = backend.create(&dir.join(name))?;
     file.write_all(&body)?;
     file.sync_data()?;
     Ok(())
 }
 
 /// Reads `dir/name`, verifies the CRC footer, and returns the body bytes.
-fn read_checksummed(dir: &Path, name: &str) -> io::Result<Vec<u8>> {
-    let mut bytes = Vec::new();
-    File::open(dir.join(name))?.read_to_end(&mut bytes)?;
+fn read_checksummed(backend: &dyn LogBackend, dir: &Path, name: &str) -> io::Result<Vec<u8>> {
+    let mut bytes = backend.read(&dir.join(name))?;
     if bytes.len() < 4 {
         return Err(corrupt(name, "shorter than its CRC footer"));
     }
     let body_len = bytes.len() - 4;
-    let stored = u32::from_le_bytes(bytes[body_len..].try_into().unwrap());
+    let stored = u32::from_le_bytes([
+        bytes[body_len],
+        bytes[body_len + 1],
+        bytes[body_len + 2],
+        bytes[body_len + 3],
+    ]);
     if crc32(&bytes[..body_len]) != stored {
         return Err(corrupt(name, "CRC mismatch"));
     }
@@ -1019,6 +1737,15 @@ fn corrupt(name: &str, what: &str) -> io::Error {
 /// Writes the checkpoint meta file (call **after** every part file is on
 /// disk: the meta file's presence is what makes a checkpoint complete).
 pub fn write_checkpoint_meta(dir: &Path, meta: &CheckpointMeta) -> io::Result<()> {
+    write_checkpoint_meta_with(&RealBackend, dir, meta)
+}
+
+/// [`write_checkpoint_meta`] through an explicit backend.
+pub fn write_checkpoint_meta_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    meta: &CheckpointMeta,
+) -> io::Result<()> {
     let mut buf = Vec::with_capacity(256);
     buf.extend_from_slice(CKPT_META_MAGIC);
     enc_u32(&mut buf, FORMAT_VERSION);
@@ -1040,7 +1767,7 @@ pub fn write_checkpoint_meta(dir: &Path, meta: &CheckpointMeta) -> io::Result<()
     for &c in &meta.cuts {
         enc_u64(&mut buf, c);
     }
-    write_checksummed(dir, &ckpt_meta_name(meta.stable_ts), buf)
+    write_checksummed(backend, dir, &ckpt_meta_name(meta.stable_ts), buf)
 }
 
 fn parse_checkpoint_meta(name: &str, body: &[u8]) -> io::Result<CheckpointMeta> {
@@ -1094,6 +1821,15 @@ fn parse_checkpoint_meta(name: &str, body: &[u8]) -> io::Result<CheckpointMeta> 
 
 /// Writes one partition's checkpoint data file (fsynced).
 pub fn write_checkpoint_part(dir: &Path, part: &CheckpointPart) -> io::Result<()> {
+    write_checkpoint_part_with(&RealBackend, dir, part)
+}
+
+/// [`write_checkpoint_part`] through an explicit backend.
+pub fn write_checkpoint_part_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    part: &CheckpointPart,
+) -> io::Result<()> {
     let mut buf = Vec::with_capacity(4096);
     buf.extend_from_slice(CKPT_PART_MAGIC);
     enc_u32(&mut buf, FORMAT_VERSION);
@@ -1116,7 +1852,12 @@ pub fn write_checkpoint_part(dir: &Path, part: &CheckpointPart) -> io::Result<()
             }
         }
     }
-    write_checksummed(dir, &ckpt_part_name(part.stable_ts, part.partition), buf)
+    write_checksummed(
+        backend,
+        dir,
+        &ckpt_part_name(part.stable_ts, part.partition),
+        buf,
+    )
 }
 
 /// Reads one partition's checkpoint data file.
@@ -1125,8 +1866,18 @@ pub fn read_checkpoint_part(
     stable_ts: u64,
     partition: u32,
 ) -> io::Result<CheckpointPart> {
+    read_checkpoint_part_with(&RealBackend, dir, stable_ts, partition)
+}
+
+/// [`read_checkpoint_part`] through an explicit backend.
+pub fn read_checkpoint_part_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+    stable_ts: u64,
+    partition: u32,
+) -> io::Result<CheckpointPart> {
     let name = ckpt_part_name(stable_ts, partition);
-    let body = read_checksummed(dir, &name)?;
+    let body = read_checksummed(backend, dir, &name)?;
     let bad = || corrupt(&name, "malformed part body");
     let mut c = Cursor::new(&body);
     if c.take(8).ok_or_else(bad)? != CKPT_PART_MAGIC {
@@ -1176,11 +1927,16 @@ pub fn read_checkpoint_part(
 /// Returns the newest complete checkpoint in `dir` (largest stable ts whose
 /// meta file parses and whose partition count matches its cut list), if any.
 pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<CheckpointMeta>> {
+    latest_checkpoint_with(&RealBackend, dir)
+}
+
+/// [`latest_checkpoint`] through an explicit backend.
+pub fn latest_checkpoint_with(
+    backend: &dyn LogBackend,
+    dir: &Path,
+) -> io::Result<Option<CheckpointMeta>> {
     let mut stamps = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    for name in backend.list_dir(dir)? {
         if let Some(ts) = name
             .strip_prefix("ckpt-")
             .and_then(|r| r.strip_suffix(".meta"))
@@ -1192,7 +1948,7 @@ pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<CheckpointMeta>> {
     stamps.sort_unstable();
     for ts in stamps.into_iter().rev() {
         let name = ckpt_meta_name(ts);
-        let Ok(body) = read_checksummed(dir, &name) else {
+        let Ok(body) = read_checksummed(backend, dir, &name) else {
             continue;
         };
         if let Ok(meta) = parse_checkpoint_meta(&name, &body) {
@@ -1507,6 +2263,221 @@ mod tests {
         let got = latest_checkpoint(&dir).unwrap().unwrap();
         assert_eq!(got.stable_ts, 5);
         assert_eq!(got.cuts, vec![42]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // --- fault injection / degraded-path machinery --------------------
+
+    /// Same plan, same per-file operation sequence → byte-identical fault
+    /// decisions, independent of wall clock or thread interleaving.
+    #[test]
+    fn fault_injector_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 77,
+            fsync_permille: 300,
+            short_write_permille: 200,
+            enospc_permille: 100,
+            open_permille: 50,
+            read_permille: 50,
+        };
+        let run = || {
+            let inj = FaultInjector::new(plan);
+            inj.arm();
+            let mut draws = Vec::new();
+            let mut opens = Vec::new();
+            for i in 0..64 {
+                let name = format!("wal-p{:03}-00000000.seg", i % 3);
+                draws.push(inj.draw(&name, i % 2 == 0));
+                opens.push(inj.draw_open(&name));
+            }
+            (draws, opens, inj.injected())
+        };
+        let (a, oa, ia) = run();
+        let (b, ob, ib) = run();
+        assert_eq!(a, b);
+        assert_eq!(oa, ob);
+        assert_eq!(ia, ib);
+        assert!(ia > 0, "permilles high enough that something fires");
+    }
+
+    /// The injector starts disarmed and injects nothing until armed;
+    /// disarm stops it again.
+    #[test]
+    fn fault_injector_respects_arm_state() {
+        let plan = FaultPlan {
+            seed: 3,
+            fsync_permille: 1000,
+            ..FaultPlan::quiet(3)
+        };
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.draw("f", false).0, Fault::None);
+        inj.arm();
+        assert_eq!(inj.draw("f", false).0, Fault::Fsync);
+        inj.disarm();
+        assert_eq!(inj.draw("f", false).0, Fault::None);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    /// `rewind_partial` after a torn flush restores the writer to the last
+    /// clean boundary: re-staging and flushing the same group yields a log
+    /// identical to a never-failed write.
+    #[test]
+    fn rewind_partial_then_rewrite_matches_clean_log() {
+        let recs = sample_records();
+        let write_group = |w: &mut SegmentWriter| {
+            for r in &recs {
+                w.stage_record(r);
+            }
+            w.flush_group().unwrap();
+            w.commit_boundary().unwrap();
+        };
+        // Reference: one clean group.
+        let clean = tmp_dir("rewind-clean");
+        {
+            let mut w = SegmentWriter::open(&clean, 0, FsyncPolicy::EveryCommit, 1 << 20).unwrap();
+            write_group(&mut w);
+        }
+        // Faulted: a short write tears the first flush; rewind + retry.
+        let torn = tmp_dir("rewind-torn");
+        {
+            let inj = FaultInjector::new(FaultPlan {
+                seed: 99,
+                short_write_permille: 1000,
+                ..FaultPlan::quiet(99)
+            });
+            let backend: Arc<dyn LogBackend> = Arc::new(FaultBackend::new(Arc::clone(&inj)));
+            let mut w =
+                SegmentWriter::open_with(backend, &torn, 0, FsyncPolicy::EveryCommit, 1 << 20)
+                    .unwrap();
+            inj.arm();
+            for r in &recs {
+                w.stage_record(r);
+            }
+            assert!(w.flush_group().is_err(), "the schedule tears every write");
+            inj.disarm();
+            w.rewind_partial().unwrap();
+            w.flush_group().unwrap();
+            w.commit_boundary().unwrap();
+        }
+        let a = scan_partition_log_from(&clean, 0, 0).unwrap();
+        let b = scan_partition_log_from(&torn, 0, 0).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.end_lsn, b.end_lsn);
+        fs::remove_dir_all(&clean).unwrap();
+        fs::remove_dir_all(&torn).unwrap();
+    }
+
+    /// `abandon_group` durably removes a flushed-but-unsynced group: the
+    /// scan sees only what preceded it, and the next group lands at the
+    /// abandoned group's start LSN.
+    #[test]
+    fn abandon_group_removes_it_from_disk() {
+        let dir = tmp_dir("abandon");
+        let mut w = SegmentWriter::open(&dir, 0, FsyncPolicy::EveryCommit, 1 << 20).unwrap();
+        w.stage_record(&WalRecord::Begin {
+            txn_id: 1,
+            commit_ts: 10,
+            parts_mask: 1,
+        });
+        w.stage_record(&WalRecord::Commit {
+            txn_id: 1,
+            commit_ts: 10,
+        });
+        let start = w.flush_group().unwrap();
+        w.commit_boundary().unwrap();
+
+        w.stage_record(&WalRecord::Begin {
+            txn_id: 2,
+            commit_ts: 11,
+            parts_mask: 1,
+        });
+        w.stage_record(&WalRecord::Commit {
+            txn_id: 2,
+            commit_ts: 11,
+        });
+        let doomed = w.flush_group().unwrap();
+        assert!(doomed > start);
+        w.abandon_group().unwrap();
+        assert_eq!(w.lsn(), doomed, "lsn rewound to the abandoned group start");
+
+        w.stage_record(&WalRecord::Begin {
+            txn_id: 3,
+            commit_ts: 12,
+            parts_mask: 1,
+        });
+        w.stage_record(&WalRecord::Commit {
+            txn_id: 3,
+            commit_ts: 12,
+        });
+        w.flush_group().unwrap();
+        w.commit_boundary().unwrap();
+        drop(w);
+
+        let scan = scan_partition_log_from(&dir, 0, 0).unwrap();
+        let ids: Vec<u64> = scan
+            .records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                WalRecord::Begin { txn_id, .. } => Some(*txn_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 3], "the abandoned group never replays");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `retire_segments_below` deletes exactly the sealed segments whose
+    /// whole record range sits below the cut; the retained suffix still
+    /// scans from the cut.
+    #[test]
+    fn retire_segments_below_keeps_the_scannable_suffix() {
+        let dir = tmp_dir("retire");
+        let mut boundaries = Vec::new();
+        {
+            // 200-byte segments force frequent rotation.
+            let mut w = SegmentWriter::open(&dir, 0, FsyncPolicy::Never, 200).unwrap();
+            for i in 0..30u64 {
+                w.append_record(&WalRecord::Begin {
+                    txn_id: i,
+                    commit_ts: i,
+                    parts_mask: 1,
+                })
+                .unwrap();
+                w.append_record(&WalRecord::Commit {
+                    txn_id: i,
+                    commit_ts: i,
+                })
+                .unwrap();
+                boundaries.push(w.lsn());
+            }
+            w.sync().unwrap();
+        }
+        let total_segs = list_segments(&dir, 0).unwrap().len();
+        assert!(total_segs > 3, "rotation must have split the log");
+
+        // Cut at a mid-log group boundary.
+        let cut = boundaries[14];
+        let retired = retire_segments_below(&dir, 0, cut).unwrap();
+        assert!(retired > 0, "some sealed prefix must retire");
+        assert_eq!(
+            list_segments(&dir, 0).unwrap().len() as u64,
+            total_segs as u64 - retired
+        );
+
+        // The suffix from the cut is intact.
+        let scan = scan_partition_log_from(&dir, 0, cut).unwrap();
+        let ids: Vec<u64> = scan
+            .records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                WalRecord::Begin { txn_id, .. } => Some(*txn_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, (15..30).collect::<Vec<u64>>());
+
+        // Retiring below the same cut again is a no-op.
+        assert_eq!(retire_segments_below(&dir, 0, cut).unwrap(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,6 +14,12 @@
 //!    half-applied.
 //!
 //! The child is this same test re-executed with `BAMBOO_CRASH_DIR` set.
+//!
+//! A second variant (`BAMBOO_CRASH_FAULT` = seed) layers a seeded
+//! [`FaultBackend`] under the child's WAL, so the SIGKILL lands on a
+//! pipeline that is *already* absorbing fsync failures, torn writes and
+//! `ENOSPC` — the child heals degraded partitions in place and keeps
+//! acking. The same three invariants must hold.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -23,8 +29,10 @@ use std::sync::Arc;
 use bamboo_repro::core::partition::{PartSession, PartitionedDb};
 use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
 use bamboo_repro::core::DbOptions;
+use bamboo_repro::storage::log::FaultInjector;
 use bamboo_repro::storage::{
-    DataType, FsyncPolicy, PartitionId, RouteStrategy, Row, Schema, TableId, Value,
+    DataType, FaultBackend, FaultPlan, FsyncPolicy, LogBackend, PartitionId, RouteStrategy, Row,
+    Schema, TableId, Value,
 };
 
 const ACCOUNTS_PER_PART: u64 = 8;
@@ -33,7 +41,7 @@ const PARTS: u32 = 2;
 const ACCOUNTS: TableId = TableId(0);
 const LEDGER: TableId = TableId(1);
 
-fn build(dir: &Path) -> Arc<PartitionedDb> {
+fn build_with(dir: &Path, backend: Option<Arc<dyn LogBackend>>) -> Arc<PartitionedDb> {
     let mut b = PartitionedDb::builder(PARTS);
     b.add_table(
         "accounts",
@@ -51,18 +59,37 @@ fn build(dir: &Path) -> Arc<PartitionedDb> {
             .column("amount", DataType::I64),
         RouteStrategy::Hash,
     );
-    b.with_options(
-        DbOptions::new()
-            .with_wal_dir(dir.to_path_buf())
-            .with_fsync_policy(FsyncPolicy::EveryCommit),
-    );
+    let mut opts = DbOptions::new()
+        .with_wal_dir(dir.to_path_buf())
+        .with_fsync_policy(FsyncPolicy::EveryCommit);
+    if let Some(backend) = backend {
+        opts = opts.with_log_backend(backend);
+    }
+    b.with_options(opts);
     b.build()
 }
 
 /// Child mode: load, genesis-checkpoint, then fire transfers forever,
 /// acknowledging each committed one on stdout. Killed by the parent.
-fn child_main(dir: PathBuf) -> ! {
-    let pdb = build(&dir);
+///
+/// With a fault seed, the WAL runs on a [`FaultBackend`] armed after the
+/// genesis checkpoint. Open/read faults are left at zero so a degraded
+/// partition can always be healed; the child heals on every
+/// durability-failed commit and keeps firing.
+fn child_main(dir: PathBuf, fault_seed: Option<u64>) -> ! {
+    let injector = fault_seed.map(|seed| {
+        FaultInjector::new(FaultPlan {
+            seed,
+            fsync_permille: 30,
+            short_write_permille: 20,
+            enospc_permille: 10,
+            ..FaultPlan::quiet(seed)
+        })
+    });
+    let backend = injector
+        .as_ref()
+        .map(|i| Arc::new(FaultBackend::new(Arc::clone(i))) as Arc<dyn LogBackend>);
+    let pdb = build_with(&dir, backend);
     for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
         pdb.insert(
             ACCOUNTS,
@@ -71,6 +98,9 @@ fn child_main(dir: PathBuf) -> ! {
         );
     }
     pdb.checkpoint().expect("genesis checkpoint");
+    if let Some(i) = &injector {
+        i.arm();
+    }
 
     let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
     let session = PartSession::new(Arc::clone(&pdb), proto);
@@ -117,6 +147,15 @@ fn child_main(dir: PathBuf) -> ! {
             let mut out = stdout.lock();
             writeln!(out, "ACK {seq} {from} {to} {amount}").unwrap();
             out.flush().unwrap();
+        } else if injector.is_some() {
+            // An injected fault aborted this commit (never acked). Heal
+            // any partition the permanent fault poisoned so the fire —
+            // and the ack stream the parent is waiting on — continues.
+            for p in 0..PARTS {
+                if pdb.parts()[p as usize].wal().is_degraded() {
+                    let _ = pdb.heal(PartitionId(p));
+                }
+            }
         }
     }
     std::process::exit(0);
@@ -125,23 +164,52 @@ fn child_main(dir: PathBuf) -> ! {
 #[test]
 fn kill9_crash_preserves_acked_commits() {
     if let Ok(dir) = std::env::var("BAMBOO_CRASH_DIR") {
-        child_main(PathBuf::from(dir));
+        child_main(PathBuf::from(dir), None);
     }
-    let dir = std::env::temp_dir().join(format!("bamboo-crash-{}", std::process::id()));
+    run_crash_harness("kill9_crash_preserves_acked_commits", None);
+}
+
+#[test]
+fn kill9_crash_with_storage_faults_preserves_acked_commits() {
+    if let Ok(dir) = std::env::var("BAMBOO_CRASH_DIR") {
+        let seed = std::env::var("BAMBOO_CRASH_FAULT")
+            .expect("fault child needs BAMBOO_CRASH_FAULT")
+            .parse()
+            .expect("BAMBOO_CRASH_FAULT must be a u64 seed");
+        child_main(PathBuf::from(dir), Some(seed));
+    }
+    // Reuse the chaos-suite seed knob so the CI sweep exercises this
+    // harness under the same five schedules.
+    let seed = std::env::var("BAMBOO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA017);
+    println!("crash fault seed: {seed}");
+    run_crash_harness(
+        "kill9_crash_with_storage_faults_preserves_acked_commits",
+        Some(seed),
+    );
+}
+
+/// Parent mode: re-exec this binary as the crash child (filtered to
+/// `test_name`), harvest 50 acks, SIGKILL, recover, verify.
+fn run_crash_harness(test_name: &str, fault_seed: Option<u64>) {
+    let dir = std::env::temp_dir().join(format!(
+        "bamboo-crash-{}-{}",
+        std::process::id(),
+        fault_seed.map_or_else(|| "clean".into(), |s| s.to_string())
+    ));
     let _ = std::fs::remove_dir_all(&dir);
 
     let exe = std::env::current_exe().unwrap();
-    let mut child = std::process::Command::new(exe)
-        .args([
-            "kill9_crash_preserves_acked_commits",
-            "--exact",
-            "--nocapture",
-            "--test-threads=1",
-        ])
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args([test_name, "--exact", "--nocapture", "--test-threads=1"])
         .env("BAMBOO_CRASH_DIR", &dir)
-        .stdout(std::process::Stdio::piped())
-        .spawn()
-        .expect("spawning crash child");
+        .stdout(std::process::Stdio::piped());
+    if let Some(seed) = fault_seed {
+        cmd.env("BAMBOO_CRASH_FAULT", seed.to_string());
+    }
+    let mut child = cmd.spawn().expect("spawning crash child");
 
     // Read acks until steady state, then SIGKILL mid-fire.
     let mut acks: Vec<(u64, u64, u64, i64)> = Vec::new();
@@ -169,9 +237,16 @@ fn kill9_crash_preserves_acked_commits() {
         acks.len()
     );
 
-    // Recover the directory the child left behind.
-    let (rec, report) = PartitionedDb::recover(DbOptions::new().with_wal_dir(dir.clone()))
-        .expect("recovery after SIGKILL");
+    // Recover the directory the child left behind. The recovery options
+    // carry the writer's fsync policy: under `EveryCommit` every acked
+    // group was individually fsynced, so no horizon cut applies even when
+    // injected faults left orphaned groups mid-log.
+    let (rec, report) = PartitionedDb::recover(
+        DbOptions::new()
+            .with_wal_dir(dir.clone())
+            .with_fsync_policy(FsyncPolicy::EveryCommit),
+    )
+    .expect("recovery after SIGKILL");
 
     // 1. Money is conserved.
     let balances: BTreeMap<u64, i64> = {

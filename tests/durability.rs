@@ -335,7 +335,7 @@ fn weak_policy_horizon_cut_drops_later_transactions() {
     // Force the buffered appends to disk — FsyncPolicy::Never means the
     // test must sync explicitly to make this deterministic.
     for p in pdb.parts() {
-        p.wal().sync();
+        p.wal().sync().expect("real backend sync");
     }
     let genesis = state(&pdb, t);
     drop(pdb);
@@ -385,6 +385,89 @@ fn weak_policy_horizon_cut_drops_later_transactions() {
         state(&rec, t),
         genesis,
         "horizon-dropped writes must not apply"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Log compaction: once a *second* complete checkpoint exists, sealed
+/// segments wholly below the previous checkpoint's cuts are retired, and
+/// recovery from the retained suffix still reproduces the full state.
+/// (Keep-last-two: the newest checkpoint's own cut is deliberately NOT
+/// compacted to, so recovery can fall back one checkpoint if the newest
+/// meta is lost — see `crash_during_recovery_falls_back_to_previous_checkpoint`.)
+#[test]
+fn compaction_retires_sealed_segments_and_recovery_survives() {
+    let dir = tmp_dir("compact");
+    let bounds = (1..PARTS as u64).map(|i| i * ACCOUNTS_PER_PART).collect();
+    let mut b = PartitionedDb::builder(PARTS);
+    let t = b.add_table("accounts", kv_schema(), RouteStrategy::Range(bounds));
+    b.with_options(
+        DbOptions::new()
+            .with_wal_dir(dir.clone())
+            .with_fsync_policy(FsyncPolicy::EveryCommit)
+            // Tiny segments so the transfer fire seals many of them.
+            .with_segment_bytes(512),
+    );
+    let pdb = b.build();
+    for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
+        pdb.insert(t, a, Row::from(vec![Value::U64(a), Value::I64(INITIAL)]));
+    }
+    pdb.checkpoint().expect("genesis checkpoint");
+    assert_eq!(pdb.segments_retired(), 0, "nothing to retire at genesis");
+
+    let seg_count = |p: u32| {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&format!("wal-p{:03}-", p))
+            })
+            .count()
+    };
+
+    // Two rounds of fire + checkpoint. The second checkpoint retires the
+    // sealed segments below the *first* checkpoint's cuts.
+    transfers(&pdb, t, 60, 7);
+    pdb.checkpoint().expect("first post-load checkpoint");
+    transfers(&pdb, t, 60, 11);
+    let before_p0 = seg_count(0);
+    pdb.checkpoint().expect("second post-load checkpoint");
+    assert!(
+        pdb.segments_retired() > 0,
+        "two checkpoints over {}+ sealed segments must retire some",
+        before_p0
+    );
+    assert!(
+        seg_count(0) < before_p0,
+        "retired partition-0 segments must be deleted from disk"
+    );
+
+    // More committed work *after* the compacting checkpoint, so recovery
+    // must replay from the retained suffix, not just restore the dump.
+    transfers(&pdb, t, 20, 13);
+    let before = state(&pdb, t);
+    drop(pdb);
+
+    let (rec, report) = PartitionedDb::recover(
+        DbOptions::new()
+            .with_wal_dir(dir.clone())
+            .with_fsync_policy(FsyncPolicy::EveryCommit),
+    )
+    .expect("recovery from the compacted log");
+    assert_eq!(
+        state(&rec, t),
+        before,
+        "retained-suffix recovery must reproduce the pre-crash state (report: {report:?})"
+    );
+    assert_eq!(
+        total(&rec, t),
+        PARTS as i64 * ACCOUNTS_PER_PART as i64 * INITIAL
+    );
+    assert!(
+        report.replayed_txns >= 20,
+        "the post-checkpoint transfers must come from log replay (report: {report:?})"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -180,3 +180,163 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+mod fault_schedule {
+    use std::sync::Arc;
+
+    use bamboo_repro::core::partition::{PartSession, PartitionedDb};
+    use bamboo_repro::core::protocol::{LockingProtocol, Protocol};
+    use bamboo_repro::core::DbOptions;
+    use bamboo_repro::storage::log::{scan_partition_log_from, FaultInjector};
+    use bamboo_repro::storage::{
+        DataType, FaultBackend, FaultPlan, FsyncPolicy, PartitionId, RouteStrategy, Row, Schema,
+        Value, WalRecord,
+    };
+    use proptest::prelude::*;
+
+    const ACCOUNTS_PER_PART: u64 = 8;
+    const PARTS: u32 = 2;
+    const INITIAL: i64 = 1000;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any prefix of a seeded fault schedule leaves every partition's
+        /// log scannable to a clean record-group boundary: the scan
+        /// succeeds, every group except (at most) a torn tail is a
+        /// contiguous `Begin … Commit`, and full recovery conserves money.
+        #[test]
+        fn any_fault_schedule_prefix_leaves_clean_group_boundaries(
+            seed in any::<u64>(),
+            fsync_pm in 0u16..400,
+            short_pm in 0u16..400,
+            enospc_pm in 0u16..200,
+            attempts in 1u64..30,
+            case in any::<u64>(),
+        ) {
+            let dir = super::tmp_dir("fault-sched", case);
+            let plan = FaultPlan {
+                seed,
+                fsync_permille: fsync_pm,
+                short_write_permille: short_pm,
+                enospc_permille: enospc_pm,
+                ..FaultPlan::quiet(seed)
+            };
+            let injector = FaultInjector::new(plan);
+            let backend = Arc::new(FaultBackend::new(Arc::clone(&injector)));
+            let mut b = PartitionedDb::builder(PARTS);
+            let t = b.add_table(
+                "accounts",
+                Schema::build()
+                    .column("k", DataType::U64)
+                    .column("v", DataType::I64),
+                RouteStrategy::Range(vec![ACCOUNTS_PER_PART]),
+            );
+            b.with_options(
+                DbOptions::new()
+                    .with_wal_dir(dir.clone())
+                    .with_fsync_policy(FsyncPolicy::EveryCommit)
+                    .with_log_backend(backend),
+            );
+            let pdb = b.build();
+            for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
+                pdb.insert(t, a, Row::from(vec![Value::U64(a), Value::I64(INITIAL)]));
+            }
+            pdb.checkpoint().expect("genesis checkpoint (disarmed)");
+
+            // `attempts` transfers of the schedule — the "prefix" under
+            // test ends wherever the schedule leaves the log when the
+            // fire stops (possibly mid-degradation).
+            let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+            let session = PartSession::new(Arc::clone(&pdb), proto);
+            injector.arm();
+            for i in 0..attempts {
+                let from = i % ACCOUNTS_PER_PART;
+                let to = ACCOUNTS_PER_PART + (i + 1) % ACCOUNTS_PER_PART;
+                let mut txn = session.begin_on(PartitionId(0));
+                let _ = txn
+                    .update(t, from, |r| r.set(1, Value::I64(r.get_i64(1) - 1)))
+                    .and_then(|_| txn.update(t, to, |r| r.set(1, Value::I64(r.get_i64(1) + 1))))
+                    .and_then(|_| txn.commit());
+                // Heal under fire; a failed heal leaves the partition
+                // degraded for the next iteration, which is also a valid
+                // prefix of the schedule.
+                for p in 0..PARTS {
+                    if pdb.parts()[p as usize].wal().is_degraded() {
+                        let _ = pdb.heal(PartitionId(p));
+                    }
+                }
+            }
+            injector.disarm();
+            drop(session);
+            drop(pdb);
+
+            // The directory now holds whatever the faulted prefix left
+            // behind. Scan each partition on the REAL backend: it must
+            // parse, and groups must sit on clean boundaries.
+            for p in 0..PARTS {
+                let scan = scan_partition_log_from(&dir, p, 0)
+                    .unwrap_or_else(|e| panic!("partition {p} log unscannable: {e}"));
+                let mut in_group = false;
+                let mut complete_groups = 0u64;
+                for (_, rec) in &scan.records {
+                    match rec {
+                        WalRecord::Begin { .. } => {
+                            prop_assert!(
+                                !in_group,
+                                "partition {} log: Begin inside an open group — a failed \
+                                 group was not rewound/abandoned before the next append",
+                                p
+                            );
+                            in_group = true;
+                        }
+                        WalRecord::Commit { .. } => {
+                            prop_assert!(in_group, "partition {} log: orphan Commit", p);
+                            in_group = false;
+                            complete_groups += 1;
+                        }
+                        WalRecord::Update { .. } | WalRecord::Insert { .. } => {
+                            prop_assert!(
+                                in_group,
+                                "partition {} log: write record outside any group",
+                                p
+                            );
+                        }
+                        WalRecord::Checkpoint { .. } => {
+                            prop_assert!(
+                                !in_group,
+                                "partition {} log: checkpoint marker inside a group",
+                                p
+                            );
+                        }
+                    }
+                }
+                // An unterminated group is legal only as the torn TAIL —
+                // which is exactly what `in_group` still set at EOF means.
+                let _ = (in_group, complete_groups);
+            }
+
+            // And the ultimate boundary check: recovery accepts the log
+            // and conserves money.
+            let (rec, _report) = PartitionedDb::recover(
+                DbOptions::new()
+                    .with_wal_dir(dir.clone())
+                    .with_fsync_policy(FsyncPolicy::EveryCommit),
+            )
+            .unwrap_or_else(|e| panic!("recovery of the faulted prefix failed: {e}"));
+            let mut total = 0i64;
+            for part in rec.parts() {
+                let table = part.db().table(t);
+                for r in 0..table.len() as u64 {
+                    total += table.get_by_row_id(r).unwrap().read_row().get_i64(1);
+                }
+            }
+            prop_assert_eq!(
+                total,
+                PARTS as i64 * ACCOUNTS_PER_PART as i64 * INITIAL,
+                "faulted log prefix leaked money through recovery"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
