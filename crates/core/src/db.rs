@@ -62,7 +62,7 @@ use crate::meta::TupleCc;
 use crate::partition::PartitionStats;
 use crate::sync::CachePadded;
 use crate::ts::TsSource;
-use crate::wal::WalHandle;
+use crate::wal::{DurabilityHorizon, WalHandle};
 
 /// Default epoch-tick period: every `EPOCH_COMMITS`-th commit advances the
 /// Silo epoch and republishes the snapshot watermark (the epoch advance
@@ -674,6 +674,10 @@ pub struct Database {
     pub(crate) watermark: Arc<CachePadded<AtomicU64>>,
     /// Transaction incarnation ids (the TID source).
     pub(crate) txn_ids: Arc<CachePadded<AtomicU64>>,
+    /// Global durability horizon: group-commit acknowledgments park on it
+    /// until every commit with a smaller timestamp is durable. Shared by
+    /// every partition, like the commit clock it advances with.
+    pub(crate) horizon: Arc<DurabilityHorizon>,
     /// Tuning knobs fixed at build time.
     pub(crate) options: DbOptions,
     /// `Some` when this database is one partition of a partitioned
@@ -831,6 +835,13 @@ impl Database {
         count.max(1)
     }
 
+    /// The global durability horizon (group-commit acknowledgments park
+    /// on it; see [`crate::wal::DurabilityHorizon`]).
+    #[inline]
+    pub fn durability_horizon(&self) -> &DurabilityHorizon {
+        &self.horizon
+    }
+
     /// Allocates a unique transaction incarnation id.
     #[inline]
     pub fn next_txn_id(&self) -> u64 {
@@ -956,6 +967,7 @@ impl DatabaseBuilder {
             snapshots: Arc::new(SnapshotRegistry::new()),
             watermark: Arc::new(CachePadded::new(AtomicU64::new(0))),
             txn_ids: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            horizon: Arc::new(DurabilityHorizon::new()),
             options: DbOptions {
                 epoch_commits: self.options.epoch_commits.max(1),
                 ..self.options

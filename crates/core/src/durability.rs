@@ -44,6 +44,16 @@
 //!   sits above its writer's group on the shared partition's log — if the
 //!   reader survived the prefix, so did the writer (or the writer is
 //!   incomplete elsewhere and the horizon removes both).
+//! * [`bamboo_storage::FsyncPolicy::GroupCommit`] also takes the horizon
+//!   branch even though its acknowledgments are durable: it installs
+//!   *before* the batch fsync (early lock release), so a dependent that is
+//!   durable on its own partitions can outlive a writer that never became
+//!   durable elsewhere — only the horizon cut removes both. Every
+//!   acknowledged commit still survives, because the acknowledgment waited
+//!   for the global durability horizon: when `T` was acked, every commit
+//!   with a timestamp at or below `T`'s was already durable on all its
+//!   partitions, so the oldest incomplete transaction (and hence the cut)
+//!   sits strictly above `T`. See `DURABILITY.md` "Group commit".
 //!
 //! Recovery ends by taking a fresh checkpoint of the recovered state, so
 //! the ambiguous log region behind it is never scanned again — running
@@ -370,8 +380,10 @@ impl PartitionedDb {
         }
         let complete = |g: &TxnGroup| g.seen_mask & g.parts_mask == g.parts_mask;
         report.dropped_incomplete = groups.values().filter(|g| !complete(g)).count() as u64;
-        // The horizon cut (weak fsync policies only — see module docs).
-        let horizon = if opts.fsync_policy.acks_are_durable() {
+        // The horizon cut (every policy that installs before durability —
+        // see module docs; `GroupCommit` acks are durable but its installs
+        // are not, so it takes the horizon branch like the weak policies).
+        let horizon = if opts.fsync_policy.recovery_drops_individually() {
             u64::MAX
         } else {
             groups

@@ -315,6 +315,10 @@ pub fn run_part_bench(
     res.totals.wal_io_retries = pdb.wal_io_retries();
     res.totals.wal_io_failures = pdb.wal_io_failures();
     res.totals.degraded_partitions = pdb.degraded_partitions();
+    // Group-commit coordinator counters, same convention: leader batch
+    // fsyncs and horizon acks are lifetime totals over shared state.
+    res.totals.group_commit_fsyncs = pdb.group_fsyncs();
+    res.totals.group_commit_acks = pdb.group_acks();
     res
 }
 

@@ -294,6 +294,20 @@ impl PartitionedDb {
         self.parts.iter().map(|p| p.wal.io_failures()).sum()
     }
 
+    /// Total batch fsyncs issued by group-commit leaders across all
+    /// partitions. Zero unless the database runs under
+    /// [`bamboo_storage::FsyncPolicy::GroupCommit`].
+    pub fn group_fsyncs(&self) -> u64 {
+        self.parts.iter().map(|p| p.wal.group_fsyncs()).sum()
+    }
+
+    /// Commits acknowledged through the shared durability horizon. The
+    /// horizon is one object shared by every partition, so this reads it
+    /// from partition 0 rather than summing.
+    pub fn group_acks(&self) -> u64 {
+        self.parts[0].db.durability_horizon().acked()
+    }
+
     /// Heals a degraded partition: re-opens its durable segment writer
     /// (scanning the existing segments and truncating any torn tail, so
     /// writing resumes on a clean frame boundary) and re-admits writes.
@@ -443,6 +457,7 @@ impl PartitionedDbBuilder {
         let snapshots = Arc::new(SnapshotRegistry::new());
         let watermark = Arc::new(CachePadded::new(AtomicU64::new(0)));
         let txn_ids = Arc::new(CachePadded::new(AtomicU64::new(1)));
+        let horizon = Arc::new(crate::wal::DurabilityHorizon::new());
         let options = DbOptions {
             epoch_commits: self.options.epoch_commits.max(1),
             ..self.options
@@ -460,6 +475,7 @@ impl PartitionedDbBuilder {
                         snapshots: Arc::clone(&snapshots),
                         watermark: Arc::clone(&watermark),
                         txn_ids: Arc::clone(&txn_ids),
+                        horizon: Arc::clone(&horizon),
                         options: options.clone(),
                         topology: Some(Topology {
                             router: Arc::clone(&router),

@@ -567,18 +567,24 @@ impl Protocol for Ic3Protocol {
         // therefore defined for the whole-row-install protocols (the 2PL
         // family and Silo); IC3 durable logging would need column-masked
         // update records (see DURABILITY.md).
-        if crate::protocol::log_commit(db, ctx, wal).is_err() {
-            // Durable sink failed before any install: revoke the commit
-            // point and abort with the durability reason. The `abort` call
-            // this `Err` obliges removes our accessor entries (cascading
-            // readers of published writes) and marks the context released,
-            // exactly like any pre-install abort.
-            let revoked = ctx
-                .shared
-                .revoke_commit(crate::txn::AbortReason::DurabilityFailed);
-            debug_assert!(revoked, "only the owning worker moves Committed");
-            db.commit_clock.finish(ctx.commit_ts);
-            return Err(Abort(crate::txn::AbortReason::DurabilityFailed));
+        match crate::protocol::log_commit(db, ctx, wal) {
+            // Under group commit the appends defer the fsync: stash the
+            // durability ticket for the session to wait out after the
+            // installs below — early lock release.
+            Ok(ticket) => ctx.durability = ticket,
+            Err(_) => {
+                // Durable sink failed before any install: revoke the commit
+                // point and abort with the durability reason. The `abort`
+                // call this `Err` obliges removes our accessor entries
+                // (cascading readers of published writes) and marks the
+                // context released, exactly like any pre-install abort.
+                let revoked = ctx
+                    .shared
+                    .revoke_commit(crate::txn::AbortReason::DurabilityFailed);
+                debug_assert!(revoked, "only the owning worker moves Committed");
+                db.commit_clock.finish(ctx.commit_ts);
+                return Err(Abort(crate::txn::AbortReason::DurabilityFailed));
+            }
         }
         // Install writes (column-masked) as new committed versions and
         // clear accessor entries and versions.

@@ -768,18 +768,25 @@ impl Protocol for LockingProtocol {
         // between fsync-acknowledged log and install, replay redoes the
         // writes; if it dies before the log write completes, nothing was
         // installed either.
-        if log_commit(db, ctx, wal).is_err() {
-            // Durable sink failed: the group never became durable (torn
-            // bytes were rewound / the group abandoned), so revoke the
-            // commit point — nothing installed yet, no lock released, no
-            // dependent saw a Committed status it could act on — and abort
-            // this one transaction. The timestamp retires immediately so
-            // the stable point cannot stall on a commit that never was;
-            // locks are released by the `abort` call the `Err` obliges.
-            let revoked = ctx.shared.revoke_commit(AbortReason::DurabilityFailed);
-            debug_assert!(revoked, "only the owning worker moves Committed");
-            db.commit_clock.finish(ctx.commit_ts);
-            return Err(Abort(AbortReason::DurabilityFailed));
+        match log_commit(db, ctx, wal) {
+            // Under group commit the appends defer the fsync: stash the
+            // durability ticket for the session to wait out *after* this
+            // commit installed and released — early lock release.
+            Ok(ticket) => ctx.durability = ticket,
+            Err(_) => {
+                // Durable sink failed: the group never became durable (torn
+                // bytes were rewound / the group abandoned), so revoke the
+                // commit point — nothing installed yet, no lock released, no
+                // dependent saw a Committed status it could act on — and
+                // abort this one transaction. The timestamp retires
+                // immediately so the stable point cannot stall on a commit
+                // that never was; locks are released by the `abort` call the
+                // `Err` obliges.
+                let revoked = ctx.shared.revoke_commit(AbortReason::DurabilityFailed);
+                debug_assert!(revoked, "only the owning worker moves Committed");
+                db.commit_clock.finish(ctx.commit_ts);
+                return Err(Abort(AbortReason::DurabilityFailed));
+            }
         }
         apply_inserts(db, ctx);
         self.release_all(ctx, true, db.gc_watermark(), db.trim_threshold());

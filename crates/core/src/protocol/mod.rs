@@ -28,7 +28,7 @@ pub use silo::SiloProtocol;
 
 use crate::db::Database;
 use crate::txn::{Abort, TxnCtx};
-use crate::wal::{WalHandle, WalWrite};
+use crate::wal::{DurabilityTicket, WalHandle, WalWrite};
 
 /// A pluggable concurrency-control protocol.
 ///
@@ -192,19 +192,57 @@ pub(crate) fn apply_inserts(db: &Database, ctx: &mut TxnCtx) {
 /// `ctx.inserts` until [`apply_inserts`] runs (after this), so the log
 /// carries its key and image explicitly.
 ///
+/// ## Group commit
+///
+/// Under [`bamboo_storage::FsyncPolicy::GroupCommit`] the appends return
+/// without a durability barrier. This function then registers the commit
+/// on the global [`crate::wal::DurabilityHorizon`] — after the *last*
+/// append succeeded and before anything installs, the ordering that keeps
+/// the commit clock's stable point from passing an unregistered committed
+/// transaction — and returns a [`DurabilityTicket`] carrying the end LSN
+/// of every per-partition group. The session parks on the ticket before
+/// acknowledging (`Session` ack path); the protocols just thread it from
+/// here into [`TxnCtx::durability`](crate::txn::TxnCtx).
+///
 /// ## Failure semantics
 ///
 /// A durable sink can fail ([`IoFailure`]); the caller — each protocol's
 /// commit — must then revoke the commit point
 /// ([`crate::txn::TxnShared::revoke_commit`]) and abort with
 /// [`crate::txn::AbortReason::DurabilityFailed`], releasing locks and
-/// installing nothing. On the cross-partition path the degraded flag of
+/// installing nothing. (Every error here is a *pre-install* failure, even
+/// under group commit: the deferred batch fsync happens after install, but
+/// its failures surface through the ticket wait, not through this
+/// function.) On the cross-partition path the degraded flag of
 /// *every* target partition is checked before the first append, so a
 /// commit never writes an orphan group to a healthy partition only to
 /// fail fast on a known-degraded sibling; a fault that strikes *during*
 /// the sequence can still orphan earlier groups, which recovery drops
 /// because their `seen_mask` never completes `parts_mask`.
-pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) -> Result<(), IoFailure> {
+pub(crate) fn log_commit(
+    db: &Database,
+    ctx: &TxnCtx,
+    wal: &WalHandle,
+) -> Result<Option<DurabilityTicket>, IoFailure> {
+    // Tickets exist only under group commit, and only when the append
+    // actually deferred the barrier (a ring sink is durable by fiat).
+    let ticketing = matches!(
+        db.options().fsync_policy,
+        bamboo_storage::FsyncPolicy::GroupCommit { .. }
+    );
+    let ticket = |parts: Vec<(u32, bamboo_storage::log::Lsn)>| {
+        if parts.is_empty() {
+            None
+        } else {
+            // Register after every append succeeded, before the caller
+            // installs: see the horizon's type-level invariant.
+            db.durability_horizon().register(ctx.commit_ts);
+            Some(DurabilityTicket {
+                commit_ts: ctx.commit_ts,
+                parts,
+            })
+        }
+    };
     // Partition bit for the durable completeness mask. Masks cap the
     // partition count at 64 for durable databases (asserted at build);
     // ring-backed databases ignore the mask, so larger counts just
@@ -230,13 +268,16 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) -> Result
         })
     }
     let Some(topo) = db.topology() else {
-        wal.append_txn(
+        let ga = wal.append_txn(
             ctx.shared.id,
             ctx.commit_ts,
             1,
             updates(ctx).chain(inserts(ctx)),
         )?;
-        return Ok(());
+        if ticketing && !ga.durable {
+            return Ok(ticket(vec![(0, ga.end_lsn)]));
+        }
+        return Ok(None);
     };
     // Fast path: the write set usually lives on a single partition (the
     // partition-local transactions the architecture optimizes for), so
@@ -266,13 +307,16 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) -> Result
     // allocation.
     if homogeneous {
         let p = single.unwrap_or(topo.me);
-        topo.wals[p.idx()].append_txn(
+        let ga = topo.wals[p.idx()].append_txn(
             ctx.shared.id,
             ctx.commit_ts,
             part_bit(p.idx()),
             updates(ctx).chain(inserts(ctx)),
         )?;
-        return Ok(());
+        if ticketing && !ga.durable {
+            return Ok(ticket(vec![(p.idx() as u32, ga.end_lsn)]));
+        }
+        return Ok(None);
     }
     // Cross-partition write set: group by owning partition (small vecs of
     // write descriptors; write sets are tens of entries, partitions a
@@ -309,6 +353,7 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) -> Result
     // Ascending partition-id order: the fixed acquisition order of the
     // commit-ordering contract.
     let mut last: Option<usize> = None;
+    let mut ends: Vec<(u32, bamboo_storage::log::Lsn)> = Vec::new();
     for (p, group) in groups.iter_mut().enumerate() {
         if group.is_empty() {
             continue;
@@ -318,9 +363,13 @@ pub(crate) fn log_commit(db: &Database, ctx: &TxnCtx, wal: &WalHandle) -> Result
             "cross-partition WAL appends out of order: {last:?} before {p}"
         );
         last = Some(p);
-        topo.wals[p].append_txn(ctx.shared.id, ctx.commit_ts, parts_mask, group.drain(..))?;
+        let ga =
+            topo.wals[p].append_txn(ctx.shared.id, ctx.commit_ts, parts_mask, group.drain(..))?;
+        if ticketing && !ga.durable {
+            ends.push((p as u32, ga.end_lsn));
+        }
     }
-    Ok(())
+    Ok(ticket(ends))
 }
 
 /// Shared read path of snapshot mode: resolve `key` against the version

@@ -265,20 +265,26 @@ impl Protocol for SiloProtocol {
         // order when the database is partitioned): only committed work
         // reaches a durable sink, and a crash between log and install is
         // covered by redo replay.
-        if log_commit(db, ctx, wal).is_err() {
-            // Durable sink failed before any install. Unlock the write set
-            // here — Silo's `abort` never touches TID locks (OCC aborts
-            // normally hold none) — then revoke the commit point and abort
-            // with the durability reason. TIDs are *not* bumped: no version
-            // was installed, so concurrent validators must not observe a
-            // phantom TID change.
-            for &j in &locked {
-                Self::unlock(&ctx.accesses[j].tuple);
+        match log_commit(db, ctx, wal) {
+            // Under group commit the appends defer the fsync: stash the
+            // durability ticket for the session to wait out after Phase 3
+            // installed and unlocked — early lock release.
+            Ok(ticket) => ctx.durability = ticket,
+            Err(_) => {
+                // Durable sink failed before any install. Unlock the write
+                // set here — Silo's `abort` never touches TID locks (OCC
+                // aborts normally hold none) — then revoke the commit point
+                // and abort with the durability reason. TIDs are *not*
+                // bumped: no version was installed, so concurrent
+                // validators must not observe a phantom TID change.
+                for &j in &locked {
+                    Self::unlock(&ctx.accesses[j].tuple);
+                }
+                let revoked = ctx.shared.revoke_commit(AbortReason::DurabilityFailed);
+                debug_assert!(revoked, "only the owning worker moves Committed");
+                db.commit_clock.finish(ctx.commit_ts);
+                return Err(Abort(AbortReason::DurabilityFailed));
             }
-            let revoked = ctx.shared.revoke_commit(AbortReason::DurabilityFailed);
-            debug_assert!(revoked, "only the owning worker moves Committed");
-            db.commit_clock.finish(ctx.commit_ts);
-            return Err(Abort(AbortReason::DurabilityFailed));
         }
 
         // Phase 3: install write set as new committed versions, bump TIDs,

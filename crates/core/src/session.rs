@@ -54,7 +54,7 @@ use crate::executor::TxnSpec;
 use crate::protocol::Protocol;
 use crate::stats::WorkerStats;
 use crate::txn::{Abort, AbortReason, TxnCtx, TxnShared, TxnTimers};
-use crate::wal::{WalBuffer, WalHandle};
+use crate::wal::{DurabilityTicket, WalBuffer, WalHandle};
 use bamboo_storage::{Row, TableId};
 
 /// Retry rules for [`Session::run`]: when an aborted attempt is retried
@@ -309,6 +309,123 @@ impl Session {
             session: self,
             ctx,
             finished: false,
+            defer_ack: false,
+        }
+    }
+
+    /// Waits out a group-commit [`DurabilityTicket`]: parks until every
+    /// partition the commit logged to has fsynced past its group
+    /// ([`WalHandle::wait_covered`]), then until the global durability
+    /// horizon reaches the commit's timestamp — the point at which *every*
+    /// commit the acknowledged state could depend on is durable, which is
+    /// what makes the acknowledgment crash-safe under early lock release.
+    ///
+    /// Every ticket returned by [`Txn::commit_deferred`] **must** be passed
+    /// here exactly once: an unacked ticket leaves its horizon registration
+    /// pending forever, wedging every later commit's acknowledgment behind
+    /// it. ([`Session::run`] and [`Session::run_many`] uphold this
+    /// internally.)
+    ///
+    /// Returns `Err(Abort(DurabilityFailed))` when a batch fsync failed
+    /// after this commit installed: the partition is degraded, the commit
+    /// stands in memory but was never acknowledged, and crash recovery may
+    /// drop it (the post-heal sealing checkpoint closes the gap — see
+    /// `DURABILITY.md` "Group commit").
+    pub fn ack_ticket(&self, ticket: DurabilityTicket) -> Result<(), Abort> {
+        let horizon = self.db.durability_horizon();
+        let mut covered = true;
+        for &(p, lsn) in &ticket.parts {
+            let handle: &WalHandle = match self.db.topology() {
+                Some(t) => &t.wals[p as usize],
+                None => &self.wal,
+            };
+            if handle.wait_covered(lsn).is_err() {
+                covered = false;
+                break;
+            }
+        }
+        let stable = self.db.commit_clock.stable();
+        if !covered {
+            // Withdraw the registration so sibling acknowledgments are not
+            // wedged behind a hole that will never fill.
+            horizon.resolve(ticket.commit_ts, false, stable);
+            return Err(Abort(AbortReason::DurabilityFailed));
+        }
+        horizon.resolve(ticket.commit_ts, true, stable);
+        horizon.wait_acked(ticket.commit_ts, || self.db.commit_clock.stable());
+        Ok(())
+    }
+
+    /// Runs a batch of specs with every group-commit acknowledgment
+    /// deferred to the end of the batch: each transaction executes,
+    /// commits and releases its locks immediately — its writes overlap the
+    /// *next* spec's execution instead of an fsync wait — and the
+    /// durability waits run once at the end, in commit-timestamp order, so
+    /// the whole batch shares a handful of leader fsyncs instead of
+    /// parking once per transaction. Under every other fsync policy this
+    /// is equivalent to calling [`Session::run`] in a loop.
+    ///
+    /// Returns one result per spec, in order. An entry is
+    /// `Err(Abort(DurabilityFailed))` when its batch fsync failed after
+    /// install: the commit stands in memory but was never acknowledged
+    /// (see [`Session::ack_ticket`]).
+    pub fn run_many(&self, specs: &[&dyn TxnSpec]) -> Vec<Result<(), Abort>> {
+        let mut results: Vec<Result<(), Abort>> = Vec::with_capacity(specs.len());
+        let mut tickets: Vec<(usize, DurabilityTicket)> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            // The retry loop of `run_inner`, without instrumentation: a
+            // deferred attempt that aborts retries like any other.
+            let mut attempt = 0u32;
+            let res = loop {
+                match self.attempt_deferred(*spec) {
+                    Ok(ticket) => {
+                        if let Some(t) = ticket {
+                            tickets.push((i, t));
+                        }
+                        break Ok(());
+                    }
+                    Err(e) if self.retry.retryable(e.0) => {
+                        attempt += 1;
+                        match self.retry.backoff(attempt) {
+                            None => std::thread::yield_now(),
+                            Some(d) => std::thread::sleep(d),
+                        }
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            results.push(res);
+        }
+        // Acknowledge in commit-timestamp order: the horizon advances in
+        // that order, so earlier commits never park behind later ones.
+        tickets.sort_by_key(|(_, t)| t.commit_ts);
+        for (i, ticket) in tickets {
+            if let Err(e) = self.ack_ticket(ticket) {
+                results[i] = Err(e);
+            }
+        }
+        results
+    }
+
+    /// One attempt with the acknowledgment deferred: on commit success
+    /// returns the durability ticket (if any) instead of waiting it out.
+    fn attempt_deferred(&self, spec: &dyn TxnSpec) -> Result<Option<DurabilityTicket>, Abort> {
+        let mut txn = self.begin_with(TxnOptions::for_spec(spec));
+        txn.defer_ack = true;
+        let res = (|| -> Result<(), Abort> {
+            for p in 0..spec.pieces() {
+                txn.piece_begin(p)?;
+                spec.run_piece(p, &mut txn)?;
+                txn.piece_end()?;
+            }
+            txn.commit_in_place()
+        })();
+        match res {
+            Ok(()) => Ok(txn.ctx.durability.take()),
+            Err(e) => {
+                txn.abort_in_place();
+                Err(e)
+            }
         }
     }
 
@@ -449,6 +566,10 @@ pub struct Txn<'s> {
     session: &'s Session,
     ctx: TxnCtx,
     finished: bool,
+    /// Group-commit acknowledgments are *not* waited in `commit_in_place`;
+    /// the ticket stays in the context for the caller to batch
+    /// ([`Session::run_many`], [`Txn::commit_deferred`]).
+    defer_ack: bool,
 }
 
 impl<'s> Txn<'s> {
@@ -580,12 +701,35 @@ impl<'s> Txn<'s> {
     /// Commits the transaction, consuming the guard. On failure the
     /// attempt is aborted internally (exactly once) before the error is
     /// returned — no cleanup is owed by the caller either way.
+    ///
+    /// Under `FsyncPolicy::GroupCommit` this blocks until the commit is
+    /// covered by a leader fsync *and* the global durability horizon
+    /// reaches its timestamp — `Ok` means durable, under every policy that
+    /// promises durable acknowledgments.
     pub fn commit(mut self) -> Result<(), Abort> {
         let res = self.commit_in_place();
         if res.is_err() {
             self.abort_in_place();
         }
         res
+    }
+
+    /// Commits the transaction but defers the group-commit acknowledgment:
+    /// on success returns the [`DurabilityTicket`] the caller must later
+    /// pass to [`Session::ack_ticket`] (exactly once — see there), letting
+    /// a batch of transactions share the durability wait. `Ok(None)` means
+    /// the commit needed no deferred acknowledgment (any non-group-commit
+    /// policy). On failure the attempt is aborted internally, like
+    /// [`Txn::commit`].
+    pub fn commit_deferred(mut self) -> Result<Option<DurabilityTicket>, Abort> {
+        self.defer_ack = true;
+        match self.commit_in_place() {
+            Ok(()) => Ok(self.ctx.durability.take()),
+            Err(e) => {
+                self.abort_in_place();
+                Err(e)
+            }
+        }
     }
 
     /// Aborts the transaction, consuming the guard. Returns the number of
@@ -652,14 +796,23 @@ impl<'s> Txn<'s> {
     /// success.
     fn commit_in_place(&mut self) -> Result<(), Abort> {
         debug_assert!(!self.finished, "commit on a finished attempt");
-        let res = self
-            .session
+        self.session
             .proto
-            .commit(&self.session.db, &mut self.ctx, &self.session.wal);
-        if res.is_ok() {
-            self.finished = true;
+            .commit(&self.session.db, &mut self.ctx, &self.session.wal)?;
+        self.finished = true;
+        // Group commit: the commit point passed, versions are installed
+        // and every lock is released (early lock release) — but the client
+        // must not hear `Ok` until the durability horizon covers this
+        // commit. A failed acknowledgment surfaces as an `Err` on an
+        // attempt already marked finished, so the abort paths (consuming
+        // `commit`, the session retry loop, `Drop`) are all no-ops: the
+        // installed state stands, only the acknowledgment is withheld.
+        if !self.defer_ack {
+            if let Some(ticket) = self.ctx.durability.take() {
+                self.session.ack_ticket(ticket)?;
+            }
         }
-        res
+        Ok(())
     }
 
     /// Abort without consuming `self`; idempotence guard included so the

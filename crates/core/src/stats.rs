@@ -109,6 +109,15 @@ pub struct WorkerStats {
     pub wal_io_failures: u64,
     /// Partitions degraded (read-only) at the end of the run.
     pub degraded_partitions: u64,
+    /// Batch fsyncs issued by group-commit leaders (snapshot of the
+    /// handles' [`crate::wal::WalHandle::group_fsyncs`] counters, same
+    /// run-level convention as [`WorkerStats::wal_io_retries`]).
+    pub group_commit_fsyncs: u64,
+    /// Commits acknowledged through the global durability horizon
+    /// (snapshot of [`crate::wal::DurabilityHorizon::acked`], same
+    /// convention). `group_commit_acks / group_commit_fsyncs` is the mean
+    /// batch size the coordinator achieved.
+    pub group_commit_acks: u64,
 }
 
 impl WorkerStats {
@@ -169,6 +178,8 @@ impl WorkerStats {
         self.wal_io_retries = self.wal_io_retries.max(other.wal_io_retries);
         self.wal_io_failures = self.wal_io_failures.max(other.wal_io_failures);
         self.degraded_partitions = self.degraded_partitions.max(other.degraded_partitions);
+        self.group_commit_fsyncs = self.group_commit_fsyncs.max(other.group_commit_fsyncs);
+        self.group_commit_acks = self.group_commit_acks.max(other.group_commit_acks);
         for i in 0..32 {
             self.latency_us_log2[i] += other.latency_us_log2[i];
             self.snapshot_latency_us_log2[i] += other.snapshot_latency_us_log2[i];
@@ -291,7 +302,7 @@ impl BenchResult {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         let mut s = format!(
-            "{:>12} thr={:<3} tput={:>10.0} txn/s abort_rate={:>5.1}% lock_wait={:.4}ms abort={:.4}ms commit_wait={:.4}ms chain(max={} mean={:.1}) lat(p50={}us p99={}us)",
+            "{:>12} thr={:<3} tput={:>10.0} txn/s abort_rate={:>5.1}% lock_wait={:.4}ms abort={:.4}ms commit_wait={:.4}ms chain(max={} mean={:.1}) lat(p50={}us p99={}us p999={}us)",
             self.protocol,
             self.threads,
             self.throughput(),
@@ -303,6 +314,7 @@ impl BenchResult {
             self.mean_chain(),
             self.latency_percentile_us(0.50),
             self.latency_percentile_us(0.99),
+            self.latency_percentile_us(0.999),
         );
         // Fault observability: printed only when something actually
         // happened, so fault-free runs keep the historical line format.
@@ -315,6 +327,12 @@ impl BenchResult {
                 self.totals.wal_io_retries,
                 self.totals.wal_io_failures,
                 self.totals.degraded_partitions,
+            ));
+        }
+        if self.totals.group_commit_fsyncs > 0 {
+            s.push_str(&format!(
+                " group_commit(fsyncs={} acks={})",
+                self.totals.group_commit_fsyncs, self.totals.group_commit_acks,
             ));
         }
         s

@@ -75,11 +75,18 @@ pub enum AbortReason {
     /// a fresh snapshot.
     SnapshotTooOld,
     /// The durable log could not persist this transaction's commit record
-    /// group (permanent storage fault or exhausted retry budget). The
-    /// commit point is revoked: locks release, nothing installs, the
-    /// commit is never acknowledged, and the owning partition degrades to
-    /// read-only until healed ([`crate::PartitionedDb::heal`]). Not
-    /// retryable — the partition fails fast until then.
+    /// group (permanent storage fault or exhausted retry budget), and the
+    /// owning partition degrades to read-only until healed
+    /// ([`crate::PartitionedDb::heal`]). Not retryable — the partition
+    /// fails fast until then. Two flavors share this reason:
+    ///
+    /// * **Append-time** (every policy): the commit point is revoked —
+    ///   locks release, nothing installs, the commit never happened.
+    /// * **Ack-time** (`FsyncPolicy::GroupCommit` only): the batch fsync
+    ///   failed *after* the commit installed and released its locks. The
+    ///   install stands in memory but was never acknowledged, and crash
+    ///   recovery's horizon cut may drop it; the post-heal sealing
+    ///   checkpoint re-seals the gap (see `DURABILITY.md` "Group commit").
     DurabilityFailed,
 }
 
@@ -588,6 +595,11 @@ pub struct TxnCtx {
     pub silo_reads: Vec<(Arc<Tuple<TupleCc>>, u64)>,
     /// IC3 state.
     pub ic3: Ic3Ctx,
+    /// Group-commit durability ticket, set by a successful commit under
+    /// `FsyncPolicy::GroupCommit`: the session must wait it out before
+    /// acknowledging the client (`None` everywhere else — the commit was
+    /// durable, or never promised to be, when `commit` returned).
+    pub durability: Option<crate::wal::DurabilityTicket>,
 }
 
 impl TxnCtx {
@@ -608,6 +620,7 @@ impl TxnCtx {
             started: Instant::now(),
             silo_reads: Vec::new(),
             ic3: Ic3Ctx::default(),
+            durability: None,
         }
     }
 

@@ -23,13 +23,33 @@
 //! once per written partition, after the commit point succeeded — so only
 //! committed work ever reaches a durable sink, which is what makes
 //! recovery redo-only.
+//!
+//! # Group commit
+//!
+//! Under [`FsyncPolicy::GroupCommit`] the append itself never fsyncs.
+//! Committers log, install, and release their locks immediately (early
+//! lock release — sound because the log-before-install ordering means a
+//! dependent's group always lands at a higher LSN than its writer's), then
+//! park on [`WalHandle::wait_covered`]: the first parked committer becomes
+//! the **leader**, waits a short accumulation window for more committers
+//! to join, and issues one `fsync` covering every group staged so far,
+//! advancing the per-partition `durable_lsn` watermark. The acknowledgment
+//! additionally waits on the process-wide [`DurabilityHorizon`] so that
+//! *every* commit with a lower timestamp is durable before the client
+//! hears `Ok` — that is what lets crash recovery's horizon cut keep every
+//! acknowledged commit (see `DURABILITY.md` "Group commit").
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::io;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use bamboo_storage::log::{IoClass, IoFailure, Lsn, SegmentWriter, WalRecord};
+use bamboo_storage::log::{
+    frame_insert, frame_record, frame_update, IoClass, IoFailure, Lsn, SegmentWriter, WalRecord,
+};
 use bamboo_storage::{FsyncPolicy, Row, RowId, TableId, Value};
+use parking_lot::{Condvar, Mutex};
 
 /// Default per-worker ring capacity (16 MiB, comfortably larger than any
 /// single record).
@@ -222,6 +242,11 @@ enum WalSink {
 /// escalated to a permanent one (1 initial try + 2 retries).
 const WAL_IO_ATTEMPTS: u32 = 3;
 
+/// Bound on one park in the group-commit coordinator and on the
+/// durability horizon: lost wakeups, concurrent degrades, and a moving
+/// stable timestamp are re-checked at least this often.
+const GROUP_PARK: Duration = Duration::from_micros(100);
+
 /// Backoff before retry `attempt` (1-based): 100µs, then 1ms.
 fn retry_backoff(attempt: u32) {
     let us = 100u64.saturating_mul(10u64.saturating_pow(attempt.saturating_sub(1)));
@@ -234,6 +259,36 @@ fn degraded_error(op: &'static str) -> IoFailure {
         op,
         io::Error::other("partition WAL is degraded (read-only until healed)"),
     )
+}
+
+/// Outcome of one [`WalHandle::append_txn`].
+#[derive(Clone, Copy, Debug)]
+pub struct GroupAppend {
+    /// True when every byte of the group is durable on return (always true
+    /// for the ring, which has no crash story to promise).
+    pub durable: bool,
+    /// LSN just past the group on this partition's log — the coverage
+    /// target a group-commit acknowledgment waits for. Zero on the ring.
+    pub end_lsn: Lsn,
+}
+
+/// Group-commit coordinator state: who is leading the current batch fsync
+/// and how many committers are parked waiting to be covered by it.
+#[derive(Default)]
+struct GroupState {
+    /// A leader is currently accumulating or syncing.
+    leader_active: bool,
+    /// Committers parked on the condvar (followers + window joiners).
+    waiting: u32,
+}
+
+thread_local! {
+    /// Per-thread encode buffers for the durable append path: the whole
+    /// framed record group is built here *before* the partition sink lock
+    /// is taken, so the lock covers only the file write. `(framed group,
+    /// per-record payload scratch)`.
+    static GROUP_ENCODE: RefCell<(Vec<u8>, Vec<u8>)> =
+        RefCell::new((Vec::with_capacity(512), Vec::with_capacity(256)));
 }
 
 /// A shareable handle to a WAL sink: an in-memory ring or a durable
@@ -261,19 +316,43 @@ pub struct WalHandle {
     sink: parking_lot::Mutex<WalSink>,
     /// Set on permanent failure; checked (fail-fast) before every append.
     degraded: AtomicBool,
+    /// Cached sink kind so the append path can pre-encode its group
+    /// without taking the sink lock. Flips ring → durable only through
+    /// [`WalHandle::replace_writer`].
+    durable_kind: AtomicBool,
     /// Transient faults retried successfully or not (observability).
     io_retries: AtomicU64,
     /// Permanent failures that degraded the handle.
     io_failures: AtomicU64,
+    /// LSN up to which this partition's log is known durable. Written only
+    /// under the sink lock (leader syncs and strong-policy appends), so
+    /// plain stores stay monotone.
+    durable_lsn: AtomicU64,
+    /// Batch fsyncs issued by group-commit leaders.
+    group_fsyncs: AtomicU64,
+    /// Group-commit coordinator state, guarded separately from the sink so
+    /// followers can park without blocking the appenders.
+    group: Mutex<GroupState>,
+    group_cond: Condvar,
 }
 
 impl WalHandle {
     fn from_sink(sink: WalSink, degraded: bool) -> Self {
+        let durable_kind = matches!(sink, WalSink::Durable { .. } | WalSink::Poisoned);
+        let durable_lsn = match &sink {
+            WalSink::Durable { writer, .. } => writer.synced_lsn(),
+            _ => 0,
+        };
         WalHandle {
             sink: parking_lot::Mutex::new(sink),
             degraded: AtomicBool::new(degraded),
+            durable_kind: AtomicBool::new(durable_kind),
             io_retries: AtomicU64::new(0),
             io_failures: AtomicU64::new(0),
+            durable_lsn: AtomicU64::new(durable_lsn),
+            group_fsyncs: AtomicU64::new(0),
+            group: Mutex::new(GroupState::default()),
+            group_cond: Condvar::new(),
         }
     }
 
@@ -347,10 +426,17 @@ impl WalHandle {
             WalSink::Durable { records, .. } => *records,
             _ => 0,
         };
+        // The fresh writer resumes past the truncated tail; anything it
+        // scanned over is on disk, so the durability watermark restarts
+        // there. (It can move *backwards* across a heal: commits beyond the
+        // old watermark were never acknowledged, so nothing is retracted.)
+        self.durable_lsn
+            .store(writer.synced_lsn(), Ordering::Release);
         *sink = WalSink::Durable {
             writer: Box::new(writer),
             records,
         };
+        self.durable_kind.store(true, Ordering::Release);
         // Clear the flag only after the sink is swapped: an append racing
         // the heal either fails fast on the flag or serializes behind the
         // sink mutex and lands in the new writer.
@@ -358,11 +444,154 @@ impl WalHandle {
     }
 
     /// Records a permanent failure: counts it, degrades the handle, and
-    /// forces the failure's class to permanent for the caller.
+    /// forces the failure's class to permanent for the caller. Parked
+    /// group-commit waiters observe the degrade within one bounded park
+    /// tick (`GROUP_PARK`) — no explicit wakeup is needed.
     fn fail(&self, f: IoFailure) -> IoFailure {
         self.io_failures.fetch_add(1, Ordering::Relaxed);
         self.degraded.store(true, Ordering::Release);
         IoFailure::with_class(IoClass::Permanent, f.op, f.error)
+    }
+
+    /// LSN up to which this partition's log is known durable (advanced by
+    /// group-commit leader fsyncs and strong-policy commit boundaries).
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable_lsn.load(Ordering::Acquire)
+    }
+
+    /// Batch fsyncs issued by group-commit leaders on this handle.
+    pub fn group_fsyncs(&self) -> u64 {
+        self.group_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Parks until the partition's durability watermark covers `lsn` —
+    /// the group-commit coordinator.
+    ///
+    /// The fast path is one atomic load (a previous leader's fsync already
+    /// covered us). Otherwise the caller joins the parked queue; the first
+    /// to find no active leader **becomes** the leader: it waits up to the
+    /// policy's `max_wait_us` for more committers to join (cut short once
+    /// `max_batch` are parked, or as soon as arrivals stall — parked
+    /// committers' groups are already staged, so waiting longer only adds
+    /// latency), then issues ONE fsync covering every group staged so far
+    /// and publishes the new watermark. Followers re-check
+    /// the watermark on bounded parks, so a lost wakeup or a concurrent
+    /// degrade costs at most one `GROUP_PARK` tick.
+    ///
+    /// Returns [`IoFailure`] when the handle degrades before the caller's
+    /// group is covered: the caller's commit is installed but not durable,
+    /// and must surface `DurabilityFailed` instead of acknowledging.
+    pub fn wait_covered(&self, lsn: Lsn) -> Result<(), IoFailure> {
+        // ordering: Acquire pairs with the watermark's Release store after
+        // a leader fsync — a covered reader must also observe the sink
+        // state that made it durable.
+        if self.durable_lsn.load(Ordering::Acquire) >= lsn {
+            return Ok(());
+        }
+        let (max_batch, max_wait) = match self.fsync_policy() {
+            Some(FsyncPolicy::GroupCommit {
+                max_batch,
+                max_wait_us,
+            }) => (max_batch.max(1), Duration::from_micros(max_wait_us)),
+            _ => (1, Duration::ZERO),
+        };
+        let mut announced = false;
+        let mut state = self.group.lock();
+        loop {
+            if self.durable_lsn.load(Ordering::Acquire) >= lsn {
+                return Ok(());
+            }
+            if self.is_degraded() {
+                return Err(degraded_error("group fsync"));
+            }
+            if state.leader_active {
+                // Follower: park until the leader publishes (bounded, so a
+                // missed notify or a degrade is re-checked promptly). The
+                // first park announces our arrival so an accumulating
+                // leader can count us without waiting out its window.
+                state.waiting += 1;
+                if !announced {
+                    announced = true;
+                    self.group_cond.notify_all();
+                }
+                self.group_cond.wait_for(&mut state, GROUP_PARK);
+                state.waiting -= 1;
+                continue;
+            }
+            // Leader: accumulate joiners while the group keeps growing, up
+            // to the policy window, then sync once for everyone staged so
+            // far. The short park quantum doubles as a stall detector: a
+            // timeout with no new arrival means waiting longer only adds
+            // latency (every parked committer's group is already staged,
+            // so the sync covers them regardless).
+            state.leader_active = true;
+            if !max_wait.is_zero() {
+                let deadline = Instant::now() + max_wait;
+                let quantum = (max_wait / 4).max(Duration::from_micros(1));
+                while state.waiting + 1 < max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let before = state.waiting;
+                    self.group_cond
+                        .wait_for(&mut state, quantum.min(deadline - now));
+                    if state.waiting <= before {
+                        break;
+                    }
+                }
+            }
+            drop(state); // never hold the queue lock across the sink lock
+            let synced = self.sync_batch();
+            state = self.group.lock();
+            state.leader_active = false;
+            if synced.is_ok() {
+                self.group_fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            self.group_cond.notify_all();
+            match synced {
+                // Loop back: the watermark check decides our own fate (it
+                // covers us unless our group raced in after the sync).
+                Ok(()) => continue,
+                Err(f) => return Err(f),
+            }
+        }
+    }
+
+    /// One batch fsync on behalf of every parked committer: syncs the
+    /// durable sink (transient faults retried in place) and publishes the
+    /// new durability watermark. Permanent failure degrades the handle.
+    fn sync_batch(&self) -> Result<(), IoFailure> {
+        match &mut *self.sink.lock() {
+            WalSink::Ring(_) => Ok(()),
+            WalSink::Poisoned => Err(degraded_error("group fsync")),
+            WalSink::Durable { writer, .. } => {
+                let mut attempt = 1;
+                loop {
+                    match writer.sync() {
+                        Ok(()) => {
+                            // ordering: Release publishes the watermark to
+                            // `wait_covered`'s fast-path Acquire load; the
+                            // store happens under the sink lock, so it is
+                            // monotone.
+                            self.durable_lsn
+                                .store(writer.synced_lsn(), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            let f = IoFailure::new("group fsync", e);
+                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                                self.io_retries.fetch_add(1, Ordering::Relaxed);
+                                retry_backoff(attempt);
+                                attempt += 1;
+                                continue;
+                            }
+                            return Err(self.fail(f));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Appends one commit record in the historical ring format, locking
@@ -391,13 +620,19 @@ impl WalHandle {
     ///   `commit_ts` and `parts_mask`, then the fsync policy runs at the
     ///   commit boundary.
     ///
-    /// Returns `Ok(true)` when every byte of the group is durable on return
-    /// (always `Ok(true)` for the ring, which has no crash story to
-    /// promise), `Ok(false)` when the group is written but a weak fsync
-    /// policy deferred the barrier.
+    /// Returns a [`GroupAppend`]: `durable: true` when every byte of the
+    /// group is durable on return (always so for the ring, which has no
+    /// crash story to promise), `durable: false` when the group is written
+    /// but the fsync policy deferred the barrier — under
+    /// [`FsyncPolicy::GroupCommit`] the caller later parks on
+    /// [`WalHandle::wait_covered`] with the returned `end_lsn`.
+    ///
+    /// On a durable sink the whole framed group is encoded into a
+    /// per-thread buffer *before* the sink lock is taken, so the lock
+    /// covers only the file write every committer serializes on.
     ///
     /// Durable I/O errors surface as [`IoFailure`] instead of a panic:
-    /// transient faults are retried up to [`WAL_IO_ATTEMPTS`] times with
+    /// transient faults are retried up to `WAL_IO_ATTEMPTS` times with
     /// backoff (the whole record group is staged up front, so a retry
     /// rewrites identical bytes without re-consuming `writes`); a permanent
     /// fault, an exhausted budget, or a failed rewind degrades the handle
@@ -409,111 +644,192 @@ impl WalHandle {
         commit_ts: u64,
         parts_mask: u64,
         writes: impl Iterator<Item = WalWrite<'a>>,
-    ) -> Result<bool, IoFailure> {
+    ) -> Result<GroupAppend, IoFailure> {
         if self.is_degraded() {
             return Err(degraded_error("wal append"));
         }
-        match &mut *self.sink.lock() {
-            WalSink::Ring(buf) => {
-                buf.append_commit(
-                    txn_id,
-                    writes.map(|w| match w {
-                        WalWrite::Update {
-                            table,
-                            row_id,
-                            after,
-                            ..
-                        } => (table, row_id, after),
-                        WalWrite::Insert {
-                            table, key, row, ..
-                        } => (table, key, row),
-                    }),
-                );
-                Ok(true)
-            }
-            WalSink::Poisoned => Err(degraded_error("wal append")),
-            WalSink::Durable { writer, records } => {
-                // Stage the whole Begin / writes / Commit group first: the
-                // iterator is consumed exactly once, and retries rewrite
-                // the staged bytes verbatim.
-                writer.stage_record(&WalRecord::Begin {
+        if !self.durable_kind.load(Ordering::Acquire) {
+            return match &mut *self.sink.lock() {
+                WalSink::Ring(buf) => {
+                    buf.append_commit(
+                        txn_id,
+                        writes.map(|w| match w {
+                            WalWrite::Update {
+                                table,
+                                row_id,
+                                after,
+                                ..
+                            } => (table, row_id, after),
+                            WalWrite::Insert {
+                                table, key, row, ..
+                            } => (table, key, row),
+                        }),
+                    );
+                    Ok(GroupAppend {
+                        durable: true,
+                        end_lsn: 0,
+                    })
+                }
+                WalSink::Poisoned => Err(degraded_error("wal append")),
+                WalSink::Durable { writer, records } => {
+                    // A heal flipped the sink durable between the kind load
+                    // and the lock: stage under the lock like the historical
+                    // path did (cold — only the append racing the heal).
+                    writer.stage_record(&WalRecord::Begin {
+                        txn_id,
+                        commit_ts,
+                        parts_mask,
+                    });
+                    for w in writes {
+                        match w {
+                            WalWrite::Update {
+                                table, key, after, ..
+                            } => writer.stage_update(table.0, key, after),
+                            WalWrite::Insert {
+                                table,
+                                key,
+                                row,
+                                secondary,
+                            } => writer.stage_insert(
+                                table.0,
+                                key,
+                                row,
+                                secondary.map(|(i, k)| (i as u32, k)),
+                            ),
+                        }
+                    }
+                    writer.stage_record(&WalRecord::Commit { txn_id, commit_ts });
+                    self.land_group(writer, records)
+                }
+            };
+        }
+        // Durable fast path: frame the whole Begin / writes / Commit group
+        // into the per-thread buffer before taking the sink lock. The
+        // iterator is consumed exactly once, and retries rewrite the staged
+        // bytes verbatim.
+        GROUP_ENCODE.with(|cell| {
+            let (framed, scratch) = &mut *cell.borrow_mut();
+            framed.clear();
+            frame_record(
+                framed,
+                scratch,
+                &WalRecord::Begin {
                     txn_id,
                     commit_ts,
                     parts_mask,
-                });
-                for w in writes {
-                    match w {
-                        WalWrite::Update {
-                            table, key, after, ..
-                        } => writer.stage_update(table.0, key, after),
-                        WalWrite::Insert {
-                            table,
-                            key,
-                            row,
-                            secondary,
-                        } => writer.stage_insert(
-                            table.0,
-                            key,
-                            row,
-                            secondary.map(|(i, k)| (i as u32, k)),
-                        ),
-                    }
+                },
+            );
+            for w in writes {
+                match w {
+                    WalWrite::Update {
+                        table, key, after, ..
+                    } => frame_update(framed, scratch, table.0, key, after),
+                    WalWrite::Insert {
+                        table,
+                        key,
+                        row,
+                        secondary,
+                    } => frame_insert(
+                        framed,
+                        scratch,
+                        table.0,
+                        key,
+                        row,
+                        secondary.map(|(i, k)| (i as u32, k)),
+                    ),
                 }
-                writer.stage_record(&WalRecord::Commit { txn_id, commit_ts });
-
-                // Phase 1: land the group, retrying transients after
-                // cutting any torn prefix back out.
-                let mut attempt = 1;
-                loop {
-                    match writer.flush_group() {
-                        Ok(_) => break,
-                        Err(e) => {
-                            let f = IoFailure::new("wal append", e);
-                            if let Err(re) = writer.rewind_partial() {
-                                // The segment tail is in an unknown state:
-                                // nothing more can be written safely.
-                                writer.clear_group();
-                                return Err(self.fail(IoFailure::new("wal rewind", re)));
-                            }
-                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
-                                self.io_retries.fetch_add(1, Ordering::Relaxed);
-                                retry_backoff(attempt);
-                                attempt += 1;
-                                continue;
-                            }
-                            writer.clear_group();
-                            return Err(self.fail(f));
-                        }
-                    }
+            }
+            frame_record(framed, scratch, &WalRecord::Commit { txn_id, commit_ts });
+            match &mut *self.sink.lock() {
+                WalSink::Ring(buf) => {
+                    // Unreachable in practice (the cached kind never flips
+                    // back to ring); keep the cost model honest anyway.
+                    buf.put(framed);
+                    buf.records += 1;
+                    Ok(GroupAppend {
+                        durable: true,
+                        end_lsn: 0,
+                    })
                 }
+                WalSink::Poisoned => Err(degraded_error("wal append")),
+                WalSink::Durable { writer, records } => {
+                    writer.stage_framed(framed);
+                    self.land_group(writer, records)
+                }
+            }
+        })
+    }
 
-                // Phase 2: the durability barrier (per fsync policy).
-                let mut attempt = 1;
-                loop {
-                    match writer.commit_boundary() {
-                        Ok(durable) => {
-                            *records += 1;
-                            return Ok(durable);
-                        }
-                        Err(e) => {
-                            let f = IoFailure::new("wal fsync", e);
-                            if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
-                                self.io_retries.fetch_add(1, Ordering::Relaxed);
-                                retry_backoff(attempt);
-                                attempt += 1;
-                                continue;
-                            }
-                            // The group is written but cannot be promised
-                            // durable, and the commit is about to abort:
-                            // remove it so recovery never replays an
-                            // aborted transaction. If even that fails the
-                            // group's fate is ambiguous — degrade either
-                            // way and let heal + recovery re-establish a
-                            // clean tail.
-                            let _ = writer.abandon_group();
-                            return Err(self.fail(f));
-                        }
+    /// Lands the staged record group and runs the policy's durability
+    /// barrier. Called with the sink lock held (`writer` borrows from it).
+    fn land_group(
+        &self,
+        writer: &mut SegmentWriter,
+        records: &mut u64,
+    ) -> Result<GroupAppend, IoFailure> {
+        // Phase 1: land the group, retrying transients after cutting any
+        // torn prefix back out.
+        let mut attempt = 1;
+        loop {
+            match writer.flush_group() {
+                Ok(_) => break,
+                Err(e) => {
+                    let f = IoFailure::new("wal append", e);
+                    if let Err(re) = writer.rewind_partial() {
+                        // The segment tail is in an unknown state: nothing
+                        // more can be written safely.
+                        writer.clear_group();
+                        return Err(self.fail(IoFailure::new("wal rewind", re)));
                     }
+                    if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                        self.io_retries.fetch_add(1, Ordering::Relaxed);
+                        retry_backoff(attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                    writer.clear_group();
+                    return Err(self.fail(f));
+                }
+            }
+        }
+
+        // Phase 2: the durability barrier (per fsync policy). GroupCommit
+        // never syncs here — its barrier is the leader fsync in
+        // `wait_covered` — so under that policy phase 2 cannot fail and
+        // every append error stays phase-1 (nothing installed yet).
+        let mut attempt = 1;
+        loop {
+            match writer.commit_boundary() {
+                Ok(durable) => {
+                    *records += 1;
+                    if durable {
+                        // ordering: Release pairs with `wait_covered`'s
+                        // Acquire fast path; written under the sink lock,
+                        // so the plain store stays monotone.
+                        self.durable_lsn
+                            .store(writer.synced_lsn(), Ordering::Release);
+                    }
+                    return Ok(GroupAppend {
+                        durable,
+                        end_lsn: writer.lsn(),
+                    });
+                }
+                Err(e) => {
+                    let f = IoFailure::new("wal fsync", e);
+                    if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
+                        self.io_retries.fetch_add(1, Ordering::Relaxed);
+                        retry_backoff(attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                    // The group is written but cannot be promised durable,
+                    // and the commit is about to abort: remove it so
+                    // recovery never replays an aborted transaction. If
+                    // even that fails the group's fate is ambiguous —
+                    // degrade either way and let heal + recovery
+                    // re-establish a clean tail.
+                    let _ = writer.abandon_group();
+                    return Err(self.fail(f));
                 }
             }
         }
@@ -556,7 +872,11 @@ impl WalHandle {
                 let mut attempt = 1;
                 loop {
                     match writer.sync() {
-                        Ok(()) => break,
+                        Ok(()) => {
+                            self.durable_lsn
+                                .store(writer.synced_lsn(), Ordering::Release);
+                            break;
+                        }
                         Err(e) => {
                             let f = IoFailure::new("checkpoint fsync", e);
                             if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
@@ -588,7 +908,11 @@ impl WalHandle {
                 let mut attempt = 1;
                 loop {
                     match writer.sync() {
-                        Ok(()) => return Ok(()),
+                        Ok(()) => {
+                            self.durable_lsn
+                                .store(writer.synced_lsn(), Ordering::Release);
+                            return Ok(());
+                        }
                         Err(e) => {
                             let f = IoFailure::new("wal fsync", e);
                             if f.is_transient() && attempt < WAL_IO_ATTEMPTS {
@@ -645,6 +969,153 @@ impl WalHandle {
 }
 
 impl Default for WalHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a group-commit acknowledgment must wait for: the commit's
+/// timestamp on the process-wide [`DurabilityHorizon`], plus — per
+/// partition the commit logged to — the LSN its redo group ends at.
+/// Created by the commit path under [`FsyncPolicy::GroupCommit`] and
+/// consumed by the session before acknowledging the client.
+#[derive(Clone, Debug)]
+pub struct DurabilityTicket {
+    /// The commit timestamp registered on the horizon.
+    pub(crate) commit_ts: u64,
+    /// `(partition index, end LSN)` for every partition the commit's redo
+    /// groups landed on, in the order they were appended.
+    pub(crate) parts: Vec<(u32, Lsn)>,
+}
+
+/// The process-wide durability horizon: the highest timestamp `t` such
+/// that every committed transaction with `commit_ts <= t` is durable on
+/// every partition it touched.
+///
+/// Group commit installs versions and releases locks *before* the batch
+/// fsync (early lock release), so crash recovery keeps a timestamp-prefix
+/// of the commit order — the horizon cut in [`crate::durability`]. An
+/// acknowledgment is therefore safe exactly when the commit's timestamp
+/// is at or below this horizon: everything the kept prefix could depend
+/// on is durable too, so the recovered state always contains every
+/// acknowledged commit.
+///
+/// The invariant that makes `min(stable, first_pending - 1)` sound:
+/// committers register their timestamp *after* their last log append
+/// succeeds and *before* installing (and before the commit clock marks
+/// the allocation finished) — so the clock's stable timestamp can never
+/// pass a committed transaction that has not yet registered here.
+pub struct DurabilityHorizon {
+    /// The horizon itself. Written only under `pending`'s lock, so plain
+    /// stores stay monotone.
+    durable_ts: AtomicU64,
+    /// Commits acknowledged through `DurabilityHorizon::wait_acked`
+    /// (observability).
+    acked: AtomicU64,
+    /// Registered commits not yet known durable: `commit_ts -> covered`.
+    /// An entry flips to `true` once every partition the commit touched
+    /// reports coverage; the horizon advances past leading covered
+    /// entries.
+    pending: Mutex<BTreeMap<u64, bool>>,
+    cond: Condvar,
+}
+
+impl DurabilityHorizon {
+    /// An empty horizon (no commit registered, horizon at 0).
+    pub(crate) fn new() -> Self {
+        DurabilityHorizon {
+            durable_ts: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            pending: Mutex::new(BTreeMap::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The current horizon: every committed transaction with a timestamp
+    /// at or below this is durable on every partition it touched.
+    pub fn durable_ts(&self) -> u64 {
+        self.durable_ts.load(Ordering::Acquire)
+    }
+
+    /// Commits acknowledged through `DurabilityHorizon::wait_acked`.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Relaxed)
+    }
+
+    /// Registers a committed transaction on the horizon. Must be called
+    /// after its last log append succeeded and before it installs (see the
+    /// type-level invariant).
+    pub(crate) fn register(&self, commit_ts: u64) {
+        self.pending.lock().insert(commit_ts, false);
+    }
+
+    /// Resolves a registered commit: `durable` marks it covered (every
+    /// partition it touched fsynced past its group), `!durable` withdraws
+    /// it — the acknowledgment is failing with `DurabilityFailed`, and
+    /// leaving the entry would wedge every later commit's acknowledgment
+    /// behind a hole that will never fill (the durability gap is
+    /// documented: it closes at the post-heal sealing checkpoint). Either
+    /// way the horizon advances as far as `stable` (the commit clock's
+    /// stable timestamp) allows.
+    pub(crate) fn resolve(&self, commit_ts: u64, durable: bool, stable: u64) {
+        let mut pending = self.pending.lock();
+        if durable {
+            if let Some(covered) = pending.get_mut(&commit_ts) {
+                *covered = true;
+            }
+        } else {
+            pending.remove(&commit_ts);
+        }
+        self.advance_locked(&mut pending, stable);
+    }
+
+    /// Parks until the horizon reaches `commit_ts`. `stable` is re-sampled
+    /// every bounded park so a horizon capped by the commit clock (a
+    /// concurrent committer between its allocation and its finish) makes
+    /// progress without a dedicated wakeup.
+    pub(crate) fn wait_acked(&self, commit_ts: u64, stable: impl Fn() -> u64) {
+        loop {
+            if self.durable_ts.load(Ordering::Acquire) >= commit_ts {
+                self.acked.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let mut pending = self.pending.lock();
+            self.advance_locked(&mut pending, stable());
+            if self.durable_ts.load(Ordering::Acquire) >= commit_ts {
+                drop(pending);
+                self.acked.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            self.cond.wait_for(&mut pending, GROUP_PARK);
+        }
+    }
+
+    /// Pops leading covered entries and publishes the new horizon:
+    /// `min(stable, first still-pending timestamp - 1)` — or `stable`
+    /// alone when nothing is pending. Caller holds the `pending` lock.
+    fn advance_locked(&self, pending: &mut BTreeMap<u64, bool>, stable: u64) {
+        while pending
+            .first_key_value()
+            .is_some_and(|(_, covered)| *covered)
+        {
+            pending.pop_first();
+        }
+        let limit = pending
+            .keys()
+            .next()
+            .map_or(u64::MAX, |ts| ts.saturating_sub(1));
+        let horizon = stable.min(limit);
+        if horizon > self.durable_ts.load(Ordering::Acquire) {
+            // ordering: Release pairs with the Acquire loads in
+            // `wait_acked` / `durable_ts`; only written under the
+            // `pending` lock, so the plain store stays monotone.
+            self.durable_ts.store(horizon, Ordering::Release);
+            self.cond.notify_all();
+        }
+    }
+}
+
+impl Default for DurabilityHorizon {
     fn default() -> Self {
         Self::new()
     }

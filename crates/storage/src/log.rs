@@ -85,6 +85,22 @@ pub enum FsyncPolicy {
     GroupEveryN(u32),
     /// fsync when at least this many milliseconds elapsed since the last.
     IntervalMs(u64),
+    /// Leader-driven group commit with a durable acknowledgment: committers
+    /// never fsync on their own commit path. They install and release
+    /// immediately after logging, then park on the partition's durability
+    /// watermark; the first parked committer becomes the *leader*, waits up
+    /// to `max_wait_us` microseconds for more committers to join (cutting
+    /// the window short once `max_batch` are parked), and issues one fsync
+    /// covering every group staged so far. Acknowledgments wait for the
+    /// global durability horizon, so — like `EveryCommit` — an acknowledged
+    /// commit always survives a crash, at a fraction of the fsync count.
+    GroupCommit {
+        /// Batch size that cuts the leader's accumulation window short.
+        max_batch: u32,
+        /// Longest time (µs) the leader waits for joiners before syncing.
+        /// Capped at `u32::MAX` by the segment-header codec.
+        max_wait_us: u64,
+    },
 }
 
 impl FsyncPolicy {
@@ -95,6 +111,13 @@ impl FsyncPolicy {
             FsyncPolicy::EveryCommit => (1, 0),
             FsyncPolicy::GroupEveryN(n) => (2, n as u64),
             FsyncPolicy::IntervalMs(ms) => (3, ms),
+            FsyncPolicy::GroupCommit {
+                max_batch,
+                max_wait_us,
+            } => (
+                4,
+                (max_batch as u64) << 32 | max_wait_us.min(u32::MAX as u64),
+            ),
         }
     }
 
@@ -105,12 +128,33 @@ impl FsyncPolicy {
             1 => FsyncPolicy::EveryCommit,
             2 => FsyncPolicy::GroupEveryN(arg as u32),
             3 => FsyncPolicy::IntervalMs(arg),
+            4 => FsyncPolicy::GroupCommit {
+                max_batch: (arg >> 32) as u32,
+                max_wait_us: arg & u32::MAX as u64,
+            },
             _ => return None,
         })
     }
 
-    /// True when a commit acknowledgment implies its records are durable.
+    /// True when a commit acknowledgment implies its records are durable —
+    /// under `EveryCommit` because the committer fsynced before returning,
+    /// under `GroupCommit` because the acknowledgment waited for the
+    /// durability horizon.
     pub fn acks_are_durable(self) -> bool {
+        matches!(
+            self,
+            FsyncPolicy::EveryCommit | FsyncPolicy::GroupCommit { .. }
+        )
+    }
+
+    /// True when recovery may drop incomplete transactions *individually*
+    /// instead of applying the horizon cut. Only `EveryCommit` qualifies:
+    /// it installs after its own fsync, so an incomplete group was never
+    /// installed and nothing can depend on it. `GroupCommit` installs
+    /// *before* durability (early lock release), so a durable dependent of
+    /// a non-durable writer can exist — recovery must cut at the oldest
+    /// incomplete commit timestamp like the weak policies do.
+    pub fn recovery_drops_individually(self) -> bool {
         matches!(self, FsyncPolicy::EveryCommit)
     }
 }
@@ -824,6 +868,63 @@ fn dec_row(c: &mut Cursor<'_>) -> Option<Row> {
 // Record codec
 // ---------------------------------------------------------------------------
 
+/// Frames one encoded payload — `[len: u32][crc32: u32][payload]` — into
+/// `buf`, exactly as the segment writer's staging path does. Lets callers
+/// build a fully framed record group *outside* the WAL sink lock and hand
+/// it to [`SegmentWriter::stage_framed`].
+pub fn frame_payload(buf: &mut Vec<u8>, payload: &[u8]) {
+    let mut frame = [0u8; 8];
+    frame[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(&frame);
+    buf.extend_from_slice(payload);
+}
+
+/// Encodes and frames one record into `buf` (see [`frame_payload`]),
+/// using `scratch` for the unframed payload bytes.
+pub fn frame_record(buf: &mut Vec<u8>, scratch: &mut Vec<u8>, rec: &WalRecord) {
+    scratch.clear();
+    encode_record(rec, scratch);
+    frame_payload(buf, scratch);
+}
+
+/// Encodes and frames an `Update` record into `buf` without materializing
+/// a [`WalRecord`] (the commit hot path borrows the after-image).
+pub fn frame_update(buf: &mut Vec<u8>, scratch: &mut Vec<u8>, table: u32, key: u64, row: &Row) {
+    scratch.clear();
+    scratch.push(2);
+    enc_u32(scratch, table);
+    enc_u64(scratch, key);
+    enc_row(scratch, row);
+    frame_payload(buf, scratch);
+}
+
+/// Encodes and frames an `Insert` record into `buf` without materializing
+/// a [`WalRecord`].
+pub fn frame_insert(
+    buf: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    table: u32,
+    key: u64,
+    row: &Row,
+    secondary: Option<(u32, u64)>,
+) {
+    scratch.clear();
+    scratch.push(3);
+    enc_u32(scratch, table);
+    enc_u64(scratch, key);
+    enc_row(scratch, row);
+    match secondary {
+        Some((idx, skey)) => {
+            scratch.push(1);
+            enc_u32(scratch, idx);
+            enc_u64(scratch, skey);
+        }
+        None => scratch.push(0),
+    }
+    frame_payload(buf, scratch);
+}
+
 /// Encodes one record's payload (kind byte + body) into `buf`.
 pub fn encode_record(rec: &WalRecord, buf: &mut Vec<u8>) {
     match rec {
@@ -1151,11 +1252,16 @@ impl SegmentWriter {
 
     /// Frames one encoded payload into the staging buffer.
     fn stage_payload(&mut self, payload: &[u8]) {
-        let mut frame = [0u8; 8];
-        frame[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame[4..].copy_from_slice(&crc32(payload).to_le_bytes());
-        self.stage.extend_from_slice(&frame);
-        self.stage.extend_from_slice(payload);
+        frame_payload(&mut self.stage, payload);
+    }
+
+    /// Stages bytes that were already framed with [`frame_payload`] /
+    /// [`frame_record`]. This is the group-commit fast path: the committer
+    /// encodes and frames its whole record group into a private buffer
+    /// *before* taking the partition sink lock, so the lock covers only the
+    /// file write.
+    pub fn stage_framed(&mut self, framed: &[u8]) {
+        self.stage.extend_from_slice(framed);
     }
 
     /// Bytes currently staged and not yet flushed.
@@ -1276,6 +1382,10 @@ impl SegmentWriter {
             FsyncPolicy::EveryCommit => true,
             FsyncPolicy::GroupEveryN(n) => self.commits_since_sync >= n.max(1),
             FsyncPolicy::IntervalMs(ms) => self.last_sync.elapsed().as_millis() as u64 >= ms,
+            // The committer never syncs its own group: the group-commit
+            // leader batches the fsync across the whole parked queue
+            // (`WalHandle::wait_covered` in `bamboo_core`).
+            FsyncPolicy::GroupCommit { .. } => false,
         };
         if due {
             self.sync()?;

@@ -40,6 +40,12 @@ const PARTS: u32 = 2;
 const ACCOUNTS: TableId = TableId(0);
 const LEDGER: TableId = TableId(1);
 
+/// The coordinator parameters used by the group-commit chaos case.
+const GROUP_POLICY: FsyncPolicy = FsyncPolicy::GroupCommit {
+    max_batch: 8,
+    max_wait_us: 100,
+};
+
 /// The schedule seed: `BAMBOO_CHAOS_SEED` when set (the CI sweep and the
 /// failing-run repro path), a fixed default otherwise.
 fn chaos_seed() -> u64 {
@@ -62,7 +68,11 @@ fn tmp_dir(tag: &str) -> PathBuf {
 /// Builds the two-partition bank (accounts range-routed, ledger hashed)
 /// on a fault-injecting backend. The injector starts disarmed, so schema
 /// load and the genesis checkpoint run fault-free.
-fn build_faulty(dir: &Path, plan: FaultPlan) -> (Arc<PartitionedDb>, Arc<FaultInjector>) {
+fn build_faulty(
+    dir: &Path,
+    plan: FaultPlan,
+    policy: FsyncPolicy,
+) -> (Arc<PartitionedDb>, Arc<FaultInjector>) {
     let injector = FaultInjector::new(plan);
     let backend = Arc::new(FaultBackend::new(Arc::clone(&injector)));
     let mut b = PartitionedDb::builder(PARTS);
@@ -85,7 +95,7 @@ fn build_faulty(dir: &Path, plan: FaultPlan) -> (Arc<PartitionedDb>, Arc<FaultIn
     b.with_options(
         DbOptions::new()
             .with_wal_dir(dir.to_path_buf())
-            .with_fsync_policy(FsyncPolicy::EveryCommit)
+            .with_fsync_policy(policy)
             .with_log_backend(backend),
     );
     let pdb = b.build();
@@ -175,7 +185,7 @@ fn seeded_fault_fire_preserves_acked_commits_and_money() {
         enospc_permille: 12,
         ..FaultPlan::quiet(seed)
     };
-    let (pdb, injector) = build_faulty(&dir, plan);
+    let (pdb, injector) = build_faulty(&dir, plan, FsyncPolicy::EveryCommit);
     let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
     let session = PartSession::new(Arc::clone(&pdb), proto);
 
@@ -309,7 +319,7 @@ fn degraded_partition_is_read_only_until_heal() {
         fsync_permille: 1000,
         ..FaultPlan::quiet(seed)
     };
-    let (pdb, injector) = build_faulty(&dir, plan);
+    let (pdb, injector) = build_faulty(&dir, plan, FsyncPolicy::EveryCommit);
     let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
     let session = PartSession::new(Arc::clone(&pdb), proto);
 
@@ -412,7 +422,7 @@ fn same_seed_reproduces_the_same_outcomes() {
             enospc_permille: 15,
             ..FaultPlan::quiet(seed)
         };
-        let (pdb, injector) = build_faulty(&dir, plan);
+        let (pdb, injector) = build_faulty(&dir, plan, FsyncPolicy::EveryCommit);
         let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
         let session = PartSession::new(Arc::clone(&pdb), proto);
         injector.arm();
@@ -439,6 +449,126 @@ fn same_seed_reproduces_the_same_outcomes() {
     assert_eq!(a, b, "same seed, same commit/abort sequence (seed {seed})");
     assert_eq!(ia, ib, "same seed, same injected-fault count (seed {seed})");
     assert!(ia > 0, "schedule fired at least once under seed {seed}");
+}
+
+/// Group-commit batch-fsync failure: the whole staged batch surfaces
+/// `DurabilityFailed` at *ack* time — the commit points all passed (under
+/// `GroupCommit` the commit boundary never syncs), versions installed and
+/// locks released, so the batch fsync is the first thing that can fail.
+/// The failing partition degrades, the sibling keeps committing, and
+/// heal + checkpoint + recovery converge on the installed state.
+#[test]
+fn group_commit_batch_fsync_failure_fails_whole_batch_and_degrades() {
+    let seed = chaos_seed();
+    println!("chaos seed: {seed}");
+    let dir = tmp_dir("group-batch");
+    // Every fsync fails: the leader's batch sync exhausts its transient
+    // retries and escalates to a permanent degrade.
+    let plan = FaultPlan {
+        seed,
+        fsync_permille: 1000,
+        ..FaultPlan::quiet(seed)
+    };
+    let (pdb, injector) = build_faulty(&dir, plan, GROUP_POLICY);
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let session = PartSession::new(Arc::clone(&pdb), proto);
+
+    injector.arm();
+    // Stage a batch of partition-0-local transfers through the
+    // deferred-ack pipeline (accounts only — the ledger is hash-routed
+    // and could drag the healthy sibling's WAL into the ticket).
+    let mut tickets = Vec::new();
+    for seq in 1u64..=4 {
+        let (from, to) = (seq, (seq + 3) % ACCOUNTS_PER_PART);
+        let mut txn = session.begin_on(PartitionId(0));
+        txn.update(ACCOUNTS, from, |r| r.set(1, Value::I64(r.get_i64(1) - 5)))
+            .and_then(|_| txn.update(ACCOUNTS, to, |r| r.set(1, Value::I64(r.get_i64(1) + 5))))
+            .expect("fsync faults cannot touch the commit point under GroupCommit");
+        let ticket = txn
+            .commit_deferred()
+            .expect("commit point passes — only the ack can fail")
+            .expect("durable GroupCommit commits always carry a ticket");
+        tickets.push((seq, ticket));
+    }
+    // Every member of the batch fails at ack time, not just the leader.
+    for (seq, ticket) in tickets {
+        let err = session
+            .session(PartitionId(0))
+            .ack_ticket(ticket)
+            .expect_err("the batch fsync failed — no member may ack");
+        assert_eq!(
+            err.0,
+            AbortReason::DurabilityFailed,
+            "batch member {seq} must surface DurabilityFailed (seed {seed})"
+        );
+    }
+    injector.disarm();
+    assert!(injector.injected() > 0, "the batch fsync never fired");
+    assert_eq!(pdb.degraded_partitions(), 1, "only partition 0 degrades");
+    assert!(pdb.parts()[0].wal().is_degraded());
+    assert!(!pdb.parts()[1].wal().is_degraded());
+
+    // Ack-time failure is post-commit: the batch is installed in memory
+    // (that is the documented durability gap until heal + checkpoint),
+    // and no transfer was half-applied.
+    let live = balances(&pdb);
+    assert!(
+        live.values().any(|&v| v != INITIAL),
+        "batch members must be installed despite the failed ack"
+    );
+    assert_eq!(
+        live.values().sum::<i64>(),
+        PARTS as i64 * ACCOUNTS_PER_PART as i64 * INITIAL,
+        "the failed batch leaked money in memory (seed {seed})"
+    );
+
+    // The sibling partition keeps committing while partition 0 is
+    // degraded — its own group-commit coordinator is unaffected.
+    {
+        let mut txn = session.begin_on(PartitionId(1));
+        txn.update(ACCOUNTS, ACCOUNTS_PER_PART + 1, |r| {
+            r.set(1, Value::I64(r.get_i64(1) - 7))
+        })
+        .and_then(|_| {
+            txn.update(ACCOUNTS, ACCOUNTS_PER_PART + 2, |r| {
+                r.set(1, Value::I64(r.get_i64(1) + 7))
+            })
+        })
+        .and_then(|_| txn.commit())
+        .expect("healthy partition commits while its sibling is degraded");
+    }
+
+    // Later tickets on the degraded partition fail fast without parking.
+    {
+        let mut txn = session.begin_on(PartitionId(0));
+        txn.update(ACCOUNTS, 6, |r| r.set(1, Value::I64(r.get_i64(1) - 1)))
+            .and_then(|_| txn.update(ACCOUNTS, 7, |r| r.set(1, Value::I64(r.get_i64(1) + 1))))
+            .and_then(|_| txn.commit())
+            .expect_err("degraded partition must refuse new commits");
+    }
+
+    // Heal, recommit, seal with a checkpoint; recovery converges on the
+    // installed state (including the never-acked batch, which the
+    // checkpoint made durable).
+    pdb.heal(PartitionId(0)).expect("disarmed heal succeeds");
+    assert_eq!(pdb.degraded_partitions(), 0);
+    transfer(&session, 100, 0, 1, 3).expect("healed partition commits and acks again");
+    pdb.checkpoint().expect("checkpoint after heal");
+    let before = balances(&pdb);
+    drop(session);
+    drop(pdb);
+    let (rec, report) = PartitionedDb::recover(
+        DbOptions::new()
+            .with_wal_dir(dir.clone())
+            .with_fsync_policy(GROUP_POLICY),
+    )
+    .unwrap_or_else(|e| panic!("recovery after batch failure + heal (seed {seed}): {e}"));
+    assert_eq!(
+        balances(&rec),
+        before,
+        "recovery diverged from the healed state (seed {seed}, report: {report:?})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The `DurabilityFailed` release contract, across every protocol family:

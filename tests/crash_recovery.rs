@@ -41,7 +41,17 @@ const PARTS: u32 = 2;
 const ACCOUNTS: TableId = TableId(0);
 const LEDGER: TableId = TableId(1);
 
-fn build_with(dir: &Path, backend: Option<Arc<dyn LogBackend>>) -> Arc<PartitionedDb> {
+/// The coordinator parameters used by the group-commit crash variant.
+const GROUP_POLICY: FsyncPolicy = FsyncPolicy::GroupCommit {
+    max_batch: 8,
+    max_wait_us: 100,
+};
+
+fn build_with(
+    dir: &Path,
+    backend: Option<Arc<dyn LogBackend>>,
+    policy: FsyncPolicy,
+) -> Arc<PartitionedDb> {
     let mut b = PartitionedDb::builder(PARTS);
     b.add_table(
         "accounts",
@@ -61,7 +71,7 @@ fn build_with(dir: &Path, backend: Option<Arc<dyn LogBackend>>) -> Arc<Partition
     );
     let mut opts = DbOptions::new()
         .with_wal_dir(dir.to_path_buf())
-        .with_fsync_policy(FsyncPolicy::EveryCommit);
+        .with_fsync_policy(policy);
     if let Some(backend) = backend {
         opts = opts.with_log_backend(backend);
     }
@@ -89,7 +99,7 @@ fn child_main(dir: PathBuf, fault_seed: Option<u64>) -> ! {
     let backend = injector
         .as_ref()
         .map(|i| Arc::new(FaultBackend::new(Arc::clone(i))) as Arc<dyn LogBackend>);
-    let pdb = build_with(&dir, backend);
+    let pdb = build_with(&dir, backend, FsyncPolicy::EveryCommit);
     for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
         pdb.insert(
             ACCOUNTS,
@@ -161,12 +171,109 @@ fn child_main(dir: PathBuf, fault_seed: Option<u64>) -> ! {
     std::process::exit(0);
 }
 
+/// Group-commit child mode: the same bank, but commits ride the
+/// deferred-ack pipeline — a flight of transfers is staged with
+/// `commit_deferred` (commit point hit, locks released and versions
+/// installed, no fsync yet), then the whole flight is acknowledged; one
+/// leader fsync covers it. Only *acked* transfers print `ACK`, so a
+/// SIGKILL mid-flight may lose staged-but-unacked commits — never acked
+/// ones. That asymmetry is exactly the group-commit contract under test.
+fn child_main_group(dir: PathBuf) -> ! {
+    let pdb = build_with(&dir, None, GROUP_POLICY);
+    for a in 0..PARTS as u64 * ACCOUNTS_PER_PART {
+        pdb.insert(
+            ACCOUNTS,
+            a,
+            Row::from(vec![Value::U64(a), Value::I64(INITIAL)]),
+        );
+    }
+    pdb.checkpoint().expect("genesis checkpoint");
+
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let session = PartSession::new(Arc::clone(&pdb), proto);
+    let mut rng = 0xB4D5EEDu64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        rng
+    };
+    let stdout = std::io::stdout();
+    let mut seq = 0u64;
+    loop {
+        let mut flight = Vec::new();
+        for _ in 0..8 {
+            seq += 1;
+            let from = next() % ACCOUNTS_PER_PART;
+            let to = ACCOUNTS_PER_PART + next() % ACCOUNTS_PER_PART;
+            let amount = (next() % 10) as i64 + 1;
+            let mut txn = session.begin_on(PartitionId(0));
+            let staged = txn
+                .update(ACCOUNTS, from, |r| {
+                    r.set(1, Value::I64(r.get_i64(1) - amount))
+                })
+                .and_then(|_| {
+                    txn.update(ACCOUNTS, to, |r| {
+                        r.set(1, Value::I64(r.get_i64(1) + amount))
+                    })
+                })
+                .and_then(|_| {
+                    txn.insert(
+                        LEDGER,
+                        seq,
+                        Row::from(vec![
+                            Value::U64(seq),
+                            Value::U64(from),
+                            Value::U64(to),
+                            Value::I64(amount),
+                        ]),
+                        None,
+                    )
+                });
+            if staged.is_err() {
+                continue; // dropped `txn` runs the abort path
+            }
+            if let Ok(Some(ticket)) = txn.commit_deferred() {
+                flight.push((seq, from, to, amount, ticket));
+            }
+        }
+        for (seq, from, to, amount, ticket) in flight {
+            if session.session(PartitionId(0)).ack_ticket(ticket).is_ok() {
+                // The durability horizon covers this commit: acknowledge
+                // it. Flush so the parent sees the ack before any SIGKILL.
+                let mut out = stdout.lock();
+                writeln!(out, "ACK {seq} {from} {to} {amount}").unwrap();
+                out.flush().unwrap();
+            }
+        }
+    }
+}
+
 #[test]
 fn kill9_crash_preserves_acked_commits() {
     if let Ok(dir) = std::env::var("BAMBOO_CRASH_DIR") {
         child_main(PathBuf::from(dir), None);
     }
-    run_crash_harness("kill9_crash_preserves_acked_commits", None);
+    run_crash_harness(
+        "kill9_crash_preserves_acked_commits",
+        None,
+        FsyncPolicy::EveryCommit,
+        "clean",
+    );
+}
+
+#[test]
+fn kill9_crash_group_commit_preserves_acked_commits() {
+    if let Ok(dir) = std::env::var("BAMBOO_CRASH_DIR") {
+        child_main_group(PathBuf::from(dir));
+    }
+    run_crash_harness(
+        "kill9_crash_group_commit_preserves_acked_commits",
+        None,
+        GROUP_POLICY,
+        "group",
+    );
 }
 
 #[test]
@@ -188,14 +295,16 @@ fn kill9_crash_with_storage_faults_preserves_acked_commits() {
     run_crash_harness(
         "kill9_crash_with_storage_faults_preserves_acked_commits",
         Some(seed),
+        FsyncPolicy::EveryCommit,
+        "fault",
     );
 }
 
 /// Parent mode: re-exec this binary as the crash child (filtered to
 /// `test_name`), harvest 50 acks, SIGKILL, recover, verify.
-fn run_crash_harness(test_name: &str, fault_seed: Option<u64>) {
+fn run_crash_harness(test_name: &str, fault_seed: Option<u64>, policy: FsyncPolicy, tag: &str) {
     let dir = std::env::temp_dir().join(format!(
-        "bamboo-crash-{}-{}",
+        "bamboo-crash-{}-{tag}-{}",
         std::process::id(),
         fault_seed.map_or_else(|| "clean".into(), |s| s.to_string())
     ));
@@ -239,12 +348,14 @@ fn run_crash_harness(test_name: &str, fault_seed: Option<u64>) {
 
     // Recover the directory the child left behind. The recovery options
     // carry the writer's fsync policy: under `EveryCommit` every acked
-    // group was individually fsynced, so no horizon cut applies even when
-    // injected faults left orphaned groups mid-log.
+    // group was individually fsynced, so groups drop individually; under
+    // `GroupCommit` locks released before the batch fsync, so recovery
+    // cuts at the durability horizon instead — every ack implies the
+    // whole prefix below it is durable either way.
     let (rec, report) = PartitionedDb::recover(
         DbOptions::new()
             .with_wal_dir(dir.clone())
-            .with_fsync_policy(FsyncPolicy::EveryCommit),
+            .with_fsync_policy(policy),
     )
     .expect("recovery after SIGKILL");
 

@@ -327,6 +327,79 @@ fn recover_without_checkpoint_fails_cleanly() {
 /// Under the weak policies, a complete-looking transaction above the
 /// oldest incomplete one is discarded by the horizon cut: a lost log
 /// suffix on one partition must not resurrect dependents elsewhere.
+/// `Session::run_many` under `GroupCommit`: the whole batch commits with
+/// early lock release, acks ride the durability horizon, one leader
+/// fsync covers the flight (not one per commit), and recovery replays
+/// every acked transfer.
+#[test]
+fn run_many_batches_acks_under_group_commit() {
+    use bamboo_repro::core::executor::TxnSpec;
+    use bamboo_repro::core::{Abort, Txn};
+
+    const POLICY: FsyncPolicy = FsyncPolicy::GroupCommit {
+        max_batch: 16,
+        max_wait_us: 100,
+    };
+
+    struct Transfer {
+        t: TableId,
+        from: u64,
+        to: u64,
+    }
+    impl TxnSpec for Transfer {
+        fn run_piece(&self, _p: usize, txn: &mut Txn<'_>) -> Result<(), Abort> {
+            txn.update(self.t, self.from, |r| {
+                r.set(1, Value::I64(r.get_i64(1) - 5))
+            })?;
+            txn.update(self.t, self.to, |r| r.set(1, Value::I64(r.get_i64(1) + 5)))
+        }
+    }
+
+    let dir = tmp_dir("run-many-group");
+    let (pdb, t) = durable_bank(&dir, POLICY);
+    let proto: Arc<dyn Protocol> = Arc::new(LockingProtocol::bamboo());
+    let session = PartSession::new(Arc::clone(&pdb), proto);
+
+    // Partition-0-local transfers; consecutive specs conflict (spec i's
+    // `to` is spec i+1's `from`), which only works back-to-back because
+    // early lock release frees the tuple at the commit point.
+    let specs: Vec<Transfer> = (0..8u64)
+        .map(|i| Transfer {
+            t,
+            from: i % ACCOUNTS_PER_PART,
+            to: (i + 1) % ACCOUNTS_PER_PART,
+        })
+        .collect();
+    let refs: Vec<&dyn TxnSpec> = specs.iter().map(|s| s as &dyn TxnSpec).collect();
+    let results = session.session(PartitionId(0)).run_many(&refs);
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "batch entry {i} failed: {r:?}");
+    }
+    assert_eq!(pdb.group_acks(), 8, "every entry acked through the horizon");
+    let fsyncs = pdb.group_fsyncs();
+    assert!(
+        (1..8).contains(&fsyncs),
+        "the batch must share leader fsyncs, got {fsyncs} for 8 commits"
+    );
+
+    assert_eq!(
+        total(&pdb, t),
+        PARTS as i64 * ACCOUNTS_PER_PART as i64 * INITIAL
+    );
+    let before = state(&pdb, t);
+    drop(session);
+    drop(pdb);
+    let (rec, _report) = PartitionedDb::recover(
+        DbOptions::new()
+            .with_wal_dir(dir.clone())
+            .with_fsync_policy(POLICY),
+    )
+    .expect("recovery after run_many");
+    assert_eq!(state(&rec, t), before, "acked batch survives recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn weak_policy_horizon_cut_drops_later_transactions() {
     let dir = tmp_dir("horizon");
